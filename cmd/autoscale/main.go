@@ -1,0 +1,85 @@
+// Command autoscale runs an end-to-end auto-scaling scenario: a time-varying
+// workload against a simulated eventually-consistent cluster managed by a
+// chosen controller (none, the reactive CPU autoscaler, or the paper's smart
+// SLA-driven controller), and prints the SLA/cost report, the controller's
+// decision log and the cluster-size and window timelines.
+//
+// Usage example:
+//
+//	autoscale -controller smart -pattern diurnal -base 1000 -peak 3000 -duration 20m -decisions
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"autonosql"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("autoscale", flag.ContinueOnError)
+	var (
+		seed       = fs.Int64("seed", 1, "random seed")
+		duration   = fs.Duration("duration", 20*time.Minute, "simulated duration")
+		controller = fs.String("controller", "smart", "controller: none, reactive, smart")
+		pattern    = fs.String("pattern", "diurnal", "load pattern: constant, step, diurnal, spike, diurnal+spike")
+		base       = fs.Float64("base", 1000, "base offered load (ops/s)")
+		peak       = fs.Float64("peak", 3000, "peak offered load (ops/s)")
+		nodes      = fs.Int("nodes", 3, "initial cluster size")
+		maxNodes   = fs.Int("max-nodes", 12, "maximum cluster size")
+		nodeOps    = fs.Float64("node-ops", 2000, "per-node sustainable ops/s")
+		windowSLA  = fs.Duration("sla-window", 150*time.Millisecond, "SLA bound on the p95 inconsistency window")
+		noisy      = fs.Bool("noisy-neighbour", false, "enable multi-tenant background load")
+		predictive = fs.Bool("predictive", true, "enable predictive scaling (smart controller)")
+		decisions  = fs.Bool("decisions", false, "print the controller decision log")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	spec := autonosql.DefaultScenarioSpec()
+	spec.Seed = *seed
+	spec.Duration = *duration
+	spec.Cluster.InitialNodes = *nodes
+	spec.Cluster.MaxNodes = *maxNodes
+	spec.Cluster.NodeOpsPerSec = *nodeOps
+	spec.Cluster.NoisyNeighbour = *noisy
+	spec.Workload.Pattern = autonosql.LoadPattern(*pattern)
+	spec.Workload.BaseOpsPerSec = *base
+	spec.Workload.PeakOpsPerSec = *peak
+	spec.SLA.MaxWindowP95 = *windowSLA
+	spec.Controller.Mode = autonosql.ControllerMode(*controller)
+	spec.Controller.Predictive = *predictive
+
+	scenario, err := autonosql.NewScenario(spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "autoscale: %v\n", err)
+		return 2
+	}
+	report, err := scenario.Run()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "autoscale: %v\n", err)
+		return 1
+	}
+
+	fmt.Print(report)
+	if *decisions && len(report.Decisions) > 0 {
+		fmt.Println("\ncontroller decisions:")
+		for _, d := range report.Decisions {
+			fmt.Println(" ", d)
+		}
+	}
+	fmt.Println()
+	fmt.Print(report.PlotSeries(autonosql.SeriesOfferedLoad, 50))
+	fmt.Println()
+	fmt.Print(report.PlotSeries(autonosql.SeriesClusterSize, 50))
+	fmt.Println()
+	fmt.Print(report.PlotSeries(autonosql.SeriesWindowP95, 50))
+	return 0
+}

@@ -1,0 +1,100 @@
+// Command nosqlsim runs a single simulated eventually-consistent cluster
+// scenario and prints the resulting report: ground-truth inconsistency-window
+// percentiles, client latency, SLA compliance, cost and (optionally) ASCII
+// timelines of the recorded series.
+//
+// Usage example:
+//
+//	nosqlsim -nodes 3 -rf 3 -write-cl ONE -ops 3000 -duration 5m -controller none -plot window_p95_ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"autonosql"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+func run(args []string, out *os.File) int {
+	fs := flag.NewFlagSet("nosqlsim", flag.ContinueOnError)
+	var (
+		seed       = fs.Int64("seed", 1, "random seed")
+		duration   = fs.Duration("duration", 5*time.Minute, "simulated duration")
+		nodes      = fs.Int("nodes", 3, "initial cluster size")
+		nodeOps    = fs.Float64("node-ops", 5000, "per-node sustainable ops/s")
+		rf         = fs.Int("rf", 3, "replication factor")
+		readCL     = fs.String("read-cl", "ONE", "read consistency level (ONE, TWO, QUORUM, ALL)")
+		writeCL    = fs.String("write-cl", "ONE", "write consistency level (ONE, TWO, QUORUM, ALL)")
+		ops        = fs.Float64("ops", 3000, "offered load in ops/s (base rate)")
+		peak       = fs.Float64("peak", 0, "peak ops/s for step/diurnal/spike patterns")
+		pattern    = fs.String("pattern", "constant", "load pattern: constant, step, diurnal, spike, diurnal+spike")
+		readFrac   = fs.Float64("read-fraction", 0.5, "fraction of operations that are reads")
+		keys       = fs.Int("keys", 10000, "keyspace size")
+		noisy      = fs.Bool("noisy-neighbour", false, "enable multi-tenant background load")
+		controller = fs.String("controller", "none", "controller: none, reactive, smart")
+		windowSLA  = fs.Duration("sla-window", 250*time.Millisecond, "SLA bound on the p95 inconsistency window")
+		probes     = fs.Float64("probe-rate", 1, "active read-after-write probes per second (0 disables)")
+		plot       = fs.String("plot", "", "comma-separated report series to plot (e.g. window_p95_ms,cluster_size)")
+		decisions  = fs.Bool("decisions", false, "print the controller decision log")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	spec := autonosql.DefaultScenarioSpec()
+	spec.Seed = *seed
+	spec.Duration = *duration
+	spec.Cluster.InitialNodes = *nodes
+	spec.Cluster.NodeOpsPerSec = *nodeOps
+	spec.Cluster.NoisyNeighbour = *noisy
+	spec.Store.ReplicationFactor = *rf
+	spec.Store.ReadConsistency = autonosql.ConsistencyLevel(strings.ToUpper(*readCL))
+	spec.Store.WriteConsistency = autonosql.ConsistencyLevel(strings.ToUpper(*writeCL))
+	spec.Workload.Pattern = autonosql.LoadPattern(*pattern)
+	spec.Workload.BaseOpsPerSec = *ops
+	spec.Workload.PeakOpsPerSec = *peak
+	spec.Workload.ReadFraction = *readFrac
+	spec.Workload.Keyspace = *keys
+	spec.Monitor.ActiveProbes = *probes > 0
+	spec.Monitor.ProbeRate = *probes
+	spec.SLA.MaxWindowP95 = *windowSLA
+	spec.Controller.Mode = autonosql.ControllerMode(*controller)
+
+	scenario, err := autonosql.NewScenario(spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nosqlsim: %v\n", err)
+		return 2
+	}
+	report, err := scenario.Run()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nosqlsim: %v\n", err)
+		return 1
+	}
+
+	fmt.Fprint(out, report.String())
+	if *decisions && len(report.Decisions) > 0 {
+		fmt.Fprintln(out, "\ncontroller decisions:")
+		for _, d := range report.Decisions {
+			fmt.Fprintf(out, "  %s\n", d)
+		}
+	}
+	if *plot != "" {
+		for _, name := range strings.Split(*plot, ",") {
+			name = strings.TrimSpace(name)
+			if p := report.PlotSeries(name, 50); p != "" {
+				fmt.Fprintln(out)
+				fmt.Fprint(out, p)
+			} else {
+				fmt.Fprintf(os.Stderr, "nosqlsim: unknown series %q\n", name)
+			}
+		}
+	}
+	return 0
+}

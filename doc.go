@@ -1,0 +1,33 @@
+// Package autonosql is the public API of the autonosql library: a simulated
+// eventually-consistent NoSQL cluster together with the SLA-driven autonomous
+// monitoring and auto-scaling system described in "Advanced monitoring and
+// smart auto-scaling of NoSQL systems" (Schoonjans, Lagaisse, Joosen —
+// Middleware Doctoral Symposium 2015).
+//
+// The package wraps the lower-level building blocks (the discrete-event
+// simulation engine, the cluster and network models, the replicated store,
+// the workload generators, the inconsistency-window monitor, the SLA model
+// and the controllers) behind a single declarative entry point:
+//
+//	spec := autonosql.DefaultScenarioSpec()
+//	spec.Duration = 10 * time.Minute
+//	spec.Workload.Pattern = autonosql.LoadDiurnal
+//	spec.Controller.Mode = autonosql.ControllerSmart
+//
+//	scenario, err := autonosql.NewScenario(spec)
+//	if err != nil { ... }
+//	report, err := scenario.Run()
+//	if err != nil { ... }
+//	fmt.Println(report)
+//
+// A Scenario assembles the full simulated system, runs it for the requested
+// virtual duration and produces a Report: ground-truth inconsistency-window
+// percentiles, client latency, SLA violation minutes, node-hours, cost and
+// the time series needed to plot how the system behaved.
+//
+// Mid-run interventions (changing consistency levels, adding nodes, injecting
+// network congestion or node failures) are scheduled with Scenario.At, which
+// hands the callback a Handle bound to the running system. The experiment
+// harness uses the same mechanism to reproduce the reconfiguration-overhead
+// experiments.
+package autonosql

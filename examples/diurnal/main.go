@@ -1,0 +1,83 @@
+// Diurnal: a web application's day/night traffic cycle served three ways —
+// statically provisioned for the peak, statically provisioned for the
+// average, and by the paper's SLA-driven smart controller. The example prints
+// the SLA compliance and cost of each policy and the cluster-size timeline of
+// the smart controller, which should track the load curve.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"autonosql"
+)
+
+func diurnalSpec() autonosql.ScenarioSpec {
+	spec := autonosql.DefaultScenarioSpec()
+	spec.Duration = 12 * time.Minute // one compressed "day"
+	spec.SampleInterval = 10 * time.Second
+	spec.Cluster.InitialNodes = 3
+	spec.Cluster.MinNodes = 2
+	spec.Cluster.MaxNodes = 12
+	spec.Cluster.NodeOpsPerSec = 2000
+	spec.Cluster.BootstrapTime = 30 * time.Second
+	spec.Workload.Pattern = autonosql.LoadDiurnal
+	spec.Workload.BaseOpsPerSec = 800
+	spec.Workload.PeakOpsPerSec = 3000
+	spec.Workload.ReadFraction = 0.6
+	spec.SLA.MaxWindowP95 = 150 * time.Millisecond
+	return spec
+}
+
+func run(name string, spec autonosql.ScenarioSpec) *autonosql.Report {
+	scenario, err := autonosql.NewScenario(spec)
+	if err != nil {
+		log.Fatalf("%s: building scenario: %v", name, err)
+	}
+	report, err := scenario.Run()
+	if err != nil {
+		log.Fatalf("%s: running scenario: %v", name, err)
+	}
+	return report
+}
+
+func main() {
+	fmt.Printf("%-28s %-16s %-20s %-12s %-12s\n",
+		"policy", "window p95 (ms)", "violation minutes", "node-hours", "total cost")
+
+	// Statically provisioned for the peak.
+	peak := diurnalSpec()
+	peak.Cluster.InitialNodes = 8
+	peak.Cluster.MinNodes = 8
+	peak.Controller.Mode = autonosql.ControllerNone
+	repPeak := run("static-peak", peak)
+
+	// Statically provisioned for the average.
+	avg := diurnalSpec()
+	avg.Controller.Mode = autonosql.ControllerNone
+	repAvg := run("static-average", avg)
+
+	// Smart SLA-driven controller.
+	smart := diurnalSpec()
+	smart.Controller.Mode = autonosql.ControllerSmart
+	repSmart := run("smart", smart)
+
+	for _, row := range []struct {
+		name string
+		rep  *autonosql.Report
+	}{
+		{"static for the peak (8)", repPeak},
+		{"static for the average (3)", repAvg},
+		{"smart SLA-driven", repSmart},
+	} {
+		fmt.Printf("%-28s %-16.1f %-20.1f %-12.2f $%-11.2f\n",
+			row.name, row.rep.Window.P95*1000, row.rep.Violations.Total,
+			row.rep.Cost.NodeHours, row.rep.Cost.Total)
+	}
+
+	fmt.Println()
+	fmt.Print(repSmart.PlotSeries(autonosql.SeriesOfferedLoad, 40))
+	fmt.Println()
+	fmt.Print(repSmart.PlotSeries(autonosql.SeriesClusterSize, 40))
+}

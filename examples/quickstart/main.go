@@ -1,0 +1,40 @@
+// Quickstart: run the default scenario — a three-node eventually-consistent
+// cluster under a constant YCSB-A-style workload, monitored by read-after-write
+// probes and managed by the SLA-driven smart controller — and print the
+// resulting report.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"autonosql"
+)
+
+func main() {
+	spec := autonosql.DefaultScenarioSpec()
+	spec.Duration = 3 * time.Minute
+	spec.Workload.BaseOpsPerSec = 4000
+	spec.SLA.MaxWindowP95 = 100 * time.Millisecond
+	spec.Controller.Mode = autonosql.ControllerSmart
+
+	scenario, err := autonosql.NewScenario(spec)
+	if err != nil {
+		log.Fatalf("building scenario: %v", err)
+	}
+	report, err := scenario.Run()
+	if err != nil {
+		log.Fatalf("running scenario: %v", err)
+	}
+
+	fmt.Print(report)
+	if len(report.Decisions) > 0 {
+		fmt.Println("\ncontroller decisions:")
+		for _, d := range report.Decisions {
+			fmt.Println(" ", d)
+		}
+	}
+	fmt.Println()
+	fmt.Print(report.PlotSeries(autonosql.SeriesWindowP95, 50))
+}

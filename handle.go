@@ -1,0 +1,127 @@
+package autonosql
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"autonosql/internal/cluster"
+)
+
+// Handle is the view of a running scenario passed to interventions registered
+// with Scenario.At. It exposes the same reconfiguration surface the
+// autonomous controller uses, plus fault and interference injection, so
+// experiments and examples can manipulate the live system mid-run.
+type Handle struct {
+	scenario *Scenario
+}
+
+// Now returns the current virtual time.
+func (h *Handle) Now() time.Duration { return h.scenario.engine.Now() }
+
+// ClusterSize returns the number of nodes currently able to serve requests.
+func (h *Handle) ClusterSize() int { return h.scenario.cluster.Size() }
+
+// ReplicationFactor returns the store's current replication factor.
+func (h *Handle) ReplicationFactor() int { return h.scenario.store.ReplicationFactor() }
+
+// WriteConsistency returns the store's current write consistency level.
+func (h *Handle) WriteConsistency() ConsistencyLevel {
+	return consistencyFromStore(h.scenario.store.WriteConsistency())
+}
+
+// ReadConsistency returns the store's current read consistency level.
+func (h *Handle) ReadConsistency() ConsistencyLevel {
+	return consistencyFromStore(h.scenario.store.ReadConsistency())
+}
+
+// SetWriteConsistency changes the write consistency level of subsequent
+// writes.
+func (h *Handle) SetWriteConsistency(cl ConsistencyLevel) error {
+	level, err := cl.toStore()
+	if err != nil {
+		return err
+	}
+	h.scenario.store.SetWriteConsistency(level)
+	return nil
+}
+
+// SetReadConsistency changes the read consistency level of subsequent reads.
+func (h *Handle) SetReadConsistency(cl ConsistencyLevel) error {
+	level, err := cl.toStore()
+	if err != nil {
+		return err
+	}
+	h.scenario.store.SetReadConsistency(level)
+	return nil
+}
+
+// SetReplicationFactor changes the replication factor of subsequent writes.
+func (h *Handle) SetReplicationFactor(rf int) error {
+	return h.scenario.store.SetReplicationFactor(rf)
+}
+
+// AddNode provisions one extra node; it becomes available after the
+// cluster's bootstrap time.
+func (h *Handle) AddNode() error {
+	_, err := h.scenario.cluster.AddNode()
+	return err
+}
+
+// RemoveNode decommissions the newest fully-up node.
+func (h *Handle) RemoveNode() error {
+	nodes := h.scenario.cluster.Nodes()
+	for i := len(nodes) - 1; i >= 0; i-- {
+		if nodes[i].State() == cluster.NodeUp {
+			return h.scenario.cluster.RemoveNode(nodes[i].ID())
+		}
+	}
+	return errors.New("autonosql: no removable node")
+}
+
+// FailNode crashes the node with the given ordinal (0 = oldest serving node).
+// The node keeps its ring position and can be recovered with RecoverNode.
+func (h *Handle) FailNode(ordinal int) error {
+	nodes := h.scenario.cluster.AvailableNodes()
+	if ordinal < 0 || ordinal >= len(nodes) {
+		return fmt.Errorf("autonosql: no serving node with ordinal %d", ordinal)
+	}
+	return h.scenario.cluster.FailNode(nodes[ordinal].ID())
+}
+
+// RecoverNode brings the most recently failed node back up. It returns an
+// error when no node is down.
+func (h *Handle) RecoverNode() error {
+	for _, n := range h.scenario.cluster.Nodes() {
+		if n.State() == cluster.NodeDown {
+			return h.scenario.cluster.RecoverNode(n.ID())
+		}
+	}
+	return errors.New("autonosql: no failed node to recover")
+}
+
+// SetNetworkCongestion sets the externally imposed network congestion level
+// in [0, 1], modelling congestion caused by other tenants or by a partial
+// network fault.
+func (h *Handle) SetNetworkCongestion(level float64) {
+	h.scenario.cluster.Network().SetCongestion(level)
+}
+
+// SetBackgroundLoad sets the noisy-neighbour CPU load fraction in [0, 0.95]
+// on every node.
+func (h *Handle) SetBackgroundLoad(fraction float64) {
+	h.scenario.cluster.SetBackgroundLoad(fraction)
+}
+
+// TrueWindowP95 returns the ground-truth 95th-percentile inconsistency window
+// (seconds) over recent writes. Experiments use it; the controller never
+// sees it.
+func (h *Handle) TrueWindowP95() float64 {
+	return h.scenario.store.RecentWindowQuantile(0.95)
+}
+
+// EstimatedWindowP95 returns the monitor's current 95th-percentile window
+// estimate in seconds.
+func (h *Handle) EstimatedWindowP95() float64 {
+	return h.scenario.monitor.WindowQuantile(0.95)
+}

@@ -1,0 +1,239 @@
+// Package baseline implements the two alternatives the paper's autonomous
+// system is motivated against:
+//
+//   - StaticController: a fixed configuration chosen once at deployment
+//     time. Over-strict static configurations over-allocate resources; loose
+//     ones let the inconsistency window drift past what the application can
+//     tolerate.
+//   - ReactiveAutoscaler: the classic cloud autoscaler that watches CPU
+//     utilisation only. It is completely blind to the inconsistency window,
+//     so it neither reacts to consistency drift under moderate CPU load nor
+//     anticipates load it has not seen yet.
+//
+// Both satisfy the same stepping contract as the smart controller
+// (core.Controller), so experiment harnesses can swap controllers without
+// changing anything else.
+package baseline
+
+import (
+	"errors"
+	"time"
+
+	"autonosql/internal/core"
+	"autonosql/internal/monitor"
+	"autonosql/internal/sim"
+)
+
+// Stepper is the common contract experiment harnesses drive controllers
+// through: one control step per monitoring snapshot. core.Controller,
+// StaticController and ReactiveAutoscaler all satisfy it.
+type Stepper interface {
+	Step(snap monitor.Snapshot) core.Decision
+	Reconfigurations() int
+}
+
+var (
+	_ Stepper = (*core.Controller)(nil)
+	_ Stepper = (*StaticController)(nil)
+	_ Stepper = (*ReactiveAutoscaler)(nil)
+)
+
+// StaticController never reconfigures anything. It exists so that static
+// provisioning participates in experiments through exactly the same code
+// path as the other controllers.
+type StaticController struct {
+	decisions int
+}
+
+// NewStaticController creates a do-nothing controller.
+func NewStaticController() *StaticController { return &StaticController{} }
+
+// Step implements Stepper: it observes and does nothing.
+func (s *StaticController) Step(snap monitor.Snapshot) core.Decision {
+	s.decisions++
+	return core.Decision{
+		At:                snap.At,
+		Action:            core.Action{Kind: core.ActionNone, Reason: "static configuration"},
+		ClusterSize:       snap.ClusterSize,
+		ReplicationFactor: snap.ReplicationFactor,
+		ReadConsistency:   snap.ReadConsistency,
+		WriteConsistency:  snap.WriteConsistency,
+	}
+}
+
+// Reconfigurations implements Stepper; it is always zero.
+func (s *StaticController) Reconfigurations() int { return 0 }
+
+// Steps returns how many snapshots the controller has observed.
+func (s *StaticController) Steps() int { return s.decisions }
+
+// ReactiveConfig configures the CPU-threshold autoscaler.
+type ReactiveConfig struct {
+	// ScaleOutUtilization is the mean utilisation above which a node is added.
+	ScaleOutUtilization float64
+	// ScaleInUtilization is the mean utilisation below which a node is removed.
+	ScaleInUtilization float64
+	// ScaleOutCooldown is the minimum time between node additions.
+	ScaleOutCooldown time.Duration
+	// ScaleInCooldown is the minimum time between node removals.
+	ScaleInCooldown time.Duration
+	// MinNodes and MaxNodes bound the cluster size.
+	MinNodes int
+	MaxNodes int
+}
+
+// DefaultReactiveConfig mirrors a typical cloud provider autoscaling policy:
+// scale out above 75% CPU, scale in below 30%, with conservative cooldowns.
+func DefaultReactiveConfig() ReactiveConfig {
+	return ReactiveConfig{
+		ScaleOutUtilization: 0.75,
+		ScaleInUtilization:  0.30,
+		ScaleOutCooldown:    90 * time.Second,
+		ScaleInCooldown:     5 * time.Minute,
+		MinNodes:            2,
+		MaxNodes:            32,
+	}
+}
+
+func (c ReactiveConfig) withDefaults() ReactiveConfig {
+	d := DefaultReactiveConfig()
+	if c.ScaleOutUtilization <= 0 || c.ScaleOutUtilization > 1 {
+		c.ScaleOutUtilization = d.ScaleOutUtilization
+	}
+	if c.ScaleInUtilization <= 0 || c.ScaleInUtilization >= c.ScaleOutUtilization {
+		c.ScaleInUtilization = d.ScaleInUtilization
+	}
+	if c.ScaleOutCooldown <= 0 {
+		c.ScaleOutCooldown = d.ScaleOutCooldown
+	}
+	if c.ScaleInCooldown <= 0 {
+		c.ScaleInCooldown = d.ScaleInCooldown
+	}
+	if c.MinNodes <= 0 {
+		c.MinNodes = d.MinNodes
+	}
+	if c.MaxNodes <= 0 {
+		c.MaxNodes = d.MaxNodes
+	}
+	return c
+}
+
+// ReactiveAutoscaler is the classic utilisation-threshold autoscaler. It only
+// ever adds or removes nodes and only looks at CPU utilisation.
+type ReactiveAutoscaler struct {
+	cfg      ReactiveConfig
+	actuator core.Actuator
+
+	lastScaleOut time.Duration
+	lastScaleIn  time.Duration
+	scaledOut    bool
+	scaledIn     bool
+
+	applied   int
+	failed    int
+	decisions []core.Decision
+	ticker    *sim.Ticker
+	stopped   bool
+}
+
+// NewReactiveAutoscaler creates an autoscaler driving the given actuator.
+func NewReactiveAutoscaler(cfg ReactiveConfig, actuator core.Actuator) (*ReactiveAutoscaler, error) {
+	if actuator == nil {
+		return nil, errors.New("baseline: actuator is required")
+	}
+	return &ReactiveAutoscaler{cfg: cfg.withDefaults(), actuator: actuator}, nil
+}
+
+// Config returns the autoscaler configuration with defaults applied.
+func (r *ReactiveAutoscaler) Config() ReactiveConfig { return r.cfg }
+
+// Attach starts the autoscaler on the simulation engine with the given
+// control interval, pulling snapshots from source.
+func (r *ReactiveAutoscaler) Attach(engine *sim.Engine, source core.SnapshotSource, interval time.Duration) error {
+	if engine == nil || source == nil {
+		return errors.New("baseline: engine and snapshot source are required")
+	}
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	if r.ticker != nil {
+		return errors.New("baseline: autoscaler already attached")
+	}
+	t, err := sim.NewTicker(engine, interval, func(time.Duration) {
+		if r.stopped {
+			return
+		}
+		r.Step(source.Snapshot())
+	})
+	if err != nil {
+		return err
+	}
+	r.ticker = t
+	return nil
+}
+
+// Stop halts the control loop.
+func (r *ReactiveAutoscaler) Stop() {
+	r.stopped = true
+	if r.ticker != nil {
+		r.ticker.Stop()
+	}
+}
+
+// Step implements Stepper: a pure CPU-threshold policy.
+func (r *ReactiveAutoscaler) Step(snap monitor.Snapshot) core.Decision {
+	d := core.Decision{At: snap.At}
+	size := r.actuator.ClusterSize()
+
+	switch {
+	case snap.MeanUtilization > r.cfg.ScaleOutUtilization && size < r.cfg.MaxNodes &&
+		(!r.scaledOut || snap.At-r.lastScaleOut >= r.cfg.ScaleOutCooldown):
+		d.Action = core.Action{Kind: core.ActionAddNode, Reason: "mean utilisation above scale-out threshold"}
+		if err := r.actuator.AddNode(); err != nil {
+			d.Err = err
+			r.failed++
+		} else {
+			d.Applied = true
+			r.applied++
+			r.lastScaleOut = snap.At
+			r.scaledOut = true
+		}
+
+	case snap.MeanUtilization < r.cfg.ScaleInUtilization && size > r.cfg.MinNodes &&
+		(!r.scaledIn || snap.At-r.lastScaleIn >= r.cfg.ScaleInCooldown) &&
+		(!r.scaledOut || snap.At-r.lastScaleOut >= r.cfg.ScaleInCooldown):
+		d.Action = core.Action{Kind: core.ActionRemoveNode, Reason: "mean utilisation below scale-in threshold"}
+		if err := r.actuator.RemoveNode(); err != nil {
+			d.Err = err
+			r.failed++
+		} else {
+			d.Applied = true
+			r.applied++
+			r.lastScaleIn = snap.At
+			r.scaledIn = true
+		}
+
+	default:
+		d.Action = core.Action{Kind: core.ActionNone, Reason: "utilisation within thresholds"}
+	}
+
+	d.ClusterSize = r.actuator.ClusterSize()
+	d.ReplicationFactor = r.actuator.ReplicationFactor()
+	d.ReadConsistency = r.actuator.ReadConsistency()
+	d.WriteConsistency = r.actuator.WriteConsistency()
+	r.decisions = append(r.decisions, d)
+	return d
+}
+
+// Reconfigurations implements Stepper.
+func (r *ReactiveAutoscaler) Reconfigurations() int { return r.applied }
+
+// FailedActions returns how many scale actions failed to apply.
+func (r *ReactiveAutoscaler) FailedActions() int { return r.failed }
+
+// Decisions returns a copy of every decision taken so far.
+func (r *ReactiveAutoscaler) Decisions() []core.Decision {
+	out := make([]core.Decision, len(r.decisions))
+	copy(out, r.decisions)
+	return out
+}

@@ -1,0 +1,370 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"autonosql/internal/sim"
+)
+
+// Config describes a cluster: its initial size, node profile, network
+// profile and provisioning behaviour.
+type Config struct {
+	// InitialNodes is the number of nodes present at simulation start.
+	InitialNodes int
+	// Node is the per-node capacity profile.
+	Node NodeConfig
+	// Network is the datacentre network profile.
+	Network NetworkConfig
+	// BootstrapTime is how long a newly provisioned node takes before it can
+	// serve traffic (VM start + data streaming).
+	BootstrapTime time.Duration
+	// DecommissionTime is how long a node drains before it is removed.
+	DecommissionTime time.Duration
+	// RebalanceLoad is the extra load fraction imposed on existing nodes
+	// while a node bootstraps or drains.
+	RebalanceLoad float64
+	// MinNodes and MaxNodes bound the cluster size reachable through
+	// AddNode/RemoveNode (they model a provider quota).
+	MinNodes int
+	MaxNodes int
+}
+
+// DefaultConfig returns the cluster profile used by the experiments:
+// three nodes, 60 s bootstrap, 30 s decommission.
+func DefaultConfig() Config {
+	return Config{
+		InitialNodes:     3,
+		Node:             DefaultNodeConfig(),
+		Network:          DefaultNetworkConfig(),
+		BootstrapTime:    60 * time.Second,
+		DecommissionTime: 30 * time.Second,
+		RebalanceLoad:    0.15,
+		MinNodes:         1,
+		MaxNodes:         32,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.InitialNodes <= 0 {
+		c.InitialNodes = d.InitialNodes
+	}
+	if c.BootstrapTime <= 0 {
+		c.BootstrapTime = d.BootstrapTime
+	}
+	if c.DecommissionTime <= 0 {
+		c.DecommissionTime = d.DecommissionTime
+	}
+	if c.RebalanceLoad <= 0 {
+		c.RebalanceLoad = d.RebalanceLoad
+	}
+	if c.MinNodes <= 0 {
+		c.MinNodes = d.MinNodes
+	}
+	if c.MaxNodes <= 0 {
+		c.MaxNodes = d.MaxNodes
+	}
+	return c
+}
+
+// Errors returned by cluster membership operations.
+var (
+	ErrMaxNodes     = errors.New("cluster: maximum node count reached")
+	ErrMinNodes     = errors.New("cluster: minimum node count reached")
+	ErrUnknownNode  = errors.New("cluster: unknown node")
+	ErrNodeNotReady = errors.New("cluster: node is not in a removable state")
+)
+
+// MembershipListener is notified about changes in cluster membership and
+// node health. Joins and departures are permanent membership changes (the
+// store moves replica ownership); failures and recoveries are transient (the
+// node keeps its ring position but is temporarily unreachable).
+type MembershipListener interface {
+	NodeJoined(id NodeID)
+	NodeLeft(id NodeID)
+	NodeFailed(id NodeID)
+	NodeRecovered(id NodeID)
+}
+
+// Cluster owns the set of nodes, the network, and the provisioning
+// lifecycle. All mutation happens on the simulation's event loop.
+type Cluster struct {
+	cfg     Config
+	engine  *sim.Engine
+	network *Network
+	rnd     *sim.RandSource
+
+	nodes     map[NodeID]*Node
+	nextID    NodeID
+	listeners []MembershipListener
+
+	// pendingJoins tracks nodes currently bootstrapping so that rebalance
+	// load can be removed once they finish.
+	pendingJoins int
+	// nodeSeconds accumulates (node count × time) for cost accounting.
+	nodeSeconds     float64
+	lastAccountedAt time.Duration
+}
+
+// New creates a cluster with cfg.InitialNodes nodes already up.
+func New(cfg Config, engine *sim.Engine, rnd *sim.RandSource) *Cluster {
+	cfg = cfg.withDefaults()
+	c := &Cluster{
+		cfg:     cfg,
+		engine:  engine,
+		network: NewNetwork(cfg.Network, rnd.Stream("network")),
+		rnd:     rnd,
+		nodes:   make(map[NodeID]*Node),
+	}
+	for i := 0; i < cfg.InitialNodes; i++ {
+		id := c.allocateID()
+		c.nodes[id] = NewNode(id, cfg.Node, engine, rnd.Stream(fmt.Sprintf("node-%d", id)))
+	}
+	return c
+}
+
+func (c *Cluster) allocateID() NodeID {
+	c.nextID++
+	return c.nextID
+}
+
+// Config returns the cluster configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Network returns the cluster's network model.
+func (c *Cluster) Network() *Network { return c.network }
+
+// Subscribe registers a membership listener.
+func (c *Cluster) Subscribe(l MembershipListener) {
+	if l != nil {
+		c.listeners = append(c.listeners, l)
+	}
+}
+
+// Node returns the node with the given ID.
+func (c *Cluster) Node(id NodeID) (*Node, bool) {
+	n, ok := c.nodes[id]
+	return n, ok
+}
+
+// Nodes returns all nodes (any state) ordered by ID.
+func (c *Cluster) Nodes() []*Node {
+	out := make([]*Node, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
+	return out
+}
+
+// AvailableNodes returns the nodes currently able to serve requests, ordered
+// by ID.
+func (c *Cluster) AvailableNodes() []*Node {
+	out := make([]*Node, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		if n.Available() {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
+	return out
+}
+
+// Size returns the number of nodes that are up or draining.
+func (c *Cluster) Size() int { return len(c.AvailableNodes()) }
+
+// TotalNodes returns the number of nodes in any state (including joining).
+func (c *Cluster) TotalNodes() int { return len(c.nodes) }
+
+// AddNode provisions a new node. The node spends BootstrapTime in the
+// NodeJoining state (imposing rebalance load on existing nodes) before it
+// becomes available and listeners are notified.
+func (c *Cluster) AddNode() (NodeID, error) {
+	if len(c.nodes) >= c.cfg.MaxNodes {
+		return 0, ErrMaxNodes
+	}
+	c.accountNodeSeconds()
+	id := c.allocateID()
+	node := NewNode(id, c.cfg.Node, c.engine, c.rnd.Stream(fmt.Sprintf("node-%d", id)))
+	node.SetState(NodeJoining)
+	c.nodes[id] = node
+	c.pendingJoins++
+	c.applyRebalanceLoad()
+
+	c.engine.MustSchedule(c.cfg.BootstrapTime, func(time.Duration) {
+		// The node may have been failed or removed while bootstrapping.
+		n, ok := c.nodes[id]
+		if !ok || n.State() != NodeJoining {
+			c.pendingJoins--
+			c.applyRebalanceLoad()
+			return
+		}
+		n.SetState(NodeUp)
+		c.pendingJoins--
+		c.applyRebalanceLoad()
+		c.accountNodeSeconds()
+		for _, l := range c.listeners {
+			l.NodeJoined(id)
+		}
+	})
+	return id, nil
+}
+
+// RemoveNode drains and then removes an available node. Listeners are
+// notified immediately (so replicas move off the node) and the node is
+// deleted after DecommissionTime.
+func (c *Cluster) RemoveNode(id NodeID) error {
+	n, ok := c.nodes[id]
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrUnknownNode, id)
+	}
+	if c.Size() <= c.cfg.MinNodes {
+		return ErrMinNodes
+	}
+	if n.State() != NodeUp {
+		return fmt.Errorf("%w: %v is %v", ErrNodeNotReady, id, n.State())
+	}
+	c.accountNodeSeconds()
+	n.SetState(NodeDraining)
+	c.pendingJoins++ // draining also imposes streaming load
+	c.applyRebalanceLoad()
+	for _, l := range c.listeners {
+		l.NodeLeft(id)
+	}
+	c.engine.MustSchedule(c.cfg.DecommissionTime, func(time.Duration) {
+		c.accountNodeSeconds()
+		if cur, ok := c.nodes[id]; ok && cur.State() == NodeDraining {
+			cur.SetState(NodeDown)
+			delete(c.nodes, id)
+		}
+		c.pendingJoins--
+		c.applyRebalanceLoad()
+	})
+	return nil
+}
+
+// FailNode marks a node as down immediately (crash failure) and notifies
+// listeners of the transient failure. The node keeps its ring position and is
+// still paid for until it is repaired or decommissioned.
+func (c *Cluster) FailNode(id NodeID) error {
+	n, ok := c.nodes[id]
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrUnknownNode, id)
+	}
+	if n.State() == NodeDown {
+		return nil
+	}
+	n.SetState(NodeDown)
+	for _, l := range c.listeners {
+		l.NodeFailed(id)
+	}
+	return nil
+}
+
+// RecoverNode brings a previously failed node back up and notifies
+// listeners of the recovery.
+func (c *Cluster) RecoverNode(id NodeID) error {
+	n, ok := c.nodes[id]
+	if !ok {
+		return fmt.Errorf("%w: %v", ErrUnknownNode, id)
+	}
+	if n.State() != NodeDown {
+		return fmt.Errorf("%w: %v is %v", ErrNodeNotReady, id, n.State())
+	}
+	n.SetState(NodeUp)
+	for _, l := range c.listeners {
+		l.NodeRecovered(id)
+	}
+	return nil
+}
+
+// applyRebalanceLoad recomputes the rebalance load imposed on available
+// nodes from the number of in-flight joins/drains.
+func (c *Cluster) applyRebalanceLoad() {
+	load := clamp(float64(c.pendingJoins)*c.cfg.RebalanceLoad, 0, 0.6)
+	for _, n := range c.nodes {
+		if n.Available() {
+			n.SetRebalanceLoad(load)
+		}
+	}
+}
+
+// SetBackgroundLoad applies a noisy-neighbour load fraction to every node.
+func (c *Cluster) SetBackgroundLoad(f float64) {
+	for _, n := range c.nodes {
+		n.SetBackgroundLoad(f)
+	}
+}
+
+// accountNodeSeconds folds elapsed (node × seconds) into the running total.
+// It must be called before any change in the billable node count.
+func (c *Cluster) accountNodeSeconds() {
+	now := c.engine.Now()
+	if now > c.lastAccountedAt {
+		elapsed := (now - c.lastAccountedAt).Seconds()
+		c.nodeSeconds += elapsed * float64(c.billableNodes())
+		c.lastAccountedAt = now
+	}
+}
+
+func (c *Cluster) billableNodes() int {
+	count := 0
+	for _, n := range c.nodes {
+		if n.State() != NodeDown {
+			count++
+		}
+	}
+	return count
+}
+
+// NodeSeconds returns the accumulated node-seconds consumed so far,
+// including time elapsed since the last membership change.
+func (c *Cluster) NodeSeconds() float64 {
+	now := c.engine.Now()
+	extra := 0.0
+	if now > c.lastAccountedAt {
+		extra = (now - c.lastAccountedAt).Seconds() * float64(c.billableNodes())
+	}
+	return c.nodeSeconds + extra
+}
+
+// UtilizationSampler tracks per-node utilisation over sampling intervals by
+// diffing cumulative busy time.
+type UtilizationSampler struct {
+	cluster  *Cluster
+	lastBusy map[NodeID]time.Duration
+	lastAt   time.Duration
+}
+
+// NewUtilizationSampler creates a sampler bound to a cluster.
+func NewUtilizationSampler(c *Cluster) *UtilizationSampler {
+	return &UtilizationSampler{cluster: c, lastBusy: make(map[NodeID]time.Duration)}
+}
+
+// Sample returns the mean and maximum utilisation across available nodes
+// since the previous call. Utilisation is busy-time divided by wall time and
+// clamped to [0, 1].
+func (u *UtilizationSampler) Sample(now time.Duration) (mean, max float64) {
+	elapsed := now - u.lastAt
+	nodes := u.cluster.AvailableNodes()
+	if elapsed <= 0 || len(nodes) == 0 {
+		u.lastAt = now
+		return 0, 0
+	}
+	sum := 0.0
+	for _, n := range nodes {
+		busy := n.BusyAccum()
+		prev := u.lastBusy[n.ID()]
+		util := clamp(float64(busy-prev)/float64(elapsed), 0, 1)
+		sum += util
+		if util > max {
+			max = util
+		}
+		u.lastBusy[n.ID()] = busy
+	}
+	u.lastAt = now
+	return sum / float64(len(nodes)), max
+}

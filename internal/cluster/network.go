@@ -1,0 +1,109 @@
+package cluster
+
+import (
+	"math/rand"
+	"time"
+
+	"autonosql/internal/sim"
+)
+
+// NetworkConfig describes the datacentre network connecting nodes and
+// clients.
+type NetworkConfig struct {
+	// BaseLatency is the median one-way latency between any two nodes.
+	BaseLatency time.Duration
+	// JitterSigma is the log-normal shape parameter of latency jitter.
+	JitterSigma float64
+	// ClientLatency is the median one-way latency between clients and the
+	// coordinator node they talk to.
+	ClientLatency time.Duration
+	// CongestionSensitivity scales how strongly the congestion level
+	// inflates latency: latency *= 1 + sensitivity*congestion.
+	CongestionSensitivity float64
+}
+
+// DefaultNetworkConfig models a single-datacentre deployment with ~0.5 ms
+// node-to-node latency.
+func DefaultNetworkConfig() NetworkConfig {
+	return NetworkConfig{
+		BaseLatency:           500 * time.Microsecond,
+		JitterSigma:           0.3,
+		ClientLatency:         1 * time.Millisecond,
+		CongestionSensitivity: 8,
+	}
+}
+
+func (c NetworkConfig) withDefaults() NetworkConfig {
+	d := DefaultNetworkConfig()
+	if c.BaseLatency <= 0 {
+		c.BaseLatency = d.BaseLatency
+	}
+	if c.JitterSigma <= 0 {
+		c.JitterSigma = d.JitterSigma
+	}
+	if c.ClientLatency <= 0 {
+		c.ClientLatency = d.ClientLatency
+	}
+	if c.CongestionSensitivity <= 0 {
+		c.CongestionSensitivity = d.CongestionSensitivity
+	}
+	return c
+}
+
+// Network models inter-node and client-node message delays. A congestion
+// level in [0, 1] uniformly inflates delays; the noisy-neighbour profile and
+// experiment scenarios drive it over time. Replication traffic itself also
+// contributes: each in-flight replica stream adds a small amount of
+// self-congestion, which is what makes "add a replica under network
+// congestion" the wrong reconfiguration action, exactly as the paper warns.
+type Network struct {
+	cfg        NetworkConfig
+	rng        *rand.Rand
+	congestion float64
+	selfLoad   float64
+}
+
+// NewNetwork creates a network model.
+func NewNetwork(cfg NetworkConfig, rng *rand.Rand) *Network {
+	return &Network{cfg: cfg.withDefaults(), rng: rng}
+}
+
+// Config returns the network configuration.
+func (n *Network) Config() NetworkConfig { return n.cfg }
+
+// SetCongestion sets the externally imposed congestion level in [0, 1].
+func (n *Network) SetCongestion(level float64) {
+	n.congestion = clamp(level, 0, 1)
+}
+
+// Congestion returns the externally imposed congestion level.
+func (n *Network) Congestion() float64 { return n.congestion }
+
+// SetReplicationLoad reports the current replication fan-out intensity in
+// [0, 1]; it contributes additional (self-induced) congestion.
+func (n *Network) SetReplicationLoad(level float64) {
+	n.selfLoad = clamp(level, 0, 1)
+}
+
+// ReplicationLoad returns the replication-induced congestion component.
+func (n *Network) ReplicationLoad() float64 { return n.selfLoad }
+
+// EffectiveCongestion is the combined congestion level in [0, 1].
+func (n *Network) EffectiveCongestion() float64 {
+	return clamp(n.congestion+0.5*n.selfLoad, 0, 1)
+}
+
+func (n *Network) delay(base time.Duration) time.Duration {
+	inflate := 1 + n.cfg.CongestionSensitivity*n.EffectiveCongestion()
+	d := time.Duration(sim.LogNormal(n.rng, float64(base)*inflate, n.cfg.JitterSigma))
+	if d <= 0 {
+		d = base
+	}
+	return d
+}
+
+// NodeToNode returns a sampled one-way delay between two cluster nodes.
+func (n *Network) NodeToNode() time.Duration { return n.delay(n.cfg.BaseLatency) }
+
+// ClientToNode returns a sampled one-way delay between a client and a node.
+func (n *Network) ClientToNode() time.Duration { return n.delay(n.cfg.ClientLatency) }

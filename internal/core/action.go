@@ -1,0 +1,259 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"autonosql/internal/cluster"
+	"autonosql/internal/store"
+)
+
+// ActionKind enumerates the reconfiguration actions the planner can take.
+// These are exactly the knobs the paper lists: the consistency levels of
+// query operations, the replication factor and the number of nodes.
+type ActionKind int
+
+// Reconfiguration actions.
+const (
+	// ActionNone leaves the system unchanged.
+	ActionNone ActionKind = iota + 1
+	// ActionTightenWriteConsistency raises the write consistency level one
+	// step (ONE -> TWO -> QUORUM -> ALL), shrinking the client-observable
+	// inconsistency window at the cost of write latency.
+	ActionTightenWriteConsistency
+	// ActionRelaxWriteConsistency lowers the write consistency level one
+	// step, trading consistency for latency and availability.
+	ActionRelaxWriteConsistency
+	// ActionTightenReadConsistency raises the read consistency level one step.
+	ActionTightenReadConsistency
+	// ActionRelaxReadConsistency lowers the read consistency level one step.
+	ActionRelaxReadConsistency
+	// ActionIncreaseReplication raises the replication factor by one.
+	ActionIncreaseReplication
+	// ActionDecreaseReplication lowers the replication factor by one.
+	ActionDecreaseReplication
+	// ActionAddNode provisions one extra node.
+	ActionAddNode
+	// ActionRemoveNode decommissions one node.
+	ActionRemoveNode
+)
+
+// String implements fmt.Stringer.
+func (k ActionKind) String() string {
+	switch k {
+	case ActionNone:
+		return "none"
+	case ActionTightenWriteConsistency:
+		return "tighten-write-cl"
+	case ActionRelaxWriteConsistency:
+		return "relax-write-cl"
+	case ActionTightenReadConsistency:
+		return "tighten-read-cl"
+	case ActionRelaxReadConsistency:
+		return "relax-read-cl"
+	case ActionIncreaseReplication:
+		return "increase-rf"
+	case ActionDecreaseReplication:
+		return "decrease-rf"
+	case ActionAddNode:
+		return "add-node"
+	case ActionRemoveNode:
+		return "remove-node"
+	default:
+		return fmt.Sprintf("action(%d)", int(k))
+	}
+}
+
+// ActionKinds lists every concrete action (excluding ActionNone) in a stable
+// order, for iteration in tests and reports.
+func ActionKinds() []ActionKind {
+	return []ActionKind{
+		ActionTightenWriteConsistency,
+		ActionRelaxWriteConsistency,
+		ActionTightenReadConsistency,
+		ActionRelaxReadConsistency,
+		ActionIncreaseReplication,
+		ActionDecreaseReplication,
+		ActionAddNode,
+		ActionRemoveNode,
+	}
+}
+
+// Action is a planned reconfiguration with the reason the planner chose it.
+type Action struct {
+	Kind ActionKind
+	// Count is how many times the action is applied in one decision; it is
+	// only meaningful for add-node / remove-node, where the planner sizes the
+	// step proportionally to the capacity shortfall (zero means one).
+	Count  int
+	Reason string
+}
+
+// IsNoop reports whether the action changes nothing.
+func (a Action) IsNoop() bool { return a.Kind == ActionNone || a.Kind == 0 }
+
+// Steps returns how many times the action should be applied (at least one).
+func (a Action) Steps() int {
+	if a.Count < 1 {
+		return 1
+	}
+	return a.Count
+}
+
+// String implements fmt.Stringer.
+func (a Action) String() string {
+	if a.IsNoop() {
+		return "none"
+	}
+	name := a.Kind.String()
+	if a.Steps() > 1 {
+		name = fmt.Sprintf("%s x%d", name, a.Steps())
+	}
+	if a.Reason == "" {
+		return name
+	}
+	return fmt.Sprintf("%s (%s)", name, a.Reason)
+}
+
+// Actuator is the interface through which controllers observe and change the
+// configuration and deployment of the database system. It abstracts the
+// store's consistency knobs and the cluster's membership operations so that
+// controllers can be unit-tested against a fake plant.
+type Actuator interface {
+	// ClusterSize returns the number of nodes currently able to serve traffic.
+	ClusterSize() int
+	// ReplicationFactor returns the current replication factor.
+	ReplicationFactor() int
+	// ReadConsistency returns the current read consistency level.
+	ReadConsistency() store.ConsistencyLevel
+	// WriteConsistency returns the current write consistency level.
+	WriteConsistency() store.ConsistencyLevel
+
+	// SetReadConsistency changes the read consistency level.
+	SetReadConsistency(cl store.ConsistencyLevel) error
+	// SetWriteConsistency changes the write consistency level.
+	SetWriteConsistency(cl store.ConsistencyLevel) error
+	// SetReplicationFactor changes the replication factor.
+	SetReplicationFactor(rf int) error
+	// AddNode provisions one extra node.
+	AddNode() error
+	// RemoveNode decommissions one node.
+	RemoveNode() error
+}
+
+// Errors returned by actuators.
+var (
+	// ErrConsistencyBound is returned when a consistency level cannot be
+	// tightened or relaxed any further.
+	ErrConsistencyBound = errors.New("core: consistency level already at bound")
+	// ErrReplicationBound is returned when the replication factor cannot move
+	// further in the requested direction.
+	ErrReplicationBound = errors.New("core: replication factor already at bound")
+	// ErrNoRemovableNode is returned when no node is eligible for removal.
+	ErrNoRemovableNode = errors.New("core: no removable node")
+)
+
+// consistencyLadder is the ordered set of levels the controller steps
+// through.
+var consistencyLadder = []store.ConsistencyLevel{store.One, store.Two, store.Quorum, store.All}
+
+// TightenConsistency returns the next stricter level, or an error when the
+// level is already the strictest.
+func TightenConsistency(cl store.ConsistencyLevel) (store.ConsistencyLevel, error) {
+	for i, l := range consistencyLadder {
+		if l == cl {
+			if i+1 < len(consistencyLadder) {
+				return consistencyLadder[i+1], nil
+			}
+			return cl, ErrConsistencyBound
+		}
+	}
+	return cl, fmt.Errorf("core: unknown consistency level %v", cl)
+}
+
+// RelaxConsistency returns the next looser level, or an error when the level
+// is already the loosest.
+func RelaxConsistency(cl store.ConsistencyLevel) (store.ConsistencyLevel, error) {
+	for i, l := range consistencyLadder {
+		if l == cl {
+			if i > 0 {
+				return consistencyLadder[i-1], nil
+			}
+			return cl, ErrConsistencyBound
+		}
+	}
+	return cl, fmt.Errorf("core: unknown consistency level %v", cl)
+}
+
+// SystemActuator binds the Actuator interface to the simulated store and
+// cluster. Node removal always targets the newest (highest-ID) node that is
+// fully up, which mirrors the scale-in policy of common cloud autoscalers.
+type SystemActuator struct {
+	store   *store.Store
+	cluster *cluster.Cluster
+}
+
+var _ Actuator = (*SystemActuator)(nil)
+
+// NewSystemActuator creates an actuator bound to the given store and cluster.
+func NewSystemActuator(st *store.Store, cl *cluster.Cluster) (*SystemActuator, error) {
+	if st == nil || cl == nil {
+		return nil, errors.New("core: store and cluster are required")
+	}
+	return &SystemActuator{store: st, cluster: cl}, nil
+}
+
+// ClusterSize implements Actuator.
+func (a *SystemActuator) ClusterSize() int { return a.cluster.Size() }
+
+// ReplicationFactor implements Actuator.
+func (a *SystemActuator) ReplicationFactor() int { return a.store.ReplicationFactor() }
+
+// ReadConsistency implements Actuator.
+func (a *SystemActuator) ReadConsistency() store.ConsistencyLevel { return a.store.ReadConsistency() }
+
+// WriteConsistency implements Actuator.
+func (a *SystemActuator) WriteConsistency() store.ConsistencyLevel {
+	return a.store.WriteConsistency()
+}
+
+// SetReadConsistency implements Actuator.
+func (a *SystemActuator) SetReadConsistency(cl store.ConsistencyLevel) error {
+	if cl < store.One || cl > store.All {
+		return fmt.Errorf("core: invalid read consistency %v", cl)
+	}
+	a.store.SetReadConsistency(cl)
+	return nil
+}
+
+// SetWriteConsistency implements Actuator.
+func (a *SystemActuator) SetWriteConsistency(cl store.ConsistencyLevel) error {
+	if cl < store.One || cl > store.All {
+		return fmt.Errorf("core: invalid write consistency %v", cl)
+	}
+	a.store.SetWriteConsistency(cl)
+	return nil
+}
+
+// SetReplicationFactor implements Actuator.
+func (a *SystemActuator) SetReplicationFactor(rf int) error {
+	return a.store.SetReplicationFactor(rf)
+}
+
+// AddNode implements Actuator.
+func (a *SystemActuator) AddNode() error {
+	_, err := a.cluster.AddNode()
+	return err
+}
+
+// RemoveNode implements Actuator. It removes the newest node that is fully
+// up; joining or draining nodes are left alone.
+func (a *SystemActuator) RemoveNode() error {
+	nodes := a.cluster.Nodes()
+	for i := len(nodes) - 1; i >= 0; i-- {
+		if nodes[i].State() == cluster.NodeUp {
+			return a.cluster.RemoveNode(nodes[i].ID())
+		}
+	}
+	return ErrNoRemovableNode
+}

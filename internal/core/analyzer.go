@@ -1,0 +1,222 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"autonosql/internal/metrics"
+	"autonosql/internal/monitor"
+	"autonosql/internal/sla"
+)
+
+// Condition is the analyzer's classification of the system state relative to
+// the SLA and the resource bands.
+type Condition int
+
+// Conditions, in decreasing order of urgency.
+const (
+	// ConditionAvailabilityLow means operations are failing beyond the SLA's
+	// error-rate clause.
+	ConditionAvailabilityLow Condition = iota + 1
+	// ConditionWindowHigh means the inconsistency window estimate is at or
+	// beyond the SLA band.
+	ConditionWindowHigh
+	// ConditionLatencyHigh means read or write latency is at or beyond the
+	// SLA band.
+	ConditionLatencyHigh
+	// ConditionOverProvisioned means every clause is comfortably met and the
+	// cluster is mostly idle, so cost can be recovered.
+	ConditionOverProvisioned
+	// ConditionNominal means no action is warranted.
+	ConditionNominal
+)
+
+// String implements fmt.Stringer.
+func (c Condition) String() string {
+	switch c {
+	case ConditionAvailabilityLow:
+		return "availability-low"
+	case ConditionWindowHigh:
+		return "window-high"
+	case ConditionLatencyHigh:
+		return "latency-high"
+	case ConditionOverProvisioned:
+		return "over-provisioned"
+	case ConditionNominal:
+		return "nominal"
+	default:
+		return fmt.Sprintf("condition(%d)", int(c))
+	}
+}
+
+// Cause is the analyzer's attribution of why the primary condition holds.
+// Choosing the right reconfiguration action depends on the cause: the paper's
+// example is that adding a replica under network congestion only makes the
+// congestion worse.
+type Cause int
+
+// Causes.
+const (
+	// CauseUnknown means the analyzer could not attribute the condition.
+	CauseUnknown Cause = iota + 1
+	// CauseCPUSaturation means the nodes are the bottleneck.
+	CauseCPUSaturation
+	// CauseNetworkCongestion means replica propagation is delayed by the
+	// network rather than by node queues.
+	CauseNetworkCongestion
+	// CauseLooseConsistency means the configured consistency level leaves the
+	// window unbounded even though resources are fine.
+	CauseLooseConsistency
+	// CauseExcessCapacity means the cluster is larger or stricter than the
+	// workload needs.
+	CauseExcessCapacity
+)
+
+// String implements fmt.Stringer.
+func (c Cause) String() string {
+	switch c {
+	case CauseUnknown:
+		return "unknown"
+	case CauseCPUSaturation:
+		return "cpu-saturation"
+	case CauseNetworkCongestion:
+		return "network-congestion"
+	case CauseLooseConsistency:
+		return "loose-consistency"
+	case CauseExcessCapacity:
+		return "excess-capacity"
+	default:
+		return fmt.Sprintf("cause(%d)", int(c))
+	}
+}
+
+// Analysis is the analyzer's verdict for one control interval.
+type Analysis struct {
+	// At is the virtual time of the snapshot.
+	At time.Duration
+	// Snapshot is the monitoring snapshot the analysis is based on.
+	Snapshot monitor.Snapshot
+	// Headroom is the observed/limit ratio for each SLA clause.
+	Headroom sla.Headroom
+	// Primary is the most urgent condition detected.
+	Primary Condition
+	// Cause attributes the primary condition.
+	Cause Cause
+	// LoadTrend is the estimated change in offered load, in ops/s per second.
+	LoadTrend float64
+	// ForecastOpsPerSec is the predicted offered load at the prediction
+	// horizon.
+	ForecastOpsPerSec float64
+	// WindowTrusted reports whether the snapshot carried enough window
+	// samples for window-driven decisions.
+	WindowTrusted bool
+}
+
+// Analyzer turns monitoring snapshots into Analyses. It keeps a short history
+// of load and utilisation so it can estimate trends.
+type Analyzer struct {
+	cfg       Config
+	predictor *LoadPredictor
+	util      *metrics.EWMA
+}
+
+// NewAnalyzer creates an analyzer for the given controller configuration.
+func NewAnalyzer(cfg Config) *Analyzer {
+	cfg = cfg.withDefaults()
+	return &Analyzer{
+		cfg:       cfg,
+		predictor: NewLoadPredictor(cfg.PredictorWindow),
+		util:      metrics.NewEWMA(0.4),
+	}
+}
+
+// Analyze classifies one snapshot.
+func (a *Analyzer) Analyze(snap monitor.Snapshot) Analysis {
+	obs := sla.Observation{
+		At:              snap.At,
+		Interval:        snap.Interval,
+		WindowP95:       snap.WindowP95,
+		ReadLatencyP99:  snap.ReadLatencyP99,
+		WriteLatencyP99: snap.WriteLatencyP99,
+		ErrorRate:       snap.ErrorRate,
+	}
+	head := a.cfg.SLA.Headroom(obs)
+
+	a.predictor.Observe(snap.At, snap.ObservedOpsPerSec)
+	smoothedUtil := a.util.Update(snap.MeanUtilization)
+
+	an := Analysis{
+		At:                snap.At,
+		Snapshot:          snap,
+		Headroom:          head,
+		LoadTrend:         a.predictor.TrendPerSecond(),
+		ForecastOpsPerSec: a.predictor.Forecast(snap.At + a.cfg.PredictionHorizon),
+		WindowTrusted:     snap.WindowSamples >= a.cfg.MinWindowSamples,
+	}
+
+	an.Primary, an.Cause = a.classify(snap, head, smoothedUtil, an.WindowTrusted)
+	return an
+}
+
+// classify applies the condition hierarchy: availability first, then the
+// window, then latency, then cost recovery.
+func (a *Analyzer) classify(snap monitor.Snapshot, head sla.Headroom, smoothedUtil float64, windowTrusted bool) (Condition, Cause) {
+	high := a.cfg.HighFraction
+	low := a.cfg.LowFraction
+
+	switch {
+	case head.Availability > high:
+		// Failing operations are almost always a capacity or membership
+		// problem; saturation is the default attribution.
+		if snap.MaxUtilization >= a.cfg.TargetUtilization {
+			return ConditionAvailabilityLow, CauseCPUSaturation
+		}
+		return ConditionAvailabilityLow, CauseUnknown
+
+	case windowTrusted && head.Window > high:
+		return ConditionWindowHigh, a.windowCause(snap, smoothedUtil)
+
+	case head.ReadLatency > high || head.WriteLatency > high:
+		if snap.MaxUtilization >= a.cfg.TargetUtilization || smoothedUtil >= a.cfg.TargetUtilization {
+			return ConditionLatencyHigh, CauseCPUSaturation
+		}
+		// Latency high while nodes are idle: either the network is congested
+		// or the configured consistency level forces extra round trips.
+		if snap.WriteConsistency > snap.ReadConsistency && head.WriteLatency > head.ReadLatency {
+			return ConditionLatencyHigh, CauseLooseConsistency
+		}
+		return ConditionLatencyHigh, CauseNetworkCongestion
+
+	case head.Window < low && head.ReadLatency < low && head.WriteLatency < low &&
+		head.Availability < low && smoothedUtil < a.cfg.LowUtilization:
+		return ConditionOverProvisioned, CauseExcessCapacity
+
+	default:
+		return ConditionNominal, CauseUnknown
+	}
+}
+
+// windowCause attributes a too-large inconsistency window.
+//
+// The heuristic mirrors what an operator would conclude from the same
+// signals: if the nodes are busy, replica applies are queueing behind
+// foreground work (CPU saturation); if the nodes are idle but the window is
+// still large, propagation is delayed in the network; if neither holds, the
+// configuration itself (asynchronous replication at CL=ONE) leaves the window
+// unbounded and should be tightened.
+func (a *Analyzer) windowCause(snap monitor.Snapshot, smoothedUtil float64) Cause {
+	if snap.MaxUtilization >= a.cfg.TargetUtilization || smoothedUtil >= a.cfg.TargetUtilization {
+		return CauseCPUSaturation
+	}
+	if smoothedUtil < a.cfg.TargetUtilization*0.7 {
+		// Plenty of CPU headroom yet replicas lag: latency inflation points at
+		// the network when writes are slow too, otherwise at loose consistency.
+		writeLatencyElevated := a.cfg.SLA.MaxWriteLatencyP99 > 0 &&
+			snap.WriteLatencyP99 > 0.5*a.cfg.SLA.MaxWriteLatencyP99.Seconds()
+		if writeLatencyElevated {
+			return CauseNetworkCongestion
+		}
+		return CauseLooseConsistency
+	}
+	return CauseUnknown
+}

@@ -1,0 +1,256 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"autonosql/internal/monitor"
+	"autonosql/internal/sim"
+	"autonosql/internal/store"
+)
+
+// Decision is the record of one control interval: what the controller saw,
+// what it concluded, what it did and whether the actuation succeeded.
+type Decision struct {
+	At       time.Duration
+	Analysis Analysis
+	Action   Action
+	Applied  bool
+	Err      error
+
+	// Plant state after the decision was executed.
+	ClusterSize       int
+	ReplicationFactor int
+	ReadConsistency   store.ConsistencyLevel
+	WriteConsistency  store.ConsistencyLevel
+}
+
+// String renders the decision compactly for logs.
+func (d Decision) String() string {
+	status := "noop"
+	if d.Applied {
+		status = "applied"
+	} else if d.Err != nil {
+		status = "failed: " + d.Err.Error()
+	}
+	return fmt.Sprintf("[%8s] %-20s %-9s window=%.0fms util=%.2f nodes=%d cl=%s/%s rf=%d",
+		d.At.Truncate(time.Second), d.Action.String(), status,
+		d.Analysis.Snapshot.WindowP95*1000, d.Analysis.Snapshot.MeanUtilization,
+		d.ClusterSize, d.ReadConsistency, d.WriteConsistency, d.ReplicationFactor)
+}
+
+// SnapshotSource supplies periodic monitoring snapshots. *monitor.Monitor
+// satisfies it.
+type SnapshotSource interface {
+	Snapshot() monitor.Snapshot
+}
+
+var _ SnapshotSource = (*monitor.Monitor)(nil)
+
+// Controller is the SLA-driven autonomous controller: the paper's
+// contribution. Each control interval it analyses the latest monitoring
+// snapshot, plans at most one reconfiguration action and executes it through
+// the actuator, recording everything it did.
+type Controller struct {
+	cfg      Config
+	actuator Actuator
+	analyzer *Analyzer
+	planner  *Planner
+	kb       *KnowledgeBase
+
+	decisions []Decision
+	applied   int
+	failed    int
+	ticker    *sim.Ticker
+	stopped   bool
+}
+
+// New creates a controller driving the given actuator. Call Attach to run it
+// on a simulation engine, or Step to drive it manually (tests, baselines
+// comparisons).
+func New(cfg Config, actuator Actuator) (*Controller, error) {
+	if actuator == nil {
+		return nil, errors.New("core: actuator is required")
+	}
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	kb := NewKnowledgeBase()
+	return &Controller{
+		cfg:      cfg,
+		actuator: actuator,
+		analyzer: NewAnalyzer(cfg),
+		planner:  NewPlanner(cfg, kb),
+		kb:       kb,
+	}, nil
+}
+
+// Config returns the controller configuration (with defaults applied).
+func (c *Controller) Config() Config { return c.cfg }
+
+// Knowledge returns the controller's knowledge base.
+func (c *Controller) Knowledge() *KnowledgeBase { return c.kb }
+
+// Attach starts the MAPE loop on the simulation engine, pulling a snapshot
+// from source every control interval.
+func (c *Controller) Attach(engine *sim.Engine, source SnapshotSource) error {
+	if engine == nil || source == nil {
+		return errors.New("core: engine and snapshot source are required")
+	}
+	if c.ticker != nil {
+		return errors.New("core: controller already attached")
+	}
+	t, err := sim.NewTicker(engine, c.cfg.ControlInterval, func(time.Duration) {
+		if c.stopped {
+			return
+		}
+		c.Step(source.Snapshot())
+	})
+	if err != nil {
+		return err
+	}
+	c.ticker = t
+	return nil
+}
+
+// Stop halts the control loop.
+func (c *Controller) Stop() {
+	c.stopped = true
+	if c.ticker != nil {
+		c.ticker.Stop()
+	}
+}
+
+// Step runs one MAPE iteration on the given snapshot and returns the
+// decision taken.
+func (c *Controller) Step(snap monitor.Snapshot) Decision {
+	// Monitor + Analyze.
+	analysis := c.analyzer.Analyze(snap)
+	// Feed the knowledge base so a previously applied action gets its
+	// post-action measurement.
+	c.kb.RecordObservation(snap.At, snap.WindowP95, snap.WriteLatencyP99)
+
+	// Plan.
+	plant := PlantState{
+		ClusterSize:       c.actuator.ClusterSize(),
+		ReplicationFactor: c.actuator.ReplicationFactor(),
+		ReadConsistency:   c.actuator.ReadConsistency(),
+		WriteConsistency:  c.actuator.WriteConsistency(),
+	}
+	action := c.planner.Plan(analysis, plant)
+
+	// Execute.
+	decision := Decision{At: snap.At, Analysis: analysis, Action: action}
+	if !action.IsNoop() {
+		err := c.execute(action, plant)
+		decision.Err = err
+		decision.Applied = err == nil
+		if err == nil {
+			c.applied++
+			// Give membership changes longer to show their effect than pure
+			// configuration flips.
+			settle := 2 * c.cfg.ControlInterval
+			if action.Kind == ActionAddNode || action.Kind == ActionRemoveNode ||
+				action.Kind == ActionIncreaseReplication {
+				settle = 4 * c.cfg.ControlInterval
+			}
+			c.kb.RecordApplied(action, snap.At, snap.WindowP95, snap.WriteLatencyP99, settle)
+		} else {
+			c.failed++
+		}
+	}
+
+	decision.ClusterSize = c.actuator.ClusterSize()
+	decision.ReplicationFactor = c.actuator.ReplicationFactor()
+	decision.ReadConsistency = c.actuator.ReadConsistency()
+	decision.WriteConsistency = c.actuator.WriteConsistency()
+	c.decisions = append(c.decisions, decision)
+	return decision
+}
+
+// execute applies the planned action through the actuator.
+func (c *Controller) execute(a Action, plant PlantState) error {
+	switch a.Kind {
+	case ActionTightenWriteConsistency:
+		next, err := TightenConsistency(plant.WriteConsistency)
+		if err != nil {
+			return err
+		}
+		return c.actuator.SetWriteConsistency(next)
+	case ActionRelaxWriteConsistency:
+		next, err := RelaxConsistency(plant.WriteConsistency)
+		if err != nil {
+			return err
+		}
+		return c.actuator.SetWriteConsistency(next)
+	case ActionTightenReadConsistency:
+		next, err := TightenConsistency(plant.ReadConsistency)
+		if err != nil {
+			return err
+		}
+		return c.actuator.SetReadConsistency(next)
+	case ActionRelaxReadConsistency:
+		next, err := RelaxConsistency(plant.ReadConsistency)
+		if err != nil {
+			return err
+		}
+		return c.actuator.SetReadConsistency(next)
+	case ActionIncreaseReplication:
+		return c.actuator.SetReplicationFactor(plant.ReplicationFactor + 1)
+	case ActionDecreaseReplication:
+		return c.actuator.SetReplicationFactor(plant.ReplicationFactor - 1)
+	case ActionAddNode:
+		var firstErr error
+		for i := 0; i < a.Steps(); i++ {
+			if err := c.actuator.AddNode(); err != nil {
+				firstErr = err
+				break
+			}
+		}
+		return firstErr
+	case ActionRemoveNode:
+		var firstErr error
+		for i := 0; i < a.Steps(); i++ {
+			if err := c.actuator.RemoveNode(); err != nil {
+				firstErr = err
+				break
+			}
+		}
+		return firstErr
+	default:
+		return fmt.Errorf("core: cannot execute action %v", a.Kind)
+	}
+}
+
+// Decisions returns a copy of every decision taken so far.
+func (c *Controller) Decisions() []Decision {
+	out := make([]Decision, len(c.decisions))
+	copy(out, c.decisions)
+	return out
+}
+
+// Reconfigurations returns how many actions were successfully applied.
+func (c *Controller) Reconfigurations() int { return c.applied }
+
+// FailedActions returns how many planned actions failed to apply.
+func (c *Controller) FailedActions() int { return c.failed }
+
+// Converged reports whether the controller has settled: no action was
+// applied in the most recent n decisions (n >= 1). It is the convergence
+// criterion the stability experiments check.
+func (c *Controller) Converged(n int) bool {
+	if n < 1 {
+		n = 1
+	}
+	if len(c.decisions) < n {
+		return false
+	}
+	for _, d := range c.decisions[len(c.decisions)-n:] {
+		if d.Applied {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,31 @@
+// Package core implements the paper's primary contribution: an SLA-driven
+// autonomous controller that continuously monitors the inconsistency window
+// of an eventually-consistent store and reconfigures / re-provisions the
+// database cluster to keep the window, latency, availability and cost within
+// the application's SLA.
+//
+// The controller follows the MAPE-K pattern:
+//
+//   - Monitor: the controller consumes periodic monitor.Snapshot values. It
+//     never sees simulator ground truth, so monitoring error propagates into
+//     its decisions exactly as it would in a real deployment.
+//   - Analyze: the Analyzer classifies the system state (window too high,
+//     latency too high, availability low, over-provisioned, nominal) and
+//     attributes a likely root cause (CPU saturation, network congestion,
+//     loose consistency configuration, excess capacity).
+//   - Plan: the Planner selects the single most appropriate reconfiguration
+//     action — change read/write consistency level, change the replication
+//     factor, add or remove a node — honouring per-action cooldowns,
+//     hysteresis bands around the SLA targets and the paper's explicit
+//     warning that adding replicas under network congestion only makes the
+//     problem worse.
+//   - Execute: the Controller applies the action through an Actuator bound to
+//     the store and cluster.
+//   - Knowledge: the KnowledgeBase records the observed effect of every
+//     applied action so the planner can learn which actions actually help in
+//     the current environment, and so experiments can audit the decisions.
+//
+// A LoadPredictor adds the "smart" part of smart auto-scaling: it forecasts
+// the offered load one bootstrap-time ahead and provisions capacity before
+// the window or latency deteriorates, instead of reacting after the fact.
+package core

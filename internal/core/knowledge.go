@@ -1,0 +1,155 @@
+package core
+
+import (
+	"time"
+
+	"autonosql/internal/metrics"
+)
+
+// EffectRecord is one completed observation of an action's effect: the window
+// and latency estimates in the control interval before the action and in the
+// interval after it had time to act.
+type EffectRecord struct {
+	Action        Action
+	AppliedAt     time.Duration
+	WindowBefore  float64
+	WindowAfter   float64
+	LatencyBefore float64
+	LatencyAfter  float64
+}
+
+// WindowImprovement is the relative reduction of the window estimate
+// (positive means the action helped).
+func (r EffectRecord) WindowImprovement() float64 {
+	if r.WindowBefore <= 0 {
+		return 0
+	}
+	return (r.WindowBefore - r.WindowAfter) / r.WindowBefore
+}
+
+// Effectiveness summarises what the controller has learned about one action
+// kind in the current environment.
+type Effectiveness struct {
+	// Samples is the number of completed effect observations.
+	Samples uint64
+	// MeanWindowImprovement is the mean relative window reduction.
+	MeanWindowImprovement float64
+	// StdDev is the standard deviation of the relative window reduction.
+	StdDev float64
+}
+
+// Harmful reports whether the action has, on average, made the window worse
+// across at least two observations. The planner avoids repeating actions the
+// knowledge base has flagged as harmful — this is how "add a replica under
+// network congestion made things worse" stops being repeated.
+func (e Effectiveness) Harmful() bool {
+	return e.Samples >= 2 && e.MeanWindowImprovement < -0.05
+}
+
+// KnowledgeBase is the K in MAPE-K: it remembers when each action kind was
+// last applied (for cooldown enforcement) and what effect applied actions had
+// on the window (for action ranking and post-mortem analysis).
+type KnowledgeBase struct {
+	lastApplied map[ActionKind]time.Duration
+	everApplied map[ActionKind]bool
+	effects     map[ActionKind]*metrics.MeanVariance
+	history     []EffectRecord
+
+	// pending is the most recently applied action still waiting for its
+	// "after" observation.
+	pending        *EffectRecord
+	pendingSettled time.Duration
+}
+
+// NewKnowledgeBase creates an empty knowledge base.
+func NewKnowledgeBase() *KnowledgeBase {
+	return &KnowledgeBase{
+		lastApplied: make(map[ActionKind]time.Duration),
+		everApplied: make(map[ActionKind]bool),
+		effects:     make(map[ActionKind]*metrics.MeanVariance),
+	}
+}
+
+// RecordApplied notes that the action was applied at the given time with the
+// given pre-action window and latency estimates (seconds). settleTime is how
+// long to wait before attributing post-action measurements to the action.
+func (k *KnowledgeBase) RecordApplied(a Action, at time.Duration, windowBefore, latencyBefore float64, settleTime time.Duration) {
+	k.lastApplied[a.Kind] = at
+	k.everApplied[a.Kind] = true
+	k.pending = &EffectRecord{
+		Action:        a,
+		AppliedAt:     at,
+		WindowBefore:  windowBefore,
+		LatencyBefore: latencyBefore,
+	}
+	k.pendingSettled = at + settleTime
+}
+
+// RecordObservation feeds the current window and latency estimates. If an
+// applied action is waiting for its post-action measurement and enough time
+// has passed for the action to take effect, the effect record is completed.
+func (k *KnowledgeBase) RecordObservation(at time.Duration, window, latency float64) {
+	if k.pending == nil || at < k.pendingSettled {
+		return
+	}
+	rec := *k.pending
+	rec.WindowAfter = window
+	rec.LatencyAfter = latency
+	k.pending = nil
+
+	mv, ok := k.effects[rec.Action.Kind]
+	if !ok {
+		mv = &metrics.MeanVariance{}
+		k.effects[rec.Action.Kind] = mv
+	}
+	mv.Update(rec.WindowImprovement())
+	k.history = append(k.history, rec)
+}
+
+// LastApplied returns when the action kind was last applied and whether it
+// ever was.
+func (k *KnowledgeBase) LastApplied(kind ActionKind) (time.Duration, bool) {
+	at, ok := k.lastApplied[kind]
+	return at, ok
+}
+
+// InCooldown reports whether the action kind was applied more recently than
+// cooldown before now.
+func (k *KnowledgeBase) InCooldown(kind ActionKind, now, cooldown time.Duration) bool {
+	at, ok := k.lastApplied[kind]
+	if !ok {
+		return false
+	}
+	return now-at < cooldown
+}
+
+// Effectiveness returns what has been learned about an action kind.
+func (k *KnowledgeBase) Effectiveness(kind ActionKind) Effectiveness {
+	mv, ok := k.effects[kind]
+	if !ok {
+		return Effectiveness{}
+	}
+	return Effectiveness{
+		Samples:               mv.Count(),
+		MeanWindowImprovement: mv.Mean(),
+		StdDev:                mv.StdDev(),
+	}
+}
+
+// History returns a copy of all completed effect records in application
+// order.
+func (k *KnowledgeBase) History() []EffectRecord {
+	out := make([]EffectRecord, len(k.history))
+	copy(out, k.history)
+	return out
+}
+
+// Applications returns how many actions have been applied (including ones
+// whose effect has not settled yet).
+func (k *KnowledgeBase) Applications() int {
+	n := len(k.history)
+	if k.pending != nil {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,298 @@
+package core
+
+import (
+	"fmt"
+
+	"autonosql/internal/store"
+)
+
+// PlantState is the configuration of the system at planning time, read from
+// the actuator.
+type PlantState struct {
+	ClusterSize       int
+	ReplicationFactor int
+	ReadConsistency   store.ConsistencyLevel
+	WriteConsistency  store.ConsistencyLevel
+}
+
+// Planner turns an Analysis into at most one reconfiguration Action per
+// control interval. Acting one step at a time, inside hysteresis bands and
+// per-action cooldowns, is what makes the controller converge instead of
+// oscillating — the stability concern the paper raises under RQ3.
+type Planner struct {
+	cfg Config
+	kb  *KnowledgeBase
+}
+
+// NewPlanner creates a planner using the given configuration and knowledge
+// base. The knowledge base may be shared with the controller's executor.
+func NewPlanner(cfg Config, kb *KnowledgeBase) *Planner {
+	if kb == nil {
+		kb = NewKnowledgeBase()
+	}
+	return &Planner{cfg: cfg.withDefaults(), kb: kb}
+}
+
+// Plan selects the action for this control interval. It returns an
+// ActionNone action (with a reason) when no change is warranted or every
+// candidate is blocked by a cooldown or bound.
+func (p *Planner) Plan(an Analysis, plant PlantState) Action {
+	switch an.Primary {
+	case ConditionAvailabilityLow:
+		return p.planAvailability(an, plant)
+	case ConditionWindowHigh:
+		return p.planWindow(an, plant)
+	case ConditionLatencyHigh:
+		return p.planLatency(an, plant)
+	case ConditionOverProvisioned:
+		return p.planCostRecovery(an, plant)
+	default:
+		return p.planNominal(an, plant)
+	}
+}
+
+// planAvailability reacts to failing operations: capacity is added if
+// possible, otherwise the write consistency level is relaxed so fewer
+// replicas must acknowledge each operation.
+func (p *Planner) planAvailability(an Analysis, plant PlantState) Action {
+	if a, ok := p.tryAddNode(an, plant, "operations failing beyond SLA"); ok {
+		return a
+	}
+	if a, ok := p.tryRelaxWrite(an, plant, "operations failing and cluster cannot grow"); ok {
+		return a
+	}
+	return Action{Kind: ActionNone, Reason: "availability low but no action available"}
+}
+
+// planWindow reacts to an inconsistency window at or beyond the SLA band,
+// choosing the action by attributed cause.
+func (p *Planner) planWindow(an Analysis, plant PlantState) Action {
+	switch an.Cause {
+	case CauseCPUSaturation:
+		// Replica applies are queueing behind foreground work: more nodes
+		// shrink per-node queues and with them the window.
+		if a, ok := p.tryAddNode(an, plant, "window high, nodes saturated"); ok {
+			return a
+		}
+		if a, ok := p.tryTightenWrite(an, plant, "window high, nodes saturated, cluster at maximum"); ok {
+			return a
+		}
+
+	case CauseNetworkCongestion:
+		// The paper's explicit example of the wrong action: adding a replica
+		// (or a node, which triggers rebalance streaming) under network
+		// congestion only adds traffic. Tightening the write consistency level
+		// bounds the client-visible window without any extra replication
+		// traffic.
+		if a, ok := p.tryTightenWrite(an, plant, "window high under network congestion"); ok {
+			return a
+		}
+		return Action{Kind: ActionNone, Reason: "window high under congestion; consistency already strict"}
+
+	case CauseLooseConsistency:
+		if a, ok := p.tryTightenWrite(an, plant, "window high with idle resources"); ok {
+			return a
+		}
+		if a, ok := p.tryTightenRead(an, plant, "window high, write consistency already strict"); ok {
+			return a
+		}
+
+	default:
+		if an.Snapshot.MeanUtilization >= p.cfg.TargetUtilization {
+			if a, ok := p.tryAddNode(an, plant, "window high, utilisation above target"); ok {
+				return a
+			}
+		}
+		if a, ok := p.tryTightenWrite(an, plant, "window high"); ok {
+			return a
+		}
+		if a, ok := p.tryAddNode(an, plant, "window high, consistency already strict"); ok {
+			return a
+		}
+	}
+	return Action{Kind: ActionNone, Reason: "window high but all actions blocked"}
+}
+
+// planLatency reacts to latency at or beyond the SLA band.
+func (p *Planner) planLatency(an Analysis, plant PlantState) Action {
+	switch an.Cause {
+	case CauseCPUSaturation:
+		if a, ok := p.tryAddNode(an, plant, "latency high, nodes saturated"); ok {
+			return a
+		}
+	case CauseLooseConsistency:
+		// Strict write consistency is inflating latency; relax it only when
+		// the window has real headroom, otherwise the cure re-creates the
+		// original disease.
+		if an.Headroom.Window < p.cfg.LowFraction {
+			if a, ok := p.tryRelaxWrite(an, plant, "write latency high, window has headroom"); ok {
+				return a
+			}
+		}
+	case CauseNetworkCongestion:
+		// More nodes will not help a congested network; wait it out.
+		return Action{Kind: ActionNone, Reason: "latency high under network congestion; scaling would add traffic"}
+	}
+	if a, ok := p.tryAddNode(an, plant, "latency high"); ok {
+		return a
+	}
+	return Action{Kind: ActionNone, Reason: "latency high but all actions blocked"}
+}
+
+// planCostRecovery trades comfortable SLA slack for lower cost.
+func (p *Planner) planCostRecovery(an Analysis, plant PlantState) Action {
+	// Do not scale in if the forecast says the capacity will be needed again
+	// within the prediction horizon.
+	if p.cfg.EnablePrediction && p.cfg.EnableScaling {
+		needed := RequiredNodes(an.ForecastOpsPerSec, p.cfg.NodeCapacityOpsPerSec, p.cfg.TargetUtilization)
+		if needed >= plant.ClusterSize {
+			return Action{Kind: ActionNone, Reason: "over-provisioned now but forecast needs current capacity"}
+		}
+	}
+	if a, ok := p.tryRemoveNode(an, plant, "cluster over-provisioned"); ok {
+		return a
+	}
+	// With the smallest allowed cluster, relax consistency back towards the
+	// configured minimum to recover write latency and availability headroom.
+	if plant.WriteConsistency > p.cfg.MinWriteConsistency && an.Headroom.Window < p.cfg.LowFraction/2 {
+		if a, ok := p.tryRelaxWrite(an, plant, "window far below SLA at minimum cluster size"); ok {
+			return a
+		}
+	}
+	return Action{Kind: ActionNone, Reason: "over-provisioned but scale-in blocked"}
+}
+
+// planNominal handles the steady state: the only proactive work is
+// prediction-driven scaling ahead of a rising load.
+func (p *Planner) planNominal(an Analysis, plant PlantState) Action {
+	if !p.cfg.EnablePrediction || !p.cfg.EnableScaling {
+		return Action{Kind: ActionNone, Reason: "nominal"}
+	}
+	if an.LoadTrend <= 0 {
+		return Action{Kind: ActionNone, Reason: "nominal"}
+	}
+	needed := RequiredNodes(an.ForecastOpsPerSec, p.cfg.NodeCapacityOpsPerSec, p.cfg.TargetUtilization)
+	if needed > plant.ClusterSize {
+		reason := fmt.Sprintf("forecast %.0f ops/s needs %d nodes", an.ForecastOpsPerSec, needed)
+		if a, ok := p.tryAddNode(an, plant, reason); ok {
+			return a
+		}
+	}
+	return Action{Kind: ActionNone, Reason: "nominal"}
+}
+
+// --- candidate helpers -------------------------------------------------------
+
+// candidate wraps the common bound / enable / cooldown / harmfulness checks.
+func (p *Planner) candidate(kind ActionKind, an Analysis, enabled bool, cooldownOK bool, reason string) (Action, bool) {
+	if !enabled || !cooldownOK {
+		return Action{}, false
+	}
+	if p.kb.Effectiveness(kind).Harmful() {
+		return Action{}, false
+	}
+	return Action{Kind: kind, Reason: reason}, true
+}
+
+func (p *Planner) tryAddNode(an Analysis, plant PlantState, reason string) (Action, bool) {
+	if plant.ClusterSize >= p.cfg.MaxNodes {
+		return Action{}, false
+	}
+	cooldownOK := !p.kb.InCooldown(ActionAddNode, an.At, p.cfg.ScaleOutCooldown)
+	a, ok := p.candidate(ActionAddNode, an, p.cfg.EnableScaling, cooldownOK, reason)
+	if !ok {
+		return a, false
+	}
+	// Size the step proportionally to the shortfall: enough nodes to bring
+	// the larger of the observed and forecast load back to the target
+	// utilisation, bounded by the configured maximum.
+	demand := an.Snapshot.ObservedOpsPerSec
+	if p.cfg.EnablePrediction && an.ForecastOpsPerSec > demand {
+		demand = an.ForecastOpsPerSec
+	}
+	needed := RequiredNodes(demand, p.cfg.NodeCapacityOpsPerSec, p.cfg.TargetUtilization)
+	step := needed - plant.ClusterSize
+	if step < 1 {
+		step = 1
+	}
+	if plant.ClusterSize+step > p.cfg.MaxNodes {
+		step = p.cfg.MaxNodes - plant.ClusterSize
+	}
+	a.Count = step
+	return a, true
+}
+
+func (p *Planner) tryRemoveNode(an Analysis, plant PlantState, reason string) (Action, bool) {
+	if plant.ClusterSize <= p.cfg.MinNodes || plant.ClusterSize <= plant.ReplicationFactor {
+		return Action{}, false
+	}
+	// Removing a node shortly after adding one is the oscillation the paper
+	// warns about; the scale-in cooldown also applies to recent scale-outs.
+	cooldownOK := !p.kb.InCooldown(ActionRemoveNode, an.At, p.cfg.ScaleInCooldown) &&
+		!p.kb.InCooldown(ActionAddNode, an.At, p.cfg.ScaleInCooldown)
+	return p.candidate(ActionRemoveNode, an, p.cfg.EnableScaling, cooldownOK, reason)
+}
+
+func (p *Planner) tryTightenWrite(an Analysis, plant PlantState, reason string) (Action, bool) {
+	next, err := TightenConsistency(plant.WriteConsistency)
+	if err != nil || next > p.cfg.MaxWriteConsistency {
+		return Action{}, false
+	}
+	// Tightening trades write latency for consistency; refuse when write
+	// latency is itself near the SLA.
+	if an.Headroom.WriteLatency > p.cfg.HighFraction {
+		return Action{}, false
+	}
+	cooldownOK := !p.kb.InCooldown(ActionTightenWriteConsistency, an.At, p.cfg.ConsistencyCooldown)
+	return p.candidate(ActionTightenWriteConsistency, an, p.cfg.EnableConsistencyActions, cooldownOK, reason)
+}
+
+func (p *Planner) tryRelaxWrite(an Analysis, plant PlantState, reason string) (Action, bool) {
+	next, err := RelaxConsistency(plant.WriteConsistency)
+	if err != nil || next < p.cfg.MinWriteConsistency {
+		return Action{}, false
+	}
+	cooldownOK := !p.kb.InCooldown(ActionRelaxWriteConsistency, an.At, p.cfg.ConsistencyCooldown) &&
+		!p.kb.InCooldown(ActionTightenWriteConsistency, an.At, p.cfg.ConsistencyCooldown)
+	return p.candidate(ActionRelaxWriteConsistency, an, p.cfg.EnableConsistencyActions, cooldownOK, reason)
+}
+
+func (p *Planner) tryTightenRead(an Analysis, plant PlantState, reason string) (Action, bool) {
+	if _, err := TightenConsistency(plant.ReadConsistency); err != nil {
+		return Action{}, false
+	}
+	if an.Headroom.ReadLatency > p.cfg.HighFraction {
+		return Action{}, false
+	}
+	cooldownOK := !p.kb.InCooldown(ActionTightenReadConsistency, an.At, p.cfg.ConsistencyCooldown)
+	return p.candidate(ActionTightenReadConsistency, an, p.cfg.EnableConsistencyActions, cooldownOK, reason)
+}
+
+// PlanReplication is exposed for completeness and for the ablation
+// experiments: when replication actions are enabled, a window persistently
+// beyond the SLA with idle resources and strict consistency can be attacked
+// by lowering the replication factor (fewer replicas have to converge), and
+// durability-driven policies can raise it again. The main planning paths use
+// it sparingly because the paper flags replication changes as the most
+// expensive reconfiguration.
+func (p *Planner) PlanReplication(an Analysis, plant PlantState, raise bool) (Action, bool) {
+	if !p.cfg.EnableReplicationActions {
+		return Action{}, false
+	}
+	if raise {
+		if plant.ReplicationFactor >= p.cfg.MaxReplication || plant.ReplicationFactor >= plant.ClusterSize {
+			return Action{}, false
+		}
+		// Raising RF under congestion is the paper's canonical wrong action.
+		if an.Cause == CauseNetworkCongestion {
+			return Action{}, false
+		}
+		cooldownOK := !p.kb.InCooldown(ActionIncreaseReplication, an.At, p.cfg.ReplicationCooldown)
+		return p.candidate(ActionIncreaseReplication, an, true, cooldownOK, "raise replication factor")
+	}
+	if plant.ReplicationFactor <= p.cfg.MinReplication {
+		return Action{}, false
+	}
+	cooldownOK := !p.kb.InCooldown(ActionDecreaseReplication, an.At, p.cfg.ReplicationCooldown)
+	return p.candidate(ActionDecreaseReplication, an, true, cooldownOK, "lower replication factor")
+}

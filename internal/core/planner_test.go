@@ -1,0 +1,330 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"autonosql/internal/store"
+)
+
+func defaultPlant() PlantState {
+	return PlantState{ClusterSize: 3, ReplicationFactor: 3, ReadConsistency: store.One, WriteConsistency: store.One}
+}
+
+// analyze is a shortcut that runs a fresh analyzer over a single snapshot so
+// planner tests exercise the same classification path the controller uses.
+func analyze(cfg Config, o snapshotOpts) Analysis {
+	return NewAnalyzer(cfg).Analyze(makeSnapshot(o))
+}
+
+func TestPlannerNominalDoesNothing(t *testing.T) {
+	cfg := DefaultConfig(testSLA())
+	p := NewPlanner(cfg, nil)
+	an := analyze(cfg, snapshotOpts{at: 10 * time.Second, windowP95: 0.02, readP99: 0.005, writeP99: 0.005, meanUtil: 0.5})
+	if a := p.Plan(an, defaultPlant()); !a.IsNoop() {
+		t.Fatalf("nominal state planned %v", a)
+	}
+}
+
+func TestPlannerWindowHighSaturationAddsNode(t *testing.T) {
+	cfg := DefaultConfig(testSLA())
+	p := NewPlanner(cfg, nil)
+	an := analyze(cfg, snapshotOpts{at: 10 * time.Second, windowP95: 0.5, readP99: 0.01, writeP99: 0.01, meanUtil: 0.9, maxUtil: 0.95})
+	a := p.Plan(an, defaultPlant())
+	if a.Kind != ActionAddNode {
+		t.Fatalf("planned %v, want add-node", a)
+	}
+}
+
+func TestPlannerWindowHighSaturationAtMaxNodesTightensConsistency(t *testing.T) {
+	cfg := DefaultConfig(testSLA())
+	cfg.MaxNodes = 3
+	p := NewPlanner(cfg, nil)
+	an := analyze(cfg, snapshotOpts{at: 10 * time.Second, windowP95: 0.5, readP99: 0.01, writeP99: 0.01, meanUtil: 0.9, maxUtil: 0.95})
+	a := p.Plan(an, defaultPlant())
+	if a.Kind != ActionTightenWriteConsistency {
+		t.Fatalf("planned %v, want tighten-write-cl when the cluster cannot grow", a)
+	}
+}
+
+func TestPlannerWindowHighCongestionAvoidsScaling(t *testing.T) {
+	// The paper's canonical wrong action: growing the cluster (or the
+	// replication factor) under network congestion. The planner must pick a
+	// consistency-level change instead.
+	cfg := DefaultConfig(testSLA())
+	p := NewPlanner(cfg, nil)
+	an := analyze(cfg, snapshotOpts{at: 10 * time.Second, windowP95: 0.5, readP99: 0.01, writeP99: 0.02, meanUtil: 0.2})
+	if an.Cause != CauseNetworkCongestion {
+		t.Fatalf("precondition: cause = %v, want network-congestion", an.Cause)
+	}
+	a := p.Plan(an, defaultPlant())
+	if a.Kind == ActionAddNode || a.Kind == ActionIncreaseReplication {
+		t.Fatalf("planner chose %v under network congestion", a)
+	}
+	if a.Kind != ActionTightenWriteConsistency {
+		t.Fatalf("planned %v, want tighten-write-cl", a)
+	}
+}
+
+func TestPlannerWindowHighCongestionStrictConsistencyNoops(t *testing.T) {
+	cfg := DefaultConfig(testSLA())
+	p := NewPlanner(cfg, nil)
+	an := analyze(cfg, snapshotOpts{at: 10 * time.Second, windowP95: 0.5, readP99: 0.01, writeP99: 0.02, meanUtil: 0.2, writeCL: store.All})
+	plant := defaultPlant()
+	plant.WriteConsistency = store.All
+	a := p.Plan(an, plant)
+	if !a.IsNoop() {
+		t.Fatalf("with ALL consistency under congestion the planner should wait, planned %v", a)
+	}
+}
+
+func TestPlannerWindowHighLooseConsistencyTightens(t *testing.T) {
+	cfg := DefaultConfig(testSLA())
+	p := NewPlanner(cfg, nil)
+	an := analyze(cfg, snapshotOpts{at: 10 * time.Second, windowP95: 0.5, readP99: 0.005, writeP99: 0.005, meanUtil: 0.2})
+	a := p.Plan(an, defaultPlant())
+	if a.Kind != ActionTightenWriteConsistency {
+		t.Fatalf("planned %v, want tighten-write-cl", a)
+	}
+}
+
+func TestPlannerTightenRefusedWhenWriteLatencyNearSLA(t *testing.T) {
+	cfg := DefaultConfig(testSLA())
+	p := NewPlanner(cfg, nil)
+	// Window high with idle CPU, but write latency is already at 97% of its
+	// limit: tightening would trade one violation for another.
+	an := analyze(cfg, snapshotOpts{at: 10 * time.Second, windowP95: 0.5, readP99: 0.005, writeP99: 0.029, meanUtil: 0.2})
+	a := p.Plan(an, defaultPlant())
+	if a.Kind == ActionTightenWriteConsistency {
+		t.Fatalf("tightened write consistency with write latency at the SLA edge")
+	}
+}
+
+func TestPlannerAvailabilityAddsNode(t *testing.T) {
+	cfg := DefaultConfig(testSLA())
+	p := NewPlanner(cfg, nil)
+	an := analyze(cfg, snapshotOpts{at: 10 * time.Second, windowP95: 0.1, readP99: 0.01, writeP99: 0.01, errorRate: 0.2, meanUtil: 0.9})
+	a := p.Plan(an, defaultPlant())
+	if a.Kind != ActionAddNode {
+		t.Fatalf("planned %v, want add-node for availability", a)
+	}
+}
+
+func TestPlannerAvailabilityAtMaxRelaxesWrites(t *testing.T) {
+	cfg := DefaultConfig(testSLA())
+	cfg.MaxNodes = 3
+	p := NewPlanner(cfg, nil)
+	an := analyze(cfg, snapshotOpts{at: 10 * time.Second, windowP95: 0.1, readP99: 0.01, writeP99: 0.01, errorRate: 0.2, meanUtil: 0.9, writeCL: store.Quorum})
+	plant := defaultPlant()
+	plant.WriteConsistency = store.Quorum
+	a := p.Plan(an, plant)
+	if a.Kind != ActionRelaxWriteConsistency {
+		t.Fatalf("planned %v, want relax-write-cl when the cluster cannot grow", a)
+	}
+}
+
+func TestPlannerLatencyHighFromStrictConsistencyRelaxes(t *testing.T) {
+	cfg := DefaultConfig(testSLA())
+	p := NewPlanner(cfg, nil)
+	an := analyze(cfg, snapshotOpts{at: 10 * time.Second, windowP95: 0.01, readP99: 0.002, writeP99: 0.05, meanUtil: 0.2, writeCL: store.All})
+	plant := defaultPlant()
+	plant.WriteConsistency = store.All
+	a := p.Plan(an, plant)
+	if a.Kind != ActionRelaxWriteConsistency {
+		t.Fatalf("planned %v, want relax-write-cl", a)
+	}
+}
+
+func TestPlannerLatencyHighCongestionWaits(t *testing.T) {
+	cfg := DefaultConfig(testSLA())
+	p := NewPlanner(cfg, nil)
+	an := analyze(cfg, snapshotOpts{at: 10 * time.Second, windowP95: 0.01, readP99: 0.05, writeP99: 0.05, meanUtil: 0.2})
+	if an.Cause != CauseNetworkCongestion {
+		t.Fatalf("precondition: cause = %v", an.Cause)
+	}
+	a := p.Plan(an, defaultPlant())
+	if !a.IsNoop() {
+		t.Fatalf("planned %v under congested network, want none", a)
+	}
+}
+
+func TestPlannerOverProvisionedRemovesNode(t *testing.T) {
+	cfg := DefaultConfig(testSLA())
+	cfg.EnablePrediction = false
+	p := NewPlanner(cfg, nil)
+	an := analyze(cfg, snapshotOpts{at: 10 * time.Second, windowP95: 0.005, readP99: 0.001, writeP99: 0.001, meanUtil: 0.1, clusterSize: 8})
+	plant := PlantState{ClusterSize: 8, ReplicationFactor: 3, ReadConsistency: store.One, WriteConsistency: store.One}
+	a := p.Plan(an, plant)
+	if a.Kind != ActionRemoveNode {
+		t.Fatalf("planned %v, want remove-node", a)
+	}
+}
+
+func TestPlannerOverProvisionedRespectsMinNodesAndRF(t *testing.T) {
+	cfg := DefaultConfig(testSLA())
+	cfg.EnablePrediction = false
+	cfg.MinNodes = 3
+	p := NewPlanner(cfg, nil)
+	an := analyze(cfg, snapshotOpts{at: 10 * time.Second, windowP95: 0.005, readP99: 0.001, writeP99: 0.001, meanUtil: 0.1})
+	a := p.Plan(an, defaultPlant()) // 3 nodes, RF 3
+	if a.Kind == ActionRemoveNode {
+		t.Fatal("removed a node at the minimum cluster size")
+	}
+}
+
+func TestPlannerOverProvisionedKeepsCapacityForForecast(t *testing.T) {
+	cfg := DefaultConfig(testSLA())
+	cfg.NodeCapacityOpsPerSec = 1000
+	kb := NewKnowledgeBase()
+	p := NewPlanner(cfg, kb)
+	analyzer := NewAnalyzer(cfg)
+	// Feed a rising load history so the forecast stays high even though the
+	// instantaneous utilisation is low.
+	var an Analysis
+	for i := 1; i <= 10; i++ {
+		an = analyzer.Analyze(makeSnapshot(snapshotOpts{
+			at: time.Duration(i) * 10 * time.Second, windowP95: 0.005,
+			readP99: 0.001, writeP99: 0.001, meanUtil: 0.1,
+			opsPerSec: float64(i) * 600, clusterSize: 8,
+		}))
+	}
+	if an.Primary != ConditionOverProvisioned {
+		t.Fatalf("precondition: primary = %v", an.Primary)
+	}
+	plant := PlantState{ClusterSize: 8, ReplicationFactor: 3, ReadConsistency: store.One, WriteConsistency: store.One}
+	a := p.Plan(an, plant)
+	if a.Kind == ActionRemoveNode {
+		t.Fatal("scaled in despite a forecast that needs the capacity")
+	}
+}
+
+func TestPlannerPredictiveScaleOut(t *testing.T) {
+	cfg := DefaultConfig(testSLA())
+	cfg.NodeCapacityOpsPerSec = 1000
+	p := NewPlanner(cfg, nil)
+	analyzer := NewAnalyzer(cfg)
+	var an Analysis
+	for i := 1; i <= 12; i++ {
+		an = analyzer.Analyze(makeSnapshot(snapshotOpts{
+			at: time.Duration(i) * 10 * time.Second, windowP95: 0.02,
+			readP99: 0.005, writeP99: 0.005, meanUtil: 0.55,
+			opsPerSec: 1500 + float64(i)*150,
+		}))
+	}
+	if an.Primary != ConditionNominal {
+		t.Fatalf("precondition: primary = %v, want nominal", an.Primary)
+	}
+	a := p.Plan(an, defaultPlant())
+	if a.Kind != ActionAddNode {
+		t.Fatalf("planned %v, want predictive add-node", a)
+	}
+
+	// With prediction disabled the same state plans nothing.
+	cfgNoPred := cfg
+	cfgNoPred.EnablePrediction = false
+	p2 := NewPlanner(cfgNoPred, nil)
+	if a2 := p2.Plan(an, defaultPlant()); !a2.IsNoop() {
+		t.Fatalf("prediction disabled but planned %v", a2)
+	}
+}
+
+func TestPlannerCooldownBlocksRepeatedScaleOut(t *testing.T) {
+	cfg := DefaultConfig(testSLA())
+	kb := NewKnowledgeBase()
+	p := NewPlanner(cfg, kb)
+	an := analyze(cfg, snapshotOpts{at: 100 * time.Second, windowP95: 0.5, readP99: 0.01, writeP99: 0.01, meanUtil: 0.9, maxUtil: 0.95})
+	a := p.Plan(an, defaultPlant())
+	if a.Kind != ActionAddNode {
+		t.Fatalf("first plan = %v, want add-node", a)
+	}
+	kb.RecordApplied(a, an.At, an.Snapshot.WindowP95, an.Snapshot.WriteLatencyP99, time.Minute)
+
+	// Same situation 10 s later: the scale-out cooldown (90 s) blocks another
+	// node addition; the planner falls back to tightening consistency.
+	an2 := analyze(cfg, snapshotOpts{at: 110 * time.Second, windowP95: 0.5, readP99: 0.01, writeP99: 0.01, meanUtil: 0.9, maxUtil: 0.95})
+	a2 := p.Plan(an2, PlantState{ClusterSize: 4, ReplicationFactor: 3, ReadConsistency: store.One, WriteConsistency: store.One})
+	if a2.Kind == ActionAddNode {
+		t.Fatal("scale-out cooldown not enforced")
+	}
+}
+
+func TestPlannerSkipsHarmfulAction(t *testing.T) {
+	cfg := DefaultConfig(testSLA())
+	kb := NewKnowledgeBase()
+	// Teach the knowledge base that tightening write consistency made the
+	// window worse twice (e.g. because coordinator queues exploded).
+	for i := 0; i < 2; i++ {
+		at := time.Duration(i+1) * 10 * time.Minute
+		kb.RecordApplied(Action{Kind: ActionTightenWriteConsistency}, at, 0.1, 0.01, time.Minute)
+		kb.RecordObservation(at+2*time.Minute, 0.4, 0.02)
+	}
+	p := NewPlanner(cfg, kb)
+	an := analyze(cfg, snapshotOpts{at: time.Hour, windowP95: 0.5, readP99: 0.005, writeP99: 0.005, meanUtil: 0.2})
+	a := p.Plan(an, defaultPlant())
+	if a.Kind == ActionTightenWriteConsistency {
+		t.Fatal("planner repeated an action the knowledge base marked harmful")
+	}
+}
+
+func TestPlannerScalingDisabled(t *testing.T) {
+	cfg := DefaultConfig(testSLA())
+	cfg.EnableScaling = false
+	p := NewPlanner(cfg, nil)
+	an := analyze(cfg, snapshotOpts{at: 10 * time.Second, windowP95: 0.5, readP99: 0.01, writeP99: 0.01, meanUtil: 0.9, maxUtil: 0.95})
+	a := p.Plan(an, defaultPlant())
+	if a.Kind == ActionAddNode || a.Kind == ActionRemoveNode {
+		t.Fatalf("scaling disabled but planned %v", a)
+	}
+}
+
+func TestPlannerConsistencyActionsDisabled(t *testing.T) {
+	cfg := DefaultConfig(testSLA())
+	cfg.EnableConsistencyActions = false
+	p := NewPlanner(cfg, nil)
+	an := analyze(cfg, snapshotOpts{at: 10 * time.Second, windowP95: 0.5, readP99: 0.005, writeP99: 0.005, meanUtil: 0.2})
+	a := p.Plan(an, defaultPlant())
+	if a.Kind == ActionTightenWriteConsistency || a.Kind == ActionRelaxWriteConsistency {
+		t.Fatalf("consistency actions disabled but planned %v", a)
+	}
+}
+
+func TestPlanReplication(t *testing.T) {
+	cfg := DefaultConfig(testSLA())
+	cfg.EnableReplicationActions = true
+	p := NewPlanner(cfg, nil)
+	an := analyze(cfg, snapshotOpts{at: 10 * time.Second, windowP95: 0.02, readP99: 0.005, writeP99: 0.005, meanUtil: 0.5, clusterSize: 6})
+	plant := PlantState{ClusterSize: 6, ReplicationFactor: 3, ReadConsistency: store.One, WriteConsistency: store.One}
+
+	if a, ok := p.PlanReplication(an, plant, true); !ok || a.Kind != ActionIncreaseReplication {
+		t.Fatalf("raise replication = %v, %v", a, ok)
+	}
+	if a, ok := p.PlanReplication(an, plant, false); !ok || a.Kind != ActionDecreaseReplication {
+		t.Fatalf("lower replication = %v, %v", a, ok)
+	}
+
+	// RF cannot exceed the cluster size or the configured maximum.
+	plantSmall := PlantState{ClusterSize: 3, ReplicationFactor: 3}
+	if _, ok := p.PlanReplication(an, plantSmall, true); ok {
+		t.Fatal("raised RF beyond the cluster size")
+	}
+	plantMin := PlantState{ClusterSize: 6, ReplicationFactor: cfg.MinReplication}
+	if _, ok := p.PlanReplication(an, plantMin, false); ok {
+		t.Fatal("lowered RF below the minimum")
+	}
+
+	// Raising RF under congestion is refused.
+	anCong := analyze(cfg, snapshotOpts{at: 20 * time.Second, windowP95: 0.5, readP99: 0.01, writeP99: 0.02, meanUtil: 0.2, clusterSize: 6})
+	if anCong.Cause != CauseNetworkCongestion {
+		t.Fatalf("precondition: cause = %v", anCong.Cause)
+	}
+	if _, ok := p.PlanReplication(anCong, plant, true); ok {
+		t.Fatal("raised RF under network congestion")
+	}
+
+	// Disabled replication actions plan nothing.
+	cfgOff := DefaultConfig(testSLA())
+	pOff := NewPlanner(cfgOff, nil)
+	if _, ok := pOff.PlanReplication(an, plant, true); ok {
+		t.Fatal("replication actions disabled but planned one")
+	}
+}

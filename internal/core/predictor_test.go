@@ -1,0 +1,131 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPredictorEmptyAndSingleSample(t *testing.T) {
+	p := NewLoadPredictor(8)
+	if got := p.Forecast(time.Minute); got != 0 {
+		t.Fatalf("empty forecast = %v, want 0", got)
+	}
+	if got := p.TrendPerSecond(); got != 0 {
+		t.Fatalf("empty trend = %v, want 0", got)
+	}
+	p.Observe(10*time.Second, 100)
+	if got := p.Forecast(time.Minute); got != 100 {
+		t.Fatalf("single-sample forecast = %v, want 100 (last observation)", got)
+	}
+}
+
+func TestPredictorLinearRamp(t *testing.T) {
+	p := NewLoadPredictor(10)
+	// Rate grows by 10 ops/s every 10 s.
+	for i := 1; i <= 10; i++ {
+		p.Observe(time.Duration(i)*10*time.Second, float64(i)*10)
+	}
+	trend := p.TrendPerSecond()
+	if trend < 0.9 || trend > 1.1 {
+		t.Fatalf("trend = %v ops/s per s, want ~1.0", trend)
+	}
+	// At t=150 s the line predicts 150 ops/s.
+	got := p.Forecast(150 * time.Second)
+	if got < 140 || got > 160 {
+		t.Fatalf("forecast = %v, want ~150", got)
+	}
+}
+
+func TestPredictorConstantLoadHasNoTrend(t *testing.T) {
+	p := NewLoadPredictor(6)
+	for i := 1; i <= 12; i++ {
+		p.Observe(time.Duration(i)*10*time.Second, 500)
+	}
+	if trend := p.TrendPerSecond(); trend < -0.01 || trend > 0.01 {
+		t.Fatalf("constant load trend = %v, want ~0", trend)
+	}
+	if got := p.Forecast(500 * time.Second); got < 499 || got > 501 {
+		t.Fatalf("constant load forecast = %v, want ~500", got)
+	}
+}
+
+func TestPredictorForecastClamped(t *testing.T) {
+	p := NewLoadPredictor(4)
+	// Very steep ramp.
+	p.Observe(10*time.Second, 10)
+	p.Observe(20*time.Second, 1000)
+	got := p.Forecast(10 * time.Minute)
+	if got > 2000 {
+		t.Fatalf("forecast = %v, want clamped to at most 2x the observed maximum (2000)", got)
+	}
+	// Falling load never forecasts negative.
+	p2 := NewLoadPredictor(4)
+	p2.Observe(10*time.Second, 1000)
+	p2.Observe(20*time.Second, 10)
+	if got := p2.Forecast(10 * time.Minute); got < 0 {
+		t.Fatalf("forecast = %v, want >= 0", got)
+	}
+}
+
+func TestPredictorWindowSlides(t *testing.T) {
+	p := NewLoadPredictor(4)
+	// Old falling samples followed by a newer rising ramp; only the ramp
+	// should remain in the window.
+	for i := 1; i <= 4; i++ {
+		p.Observe(time.Duration(i)*10*time.Second, float64(1000-100*i))
+	}
+	for i := 5; i <= 8; i++ {
+		p.Observe(time.Duration(i)*10*time.Second, float64(i)*100)
+	}
+	if trend := p.TrendPerSecond(); trend <= 0 {
+		t.Fatalf("trend after ramp = %v, want positive (old samples evicted)", trend)
+	}
+	if p.Samples() != 8 {
+		t.Fatalf("Samples = %d, want 8", p.Samples())
+	}
+}
+
+func TestPredictorNegativeRatesClamped(t *testing.T) {
+	p := NewLoadPredictor(4)
+	p.Observe(time.Second, -50)
+	p.Observe(2*time.Second, -10)
+	if got := p.Forecast(3 * time.Second); got < 0 {
+		t.Fatalf("forecast from negative observations = %v, want >= 0", got)
+	}
+}
+
+func TestRequiredNodes(t *testing.T) {
+	cases := []struct {
+		ops, capacity, util float64
+		want                int
+	}{
+		{0, 5000, 0.7, 1},
+		{3000, 5000, 0.7, 1},
+		{3501, 5000, 0.7, 2},
+		{35000, 5000, 0.7, 10},
+		{100, 0, 0.7, 1},  // degenerate capacity
+		{100, 5000, 0, 1}, // degenerate utilisation target
+	}
+	for _, c := range cases {
+		if got := RequiredNodes(c.ops, c.capacity, c.util); got != c.want {
+			t.Errorf("RequiredNodes(%v, %v, %v) = %d, want %d", c.ops, c.capacity, c.util, got, c.want)
+		}
+	}
+}
+
+// Property: forecasts are always finite and non-negative regardless of the
+// observation sequence.
+func TestPredictorForecastAlwaysSaneProperty(t *testing.T) {
+	f := func(rates []uint16, horizonSec uint8) bool {
+		p := NewLoadPredictor(8)
+		for i, r := range rates {
+			p.Observe(time.Duration(i+1)*5*time.Second, float64(r))
+		}
+		got := p.Forecast(time.Duration(horizonSec) * time.Second)
+		return got >= 0 && got < 1e9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

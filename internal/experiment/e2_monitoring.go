@@ -1,0 +1,107 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"autonosql"
+)
+
+// RunE2 reproduces the monitoring-cost study (RQ1: "is it possible to measure
+// the size of the inconsistency window in an efficient way?").
+//
+// A fixed moderately loaded cluster is monitored with the two techniques the
+// paper proposes — passive coordinator-side observation and active
+// read-after-write probing at increasing probe rates — and each configuration
+// is scored on estimation error against the simulator's ground truth, on the
+// extra operations it adds, and on what it does to client latency.
+func RunE2(scale Scale) (*Result, error) {
+	started := time.Now()
+	res := &Result{ID: "E2", Title: "Monitoring cost and accuracy"}
+
+	baseSpec := func() autonosql.ScenarioSpec {
+		spec := autonosql.DefaultScenarioSpec()
+		spec.Seed = 201
+		spec.Duration = 3 * time.Minute
+		if scale == ScaleQuick {
+			spec.Duration = 40 * time.Second
+		}
+		spec.SampleInterval = 5 * time.Second
+		spec.Cluster.InitialNodes = 3
+		spec.Cluster.NodeOpsPerSec = 2000
+		spec.Workload.BaseOpsPerSec = 0.70 * effectiveCapacity(3, 2000, 0.5, 3)
+		spec.Workload.ReadFraction = 0.5
+		spec.Workload.Keyspace = 5000
+		spec.Controller.Mode = autonosql.ControllerNone
+		spec.SLA.MaxWindowP95 = 10 * time.Second
+		return spec
+	}
+
+	// Reference run without any monitoring overhead: active probing off.
+	reference := baseSpec()
+	reference.Monitor.ActiveProbes = false
+	reference.Monitor.PassiveObservation = false
+	refRep, err := run(reference)
+	if err != nil {
+		return nil, fmt.Errorf("E2 reference: %w", err)
+	}
+
+	type cell struct {
+		name      string
+		active    bool
+		passive   bool
+		probeRate float64
+	}
+	cells := []cell{
+		{name: "passive only", passive: true},
+		{name: "active 0.2/s", active: true, probeRate: 0.2},
+		{name: "active 1/s", active: true, probeRate: 1},
+		{name: "active 5/s", active: true, probeRate: 5},
+		{name: "active 20/s", active: true, probeRate: 20},
+		{name: "active 100/s", active: true, probeRate: 100},
+		{name: "active+passive 1/s", active: true, passive: true, probeRate: 1},
+	}
+	if scale == ScaleQuick {
+		cells = []cell{
+			{name: "passive only", passive: true},
+			{name: "active 1/s", active: true, probeRate: 1},
+			{name: "active 20/s", active: true, probeRate: 20},
+		}
+	}
+
+	t := Table{
+		ID:    "E2",
+		Title: "Window-monitoring techniques: accuracy vs overhead (load=70%, RF=3, CL=ONE)",
+		Columns: []string{"technique", "true p95 (ms)", "estimate p95 (ms)", "relative error",
+			"probe ops", "overhead (% of ops)", "read p99 delta (ms)"},
+	}
+	t.AddRow("unmonitored reference", fms(refRep.Window.P95), "-", "-", "0", fpct(0), fms(0))
+
+	for _, c := range cells {
+		spec := baseSpec()
+		spec.Monitor.ActiveProbes = c.active
+		spec.Monitor.PassiveObservation = c.passive
+		spec.Monitor.ProbeRate = c.probeRate
+		rep, err := run(spec)
+		if err != nil {
+			return nil, fmt.Errorf("E2 %s: %w", c.name, err)
+		}
+		relErr := 0.0
+		if rep.Window.P95 > 0 {
+			relErr = math.Abs(rep.EstimatedWindowP95-rep.Window.P95) / rep.Window.P95
+		}
+		latencyDelta := rep.ReadLatency.P99 - refRep.ReadLatency.P99
+		t.AddRow(c.name, fms(rep.Window.P95), fms(rep.EstimatedWindowP95), fpct(relErr),
+			fmt.Sprintf("%d", rep.MonitoringProbeOps), fpct(rep.MonitoringOverheadFraction), fms(latencyDelta))
+	}
+	t.AddNote("expected shape: passive observation is free but under-estimates (it only sees replica acks); " +
+		"active probing converges on the true window as the probe rate rises, while its overhead grows roughly " +
+		"linearly with the probe rate and eventually inflates the very window it measures")
+	t.AddNote("the paper's efficiency criterion: monitoring is only useful while its cost stays below the cost of " +
+		"over-allocating resources to keep the window low without measuring it")
+	res.Tables = append(res.Tables, t)
+
+	res.Elapsed = time.Since(started)
+	return res, nil
+}

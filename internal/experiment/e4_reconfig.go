@@ -1,0 +1,220 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"autonosql"
+)
+
+// e4Action is one reconfiguration action applied mid-run.
+type e4Action struct {
+	name  string
+	apply func(h *autonosql.Handle) error
+}
+
+// e4Timeline summarises a window timeline around a reconfiguration applied at
+// actionAt.
+type e4Timeline struct {
+	before      float64 // mean window p95 (s) in the pre-action steady phase
+	peak        float64 // maximum window p95 (s) in the transient after the action
+	after       float64 // mean window p95 (s) in the final steady phase
+	convergence time.Duration
+	converged   bool
+}
+
+// RunE4 reproduces the reconfiguration-overhead study (RQ3: "what is the
+// overhead of possible reconfiguration actions on the inconsistency window
+// and the overall performance?").
+//
+// Under steady load (and, in the second half of the table, under injected
+// network congestion) a single reconfiguration action is applied mid-run with
+// no controller involved: changing the write consistency level, adding a
+// node, raising the replication factor and removing a node. The table
+// reports the window before the action, the worst transient after it, the
+// final steady window and how long the system took to converge — including
+// the paper's explicit wrong-action case: growing the replica set while the
+// network is congested.
+func RunE4(scale Scale) (*Result, error) {
+	started := time.Now()
+	res := &Result{ID: "E4", Title: "Reconfiguration overhead and convergence"}
+
+	duration := 5 * time.Minute
+	sample := 5 * time.Second
+	if scale == ScaleQuick {
+		duration = 2 * time.Minute
+	}
+	actionAt := duration / 2
+	congestionAt := duration / 4
+
+	baseSpec := func(seed int64) autonosql.ScenarioSpec {
+		spec := autonosql.DefaultScenarioSpec()
+		spec.Seed = seed
+		spec.Duration = duration
+		spec.SampleInterval = sample
+		spec.Cluster.InitialNodes = 3
+		spec.Cluster.MinNodes = 2
+		spec.Cluster.MaxNodes = 8
+		spec.Cluster.NodeOpsPerSec = 2000
+		spec.Cluster.BootstrapTime = 30 * time.Second
+		spec.Cluster.DecommissionTime = 20 * time.Second
+		// High enough that replica applies queue visibly behind foreground
+		// work: this is the regime in which the choice of reconfiguration
+		// action actually matters.
+		spec.Workload.BaseOpsPerSec = 0.80 * effectiveCapacity(3, 2000, 0.5, 3)
+		spec.Workload.ReadFraction = 0.5
+		spec.Workload.Keyspace = 5000
+		spec.Controller.Mode = autonosql.ControllerNone
+		spec.SLA.MaxWindowP95 = 10 * time.Second
+		return spec
+	}
+
+	actions := []e4Action{
+		{name: "tighten write CL (ONE->QUORUM)", apply: func(h *autonosql.Handle) error {
+			return h.SetWriteConsistency(autonosql.ConsistencyQuorum)
+		}},
+		{name: "add node", apply: func(h *autonosql.Handle) error { return h.AddNode() }},
+		{name: "increase RF (3->4)", apply: func(h *autonosql.Handle) error { return h.SetReplicationFactor(4) }},
+		{name: "remove node", apply: func(h *autonosql.Handle) error { return h.RemoveNode() }},
+	}
+	if scale == ScaleQuick {
+		actions = actions[:3]
+	}
+
+	t := Table{
+		ID:    "E4",
+		Title: "Transient impact and convergence of single reconfiguration actions (load=80%, RF=3, CL=ONE)",
+		Columns: []string{"action", "network congestion", "window p95 before (ms)", "transient peak (ms)",
+			"window p95 after (ms)", "after/before", "converged", "time to converge (s)"},
+	}
+
+	var figures []string
+	for _, congested := range []bool{false, true} {
+		for i, action := range actions {
+			spec := baseSpec(401 + int64(i))
+			sc, err := autonosql.NewScenario(spec)
+			if err != nil {
+				return nil, fmt.Errorf("E4 %s: %w", action.name, err)
+			}
+			if congested {
+				sc.At(congestionAt, func(h *autonosql.Handle) { h.SetNetworkCongestion(0.6) })
+			}
+			var applyErr error
+			sc.At(actionAt, func(h *autonosql.Handle) { applyErr = action.apply(h) })
+			rep, err := sc.Run()
+			if err != nil {
+				return nil, fmt.Errorf("E4 %s: %w", action.name, err)
+			}
+			if applyErr != nil {
+				return nil, fmt.Errorf("E4 %s: applying action: %w", action.name, applyErr)
+			}
+
+			tl := analyzeTimeline(rep.Series[autonosql.SeriesWindowP95], actionAt, congestionAt, congested, duration)
+			ratio := 0.0
+			if tl.before > 0 {
+				ratio = tl.after / tl.before
+			}
+			convergence := "-"
+			if tl.converged {
+				convergence = fmt.Sprintf("%.0f", tl.convergence.Seconds())
+			}
+			t.AddRow(action.name, fbool(congested), fms(tl.before), fms(tl.peak), fms(tl.after),
+				fnum(ratio), fbool(tl.converged), convergence)
+
+			// Keep two representative figures: the helpful action under normal
+			// conditions and the paper's wrong action under congestion.
+			if !congested && action.name == "tighten write CL (ONE->QUORUM)" {
+				figures = append(figures, "Figure E4-1: window p95 timeline, tighten write CL at t="+actionAt.String()+"\n"+
+					rep.PlotSeries(autonosql.SeriesWindowP95, 50))
+			}
+			if congested && action.name == "increase RF (3->4)" {
+				figures = append(figures, "Figure E4-2: window p95 timeline, increase RF under network congestion "+
+					"(congestion from t="+congestionAt.String()+", action at t="+actionAt.String()+")\n"+
+					rep.PlotSeries(autonosql.SeriesWindowP95, 50))
+			}
+		}
+	}
+	t.AddNote("expected shape: tightening the write consistency level shrinks the window almost immediately; " +
+		"adding a node helps only after its bootstrap transient; growing the replica set or the cluster while the " +
+		"network is congested makes the window worse — the wrong-action case the paper warns about")
+	res.Tables = append(res.Tables, t)
+	res.Figures = figures
+
+	res.Elapsed = time.Since(started)
+	return res, nil
+}
+
+// analyzeTimeline extracts before/peak/after/convergence numbers from a
+// window time series (values in milliseconds, converted back to seconds).
+func analyzeTimeline(series []autonosql.SeriesPoint, actionAt, congestionAt time.Duration, congested bool, duration time.Duration) e4Timeline {
+	var tl e4Timeline
+	if len(series) == 0 {
+		return tl
+	}
+
+	// Pre-action steady phase: after warm-up (and after congestion has been
+	// injected, when applicable) up to the action.
+	preFrom := actionAt / 2
+	if congested && congestionAt+20*time.Second > preFrom {
+		preFrom = congestionAt + 20*time.Second
+	}
+	var preSum float64
+	var preN int
+	for _, p := range series {
+		if p.At >= preFrom && p.At < actionAt {
+			preSum += p.Value
+			preN++
+		}
+	}
+	if preN > 0 {
+		tl.before = preSum / float64(preN) / 1000
+	}
+
+	// Final steady phase: the last 20% of the run.
+	finalFrom := duration - duration/5
+	var postSum float64
+	var postN int
+	for _, p := range series {
+		if p.At >= finalFrom {
+			postSum += p.Value
+			postN++
+		}
+	}
+	if postN > 0 {
+		tl.after = postSum / float64(postN) / 1000
+	}
+
+	// Transient peak between the action and the final phase.
+	for _, p := range series {
+		if p.At >= actionAt && p.At < finalFrom && p.Value/1000 > tl.peak {
+			tl.peak = p.Value / 1000
+		}
+	}
+	if tl.peak < tl.after {
+		tl.peak = tl.after
+	}
+
+	// Convergence: the first post-action time from which every later sample
+	// stays within 30% (or 5 ms) of the final steady value.
+	tolerance := tl.after * 0.3
+	if tolerance < 0.005 {
+		tolerance = 0.005
+	}
+	lastOutside := actionAt
+	for _, p := range series {
+		if p.At < actionAt {
+			continue
+		}
+		if diff := p.Value/1000 - tl.after; diff > tolerance || diff < -tolerance {
+			lastOutside = p.At
+		}
+	}
+	if lastOutside < duration-duration/10 {
+		tl.converged = true
+		tl.convergence = lastOutside - actionAt
+		if tl.convergence < 0 {
+			tl.convergence = 0
+		}
+	}
+	return tl
+}

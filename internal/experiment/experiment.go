@@ -1,0 +1,115 @@
+// Package experiment reproduces the evaluation of "Advanced monitoring and
+// smart auto-scaling of NoSQL systems". The paper is a doctoral-symposium
+// vision paper without a numbered evaluation section, so the experiments here
+// (E1–E5) are derived from its research questions and research plan; DESIGN.md
+// documents the mapping and EXPERIMENTS.md records the measured outcomes.
+//
+//	E1 — which parameters drive the inconsistency window (research plan step 1)
+//	E2 — cost and accuracy of window monitoring (RQ1)
+//	E3 — deriving configuration from the SLA (RQ2)
+//	E4 — reconfiguration overhead, convergence and wrong actions (RQ3)
+//	E5 — end-to-end smart auto-scaling vs. the baselines (aims & motivation)
+//
+// Every experiment is deterministic for a given scale and produces one or
+// more Tables plus figure-like ASCII series where a timeline matters.
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Scale selects how much virtual time and parameter coverage an experiment
+// uses. Quick keeps unit tests and -short benchmarks fast; Full is what
+// cmd/benchrunner and the recorded EXPERIMENTS.md results use.
+type Scale int
+
+// Scales.
+const (
+	// ScaleQuick runs a reduced sweep (seconds of virtual time per cell).
+	ScaleQuick Scale = iota + 1
+	// ScaleFull runs the complete sweep used for the recorded results.
+	ScaleFull
+)
+
+// String implements fmt.Stringer.
+func (s Scale) String() string {
+	if s == ScaleFull {
+		return "full"
+	}
+	return "quick"
+}
+
+// Result is the outcome of one experiment.
+type Result struct {
+	// ID is the experiment identifier ("E1" .. "E5").
+	ID string
+	// Title is the experiment's one-line description.
+	Title string
+	// Tables are the result tables.
+	Tables []Table
+	// Figures are figure-like ASCII timelines, where applicable.
+	Figures []string
+	// Elapsed is the wall-clock time the experiment took to run.
+	Elapsed time.Duration
+}
+
+// Format renders the whole result as plain text.
+func (r *Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "==== %s: %s (completed in %v) ====\n\n", r.ID, r.Title, r.Elapsed.Round(time.Millisecond))
+	for i := range r.Tables {
+		b.WriteString(r.Tables[i].Format())
+		b.WriteByte('\n')
+	}
+	for _, f := range r.Figures {
+		b.WriteString(f)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Runner is a named experiment.
+type Runner struct {
+	// ID is the experiment identifier.
+	ID string
+	// Title is the one-line description.
+	Title string
+	// Run executes the experiment at the given scale.
+	Run func(scale Scale) (*Result, error)
+}
+
+// Runners returns every experiment in order.
+func Runners() []Runner {
+	return []Runner{
+		{ID: "e1", Title: "Inconsistency-window parameter study", Run: RunE1},
+		{ID: "e2", Title: "Monitoring cost and accuracy", Run: RunE2},
+		{ID: "e3", Title: "Deriving configuration from the SLA", Run: RunE3},
+		{ID: "e4", Title: "Reconfiguration overhead and convergence", Run: RunE4},
+		{ID: "e5", Title: "End-to-end smart auto-scaling vs. baselines", Run: RunE5},
+	}
+}
+
+// Lookup returns the runner with the given ID (case-insensitive).
+func Lookup(id string) (Runner, bool) {
+	id = strings.ToLower(strings.TrimSpace(id))
+	for _, r := range Runners() {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}
+
+// IDs returns the sorted experiment identifiers.
+func IDs() []string {
+	rs := Runners()
+	out := make([]string, len(rs))
+	for i, r := range rs {
+		out[i] = r.ID
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,204 @@
+package experiment
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parseMs pulls a millisecond cell back into a float for shape assertions.
+func parseMs(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSpace(cell), 64)
+	if err != nil {
+		t.Fatalf("cell %q is not a number: %v", cell, err)
+	}
+	return v
+}
+
+func findTable(t *testing.T, res *Result, id string) Table {
+	t.Helper()
+	for _, tab := range res.Tables {
+		if tab.ID == id {
+			return tab
+		}
+	}
+	t.Fatalf("result %s has no table %s", res.ID, id)
+	return Table{}
+}
+
+func TestRunE1QuickShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	res, err := RunE1(ScaleQuick)
+	if err != nil {
+		t.Fatalf("RunE1: %v", err)
+	}
+	if len(res.Tables) != 4 {
+		t.Fatalf("E1 produced %d tables, want 4", len(res.Tables))
+	}
+
+	// E1a: the window at the highest load must exceed the window at the
+	// lowest load (super-linear growth towards saturation).
+	e1a := findTable(t, res, "E1a")
+	first := parseMs(t, e1a.Rows[0][3])
+	last := parseMs(t, e1a.Rows[len(e1a.Rows)-1][3])
+	if last <= first {
+		t.Errorf("E1a: window p95 at 95%% load (%v ms) should exceed the one at 30%% load (%v ms)", last, first)
+	}
+
+	// E1c: CL=ALL must have a (much) smaller window than CL=ONE, and higher
+	// write latency.
+	e1c := findTable(t, res, "E1c")
+	oneWindow := parseMs(t, e1c.Rows[0][2])
+	allWindow := parseMs(t, e1c.Rows[len(e1c.Rows)-1][2])
+	oneLatency := parseMs(t, e1c.Rows[0][4])
+	allLatency := parseMs(t, e1c.Rows[len(e1c.Rows)-1][4])
+	if allWindow >= oneWindow {
+		t.Errorf("E1c: window p95 at ALL (%v ms) should be below ONE (%v ms)", allWindow, oneWindow)
+	}
+	if allLatency <= oneLatency {
+		t.Errorf("E1c: write p99 at ALL (%v ms) should exceed ONE (%v ms)", allLatency, oneLatency)
+	}
+
+	// E1d: noisy neighbours widen the window.
+	e1d := findTable(t, res, "E1d")
+	quiet := parseMs(t, e1d.Rows[0][2])
+	noisy := parseMs(t, e1d.Rows[1][2])
+	if noisy <= quiet {
+		t.Errorf("E1d: noisy-neighbour window p95 (%v ms) should exceed the quiet one (%v ms)", noisy, quiet)
+	}
+
+	if !strings.Contains(res.Format(), "E1a") {
+		t.Error("formatted result missing table E1a")
+	}
+}
+
+func TestRunE2QuickShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	res, err := RunE2(ScaleQuick)
+	if err != nil {
+		t.Fatalf("RunE2: %v", err)
+	}
+	tab := findTable(t, res, "E2")
+	if len(tab.Rows) < 4 { // reference + 3 techniques
+		t.Fatalf("E2 has %d rows, want at least 4", len(tab.Rows))
+	}
+	// The unmonitored reference must report zero probe overhead, and the
+	// highest-rate active cell must report more probe ops than the low-rate
+	// one.
+	if tab.Rows[0][5] != "0.00%" {
+		t.Errorf("reference overhead = %q, want 0.00%%", tab.Rows[0][5])
+	}
+	lowProbe, _ := strconv.Atoi(tab.Rows[2][4])
+	highProbe, _ := strconv.Atoi(tab.Rows[3][4])
+	if highProbe <= lowProbe {
+		t.Errorf("probe ops should grow with the probe rate: %d vs %d", lowProbe, highProbe)
+	}
+}
+
+func TestRunE3QuickShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	res, err := RunE3(ScaleQuick)
+	if err != nil {
+		t.Fatalf("RunE3: %v", err)
+	}
+	statics := findTable(t, res, "E3a")
+	if len(statics.Rows) < 4 {
+		t.Fatalf("E3a has %d rows", len(statics.Rows))
+	}
+	// Static CL=ALL (row 3) must show a smaller window than static CL=ONE (row 1).
+	one := parseMs(t, statics.Rows[0][1])
+	all := parseMs(t, statics.Rows[2][1])
+	if all >= one {
+		t.Errorf("static ALL window (%v ms) should be below static ONE (%v ms)", all, one)
+	}
+
+	sweep := findTable(t, res, "E3b")
+	if len(sweep.Rows) < 2 {
+		t.Fatalf("E3b has %d rows", len(sweep.Rows))
+	}
+	for _, row := range sweep.Rows {
+		if row[1] == "" || row[4] == "" {
+			t.Errorf("incomplete sweep row %v", row)
+		}
+	}
+}
+
+func TestRunE4QuickShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	res, err := RunE4(ScaleQuick)
+	if err != nil {
+		t.Fatalf("RunE4: %v", err)
+	}
+	tab := findTable(t, res, "E4")
+	if len(tab.Rows) != 6 { // 3 actions x 2 conditions at quick scale
+		t.Fatalf("E4 has %d rows, want 6", len(tab.Rows))
+	}
+	// Tightening the write CL under normal conditions must reduce the window.
+	var tightenRatio, rfCongestedRatio float64
+	var foundTighten, foundRF bool
+	for _, row := range tab.Rows {
+		if strings.HasPrefix(row[0], "tighten write CL") && row[1] == "no" {
+			tightenRatio = parseMs(t, row[5]) // after/before ratio (plain number)
+			foundTighten = true
+		}
+		if strings.HasPrefix(row[0], "increase RF") && row[1] == "yes" {
+			rfCongestedRatio = parseMs(t, row[5])
+			foundRF = true
+		}
+	}
+	if !foundTighten || !foundRF {
+		t.Fatalf("expected rows not found in E4 table: %+v", tab.Rows)
+	}
+	if tightenRatio >= 1 {
+		t.Errorf("tightening the write CL should shrink the window (after/before=%v)", tightenRatio)
+	}
+	if rfCongestedRatio <= tightenRatio {
+		t.Errorf("raising RF under congestion (ratio %v) should be worse than tightening CL (%v)",
+			rfCongestedRatio, tightenRatio)
+	}
+	if len(res.Figures) == 0 {
+		t.Error("E4 should produce timeline figures")
+	}
+}
+
+func TestRunE5QuickShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	res, err := RunE5(ScaleQuick)
+	if err != nil {
+		t.Fatalf("RunE5: %v", err)
+	}
+	compliance := findTable(t, res, "E5a")
+	cost := findTable(t, res, "E5b")
+	if len(compliance.Rows) != 4 || len(cost.Rows) != 4 {
+		t.Fatalf("E5 tables have %d/%d rows, want 4/4", len(compliance.Rows), len(cost.Rows))
+	}
+
+	// Row order: loose, strict, reactive, smart.
+	looseViolation := parseMs(t, compliance.Rows[0][7])
+	smartViolation := parseMs(t, compliance.Rows[3][7])
+	if smartViolation >= looseViolation {
+		t.Errorf("smart controller violation minutes (%v) should be below static-loose (%v)",
+			smartViolation, looseViolation)
+	}
+
+	strictNodeHours := parseMs(t, cost.Rows[1][1])
+	smartNodeHours := parseMs(t, cost.Rows[3][1])
+	if smartNodeHours >= strictNodeHours {
+		t.Errorf("smart controller node-hours (%v) should be below static-strict (%v)",
+			smartNodeHours, strictNodeHours)
+	}
+	if len(res.Figures) < 3 {
+		t.Errorf("E5 produced %d figures, want at least 3", len(res.Figures))
+	}
+}

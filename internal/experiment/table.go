@@ -1,0 +1,94 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one result table of an experiment, formatted like the tables a
+// paper's evaluation section would print.
+type Table struct {
+	// ID is the experiment identifier, e.g. "E1a".
+	ID string
+	// Title describes what the table shows.
+	Title string
+	// Columns are the column headers.
+	Columns []string
+	// Rows are the data rows; each row must have len(Columns) cells.
+	Rows [][]string
+	// Notes are free-form remarks printed under the table.
+	Notes []string
+}
+
+// AddRow appends a row. Rows shorter than the header are padded with empty
+// cells; longer rows are truncated.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Columns))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// AddNote appends a remark printed under the table.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Format renders the table as aligned plain text.
+func (t *Table) Format() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// formatting helpers shared by the experiment runners.
+
+func fms(seconds float64) string  { return fmt.Sprintf("%.1f", seconds*1000) }
+func fpct(frac float64) string    { return fmt.Sprintf("%.2f%%", frac*100) }
+func fnum(v float64) string       { return fmt.Sprintf("%.2f", v) }
+func fint(v int) string           { return fmt.Sprintf("%d", v) }
+func fdollar(v float64) string    { return fmt.Sprintf("$%.2f", v) }
+func fops(v float64) string       { return fmt.Sprintf("%.0f", v) }
+func fminutes(v float64) string   { return fmt.Sprintf("%.1f", v) }
+func fbool(v bool) string {
+	if v {
+		return "yes"
+	}
+	return "no"
+}

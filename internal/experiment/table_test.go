@@ -1,0 +1,107 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAddRowPadsAndTruncates(t *testing.T) {
+	tab := Table{ID: "T", Title: "test", Columns: []string{"a", "b", "c"}}
+	tab.AddRow("1")
+	tab.AddRow("1", "2", "3", "4")
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tab.Rows))
+	}
+	if len(tab.Rows[0]) != 3 || tab.Rows[0][1] != "" {
+		t.Fatalf("short row not padded: %v", tab.Rows[0])
+	}
+	if len(tab.Rows[1]) != 3 {
+		t.Fatalf("long row not truncated: %v", tab.Rows[1])
+	}
+}
+
+func TestTableFormatAlignsColumns(t *testing.T) {
+	tab := Table{ID: "E9", Title: "alignment", Columns: []string{"name", "value"}}
+	tab.AddRow("short", "1")
+	tab.AddRow("a much longer name", "2")
+	tab.AddNote("a note about %d rows", 2)
+	text := tab.Format()
+
+	lines := strings.Split(strings.TrimRight(text, "\n"), "\n")
+	if len(lines) != 6 { // title, header, separator, 2 rows, note
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), text)
+	}
+	if !strings.HasPrefix(lines[0], "E9 — alignment") {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "name") || !strings.Contains(lines[1], "value") {
+		t.Errorf("header line = %q", lines[1])
+	}
+	if !strings.Contains(lines[5], "note: a note about 2 rows") {
+		t.Errorf("note line = %q", lines[5])
+	}
+	// The value column should start at the same offset in both data rows.
+	idx1 := strings.Index(lines[3], "1")
+	idx2 := strings.Index(lines[4], "2")
+	if idx1 != idx2 {
+		t.Errorf("columns misaligned: %q vs %q", lines[3], lines[4])
+	}
+}
+
+func TestFormattingHelpers(t *testing.T) {
+	cases := []struct{ got, want string }{
+		{fms(0.1234), "123.4"},
+		{fpct(0.1234), "12.34%"},
+		{fnum(1.5), "1.50"},
+		{fint(7), "7"},
+		{fdollar(2.5), "$2.50"},
+		{fops(1234.4), "1234"},
+		{fminutes(1.25), "1.2"},
+		{fbool(true), "yes"},
+		{fbool(false), "no"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("got %q, want %q", c.got, c.want)
+		}
+	}
+}
+
+func TestRunnersRegistry(t *testing.T) {
+	runners := Runners()
+	if len(runners) != 5 {
+		t.Fatalf("Runners = %d, want 5", len(runners))
+	}
+	for _, r := range runners {
+		if r.Run == nil || r.ID == "" || r.Title == "" {
+			t.Errorf("incomplete runner %+v", r)
+		}
+		got, ok := Lookup(strings.ToUpper(r.ID))
+		if !ok || got.ID != r.ID {
+			t.Errorf("Lookup(%q) failed", r.ID)
+		}
+	}
+	if _, ok := Lookup("e99"); ok {
+		t.Error("Lookup accepted an unknown experiment")
+	}
+	if len(IDs()) != 5 {
+		t.Errorf("IDs = %v", IDs())
+	}
+	if ScaleQuick.String() != "quick" || ScaleFull.String() != "full" {
+		t.Error("scale names wrong")
+	}
+}
+
+func TestResultFormat(t *testing.T) {
+	res := Result{ID: "E1", Title: "demo"}
+	tab := Table{ID: "E1a", Title: "t", Columns: []string{"x"}}
+	tab.AddRow("1")
+	res.Tables = append(res.Tables, tab)
+	res.Figures = append(res.Figures, "figure body")
+	text := res.Format()
+	for _, want := range []string{"E1: demo", "E1a — t", "figure body"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Result.Format missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"autonosql"
+)
+
+// buildSeries converts (second, ms) pairs into a report series.
+func buildSeries(points [][2]float64) []autonosql.SeriesPoint {
+	out := make([]autonosql.SeriesPoint, len(points))
+	for i, p := range points {
+		out[i] = autonosql.SeriesPoint{At: time.Duration(p[0] * float64(time.Second)), Value: p[1]}
+	}
+	return out
+}
+
+func TestAnalyzeTimelineImprovement(t *testing.T) {
+	// Window at ~100 ms before the action at t=150 s, a transient spike to
+	// 300 ms, then steady at ~20 ms.
+	var pts [][2]float64
+	for s := 10.0; s < 150; s += 10 {
+		pts = append(pts, [2]float64{s, 100})
+	}
+	pts = append(pts, [2]float64{155, 300})
+	for s := 160.0; s <= 300; s += 10 {
+		pts = append(pts, [2]float64{s, 20})
+	}
+	tl := analyzeTimeline(buildSeries(pts), 150*time.Second, 0, false, 300*time.Second)
+
+	if tl.before < 0.095 || tl.before > 0.105 {
+		t.Fatalf("before = %v, want ~0.1", tl.before)
+	}
+	if tl.after < 0.015 || tl.after > 0.025 {
+		t.Fatalf("after = %v, want ~0.02", tl.after)
+	}
+	if tl.peak < 0.29 {
+		t.Fatalf("peak = %v, want ~0.3", tl.peak)
+	}
+	if !tl.converged {
+		t.Fatal("timeline should converge")
+	}
+	if tl.convergence > 20*time.Second {
+		t.Fatalf("convergence = %v, want within 20s (last outlier at t=155)", tl.convergence)
+	}
+}
+
+func TestAnalyzeTimelineNeverConverges(t *testing.T) {
+	// The window keeps oscillating wildly until the end of the run.
+	var pts [][2]float64
+	for s := 10.0; s <= 300; s += 10 {
+		v := 50.0
+		if int(s/10)%2 == 0 {
+			v = 400
+		}
+		pts = append(pts, [2]float64{s, v})
+	}
+	tl := analyzeTimeline(buildSeries(pts), 150*time.Second, 0, false, 300*time.Second)
+	if tl.converged {
+		t.Fatal("an oscillating timeline must not be reported as converged")
+	}
+}
+
+func TestAnalyzeTimelineEmpty(t *testing.T) {
+	tl := analyzeTimeline(nil, time.Minute, 0, false, 2*time.Minute)
+	if tl.before != 0 || tl.after != 0 || tl.peak != 0 || tl.converged {
+		t.Fatalf("empty series should produce a zero timeline, got %+v", tl)
+	}
+}
+
+func TestAnalyzeTimelineCongestionWindowStartsLater(t *testing.T) {
+	// With congestion injected at t=75 s, the pre-action phase must not
+	// include the cheap pre-congestion samples.
+	var pts [][2]float64
+	for s := 10.0; s < 75; s += 5 {
+		pts = append(pts, [2]float64{s, 10})
+	}
+	for s := 100.0; s < 150; s += 5 {
+		pts = append(pts, [2]float64{s, 200})
+	}
+	for s := 150.0; s <= 300; s += 5 {
+		pts = append(pts, [2]float64{s, 200})
+	}
+	tl := analyzeTimeline(buildSeries(pts), 150*time.Second, 75*time.Second, true, 300*time.Second)
+	if tl.before < 0.19 {
+		t.Fatalf("before = %v, want ~0.2 (pre-congestion samples must be excluded)", tl.before)
+	}
+}

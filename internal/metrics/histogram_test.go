@@ -1,0 +1,220 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(0)
+	if h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile should be zero")
+	}
+}
+
+func TestHistogramBasicStats(t *testing.T) {
+	h := NewHistogram(0)
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", h.Count())
+	}
+	if h.Mean() != 3 {
+		t.Fatalf("Mean = %v, want 3", h.Mean())
+	}
+	if h.Min() != 1 || h.Max() != 5 {
+		t.Fatalf("Min/Max = %v/%v, want 1/5", h.Min(), h.Max())
+	}
+	if got := h.Quantile(0.5); got != 3 {
+		t.Fatalf("p50 = %v, want 3", got)
+	}
+	if got := h.Quantile(0); got != 1 {
+		t.Fatalf("p0 = %v, want 1", got)
+	}
+	if got := h.Quantile(1); got != 5 {
+		t.Fatalf("p100 = %v, want 5", got)
+	}
+}
+
+func TestHistogramQuantileInterpolation(t *testing.T) {
+	h := NewHistogram(0)
+	h.Observe(0)
+	h.Observe(10)
+	if got := h.Quantile(0.5); got != 5 {
+		t.Fatalf("p50 = %v, want 5 (interpolated)", got)
+	}
+	if got := h.Quantile(0.25); got != 2.5 {
+		t.Fatalf("p25 = %v, want 2.5", got)
+	}
+}
+
+func TestHistogramDuration(t *testing.T) {
+	h := NewHistogram(0)
+	h.ObserveDuration(100 * time.Millisecond)
+	h.ObserveDuration(300 * time.Millisecond)
+	got := h.QuantileDuration(1)
+	if got != 300*time.Millisecond {
+		t.Fatalf("QuantileDuration(1) = %v, want 300ms", got)
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram(0)
+	h.Observe(42)
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 {
+		t.Fatal("Reset did not clear histogram")
+	}
+	h.Observe(1)
+	if h.Mean() != 1 {
+		t.Fatalf("Mean after reset = %v, want 1", h.Mean())
+	}
+}
+
+func TestHistogramReservoirKeepsDistribution(t *testing.T) {
+	h := NewHistogram(1000)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 100000; i++ {
+		h.Observe(rng.Float64() * 100)
+	}
+	if h.Count() != 100000 {
+		t.Fatalf("Count = %d, want 100000", h.Count())
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 40 || p50 > 60 {
+		t.Fatalf("p50 of uniform(0,100) = %v, want roughly 50", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 90 {
+		t.Fatalf("p99 of uniform(0,100) = %v, want > 90", p99)
+	}
+}
+
+func TestHistogramQuantileMonotonic(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := func(seed int64) bool {
+		local := rand.New(rand.NewSource(seed))
+		h := NewHistogram(0)
+		n := 10 + local.Intn(500)
+		for i := 0; i < n; i++ {
+			h.Observe(local.NormFloat64() * 100)
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := h.Quantile(q)
+			if v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return h.Quantile(0) >= h.Min()-1e-9 && h.Quantile(1) <= h.Max()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rng}); err != nil {
+		t.Fatalf("quantile monotonicity property failed: %v", err)
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	h := NewHistogram(0)
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	s := h.Snapshot()
+	if s.Count != 100 || s.P50 < 49 || s.P50 > 52 {
+		t.Fatalf("unexpected snapshot %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("Snapshot.String() is empty")
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := NewEWMA(0.5)
+	if e.Initialized() {
+		t.Fatal("new EWMA should not be initialized")
+	}
+	if got := e.Update(10); got != 10 {
+		t.Fatalf("first update = %v, want 10", got)
+	}
+	if got := e.Update(20); got != 15 {
+		t.Fatalf("second update = %v, want 15", got)
+	}
+	if e.Value() != 15 {
+		t.Fatalf("Value = %v, want 15", e.Value())
+	}
+	e.Reset()
+	if e.Initialized() || e.Value() != 0 {
+		t.Fatal("Reset did not clear EWMA")
+	}
+}
+
+func TestEWMAClampsAlpha(t *testing.T) {
+	for _, alpha := range []float64{-1, 0, 2} {
+		e := NewEWMA(alpha)
+		e.Update(1)
+		e.Update(2)
+		v := e.Value()
+		if math.IsNaN(v) || v < 1 || v > 2 {
+			t.Fatalf("alpha=%v produced out-of-range value %v", alpha, v)
+		}
+	}
+}
+
+func TestEWMAConvergesToConstant(t *testing.T) {
+	e := NewEWMA(0.2)
+	for i := 0; i < 200; i++ {
+		e.Update(7)
+	}
+	if math.Abs(e.Value()-7) > 1e-9 {
+		t.Fatalf("EWMA of constant stream = %v, want 7", e.Value())
+	}
+}
+
+func TestCounterAndGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("Counter = %d, want 5", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatal("Counter reset failed")
+	}
+	var g Gauge
+	g.Set(3.5)
+	if g.Value() != 3.5 {
+		t.Fatalf("Gauge = %v, want 3.5", g.Value())
+	}
+}
+
+func TestMeanVariance(t *testing.T) {
+	var m MeanVariance
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		m.Update(v)
+	}
+	if m.Count() != 8 {
+		t.Fatalf("Count = %d, want 8", m.Count())
+	}
+	if math.Abs(m.Mean()-5) > 1e-9 {
+		t.Fatalf("Mean = %v, want 5", m.Mean())
+	}
+	if math.Abs(m.Variance()-32.0/7.0) > 1e-9 {
+		t.Fatalf("Variance = %v, want %v", m.Variance(), 32.0/7.0)
+	}
+	if m.StdDev() <= 0 {
+		t.Fatal("StdDev should be positive")
+	}
+	var single MeanVariance
+	single.Update(1)
+	if single.Variance() != 0 {
+		t.Fatal("variance of one sample should be 0")
+	}
+}

@@ -1,0 +1,289 @@
+// Package monitor implements the measurement side of the paper's autonomous
+// system: estimating the size of the inconsistency window and the health of
+// the cluster with bounded, accountable overhead.
+//
+// Two estimation techniques are provided, mirroring the options the paper
+// discusses under RQ1:
+//
+//   - Active probing (read-after-write on a dummy keyspace): a probe writes a
+//     marker key and then polls it until the written version becomes visible,
+//     yielding a client-centric window estimate at the cost of extra
+//     operations against the database.
+//   - Passive observation: the coordinator already learns when each replica
+//     acknowledges a write; the spread between the client acknowledgement and
+//     the last replica acknowledgement estimates the window with no added
+//     load, at the cost of missing replicas that never acknowledge.
+//
+// The Monitor also acts as an instrumented pass-through in front of the
+// store, so client-observed latency and error rates are measured exactly the
+// way an application-side metrics library would measure them. Controllers
+// consume periodic Snapshots; they never see simulator ground truth.
+package monitor
+
+import (
+	"errors"
+	"time"
+
+	"autonosql/internal/cluster"
+	"autonosql/internal/metrics"
+	"autonosql/internal/sim"
+	"autonosql/internal/store"
+)
+
+// Config configures a Monitor.
+type Config struct {
+	// UseActive enables the read-after-write prober.
+	UseActive bool
+	// UsePassive enables coordinator-side observation of replica acks.
+	UsePassive bool
+	// ProbeRate is the number of active probes started per second.
+	ProbeRate float64
+	// ProbePollInterval is the delay between successive reads of a probe key.
+	ProbePollInterval time.Duration
+	// ProbeTimeout abandons a probe that never observes its write.
+	ProbeTimeout time.Duration
+	// WindowSampleSize is the number of recent window estimates retained for
+	// quantile queries.
+	WindowSampleSize int
+	// LatencySampleSize is the number of recent client latencies retained.
+	LatencySampleSize int
+}
+
+// DefaultConfig enables both techniques with one probe per second.
+func DefaultConfig() Config {
+	return Config{
+		UseActive:         true,
+		UsePassive:        true,
+		ProbeRate:         1,
+		ProbePollInterval: 5 * time.Millisecond,
+		ProbeTimeout:      10 * time.Second,
+		WindowSampleSize:  512,
+		LatencySampleSize: 4096,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.ProbePollInterval <= 0 {
+		c.ProbePollInterval = d.ProbePollInterval
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = d.ProbeTimeout
+	}
+	if c.WindowSampleSize <= 0 {
+		c.WindowSampleSize = d.WindowSampleSize
+	}
+	if c.LatencySampleSize <= 0 {
+		c.LatencySampleSize = d.LatencySampleSize
+	}
+	return c
+}
+
+// Snapshot is the periodic view of the system the controller works from. All
+// durations are expressed in seconds.
+type Snapshot struct {
+	At       time.Duration
+	Interval time.Duration
+
+	// Inconsistency-window estimate.
+	WindowMean    float64
+	WindowP50     float64
+	WindowP95     float64
+	WindowP99     float64
+	WindowSamples int
+
+	// Client-observed performance over the interval.
+	ReadLatencyP99    float64
+	WriteLatencyP99   float64
+	ObservedOpsPerSec float64
+	ErrorRate         float64
+
+	// Infrastructure utilisation over the interval.
+	MeanUtilization float64
+	MaxUtilization  float64
+
+	// Monitoring overhead.
+	ProbeOpsPerSec        float64
+	ProbeOverheadFraction float64
+
+	// Current configuration, as the controller's knowledge of the plant.
+	ClusterSize       int
+	ReplicationFactor int
+	ReadConsistency   store.ConsistencyLevel
+	WriteConsistency  store.ConsistencyLevel
+}
+
+// Monitor gathers estimates and exposes Snapshots. It implements
+// workload.Target so client traffic can be routed through it, and
+// store.Observer so passive estimation can piggyback on coordinator acks.
+type Monitor struct {
+	cfg     Config
+	engine  *sim.Engine
+	store   *store.Store
+	cluster *cluster.Cluster
+
+	utilSampler *cluster.UtilizationSampler
+	prober      *Prober
+
+	windowEst *metrics.WindowedStat
+	readLat   *metrics.WindowedStat
+	writeLat  *metrics.WindowedStat
+
+	opsInterval    uint64
+	errorsInterval uint64
+	probeOpsTotal  uint64
+	probeOpsPrev   uint64
+	opsTotal       uint64
+	lastSnapshotAt time.Duration
+}
+
+var (
+	_ store.Observer = (*Monitor)(nil)
+)
+
+// New creates a monitor for the given store and cluster. If active probing
+// is enabled the prober starts immediately.
+func New(cfg Config, engine *sim.Engine, st *store.Store, cl *cluster.Cluster) (*Monitor, error) {
+	if engine == nil || st == nil || cl == nil {
+		return nil, errors.New("monitor: engine, store and cluster are required")
+	}
+	cfg = cfg.withDefaults()
+	m := &Monitor{
+		cfg:         cfg,
+		engine:      engine,
+		store:       st,
+		cluster:     cl,
+		utilSampler: cluster.NewUtilizationSampler(cl),
+		windowEst:   metrics.NewWindowedStat(cfg.WindowSampleSize),
+		readLat:     metrics.NewWindowedStat(cfg.LatencySampleSize),
+		writeLat:    metrics.NewWindowedStat(cfg.LatencySampleSize),
+	}
+	if cfg.UsePassive {
+		st.Subscribe(m)
+	}
+	if cfg.UseActive && cfg.ProbeRate > 0 {
+		p, err := NewProber(ProberConfig{
+			Rate:         cfg.ProbeRate,
+			PollInterval: cfg.ProbePollInterval,
+			Timeout:      cfg.ProbeTimeout,
+		}, engine, st, m.onProbeEstimate)
+		if err != nil {
+			return nil, err
+		}
+		m.prober = p
+	}
+	return m, nil
+}
+
+// Stop halts background probing.
+func (m *Monitor) Stop() {
+	if m.prober != nil {
+		m.prober.Stop()
+	}
+}
+
+// Read implements workload.Target: it forwards to the store and records the
+// client-observed outcome.
+func (m *Monitor) Read(key store.Key, cb func(store.Result)) {
+	m.opsInterval++
+	m.opsTotal++
+	m.store.Read(key, func(r store.Result) {
+		if r.Err != nil {
+			m.errorsInterval++
+		} else {
+			m.readLat.Observe(r.Latency.Seconds())
+		}
+		if cb != nil {
+			cb(r)
+		}
+	})
+}
+
+// Write implements workload.Target: it forwards to the store and records the
+// client-observed outcome.
+func (m *Monitor) Write(key store.Key, cb func(store.Result)) {
+	m.opsInterval++
+	m.opsTotal++
+	m.store.Write(key, func(r store.Result) {
+		if r.Err != nil {
+			m.errorsInterval++
+		} else {
+			m.writeLat.Observe(r.Latency.Seconds())
+		}
+		if cb != nil {
+			cb(r)
+		}
+	})
+}
+
+// ObserveWrite implements store.Observer: the spread between the client
+// acknowledgement and the last replica acknowledgement is a zero-cost
+// estimate of the write's inconsistency window.
+func (m *Monitor) ObserveWrite(o store.WriteObservation) {
+	spread := o.LastAckAt - o.AckedAt
+	if spread < 0 {
+		spread = 0
+	}
+	m.windowEst.Observe(spread.Seconds())
+}
+
+// onProbeEstimate records an active-probe window estimate along with the
+// number of operations the probe consumed.
+func (m *Monitor) onProbeEstimate(windowSeconds float64, opsUsed int) {
+	m.windowEst.Observe(windowSeconds)
+	m.probeOpsTotal += uint64(opsUsed)
+}
+
+// WindowQuantile returns the current q-quantile of the window estimate in
+// seconds.
+func (m *Monitor) WindowQuantile(q float64) float64 { return m.windowEst.Quantile(q) }
+
+// ProbeOps returns the cumulative number of operations issued by the active
+// prober.
+func (m *Monitor) ProbeOps() uint64 { return m.probeOpsTotal }
+
+// Snapshot builds the controller-facing view of the last interval and
+// resets the interval accumulators.
+func (m *Monitor) Snapshot() Snapshot {
+	now := m.engine.Now()
+	interval := now - m.lastSnapshotAt
+	meanU, maxU := m.utilSampler.Sample(now)
+
+	ops := m.opsInterval
+	errs := m.errorsInterval
+	probeOps := m.probeOpsTotal - m.probeOpsPrev
+	m.opsInterval = 0
+	m.errorsInterval = 0
+	m.probeOpsPrev = m.probeOpsTotal
+	m.lastSnapshotAt = now
+
+	snap := Snapshot{
+		At:                now,
+		Interval:          interval,
+		WindowMean:        m.windowEst.Mean(),
+		WindowP50:         m.windowEst.Quantile(0.50),
+		WindowP95:         m.windowEst.Quantile(0.95),
+		WindowP99:         m.windowEst.Quantile(0.99),
+		WindowSamples:     m.windowEst.Count(),
+		ReadLatencyP99:    m.readLat.Quantile(0.99),
+		WriteLatencyP99:   m.writeLat.Quantile(0.99),
+		MeanUtilization:   meanU,
+		MaxUtilization:    maxU,
+		ClusterSize:       m.cluster.Size(),
+		ReplicationFactor: m.store.ReplicationFactor(),
+		ReadConsistency:   m.store.ReadConsistency(),
+		WriteConsistency:  m.store.WriteConsistency(),
+	}
+	if interval > 0 {
+		secs := interval.Seconds()
+		snap.ObservedOpsPerSec = float64(ops) / secs
+		snap.ProbeOpsPerSec = float64(probeOps) / secs
+	}
+	if ops > 0 {
+		snap.ErrorRate = float64(errs) / float64(ops)
+	}
+	if total := ops + probeOps; total > 0 {
+		snap.ProbeOverheadFraction = float64(probeOps) / float64(total)
+	}
+	return snap
+}

@@ -1,0 +1,122 @@
+package monitor
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"autonosql/internal/sim"
+	"autonosql/internal/store"
+)
+
+// ProberConfig configures the active read-after-write prober.
+type ProberConfig struct {
+	// Rate is the number of probes started per second. Rates below one are
+	// supported (e.g. 0.2 starts a probe every five seconds).
+	Rate float64
+	// PollInterval is the delay between successive reads of the probe key.
+	PollInterval time.Duration
+	// Timeout abandons a probe whose write never becomes visible; the
+	// timeout value itself is recorded as a (censored) estimate so that
+	// severe divergence is not silently dropped.
+	Timeout time.Duration
+	// KeyPrefix namespaces probe keys away from application data.
+	KeyPrefix string
+}
+
+// Prober performs read-after-write probes against the store, the technique
+// the paper proposes for artificially measuring consistency on a dummy
+// table. Each probe writes a marker and polls until the marker is visible;
+// the elapsed time from write acknowledgement to first consistent read is
+// the window estimate.
+type Prober struct {
+	cfg        ProberConfig
+	engine     *sim.Engine
+	store      *store.Store
+	onEstimate func(windowSeconds float64, opsUsed int)
+
+	ticker  *sim.Ticker
+	seq     uint64
+	started uint64
+	done    uint64
+	timeout uint64
+}
+
+// NewProber creates and starts a prober. onEstimate is invoked once per
+// completed probe with the estimated window in seconds and the number of
+// store operations the probe consumed.
+func NewProber(cfg ProberConfig, engine *sim.Engine, st *store.Store, onEstimate func(float64, int)) (*Prober, error) {
+	if engine == nil || st == nil || onEstimate == nil {
+		return nil, errors.New("monitor: engine, store and estimate callback are required")
+	}
+	if cfg.Rate <= 0 {
+		return nil, errors.New("monitor: probe rate must be positive")
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 5 * time.Millisecond
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 10 * time.Second
+	}
+	if cfg.KeyPrefix == "" {
+		cfg.KeyPrefix = "__probe"
+	}
+	p := &Prober{cfg: cfg, engine: engine, store: st, onEstimate: onEstimate}
+	period := time.Duration(float64(time.Second) / cfg.Rate)
+	if period <= 0 {
+		period = time.Millisecond
+	}
+	t, err := sim.NewTicker(engine, period, func(time.Duration) { p.startProbe() })
+	if err != nil {
+		return nil, err
+	}
+	p.ticker = t
+	return p, nil
+}
+
+// Stop halts the prober. Probes already in flight finish.
+func (p *Prober) Stop() { p.ticker.Stop() }
+
+// Started returns the number of probes started.
+func (p *Prober) Started() uint64 { return p.started }
+
+// Completed returns the number of probes that observed their write.
+func (p *Prober) Completed() uint64 { return p.done }
+
+// TimedOut returns the number of probes abandoned at the timeout.
+func (p *Prober) TimedOut() uint64 { return p.timeout }
+
+func (p *Prober) startProbe() {
+	p.seq++
+	p.started++
+	key := store.Key(fmt.Sprintf("%s-%d", p.cfg.KeyPrefix, p.seq))
+	ops := 1
+	p.store.Write(key, func(w store.Result) {
+		if w.Err != nil {
+			// An unavailable store is a signal in itself, but there is no
+			// window to estimate; drop the probe.
+			return
+		}
+		p.poll(key, w.Version, w.CompletedAt, w.CompletedAt, ops)
+	})
+}
+
+// poll reads the probe key until the written version is visible.
+func (p *Prober) poll(key store.Key, wantVersion uint64, ackedAt, deadlineBase time.Duration, ops int) {
+	p.store.Read(key, func(r store.Result) {
+		opsUsed := ops + 1
+		now := r.CompletedAt
+		switch {
+		case r.Err == nil && r.Version >= wantVersion:
+			p.done++
+			p.onEstimate((now - ackedAt).Seconds(), opsUsed)
+		case now-deadlineBase >= p.cfg.Timeout:
+			p.timeout++
+			p.onEstimate(p.cfg.Timeout.Seconds(), opsUsed)
+		default:
+			p.engine.MustSchedule(p.cfg.PollInterval, func(time.Duration) {
+				p.poll(key, wantVersion, ackedAt, deadlineBase, opsUsed)
+			})
+		}
+	})
+}

@@ -1,0 +1,223 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All components of the autonosql simulator (the replicated store, the
+// cluster resource model, workload generators, monitors and controllers) are
+// driven by a single virtual clock owned by an Engine. Events are ordered by
+// virtual time and, for events scheduled at the same instant, by insertion
+// order, which makes every run fully reproducible for a given set of seeds.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Handler is a callback executed when an event fires. The engine passes the
+// current virtual time to the handler.
+type Handler func(now time.Duration)
+
+// Event is a scheduled callback inside the simulation.
+type Event struct {
+	at       time.Duration
+	seq      uint64
+	handler  Handler
+	canceled bool
+	index    int // heap index, -1 once popped
+}
+
+// At returns the virtual time the event is scheduled for.
+func (e *Event) At() time.Duration { return e.at }
+
+// Cancel marks the event so that it will not fire. Cancelling an already
+// fired event is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.canceled = true
+	}
+}
+
+// Canceled reports whether the event has been cancelled.
+func (e *Event) Canceled() bool { return e != nil && e.canceled }
+
+var (
+	// ErrPastEvent is returned when scheduling an event before the current
+	// virtual time.
+	ErrPastEvent = errors.New("sim: cannot schedule event in the past")
+	// ErrRunning is returned when Run is invoked re-entrantly.
+	ErrRunning = errors.New("sim: engine is already running")
+)
+
+// Engine is a discrete-event simulation engine with a virtual clock.
+//
+// The zero value is not usable; construct engines with NewEngine.
+type Engine struct {
+	now     time.Duration
+	queue   eventQueue
+	seq     uint64
+	running bool
+	// processed counts events that have fired (excluding cancelled ones).
+	processed uint64
+}
+
+// NewEngine returns an engine whose clock starts at virtual time zero.
+func NewEngine() *Engine {
+	e := &Engine{}
+	heap.Init(&e.queue)
+	return e
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Pending returns the number of events currently scheduled (including
+// cancelled events that have not been drained yet).
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// Processed returns the number of events that have fired so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Schedule schedules handler to run after delay from the current virtual
+// time. A negative delay is an error; a zero delay schedules the handler at
+// the current time, after all handlers already scheduled for that time.
+func (e *Engine) Schedule(delay time.Duration, handler Handler) (*Event, error) {
+	if delay < 0 {
+		return nil, fmt.Errorf("%w: delay %v", ErrPastEvent, delay)
+	}
+	return e.ScheduleAt(e.now+delay, handler)
+}
+
+// ScheduleAt schedules handler to run at absolute virtual time at.
+func (e *Engine) ScheduleAt(at time.Duration, handler Handler) (*Event, error) {
+	if handler == nil {
+		return nil, errors.New("sim: nil handler")
+	}
+	if at < e.now {
+		return nil, fmt.Errorf("%w: at=%v now=%v", ErrPastEvent, at, e.now)
+	}
+	e.seq++
+	ev := &Event{at: at, seq: e.seq, handler: handler}
+	heap.Push(&e.queue, ev)
+	return ev, nil
+}
+
+// MustSchedule is Schedule but panics on error. It is intended for internal
+// simulator wiring where a scheduling error indicates a programming bug.
+func (e *Engine) MustSchedule(delay time.Duration, handler Handler) *Event {
+	ev, err := e.Schedule(delay, handler)
+	if err != nil {
+		panic(err)
+	}
+	return ev
+}
+
+// Step fires the next pending event, advancing the clock to its timestamp.
+// It returns false when no events remain.
+func (e *Engine) Step() bool {
+	for e.queue.Len() > 0 {
+		ev, ok := heap.Pop(&e.queue).(*Event)
+		if !ok {
+			return false
+		}
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		e.processed++
+		ev.handler(e.now)
+		return true
+	}
+	return false
+}
+
+// Run processes events until the virtual clock reaches until or the event
+// queue drains, whichever comes first. The clock is advanced to until even if
+// the queue drains earlier, so repeated Run calls observe monotonic time.
+func (e *Engine) Run(until time.Duration) error {
+	if e.running {
+		return ErrRunning
+	}
+	if until < e.now {
+		return fmt.Errorf("%w: until=%v now=%v", ErrPastEvent, until, e.now)
+	}
+	e.running = true
+	defer func() { e.running = false }()
+
+	for e.queue.Len() > 0 {
+		next := e.queue[0]
+		if next.canceled {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if next.at > until {
+			break
+		}
+		e.Step()
+	}
+	if e.now < until {
+		e.now = until
+	}
+	return nil
+}
+
+// RunAll processes events until the queue drains. A safety cap bounds the
+// number of processed events to protect tests against runaway feedback loops;
+// it returns an error when the cap is hit.
+func (e *Engine) RunAll(maxEvents uint64) error {
+	if e.running {
+		return ErrRunning
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	start := e.processed
+	for e.queue.Len() > 0 {
+		if maxEvents > 0 && e.processed-start >= maxEvents {
+			return fmt.Errorf("sim: exceeded event cap of %d", maxEvents)
+		}
+		next := e.queue[0]
+		if next.canceled {
+			heap.Pop(&e.queue)
+			continue
+		}
+		e.Step()
+	}
+	return nil
+}
+
+// eventQueue is a min-heap ordered by (time, sequence).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev, ok := x.(*Event)
+	if !ok {
+		return
+	}
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}

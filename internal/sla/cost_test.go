@@ -1,0 +1,88 @@
+package sla
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDefaultCostModelValidates(t *testing.T) {
+	if err := DefaultCostModel().Validate(); err != nil {
+		t.Fatalf("default cost model invalid: %v", err)
+	}
+}
+
+func TestCostModelValidateRejectsNegative(t *testing.T) {
+	bad := []CostModel{
+		{NodeCostPerHour: -1},
+		{StaleReadCompensation: -0.01},
+		{ViolationPenaltyPerMinute: -5},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: negative cost model validated", i)
+		}
+	}
+}
+
+func TestPriceBreakdown(t *testing.T) {
+	m := CostModel{NodeCostPerHour: 1.0, StaleReadCompensation: 0.10, ViolationPenaltyPerMinute: 2.0}
+	c := m.Price(Usage{
+		NodeSeconds:   2 * 3600, // two node-hours
+		StaleReads:    30,
+		ViolationTime: 90 * time.Second,
+	})
+	if !approx(c.Infrastructure, 2.0) {
+		t.Errorf("infrastructure = %v, want 2.0", c.Infrastructure)
+	}
+	if !approx(c.Compensation, 3.0) {
+		t.Errorf("compensation = %v, want 3.0", c.Compensation)
+	}
+	if !approx(c.Penalty, 3.0) {
+		t.Errorf("penalty = %v, want 3.0", c.Penalty)
+	}
+	if !approx(c.Total(), 8.0) {
+		t.Errorf("total = %v, want 8.0", c.Total())
+	}
+}
+
+func TestPriceZeroUsageIsFree(t *testing.T) {
+	c := DefaultCostModel().Price(Usage{})
+	if c.Total() != 0 {
+		t.Fatalf("zero usage cost = %v, want 0", c.Total())
+	}
+}
+
+// Property: cost components are non-negative and monotone in their usage
+// dimension for a non-negative cost model.
+func TestPriceMonotoneProperty(t *testing.T) {
+	m := DefaultCostModel()
+	f := func(nodeSec uint32, stale uint16, violSec uint16, extraNodeSec uint16) bool {
+		base := Usage{
+			NodeSeconds:   float64(nodeSec),
+			StaleReads:    uint64(stale),
+			ViolationTime: time.Duration(violSec) * time.Second,
+		}
+		more := base
+		more.NodeSeconds += float64(extraNodeSec)
+		c1, c2 := m.Price(base), m.Price(more)
+		if c1.Infrastructure < 0 || c1.Compensation < 0 || c1.Penalty < 0 {
+			return false
+		}
+		return c2.Total() >= c1.Total()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCostString(t *testing.T) {
+	c := Cost{Infrastructure: 1.5, Compensation: 0.25, Penalty: 0.75}
+	s := c.String()
+	for _, want := range []string{"total=$2.50", "infra=$1.50", "compensation=$0.25", "penalty=$0.75"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("cost string %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+// Package sla implements the extended service-level agreement the paper
+// builds its autonomous system around: next to the usual bounds on
+// performance (latency) and availability (error rate), the SLA also bounds
+// the maximum size of the inconsistency window of the eventually-consistent
+// store.
+//
+// The package provides three pieces:
+//
+//   - SLA: the agreement itself, with a Check method that evaluates a single
+//     observation interval against every clause.
+//   - Tracker: violation accounting over a whole run, expressed as
+//     violation-minutes per clause, which is how the experiments report SLA
+//     compliance.
+//   - CostModel: the financial side of the paper's motivation — the cost of
+//     infrastructure (node-hours), the compensation cost of stale reads
+//     (e.g. double bookings in the e-commerce example), and contractual
+//     penalties for SLA violations.
+package sla
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// SLA is the extended service-level agreement: limits on the inconsistency
+// window, client-observed latency and availability. A zero limit disables
+// the corresponding clause.
+type SLA struct {
+	// MaxWindowP95 bounds the 95th percentile of the inconsistency window.
+	MaxWindowP95 time.Duration
+	// MaxReadLatencyP99 bounds the 99th percentile of client read latency.
+	MaxReadLatencyP99 time.Duration
+	// MaxWriteLatencyP99 bounds the 99th percentile of client write latency.
+	MaxWriteLatencyP99 time.Duration
+	// MaxErrorRate bounds the fraction of failed operations per interval
+	// (the availability clause).
+	MaxErrorRate float64
+}
+
+// Default returns the SLA used by the end-to-end experiments: a 250 ms
+// inconsistency-window bound, 20 ms read and 25 ms write latency bounds and
+// 99.9% availability.
+func Default() SLA {
+	return SLA{
+		MaxWindowP95:       250 * time.Millisecond,
+		MaxReadLatencyP99:  20 * time.Millisecond,
+		MaxWriteLatencyP99: 25 * time.Millisecond,
+		MaxErrorRate:       0.001,
+	}
+}
+
+// Validate reports whether the SLA is internally consistent.
+func (s SLA) Validate() error {
+	if s.MaxWindowP95 < 0 || s.MaxReadLatencyP99 < 0 || s.MaxWriteLatencyP99 < 0 {
+		return errors.New("sla: limits must be non-negative")
+	}
+	if s.MaxErrorRate < 0 || s.MaxErrorRate > 1 {
+		return errors.New("sla: error-rate limit must be within [0, 1]")
+	}
+	if s.MaxWindowP95 == 0 && s.MaxReadLatencyP99 == 0 && s.MaxWriteLatencyP99 == 0 && s.MaxErrorRate == 0 {
+		return errors.New("sla: at least one clause must be set")
+	}
+	return nil
+}
+
+// String renders the SLA clauses compactly.
+func (s SLA) String() string {
+	parts := make([]string, 0, 4)
+	if s.MaxWindowP95 > 0 {
+		parts = append(parts, fmt.Sprintf("window p95 <= %v", s.MaxWindowP95))
+	}
+	if s.MaxReadLatencyP99 > 0 {
+		parts = append(parts, fmt.Sprintf("read p99 <= %v", s.MaxReadLatencyP99))
+	}
+	if s.MaxWriteLatencyP99 > 0 {
+		parts = append(parts, fmt.Sprintf("write p99 <= %v", s.MaxWriteLatencyP99))
+	}
+	if s.MaxErrorRate > 0 {
+		parts = append(parts, fmt.Sprintf("error rate <= %.4f", s.MaxErrorRate))
+	}
+	if len(parts) == 0 {
+		return "SLA{unconstrained}"
+	}
+	return "SLA{" + strings.Join(parts, ", ") + "}"
+}
+
+// Clause identifies one clause of the SLA.
+type Clause int
+
+// SLA clauses.
+const (
+	// ClauseWindow is the inconsistency-window bound.
+	ClauseWindow Clause = iota + 1
+	// ClauseReadLatency is the read latency bound.
+	ClauseReadLatency
+	// ClauseWriteLatency is the write latency bound.
+	ClauseWriteLatency
+	// ClauseAvailability is the error-rate bound.
+	ClauseAvailability
+)
+
+// Clauses lists every clause in a stable order.
+func Clauses() []Clause {
+	return []Clause{ClauseWindow, ClauseReadLatency, ClauseWriteLatency, ClauseAvailability}
+}
+
+// String implements fmt.Stringer.
+func (c Clause) String() string {
+	switch c {
+	case ClauseWindow:
+		return "window"
+	case ClauseReadLatency:
+		return "read-latency"
+	case ClauseWriteLatency:
+		return "write-latency"
+	case ClauseAvailability:
+		return "availability"
+	default:
+		return fmt.Sprintf("clause(%d)", int(c))
+	}
+}
+
+// Observation is one measurement interval, as seen by whoever is evaluating
+// the SLA (the controller uses monitor estimates; experiments use simulator
+// ground truth). All values are expressed in seconds and fractions.
+type Observation struct {
+	// At is the virtual time at the end of the interval.
+	At time.Duration
+	// Interval is the length of the measurement interval.
+	Interval time.Duration
+	// WindowP95 is the 95th-percentile inconsistency window in seconds.
+	WindowP95 float64
+	// ReadLatencyP99 is the 99th-percentile read latency in seconds.
+	ReadLatencyP99 float64
+	// WriteLatencyP99 is the 99th-percentile write latency in seconds.
+	WriteLatencyP99 float64
+	// ErrorRate is the fraction of failed operations in the interval.
+	ErrorRate float64
+}
+
+// Check returns the clauses violated by the observation, in Clauses() order.
+func (s SLA) Check(o Observation) []Clause {
+	var out []Clause
+	if s.MaxWindowP95 > 0 && o.WindowP95 > s.MaxWindowP95.Seconds() {
+		out = append(out, ClauseWindow)
+	}
+	if s.MaxReadLatencyP99 > 0 && o.ReadLatencyP99 > s.MaxReadLatencyP99.Seconds() {
+		out = append(out, ClauseReadLatency)
+	}
+	if s.MaxWriteLatencyP99 > 0 && o.WriteLatencyP99 > s.MaxWriteLatencyP99.Seconds() {
+		out = append(out, ClauseWriteLatency)
+	}
+	if s.MaxErrorRate > 0 && o.ErrorRate > s.MaxErrorRate {
+		out = append(out, ClauseAvailability)
+	}
+	return out
+}
+
+// Satisfied reports whether the observation violates no clause.
+func (s SLA) Satisfied(o Observation) bool { return len(s.Check(o)) == 0 }
+
+// Headroom expresses how close the observation is to each limit as a ratio
+// observed/limit (1.0 means exactly at the limit, >1 means violated).
+// Clauses without a limit report zero.
+type Headroom struct {
+	Window       float64
+	ReadLatency  float64
+	WriteLatency float64
+	Availability float64
+}
+
+// Headroom computes the observed/limit ratio for every clause.
+func (s SLA) Headroom(o Observation) Headroom {
+	var h Headroom
+	if s.MaxWindowP95 > 0 {
+		h.Window = o.WindowP95 / s.MaxWindowP95.Seconds()
+	}
+	if s.MaxReadLatencyP99 > 0 {
+		h.ReadLatency = o.ReadLatencyP99 / s.MaxReadLatencyP99.Seconds()
+	}
+	if s.MaxWriteLatencyP99 > 0 {
+		h.WriteLatency = o.WriteLatencyP99 / s.MaxWriteLatencyP99.Seconds()
+	}
+	if s.MaxErrorRate > 0 {
+		h.Availability = o.ErrorRate / s.MaxErrorRate
+	}
+	return h
+}
+
+// MaxRatio returns the largest ratio across all clauses — a single "how bad
+// is it" number used for ranking configurations.
+func (h Headroom) MaxRatio() float64 {
+	max := h.Window
+	for _, v := range []float64{h.ReadLatency, h.WriteLatency, h.Availability} {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}

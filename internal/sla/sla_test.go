@@ -1,0 +1,178 @@
+package sla
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestDefaultValidates(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("default SLA invalid: %v", err)
+	}
+}
+
+func TestValidateRejectsNegativeLimits(t *testing.T) {
+	cases := []SLA{
+		{MaxWindowP95: -time.Second},
+		{MaxReadLatencyP99: -time.Millisecond},
+		{MaxWriteLatencyP99: -time.Millisecond},
+		{MaxWindowP95: time.Second, MaxErrorRate: -0.1},
+		{MaxWindowP95: time.Second, MaxErrorRate: 1.5},
+	}
+	for i, s := range cases {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: SLA %+v validated but should not", i, s)
+		}
+	}
+}
+
+func TestValidateRejectsUnconstrained(t *testing.T) {
+	if err := (SLA{}).Validate(); err == nil {
+		t.Fatal("completely unconstrained SLA should be invalid")
+	}
+}
+
+func TestCheckEachClauseIndependently(t *testing.T) {
+	s := SLA{
+		MaxWindowP95:       100 * time.Millisecond,
+		MaxReadLatencyP99:  10 * time.Millisecond,
+		MaxWriteLatencyP99: 20 * time.Millisecond,
+		MaxErrorRate:       0.01,
+	}
+	ok := Observation{WindowP95: 0.05, ReadLatencyP99: 0.005, WriteLatencyP99: 0.01, ErrorRate: 0.001}
+	if got := s.Check(ok); len(got) != 0 {
+		t.Fatalf("compliant observation flagged: %v", got)
+	}
+	if !s.Satisfied(ok) {
+		t.Fatal("Satisfied should be true for compliant observation")
+	}
+
+	cases := []struct {
+		name   string
+		obs    Observation
+		expect Clause
+	}{
+		{"window", Observation{WindowP95: 0.2}, ClauseWindow},
+		{"read latency", Observation{ReadLatencyP99: 0.05}, ClauseReadLatency},
+		{"write latency", Observation{WriteLatencyP99: 0.05}, ClauseWriteLatency},
+		{"availability", Observation{ErrorRate: 0.5}, ClauseAvailability},
+	}
+	for _, tc := range cases {
+		got := s.Check(tc.obs)
+		if len(got) != 1 || got[0] != tc.expect {
+			t.Errorf("%s: Check = %v, want [%v]", tc.name, got, tc.expect)
+		}
+		if s.Satisfied(tc.obs) {
+			t.Errorf("%s: Satisfied should be false", tc.name)
+		}
+	}
+}
+
+func TestCheckDisabledClausesNeverViolate(t *testing.T) {
+	s := SLA{MaxWindowP95: 50 * time.Millisecond} // only the window clause
+	obs := Observation{WindowP95: 0.01, ReadLatencyP99: 99, WriteLatencyP99: 99, ErrorRate: 1}
+	if got := s.Check(obs); len(got) != 0 {
+		t.Fatalf("disabled clauses flagged: %v", got)
+	}
+}
+
+func TestCheckMultipleViolationsOrdered(t *testing.T) {
+	s := Default()
+	obs := Observation{WindowP95: 10, ReadLatencyP99: 10, WriteLatencyP99: 10, ErrorRate: 1}
+	got := s.Check(obs)
+	want := []Clause{ClauseWindow, ClauseReadLatency, ClauseWriteLatency, ClauseAvailability}
+	if len(got) != len(want) {
+		t.Fatalf("Check = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Check = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestHeadroomRatios(t *testing.T) {
+	s := SLA{
+		MaxWindowP95:       100 * time.Millisecond,
+		MaxReadLatencyP99:  10 * time.Millisecond,
+		MaxWriteLatencyP99: 20 * time.Millisecond,
+		MaxErrorRate:       0.01,
+	}
+	h := s.Headroom(Observation{WindowP95: 0.05, ReadLatencyP99: 0.02, WriteLatencyP99: 0.01, ErrorRate: 0.005})
+	if !approx(h.Window, 0.5) || !approx(h.ReadLatency, 2.0) || !approx(h.WriteLatency, 0.5) || !approx(h.Availability, 0.5) {
+		t.Fatalf("unexpected headroom %+v", h)
+	}
+	if !approx(h.MaxRatio(), 2.0) {
+		t.Fatalf("MaxRatio = %v, want 2.0", h.MaxRatio())
+	}
+}
+
+func TestHeadroomDisabledClausesAreZero(t *testing.T) {
+	s := SLA{MaxWindowP95: time.Second}
+	h := s.Headroom(Observation{WindowP95: 0.5, ReadLatencyP99: 100, ErrorRate: 1})
+	if h.ReadLatency != 0 || h.WriteLatency != 0 || h.Availability != 0 {
+		t.Fatalf("disabled clauses should have zero headroom ratio: %+v", h)
+	}
+	if !approx(h.Window, 0.5) {
+		t.Fatalf("window headroom = %v, want 0.5", h.Window)
+	}
+}
+
+// Property: an observation violates a clause exactly when its headroom ratio
+// for that clause exceeds one.
+func TestCheckMatchesHeadroomProperty(t *testing.T) {
+	s := Default()
+	f := func(window, rlat, wlat, errRate uint16) bool {
+		obs := Observation{
+			WindowP95:       float64(window) / 1e4,
+			ReadLatencyP99:  float64(rlat) / 1e6,
+			WriteLatencyP99: float64(wlat) / 1e6,
+			ErrorRate:       float64(errRate) / float64(1<<16),
+		}
+		violated := make(map[Clause]bool)
+		for _, c := range s.Check(obs) {
+			violated[c] = true
+		}
+		h := s.Headroom(obs)
+		return violated[ClauseWindow] == (h.Window > 1) &&
+			violated[ClauseReadLatency] == (h.ReadLatency > 1) &&
+			violated[ClauseWriteLatency] == (h.WriteLatency > 1) &&
+			violated[ClauseAvailability] == (h.Availability > 1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClauseStrings(t *testing.T) {
+	for _, c := range Clauses() {
+		if strings.HasPrefix(c.String(), "clause(") {
+			t.Errorf("clause %d has no symbolic name", int(c))
+		}
+	}
+	if Clause(99).String() != "clause(99)" {
+		t.Errorf("unknown clause should fall back to numeric form")
+	}
+}
+
+func TestSLAString(t *testing.T) {
+	s := Default().String()
+	for _, want := range []string{"window", "read", "write", "error rate"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("SLA string %q missing %q", s, want)
+		}
+	}
+	if got := (SLA{}).String(); got != "SLA{unconstrained}" {
+		t.Errorf("empty SLA string = %q", got)
+	}
+}
+
+func approx(got, want float64) bool {
+	diff := got - want
+	if diff < 0 {
+		diff = -diff
+	}
+	return diff < 1e-9
+}

@@ -1,0 +1,135 @@
+package sla
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Tracker accumulates SLA compliance over a run. Each observation interval
+// is checked against every clause; intervals in violation contribute their
+// length to the violation time of the violated clauses.
+type Tracker struct {
+	sla SLA
+
+	totalTime     time.Duration
+	violationTime map[Clause]time.Duration
+	// anyViolation is time during which at least one clause was violated
+	// (clause violations can overlap, so it is not the sum of the per-clause
+	// times).
+	anyViolation time.Duration
+
+	checks   uint64
+	violated uint64
+}
+
+// NewTracker creates a tracker for the given SLA.
+func NewTracker(s SLA) *Tracker {
+	return &Tracker{
+		sla:           s,
+		violationTime: make(map[Clause]time.Duration),
+	}
+}
+
+// SLA returns the agreement being tracked.
+func (t *Tracker) SLA() SLA { return t.sla }
+
+// Observe folds one measurement interval into the compliance accounting and
+// returns the clauses it violated.
+func (t *Tracker) Observe(o Observation) []Clause {
+	if o.Interval <= 0 {
+		return nil
+	}
+	t.checks++
+	t.totalTime += o.Interval
+	violated := t.sla.Check(o)
+	if len(violated) > 0 {
+		t.violated++
+		t.anyViolation += o.Interval
+		for _, c := range violated {
+			t.violationTime[c] += o.Interval
+		}
+	}
+	return violated
+}
+
+// TotalTime returns the total observed time.
+func (t *Tracker) TotalTime() time.Duration { return t.totalTime }
+
+// Checks returns the number of observed intervals.
+func (t *Tracker) Checks() uint64 { return t.checks }
+
+// ViolatedChecks returns the number of intervals with at least one violation.
+func (t *Tracker) ViolatedChecks() uint64 { return t.violated }
+
+// ViolationTime returns the accumulated violation time for one clause.
+func (t *Tracker) ViolationTime(c Clause) time.Duration { return t.violationTime[c] }
+
+// ViolationMinutes returns the accumulated violation time for one clause in
+// minutes, the unit the experiment tables report.
+func (t *Tracker) ViolationMinutes(c Clause) float64 {
+	return t.violationTime[c].Minutes()
+}
+
+// TotalViolationTime returns the time during which at least one clause was
+// violated.
+func (t *Tracker) TotalViolationTime() time.Duration { return t.anyViolation }
+
+// TotalViolationMinutes returns TotalViolationTime in minutes.
+func (t *Tracker) TotalViolationMinutes() float64 { return t.anyViolation.Minutes() }
+
+// ComplianceRatio returns the fraction of observed time during which every
+// clause held. It returns 1 when nothing has been observed yet.
+func (t *Tracker) ComplianceRatio() float64 {
+	if t.totalTime <= 0 {
+		return 1
+	}
+	return 1 - float64(t.anyViolation)/float64(t.totalTime)
+}
+
+// Summary is an exportable snapshot of the tracker state.
+type Summary struct {
+	TotalTime            time.Duration
+	TotalViolationTime   time.Duration
+	ComplianceRatio      float64
+	ViolationTimeByCause map[Clause]time.Duration
+	Checks               uint64
+	ViolatedChecks       uint64
+}
+
+// Summary returns a copy of the accumulated compliance accounting.
+func (t *Tracker) Summary() Summary {
+	byClause := make(map[Clause]time.Duration, len(t.violationTime))
+	for c, d := range t.violationTime {
+		byClause[c] = d
+	}
+	return Summary{
+		TotalTime:            t.totalTime,
+		TotalViolationTime:   t.anyViolation,
+		ComplianceRatio:      t.ComplianceRatio(),
+		ViolationTimeByCause: byClause,
+		Checks:               t.checks,
+		ViolatedChecks:       t.violated,
+	}
+}
+
+// String renders the summary for CLI output.
+func (s Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "compliance %.2f%% over %v (%d/%d intervals violated)",
+		s.ComplianceRatio*100, s.TotalTime, s.ViolatedChecks, s.Checks)
+	if len(s.ViolationTimeByCause) > 0 {
+		clauses := make([]Clause, 0, len(s.ViolationTimeByCause))
+		for c := range s.ViolationTimeByCause {
+			clauses = append(clauses, c)
+		}
+		sort.Slice(clauses, func(i, j int) bool { return clauses[i] < clauses[j] })
+		parts := make([]string, 0, len(clauses))
+		for _, c := range clauses {
+			parts = append(parts, fmt.Sprintf("%v=%.1fmin", c, s.ViolationTimeByCause[c].Minutes()))
+		}
+		fmt.Fprintf(&b, " [%s]", strings.Join(parts, " "))
+	}
+	return b.String()
+}

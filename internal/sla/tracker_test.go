@@ -1,0 +1,99 @@
+package sla
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTrackerAccumulatesViolationTime(t *testing.T) {
+	s := SLA{MaxWindowP95: 100 * time.Millisecond, MaxReadLatencyP99: 10 * time.Millisecond}
+	tr := NewTracker(s)
+
+	// Three 10-second intervals: compliant, window violation, both violated.
+	tr.Observe(Observation{Interval: 10 * time.Second, WindowP95: 0.05, ReadLatencyP99: 0.005})
+	tr.Observe(Observation{Interval: 10 * time.Second, WindowP95: 0.5, ReadLatencyP99: 0.005})
+	tr.Observe(Observation{Interval: 10 * time.Second, WindowP95: 0.5, ReadLatencyP99: 0.5})
+
+	if got := tr.TotalTime(); got != 30*time.Second {
+		t.Fatalf("TotalTime = %v, want 30s", got)
+	}
+	if got := tr.ViolationTime(ClauseWindow); got != 20*time.Second {
+		t.Fatalf("window violation time = %v, want 20s", got)
+	}
+	if got := tr.ViolationTime(ClauseReadLatency); got != 10*time.Second {
+		t.Fatalf("read-latency violation time = %v, want 10s", got)
+	}
+	if got := tr.TotalViolationTime(); got != 20*time.Second {
+		t.Fatalf("total violation time = %v, want 20s (overlapping violations must not double count)", got)
+	}
+	if got := tr.ComplianceRatio(); !approx(got, 1.0/3.0) {
+		t.Fatalf("compliance ratio = %v, want 1/3", got)
+	}
+	if tr.Checks() != 3 || tr.ViolatedChecks() != 2 {
+		t.Fatalf("checks=%d violated=%d, want 3 and 2", tr.Checks(), tr.ViolatedChecks())
+	}
+}
+
+func TestTrackerIgnoresZeroIntervals(t *testing.T) {
+	tr := NewTracker(Default())
+	if v := tr.Observe(Observation{Interval: 0, WindowP95: 100}); v != nil {
+		t.Fatalf("zero-interval observation should be ignored, got %v", v)
+	}
+	if tr.Checks() != 0 || tr.TotalTime() != 0 {
+		t.Fatal("zero-interval observation affected accounting")
+	}
+}
+
+func TestTrackerComplianceRatioEmpty(t *testing.T) {
+	tr := NewTracker(Default())
+	if got := tr.ComplianceRatio(); got != 1 {
+		t.Fatalf("empty tracker compliance = %v, want 1", got)
+	}
+}
+
+func TestTrackerViolationMinutes(t *testing.T) {
+	tr := NewTracker(SLA{MaxWindowP95: time.Millisecond})
+	tr.Observe(Observation{Interval: 90 * time.Second, WindowP95: 10})
+	if got := tr.ViolationMinutes(ClauseWindow); !approx(got, 1.5) {
+		t.Fatalf("ViolationMinutes = %v, want 1.5", got)
+	}
+	if got := tr.TotalViolationMinutes(); !approx(got, 1.5) {
+		t.Fatalf("TotalViolationMinutes = %v, want 1.5", got)
+	}
+}
+
+func TestTrackerSummary(t *testing.T) {
+	tr := NewTracker(SLA{MaxWindowP95: 100 * time.Millisecond})
+	tr.Observe(Observation{Interval: time.Minute, WindowP95: 0.01})
+	tr.Observe(Observation{Interval: time.Minute, WindowP95: 1})
+
+	sum := tr.Summary()
+	if sum.TotalTime != 2*time.Minute || sum.TotalViolationTime != time.Minute {
+		t.Fatalf("unexpected summary %+v", sum)
+	}
+	if sum.Checks != 2 || sum.ViolatedChecks != 1 {
+		t.Fatalf("unexpected summary counts %+v", sum)
+	}
+	if got := sum.ViolationTimeByCause[ClauseWindow]; got != time.Minute {
+		t.Fatalf("per-clause time = %v, want 1m", got)
+	}
+	text := sum.String()
+	if !strings.Contains(text, "compliance 50.00%") || !strings.Contains(text, "window=1.0min") {
+		t.Fatalf("summary string %q missing expected fields", text)
+	}
+
+	// The summary map must be a copy: mutating it must not affect the tracker.
+	sum.ViolationTimeByCause[ClauseWindow] = 0
+	if tr.ViolationTime(ClauseWindow) != time.Minute {
+		t.Fatal("summary shares state with tracker")
+	}
+}
+
+func TestTrackerObserveReturnsViolatedClauses(t *testing.T) {
+	tr := NewTracker(Default())
+	v := tr.Observe(Observation{Interval: time.Second, WindowP95: 100, ErrorRate: 1})
+	if len(v) != 2 || v[0] != ClauseWindow || v[1] != ClauseAvailability {
+		t.Fatalf("Observe returned %v, want [window availability]", v)
+	}
+}

@@ -1,0 +1,742 @@
+package store
+
+import (
+	"time"
+
+	"autonosql/internal/cluster"
+)
+
+// The read and write paths are fully event-driven: every hop (client ->
+// coordinator, coordinator -> replica, replica -> coordinator, coordinator ->
+// client) is a scheduled event, and node work is enqueued at the virtual time
+// it actually arrives at the node. This keeps the per-node queue model
+// (a single busy-until executor) consistent: work is offered in arrival
+// order, so queueing delays emerge from load instead of from event-creation
+// order.
+
+// writeState tracks one in-flight write at the coordinator: how many replica
+// acknowledgements it still needs, how many can still arrive, and when the
+// client was (or will be) acknowledged.
+type writeState struct {
+	store    *Store
+	key      Key
+	ver      version
+	issuedAt time.Duration
+	cb       func(Result)
+	tracker  *writeTracker
+
+	required int
+	// possible is the number of replicas that can still acknowledge (live
+	// replicas whose mutation has not been dropped).
+	possible     int
+	acked        int
+	ackDecidedAt time.Duration
+	lastAckAt    time.Duration
+	replicas     int
+
+	clientAcked bool
+	failed      bool
+	observed    bool
+}
+
+// onAck records one replica acknowledgement arriving at the coordinator.
+func (w *writeState) onAck(at time.Duration) {
+	if w.failed {
+		return
+	}
+	w.acked++
+	if at > w.lastAckAt {
+		w.lastAckAt = at
+	}
+	if !w.clientAcked && w.acked >= w.required {
+		w.clientAcked = true
+		w.ackDecidedAt = at
+		w.store.completeWrite(w, at)
+	}
+	if w.acked >= w.possible {
+		w.emitObservation()
+	}
+}
+
+// onReplicaLost records that one replica will not acknowledge (dropped
+// mutation, unreachable node). If the write can no longer reach its
+// consistency level it fails with ErrUnavailable, mirroring a write-timeout.
+func (w *writeState) onReplicaLost() {
+	if w.failed {
+		return
+	}
+	w.possible--
+	if !w.clientAcked && w.possible < w.required {
+		w.failed = true
+		w.store.writeFailures.Inc()
+		w.store.failOp(OpWrite, w.key, w.issuedAt, ErrUnavailable, w.cb)
+		return
+	}
+	if w.clientAcked && w.acked >= w.possible {
+		w.emitObservation()
+	}
+}
+
+// emitObservation hands the coordinator-level view of the write to passive
+// monitors once every reachable replica has acknowledged. Both timestamps are
+// in the coordinator's frame: the moment the consistency level was satisfied
+// and the moment the last reachable replica acknowledged.
+func (w *writeState) emitObservation() {
+	if w.observed || !w.clientAcked || w.acked == 0 {
+		return
+	}
+	w.observed = true
+	obs := WriteObservation{
+		IssuedAt:  w.issuedAt,
+		AckedAt:   w.ackDecidedAt,
+		LastAckAt: w.lastAckAt,
+		Replicas:  w.replicas,
+		Acked:     w.acked,
+	}
+	for _, o := range w.store.observers {
+		o.ObserveWrite(obs)
+	}
+}
+
+// completeWrite acknowledges the client after the required replica
+// acknowledgements have arrived at the coordinator.
+func (s *Store) completeWrite(w *writeState, ackAtCoord time.Duration) {
+	now := s.engine.Now()
+	clientAck := ackAtCoord + s.cluster.Network().ClientToNode()
+	delay := clientAck - now
+	if delay < 0 {
+		delay = 0
+	}
+	s.engine.MustSchedule(delay, func(at time.Duration) {
+		if cur, ok := s.latestAcked[w.key]; !ok || w.ver > cur {
+			s.latestAcked[w.key] = w.ver
+		}
+		if w.tracker != nil {
+			w.tracker.setAck(at)
+		}
+		latency := at - w.issuedAt
+		s.writeLatency.ObserveDuration(latency)
+		if w.cb != nil {
+			w.cb(Result{
+				Kind:        OpWrite,
+				Key:         w.key,
+				IssuedAt:    w.issuedAt,
+				CompletedAt: at,
+				Latency:     latency,
+				Version:     uint64(w.ver),
+			})
+		}
+	})
+}
+
+// Write stores a new version of key and invokes cb when the client is
+// acknowledged (or when the operation fails). The acknowledgement point is
+// determined by the current write consistency level; remaining replicas
+// converge asynchronously and the elapsed time until they do is recorded as
+// the write's inconsistency window.
+func (s *Store) Write(key Key, cb func(Result)) {
+	now := s.engine.Now()
+	if s.closed {
+		s.failOp(OpWrite, key, now, ErrStopped, cb)
+		return
+	}
+	coord, ok := s.pickCoordinator()
+	if !ok {
+		s.writeFailures.Inc()
+		s.failOp(OpWrite, key, now, ErrNoNodes, cb)
+		return
+	}
+	replicaIDs := s.ring.ReplicasFor(key, s.rf)
+	if len(replicaIDs) == 0 {
+		s.writeFailures.Inc()
+		s.failOp(OpWrite, key, now, ErrNoNodes, cb)
+		return
+	}
+	required := s.writeCL.Required(len(replicaIDs))
+	live, down := s.partitionReplicas(replicaIDs)
+	if len(live) < required {
+		s.writeFailures.Inc()
+		s.failOp(OpWrite, key, now, ErrUnavailable, cb)
+		return
+	}
+
+	s.writes.Inc()
+	s.writesSinceTick++
+	s.nextVersion++
+	ver := s.nextVersion
+
+	tracker := &writeTracker{
+		store:     s,
+		key:       key,
+		ver:       ver,
+		remaining: len(replicaIDs),
+	}
+	state := &writeState{
+		store:    s,
+		key:      key,
+		ver:      ver,
+		issuedAt: now,
+		cb:       cb,
+		tracker:  tracker,
+		required: required,
+		possible: len(live),
+		replicas: len(replicaIDs),
+	}
+
+	// Unreachable replicas get hints (or are dropped, counted as lost).
+	for _, id := range down {
+		s.queueHint(id, key, ver, tracker)
+	}
+
+	// Client -> coordinator.
+	clientLeg := s.cluster.Network().ClientToNode()
+	liveIDs := append([]cluster.NodeID(nil), live...)
+	s.engine.MustSchedule(clientLeg, func(arrival time.Duration) {
+		s.coordinateWrite(state, coord, liveIDs, arrival)
+	})
+}
+
+// coordinateWrite runs on the coordinator once the client request arrives:
+// the coordinator processes the mutation locally and fans it out to the other
+// replicas.
+func (s *Store) coordinateWrite(w *writeState, coord *cluster.Node, live []cluster.NodeID, arrival time.Duration) {
+	coordDelay, accepted := coord.Enqueue(arrival, cluster.ForegroundOp)
+	if !accepted {
+		w.failed = true
+		s.writeFailures.Inc()
+		s.failOp(OpWrite, w.key, w.issuedAt, ErrUnavailable, w.cb)
+		return
+	}
+	coordDone := arrival + coordDelay
+	net := s.cluster.Network()
+
+	for _, id := range live {
+		if id == coord.ID() {
+			// The coordinator applies the mutation as part of processing it
+			// and acknowledges itself immediately afterwards.
+			s.scheduleApply(id, w.key, w.ver, coordDone, w.tracker)
+			s.engine.MustSchedule(delayUntil(s.engine.Now(), coordDone), func(at time.Duration) {
+				w.onAck(at)
+			})
+			continue
+		}
+		id := id
+		sendLeg := net.NodeToNode()
+		s.engine.MustSchedule(delayUntil(s.engine.Now(), coordDone+sendLeg), func(arrive time.Duration) {
+			s.applyOnReplica(w, id, arrive)
+		})
+	}
+}
+
+// applyOnReplica runs on a replica when a replicated mutation arrives. The
+// mutation is applied unless it would be older than the drop timeout by the
+// time the replica gets to it, in which case it is dropped and becomes a
+// hint — the overload behaviour of Dynamo-style stores, and the mechanism
+// that blows the inconsistency window up when replicas cannot keep up.
+func (s *Store) applyOnReplica(w *writeState, id cluster.NodeID, arrive time.Duration) {
+	node, ok := s.cluster.Node(id)
+	if !ok || !node.Available() {
+		s.queueHint(id, w.key, w.ver, w.tracker)
+		w.onReplicaLost()
+		return
+	}
+	applyDelay, accepted := node.Enqueue(arrive, cluster.ReplicationApply)
+	if !accepted {
+		s.queueHint(id, w.key, w.ver, w.tracker)
+		w.onReplicaLost()
+		return
+	}
+	applyAt := arrive + applyDelay
+	if applyAt-w.issuedAt > s.cfg.MutationDropTimeout {
+		s.droppedMutations.Inc()
+		s.queueHint(id, w.key, w.ver, w.tracker)
+		w.onReplicaLost()
+		return
+	}
+	s.scheduleApply(id, w.key, w.ver, applyAt, w.tracker)
+	ackAt := applyAt + s.cluster.Network().NodeToNode()
+	s.engine.MustSchedule(delayUntil(s.engine.Now(), ackAt), func(at time.Duration) {
+		w.onAck(at)
+	})
+}
+
+// readState tracks one in-flight read at the coordinator.
+type readState struct {
+	store    *Store
+	key      Key
+	issuedAt time.Duration
+	cb       func(Result)
+
+	required  int
+	possible  int
+	responses int
+
+	freshest   version
+	divergent  bool
+	contacted  []cluster.NodeID
+	lastSeenAt time.Duration
+	done       bool
+}
+
+// onResponse records one replica's answer arriving back at the coordinator.
+func (r *readState) onResponse(id cluster.NodeID, v version, at time.Duration) {
+	if r.done {
+		return
+	}
+	r.responses++
+	r.contacted = append(r.contacted, id)
+	if at > r.lastSeenAt {
+		r.lastSeenAt = at
+	}
+	if v != r.freshest && r.responses > 1 {
+		r.divergent = true
+	}
+	if v > r.freshest {
+		r.freshest = v
+	}
+	if r.responses >= r.required {
+		r.done = true
+		r.store.completeRead(r, at)
+	}
+}
+
+// onReplicaLost records a contacted replica that will not answer.
+func (r *readState) onReplicaLost() {
+	if r.done {
+		return
+	}
+	r.possible--
+	if r.possible < r.required {
+		r.done = true
+		r.store.readFailures.Inc()
+		r.store.failOp(OpRead, r.key, r.issuedAt, ErrUnavailable, r.cb)
+	}
+}
+
+// completeRead returns the merged result to the client.
+func (s *Store) completeRead(r *readState, lastResponseAt time.Duration) {
+	now := s.engine.Now()
+	clientDone := lastResponseAt + s.cluster.Network().ClientToNode()
+	s.engine.MustSchedule(delayUntil(now, clientDone), func(at time.Duration) {
+		latest := s.latestAcked[r.key]
+		stale := r.freshest < latest
+		if stale {
+			s.staleReads.Inc()
+		}
+		if s.cfg.ReadRepair && (r.divergent || stale) {
+			s.scheduleReadRepair(r.key, r.contacted)
+		}
+		latency := at - r.issuedAt
+		s.readLatency.ObserveDuration(latency)
+		if r.cb != nil {
+			r.cb(Result{
+				Kind:        OpRead,
+				Key:         r.key,
+				IssuedAt:    r.issuedAt,
+				CompletedAt: at,
+				Latency:     latency,
+				Version:     uint64(r.freshest),
+				Stale:       stale,
+			})
+		}
+	})
+}
+
+// Read fetches key and invokes cb with the freshest version observed among
+// the replicas the read consistency level requires.
+func (s *Store) Read(key Key, cb func(Result)) {
+	now := s.engine.Now()
+	if s.closed {
+		s.failOp(OpRead, key, now, ErrStopped, cb)
+		return
+	}
+	coord, ok := s.pickCoordinator()
+	if !ok {
+		s.readFailures.Inc()
+		s.failOp(OpRead, key, now, ErrNoNodes, cb)
+		return
+	}
+	replicaIDs := s.ring.ReplicasFor(key, s.rf)
+	if len(replicaIDs) == 0 {
+		s.readFailures.Inc()
+		s.failOp(OpRead, key, now, ErrNoNodes, cb)
+		return
+	}
+	required := s.readCL.Required(len(replicaIDs))
+	live, _ := s.partitionReplicas(replicaIDs)
+	if len(live) < required {
+		s.readFailures.Inc()
+		s.failOp(OpRead, key, now, ErrUnavailable, cb)
+		return
+	}
+
+	s.reads.Inc()
+	state := &readState{
+		store:    s,
+		key:      key,
+		issuedAt: now,
+		cb:       cb,
+		required: required,
+		possible: required,
+	}
+	// Contact exactly `required` live replicas in preference order, as a
+	// token-aware driver would.
+	targets := append([]cluster.NodeID(nil), live[:required]...)
+
+	clientLeg := s.cluster.Network().ClientToNode()
+	s.engine.MustSchedule(clientLeg, func(arrival time.Duration) {
+		s.coordinateRead(state, coord, targets, arrival)
+	})
+}
+
+// coordinateRead runs on the coordinator once the client request arrives.
+func (s *Store) coordinateRead(r *readState, coord *cluster.Node, targets []cluster.NodeID, arrival time.Duration) {
+	coordDelay, accepted := coord.Enqueue(arrival, cluster.ForegroundOp)
+	if !accepted {
+		r.done = true
+		s.readFailures.Inc()
+		s.failOp(OpRead, r.key, r.issuedAt, ErrUnavailable, r.cb)
+		return
+	}
+	coordDone := arrival + coordDelay
+	net := s.cluster.Network()
+
+	for _, id := range targets {
+		id := id
+		if id == coord.ID() {
+			s.engine.MustSchedule(delayUntil(s.engine.Now(), coordDone), func(at time.Duration) {
+				v := version(0)
+				if rep, ok := s.replicas[id]; ok {
+					v = rep.read(r.key)
+				}
+				r.onResponse(id, v, at)
+			})
+			continue
+		}
+		sendLeg := net.NodeToNode()
+		s.engine.MustSchedule(delayUntil(s.engine.Now(), coordDone+sendLeg), func(arrive time.Duration) {
+			s.readOnReplica(r, id, arrive)
+		})
+	}
+}
+
+// readOnReplica runs on a replica when a read request arrives; the replica
+// reports the version it holds once it has processed the request.
+func (s *Store) readOnReplica(r *readState, id cluster.NodeID, arrive time.Duration) {
+	node, ok := s.cluster.Node(id)
+	if !ok || !node.Available() {
+		r.onReplicaLost()
+		return
+	}
+	delay, accepted := node.Enqueue(arrive, cluster.ForegroundOp)
+	if !accepted {
+		r.onReplicaLost()
+		return
+	}
+	processAt := arrive + delay
+	respondAt := processAt + s.cluster.Network().NodeToNode()
+	s.engine.MustSchedule(delayUntil(s.engine.Now(), respondAt), func(at time.Duration) {
+		v := version(0)
+		if rep, ok := s.replicas[id]; ok {
+			v = rep.read(r.key)
+		}
+		r.onResponse(id, v, at)
+	})
+}
+
+// failOp delivers a failure result after a minimal client round trip.
+func (s *Store) failOp(kind OpKind, key Key, issued time.Duration, err error, cb func(Result)) {
+	if cb == nil {
+		return
+	}
+	delay := s.cluster.Network().ClientToNode() * 2
+	s.engine.MustSchedule(delay, func(at time.Duration) {
+		cb(Result{
+			Kind:        kind,
+			Key:         key,
+			Err:         err,
+			IssuedAt:    issued,
+			CompletedAt: at,
+			Latency:     at - issued,
+		})
+	})
+}
+
+// pickCoordinator selects a random available node to coordinate an
+// operation, mirroring a client driver with a round-robin/token-aware
+// policy.
+func (s *Store) pickCoordinator() (*cluster.Node, bool) {
+	nodes := s.cluster.AvailableNodes()
+	if len(nodes) == 0 {
+		return nil, false
+	}
+	return nodes[s.rng.Intn(len(nodes))], true
+}
+
+// partitionReplicas splits a preference list into live and unavailable
+// replica IDs.
+func (s *Store) partitionReplicas(ids []cluster.NodeID) (live, down []cluster.NodeID) {
+	live = make([]cluster.NodeID, 0, len(ids))
+	for _, id := range ids {
+		if n, ok := s.cluster.Node(id); ok && n.Available() {
+			live = append(live, id)
+		} else {
+			down = append(down, id)
+		}
+	}
+	return live, down
+}
+
+// delayUntil converts an absolute virtual time into a non-negative delay from
+// now.
+func delayUntil(now, at time.Duration) time.Duration {
+	if at <= now {
+		return 0
+	}
+	return at - now
+}
+
+// scheduleApply arranges for a replica to apply a version at the given
+// virtual time and for the write tracker to learn about it.
+func (s *Store) scheduleApply(id cluster.NodeID, key Key, ver version, at time.Duration, tracker *writeTracker) {
+	s.engine.MustSchedule(delayUntil(s.engine.Now(), at), func(applied time.Duration) {
+		if rep, ok := s.replicas[id]; ok {
+			rep.apply(key, ver)
+		}
+		if tracker != nil {
+			tracker.applied(applied)
+		}
+	})
+}
+
+// maxPendingHintsPerNode bounds the hint backlog kept for one replica; real
+// stores bound their hint windows the same way and fall back to repair once
+// the backlog overflows.
+const maxPendingHintsPerNode = 100000
+
+// hintDeliveryCapacityShare is the fraction of a replica's throughput one
+// hint-delivery round may consume. Replaying hints costs the same node work
+// as regular replication applies, so an unthrottled replay would keep an
+// already struggling replica saturated forever; real stores throttle hint
+// delivery for exactly this reason.
+const hintDeliveryCapacityShare = 0.15
+
+// maxHintsPerDelivery is the absolute ceiling on hints replayed in one round.
+const maxHintsPerDelivery = 20000
+
+// queueHint records a mutation destined for an unavailable (or overloaded)
+// replica. With hinted handoff disabled and no anti-entropy, the update is
+// lost until a newer write arrives (counted as a lost update) and the tracker
+// is discounted so the window stays defined.
+func (s *Store) queueHint(id cluster.NodeID, key Key, ver version, tracker *writeTracker) {
+	if !s.cfg.HintedHandoff && s.cfg.AntiEntropyInterval <= 0 {
+		s.lostUpdates.Inc()
+		if tracker != nil {
+			tracker.discount(s.engine.Now())
+		}
+		return
+	}
+	if len(s.pendingHints[id]) >= maxPendingHintsPerNode {
+		// Hint window overflow: give up on tracking this mutation and leave
+		// convergence to anti-entropy.
+		s.lostUpdates.Inc()
+		if tracker != nil {
+			tracker.discount(s.engine.Now())
+		}
+		return
+	}
+	s.hintsQueued.Inc()
+	s.pendingHints[id] = append(s.pendingHints[id], pendingApply{key: key, ver: ver, tracker: tracker})
+}
+
+// retryHints periodically redelivers queued hints to nodes that are
+// available, so dropped mutations converge without waiting for the full
+// anti-entropy sweep.
+func (s *Store) retryHints(time.Duration) {
+	for id := range s.pendingHints {
+		if node, ok := s.cluster.Node(id); ok && node.Available() {
+			s.deliverHints(id)
+		}
+	}
+}
+
+// deliverHints flushes queued hints (up to maxHintsPerDelivery) to a node
+// that has become available. Each hint is replayed as a replication apply at
+// the time it would actually reach the node.
+func (s *Store) deliverHints(id cluster.NodeID) {
+	hints := s.pendingHints[id]
+	if len(hints) == 0 {
+		return
+	}
+	node, ok := s.cluster.Node(id)
+	if !ok || !node.Available() {
+		// Still unreachable; keep the backlog queued.
+		return
+	}
+	// Throttle the replay to a fraction of the replica's capacity over one
+	// retry interval so hint delivery cannot keep the replica saturated.
+	limit := int(hintDeliveryCapacityShare * node.Config().CapacityOpsPerSec * s.cfg.HintRetryInterval.Seconds())
+	if limit < 100 {
+		limit = 100
+	}
+	if limit > maxHintsPerDelivery {
+		limit = maxHintsPerDelivery
+	}
+	batch := hints
+	if len(batch) > limit {
+		batch = hints[:limit]
+		remaining := make([]pendingApply, len(hints)-limit)
+		copy(remaining, hints[limit:])
+		s.pendingHints[id] = remaining
+	} else {
+		delete(s.pendingHints, id)
+	}
+	now := s.engine.Now()
+	net := s.cluster.Network()
+	at := now
+	for _, h := range batch {
+		h := h
+		at += s.cfg.HintDeliveryDelay
+		arrive := at + net.NodeToNode()
+		s.engine.MustSchedule(delayUntil(now, arrive), func(arrived time.Duration) {
+			target, ok := s.cluster.Node(id)
+			if !ok || !target.Available() {
+				s.lostUpdates.Inc()
+				if h.tracker != nil {
+					h.tracker.discount(arrived)
+				}
+				return
+			}
+			d, okApply := target.Enqueue(arrived, cluster.ReplicationApply)
+			if !okApply {
+				s.lostUpdates.Inc()
+				if h.tracker != nil {
+					h.tracker.discount(arrived)
+				}
+				return
+			}
+			s.hintsDelivered.Inc()
+			s.scheduleApply(id, h.key, h.ver, arrived+d, h.tracker)
+		})
+	}
+}
+
+// runAntiEntropy periodically repairs divergence: every queued hint for an
+// available node is delivered, and every live replica is brought up to the
+// latest acknowledged version of the keys it owns.
+func (s *Store) runAntiEntropy(time.Duration) {
+	s.aeRuns.Inc()
+	for id := range s.pendingHints {
+		s.deliverHints(id)
+	}
+	s.repairAll()
+}
+
+// repairAll brings every live replica up to the newest acknowledged version
+// of each key it is responsible for. It models the effect of a completed
+// Merkle-tree repair without tracking per-key digests.
+func (s *Store) repairAll() {
+	for key, ver := range s.latestAcked {
+		for _, id := range s.ring.ReplicasFor(key, s.rf) {
+			rep, ok := s.replicas[id]
+			if !ok {
+				continue
+			}
+			if rep.read(key) < ver {
+				rep.apply(key, ver)
+				s.readRepairs.Inc()
+			}
+		}
+	}
+}
+
+// scheduleReadRepair propagates the newest acknowledged version of key to
+// the replicas that were contacted by a read and found (or suspected) stale.
+func (s *Store) scheduleReadRepair(key Key, contacted []cluster.NodeID) {
+	latest := s.latestAcked[key]
+	if latest == 0 {
+		return
+	}
+	for _, id := range contacted {
+		rep, ok := s.replicas[id]
+		if !ok || rep.read(key) >= latest {
+			continue
+		}
+		id := id
+		s.readRepairs.Inc()
+		s.engine.MustSchedule(s.cfg.ReadRepairDelay, func(time.Duration) {
+			if rep, ok := s.replicas[id]; ok {
+				rep.apply(key, latest)
+			}
+		})
+	}
+}
+
+// applied is called when one replica has applied the tracked write.
+func (t *writeTracker) applied(at time.Duration) {
+	if t.resolved {
+		return
+	}
+	if at > t.lastApply {
+		t.lastApply = at
+	}
+	t.remaining--
+	if t.remaining <= 0 {
+		t.resolve()
+	}
+}
+
+// discount removes a replica that will never apply the write (node removed
+// or update dropped) from the tracker.
+func (t *writeTracker) discount(at time.Duration) {
+	if t.resolved {
+		return
+	}
+	if at > t.lastApply {
+		t.lastApply = at
+	}
+	t.remaining--
+	if t.remaining <= 0 {
+		t.resolve()
+	}
+}
+
+// setAck records when the client was acknowledged. If every replica has
+// already applied the write (possible for strict consistency levels, where
+// the client acknowledgement trails the last apply), the window is recorded
+// now.
+func (t *writeTracker) setAck(at time.Duration) {
+	t.ackAt = at
+	if t.resolved {
+		t.record()
+	}
+}
+
+// resolve is called when no replica remains outstanding. The window is
+// recorded immediately when the acknowledgement time is already known;
+// otherwise setAck records it once the client acknowledgement fires.
+func (t *writeTracker) resolve() {
+	if t.resolved {
+		return
+	}
+	t.resolved = true
+	if t.ackAt != 0 {
+		t.record()
+	}
+}
+
+// record writes the window into the store's ground-truth histograms exactly
+// once. Writes that were never acknowledged have no client-observable window
+// and are skipped.
+func (t *writeTracker) record() {
+	if t.recorded || t.ackAt == 0 {
+		return
+	}
+	t.recorded = true
+	window := t.lastApply - t.ackAt
+	if window < 0 {
+		window = 0
+	}
+	t.store.windowHist.ObserveDuration(window)
+	t.store.recentWindow.Observe(window.Seconds())
+}

@@ -1,0 +1,41 @@
+package store
+
+import (
+	"autonosql/internal/cluster"
+)
+
+// version is a monotonically increasing logical version assigned by the
+// coordinator; conflict resolution is last-writer-wins on version number.
+type version uint64
+
+// replicaState is the per-node view of the keyspace: for each key, the
+// highest version that node has applied so far. Values themselves are not
+// materialised — consistency behaviour depends only on versions.
+type replicaState struct {
+	node     cluster.NodeID
+	versions map[Key]version
+	applied  uint64
+}
+
+func newReplicaState(node cluster.NodeID) *replicaState {
+	return &replicaState{node: node, versions: make(map[Key]version)}
+}
+
+// apply records that the replica has applied the given version of key,
+// unless it already holds a newer one (last-writer-wins).
+func (r *replicaState) apply(key Key, v version) {
+	r.applied++
+	if cur, ok := r.versions[key]; ok && cur >= v {
+		return
+	}
+	r.versions[key] = v
+}
+
+// read returns the version the replica currently holds for key (zero when
+// the replica has never seen the key).
+func (r *replicaState) read(key Key) version {
+	return r.versions[key]
+}
+
+// keys returns the number of distinct keys the replica holds.
+func (r *replicaState) keys() int { return len(r.versions) }

@@ -1,0 +1,132 @@
+package store
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+
+	"autonosql/internal/cluster"
+)
+
+// defaultVirtualNodes is the number of ring positions each physical node
+// occupies. More virtual nodes smooth key ownership when the cluster is
+// small.
+const defaultVirtualNodes = 64
+
+// Ring is a consistent-hash ring mapping keys to an ordered preference list
+// of replica nodes, in the style of Dynamo/Cassandra token rings.
+type Ring struct {
+	vnodes  int
+	tokens  []ringToken
+	members map[cluster.NodeID]bool
+}
+
+type ringToken struct {
+	hash uint64
+	node cluster.NodeID
+}
+
+// NewRing creates an empty ring. vnodes <= 0 selects the default of 64
+// virtual nodes per member.
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = defaultVirtualNodes
+	}
+	return &Ring{vnodes: vnodes, members: make(map[cluster.NodeID]bool)}
+}
+
+// Members returns the node IDs currently on the ring, sorted.
+func (r *Ring) Members() []cluster.NodeID {
+	out := make([]cluster.NodeID, 0, len(r.members))
+	for id := range r.members {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Size returns the number of member nodes.
+func (r *Ring) Size() int { return len(r.members) }
+
+// Contains reports whether the node is a ring member.
+func (r *Ring) Contains(id cluster.NodeID) bool { return r.members[id] }
+
+// Add inserts a node into the ring. Adding an existing member is a no-op.
+func (r *Ring) Add(id cluster.NodeID) {
+	if r.members[id] {
+		return
+	}
+	r.members[id] = true
+	for v := 0; v < r.vnodes; v++ {
+		h := hashString(id.String() + "#" + strconv.Itoa(v))
+		r.tokens = append(r.tokens, ringToken{hash: h, node: id})
+	}
+	sort.Slice(r.tokens, func(i, j int) bool { return r.tokens[i].hash < r.tokens[j].hash })
+}
+
+// Remove deletes a node from the ring. Removing a non-member is a no-op.
+func (r *Ring) Remove(id cluster.NodeID) {
+	if !r.members[id] {
+		return
+	}
+	delete(r.members, id)
+	kept := r.tokens[:0]
+	for _, t := range r.tokens {
+		if t.node != id {
+			kept = append(kept, t)
+		}
+	}
+	r.tokens = kept
+}
+
+// ReplicasFor returns the preference list of up to rf distinct nodes
+// responsible for the key, walking the ring clockwise from the key's token.
+func (r *Ring) ReplicasFor(key Key, rf int) []cluster.NodeID {
+	if rf <= 0 || len(r.tokens) == 0 {
+		return nil
+	}
+	if rf > len(r.members) {
+		rf = len(r.members)
+	}
+	h := hashString(string(key))
+	start := sort.Search(len(r.tokens), func(i int) bool { return r.tokens[i].hash >= h })
+	out := make([]cluster.NodeID, 0, rf)
+	seen := make(map[cluster.NodeID]bool, rf)
+	for i := 0; i < len(r.tokens) && len(out) < rf; i++ {
+		t := r.tokens[(start+i)%len(r.tokens)]
+		if seen[t.node] {
+			continue
+		}
+		seen[t.node] = true
+		out = append(out, t.node)
+	}
+	return out
+}
+
+// Primary returns the first node in the key's preference list.
+func (r *Ring) Primary(key Key) (cluster.NodeID, bool) {
+	reps := r.ReplicasFor(key, 1)
+	if len(reps) == 0 {
+		return 0, false
+	}
+	return reps[0], true
+}
+
+// hashString hashes s with FNV-1a and then passes the result through a
+// 64-bit avalanche finaliser (MurmurHash3's fmix64). Plain FNV clusters badly
+// for short, similar strings such as "node-1#17", which skews ring ownership;
+// the finaliser restores uniformity.
+func hashString(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	return fmix64(h.Sum64())
+}
+
+func fmix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}

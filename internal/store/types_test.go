@@ -1,0 +1,102 @@
+package store
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestConsistencyLevelString(t *testing.T) {
+	cases := map[ConsistencyLevel]string{
+		One:                 "ONE",
+		Two:                 "TWO",
+		Quorum:              "QUORUM",
+		All:                 "ALL",
+		ConsistencyLevel(9): "CL(9)",
+	}
+	for cl, want := range cases {
+		if got := cl.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", cl, got, want)
+		}
+	}
+}
+
+func TestConsistencyLevelRequired(t *testing.T) {
+	cases := []struct {
+		cl   ConsistencyLevel
+		rf   int
+		want int
+	}{
+		{One, 3, 1},
+		{Two, 3, 2},
+		{Quorum, 3, 2},
+		{Quorum, 5, 3},
+		{Quorum, 1, 1},
+		{All, 3, 3},
+		{All, 1, 1},
+		{Two, 1, 1},                 // clamped to rf
+		{One, 0, 1},                 // degenerate rf
+		{ConsistencyLevel(0), 3, 1}, // unknown level behaves like ONE
+	}
+	for _, tc := range cases {
+		if got := tc.cl.Required(tc.rf); got != tc.want {
+			t.Errorf("%v.Required(%d) = %d, want %d", tc.cl, tc.rf, got, tc.want)
+		}
+	}
+}
+
+func TestConsistencyLevelRequiredProperties(t *testing.T) {
+	f := func(rfRaw uint8) bool {
+		rf := int(rfRaw%9) + 1
+		for _, cl := range []ConsistencyLevel{One, Two, Quorum, All} {
+			n := cl.Required(rf)
+			if n < 1 || n > rf {
+				return false
+			}
+		}
+		// Quorum must be a majority: two quorums always intersect.
+		q := Quorum.Required(rf)
+		return 2*q > rf
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatalf("Required property failed: %v", err)
+	}
+}
+
+func TestStricter(t *testing.T) {
+	if !All.Stricter(One, 3) {
+		t.Fatal("ALL should be stricter than ONE at rf=3")
+	}
+	if Quorum.Stricter(All, 3) {
+		t.Fatal("QUORUM should not be stricter than ALL at rf=3")
+	}
+	if One.Stricter(One, 3) {
+		t.Fatal("a level is not stricter than itself")
+	}
+}
+
+func TestParseConsistencyLevel(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want ConsistencyLevel
+	}{
+		{"ONE", One}, {"one", One}, {"TWO", Two}, {"two", Two},
+		{"QUORUM", Quorum}, {"quorum", Quorum}, {"ALL", All}, {"all", All},
+	} {
+		got, err := ParseConsistencyLevel(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseConsistencyLevel(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if _, err := ParseConsistencyLevel("THREE"); err == nil {
+		t.Fatal("ParseConsistencyLevel accepted unknown level")
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	if OpRead.String() != "read" || OpWrite.String() != "write" {
+		t.Fatal("OpKind strings wrong")
+	}
+	if OpKind(9).String() != "op(9)" {
+		t.Fatal("unknown OpKind string wrong")
+	}
+}

@@ -1,0 +1,12 @@
+package workload
+
+import (
+	"autonosql/internal/cluster"
+	"autonosql/internal/sim"
+)
+
+// clusterForTest builds a small default cluster for integration tests in
+// this package.
+func clusterForTest(engine *sim.Engine, src *sim.RandSource) *cluster.Cluster {
+	return cluster.New(cluster.DefaultConfig(), engine, src)
+}

@@ -1,0 +1,97 @@
+package workload
+
+import (
+	"math/rand"
+	"strconv"
+
+	"autonosql/internal/sim"
+	"autonosql/internal/store"
+)
+
+// KeyChooser selects which key the next operation targets.
+type KeyChooser interface {
+	// NextRead returns the key for a read operation.
+	NextRead() store.Key
+	// NextWrite returns the key for a write operation.
+	NextWrite() store.Key
+}
+
+// UniformKeys picks keys uniformly from a fixed keyspace.
+type UniformKeys struct {
+	n   int
+	rng *rand.Rand
+}
+
+// NewUniformKeys creates a uniform chooser over n keys.
+func NewUniformKeys(n int, rng *rand.Rand) *UniformKeys {
+	if n <= 0 {
+		n = 1
+	}
+	return &UniformKeys{n: n, rng: rng}
+}
+
+// NextRead implements KeyChooser.
+func (u *UniformKeys) NextRead() store.Key { return keyName(u.rng.Intn(u.n)) }
+
+// NextWrite implements KeyChooser.
+func (u *UniformKeys) NextWrite() store.Key { return keyName(u.rng.Intn(u.n)) }
+
+// ZipfianKeys picks keys with a zipfian popularity distribution, as YCSB
+// does: a small set of hot keys receives most of the traffic.
+type ZipfianKeys struct {
+	n    int
+	zipf *sim.Zipf
+}
+
+// NewZipfianKeys creates a zipfian chooser over n keys with exponent s
+// (YCSB's default skew corresponds to s≈1.3 here).
+func NewZipfianKeys(n int, s float64, rng *rand.Rand) *ZipfianKeys {
+	if n <= 0 {
+		n = 1
+	}
+	return &ZipfianKeys{n: n, zipf: sim.NewZipf(rng, s, uint64(n))}
+}
+
+// NextRead implements KeyChooser.
+func (z *ZipfianKeys) NextRead() store.Key { return keyName(int(z.zipf.Next())) }
+
+// NextWrite implements KeyChooser.
+func (z *ZipfianKeys) NextWrite() store.Key { return keyName(int(z.zipf.Next())) }
+
+// LatestKeys models YCSB workload D: writes append new keys and reads are
+// skewed towards the most recently inserted ones.
+type LatestKeys struct {
+	next int
+	zipf *sim.Zipf
+	rng  *rand.Rand
+}
+
+// NewLatestKeys creates a latest-skewed chooser seeded with initial existing
+// keys.
+func NewLatestKeys(initial int, rng *rand.Rand) *LatestKeys {
+	if initial <= 0 {
+		initial = 1
+	}
+	return &LatestKeys{next: initial, zipf: sim.NewZipf(rng, 1.3, 1024), rng: rng}
+}
+
+// NextRead implements KeyChooser: reads target recent keys.
+func (l *LatestKeys) NextRead() store.Key {
+	offset := int(l.zipf.Next())
+	idx := l.next - 1 - offset
+	if idx < 0 {
+		idx = 0
+	}
+	return keyName(idx)
+}
+
+// NextWrite implements KeyChooser: each write inserts the next key.
+func (l *LatestKeys) NextWrite() store.Key {
+	k := keyName(l.next)
+	l.next++
+	return k
+}
+
+func keyName(i int) store.Key {
+	return store.Key("key-" + strconv.Itoa(i))
+}

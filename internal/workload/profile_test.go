@@ -1,0 +1,107 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestConstantProfile(t *testing.T) {
+	p := ConstantProfile{OpsPerSec: 100}
+	if p.Rate(0) != 100 || p.Rate(time.Hour) != 100 {
+		t.Fatal("constant profile should be constant")
+	}
+	neg := ConstantProfile{OpsPerSec: -5}
+	if neg.Rate(0) != 0 {
+		t.Fatal("negative rate not clamped")
+	}
+}
+
+func TestStepProfile(t *testing.T) {
+	p := StepProfile{Base: 100, Peak: 500, From: time.Minute, To: 2 * time.Minute}
+	if p.Rate(0) != 100 {
+		t.Fatal("before step should be base")
+	}
+	if p.Rate(90*time.Second) != 500 {
+		t.Fatal("inside step should be peak")
+	}
+	if p.Rate(2*time.Minute) != 100 {
+		t.Fatal("step end is exclusive")
+	}
+}
+
+func TestDiurnalProfileBounds(t *testing.T) {
+	p := DiurnalProfile{Min: 100, Max: 1000, Period: 24 * time.Hour}
+	if got := p.Rate(0); math.Abs(got-100) > 1 {
+		t.Fatalf("trough at t=0 = %v, want ~100", got)
+	}
+	if got := p.Rate(12 * time.Hour); math.Abs(got-1000) > 1 {
+		t.Fatalf("peak at half period = %v, want ~1000", got)
+	}
+	f := func(seconds uint32) bool {
+		r := p.Rate(time.Duration(seconds) * time.Second)
+		return r >= 99 && r <= 1001
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatalf("diurnal bounds property failed: %v", err)
+	}
+	flat := DiurnalProfile{Min: 50, Max: 100, Period: 0}
+	if flat.Rate(time.Hour) != 50 {
+		t.Fatal("zero period should return Min")
+	}
+}
+
+func TestSpikeProfile(t *testing.T) {
+	p := SpikeProfile{Base: 100, SpikeTo: 1000, At: time.Minute, Duration: time.Minute}
+	if p.Rate(0) != 100 || p.Rate(3*time.Minute) != 100 {
+		t.Fatal("outside spike should be base")
+	}
+	if p.Rate(90*time.Second) != 1000 {
+		t.Fatal("inside square spike should be SpikeTo")
+	}
+	ramped := SpikeProfile{Base: 100, SpikeTo: 1100, At: time.Minute, Duration: time.Minute, RampFraction: 0.25}
+	mid := ramped.Rate(90 * time.Second)
+	if mid != 1100 {
+		t.Fatalf("plateau of ramped spike = %v, want 1100", mid)
+	}
+	early := ramped.Rate(time.Minute + 7*time.Second)
+	if early <= 100 || early >= 1100 {
+		t.Fatalf("ramp-up value = %v, want between base and peak", early)
+	}
+}
+
+func TestCompositeProfile(t *testing.T) {
+	p := CompositeProfile{Parts: []LoadProfile{
+		ConstantProfile{OpsPerSec: 100},
+		SpikeProfile{Base: 0, SpikeTo: 400, At: time.Minute, Duration: time.Minute},
+		nil,
+	}}
+	if p.Rate(0) != 100 {
+		t.Fatalf("composite base = %v, want 100", p.Rate(0))
+	}
+	if p.Rate(90*time.Second) != 500 {
+		t.Fatalf("composite with spike = %v, want 500", p.Rate(90*time.Second))
+	}
+}
+
+func TestTraceProfile(t *testing.T) {
+	p := TraceProfile{Points: []TracePoint{
+		{At: 0, Rate: 10},
+		{At: time.Minute, Rate: 50},
+		{At: 2 * time.Minute, Rate: 20},
+	}}
+	if p.Rate(30*time.Second) != 10 {
+		t.Fatal("trace before second point should use first rate")
+	}
+	if p.Rate(90*time.Second) != 50 {
+		t.Fatal("trace mid-segment wrong")
+	}
+	if p.Rate(time.Hour) != 20 {
+		t.Fatal("trace after last point should hold last rate")
+	}
+	empty := TraceProfile{}
+	if empty.Rate(0) != 0 {
+		t.Fatal("empty trace should be zero")
+	}
+}

@@ -1,0 +1,307 @@
+package autonosql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"autonosql/internal/sla"
+)
+
+// SeriesPoint is one sample of a report time series.
+type SeriesPoint struct {
+	// At is the virtual time of the sample.
+	At time.Duration
+	// Value is the sampled value (units depend on the series).
+	Value float64
+}
+
+// LatencySummary summarises a latency distribution in seconds.
+type LatencySummary struct {
+	Mean float64
+	P50  float64
+	P95  float64
+	P99  float64
+	Max  float64
+}
+
+// Violations is the SLA violation accounting of a run, in minutes.
+type Violations struct {
+	// Window is the time the inconsistency-window clause was violated.
+	Window float64
+	// ReadLatency and WriteLatency are the latency-clause violation times.
+	ReadLatency  float64
+	WriteLatency float64
+	// Availability is the error-rate-clause violation time.
+	Availability float64
+	// Total is the time at least one clause was violated (clauses can overlap).
+	Total float64
+}
+
+// CostSummary is the priced outcome of a run.
+type CostSummary struct {
+	// NodeHours is the consumed node-hours.
+	NodeHours float64
+	// Infrastructure, Compensation and Penalty are the cost components.
+	Infrastructure float64
+	Compensation   float64
+	Penalty        float64
+	// Total is the sum of all components.
+	Total float64
+}
+
+// ConfigurationSummary is the store/cluster configuration at one point in
+// time.
+type ConfigurationSummary struct {
+	ClusterSize       int
+	ReplicationFactor int
+	ReadConsistency   ConsistencyLevel
+	WriteConsistency  ConsistencyLevel
+}
+
+// Report is the outcome of one scenario run.
+type Report struct {
+	// Spec echoes the scenario specification the run used.
+	Spec ScenarioSpec
+	// Duration is the simulated time covered.
+	Duration time.Duration
+
+	// Operations and failure counts, from the store's ground truth.
+	Reads         uint64
+	Writes        uint64
+	FailedReads   uint64
+	FailedWrites  uint64
+	StaleReads    uint64
+	StaleReadRate float64
+
+	// Window is the ground-truth inconsistency-window distribution (seconds).
+	Window LatencySummary
+	// EstimatedWindowP95 is the monitor's final 95th-percentile estimate
+	// (seconds), for comparing estimate vs. truth.
+	EstimatedWindowP95 float64
+	// ReadLatency and WriteLatency are client-observed latencies (seconds).
+	ReadLatency  LatencySummary
+	WriteLatency LatencySummary
+
+	// MonitoringProbeOps is the number of extra operations issued by active
+	// probing.
+	MonitoringProbeOps uint64
+	// MonitoringOverheadFraction is probe operations as a fraction of all
+	// operations.
+	MonitoringOverheadFraction float64
+
+	// SLA compliance.
+	ComplianceRatio float64
+	Violations      Violations
+
+	// Cost.
+	Cost CostSummary
+
+	// Final and extreme configurations observed.
+	FinalConfiguration ConfigurationSummary
+	MaxClusterSize     int
+	MinClusterSize     int
+
+	// Reconfigurations is the number of actions the controller applied.
+	Reconfigurations int
+	// Decisions is the controller's decision log rendered as strings
+	// (empty for ControllerNone).
+	Decisions []string
+
+	// Series are the sampled time series, keyed by the Series* constants.
+	Series map[string][]SeriesPoint
+}
+
+// buildReport assembles the report after the simulation has finished.
+func (s *Scenario) buildReport() *Report {
+	stats := s.store.Stats()
+	summary := s.tracker.Summary()
+
+	totalOps := stats.Reads + stats.Writes
+	probeOps := s.monitor.ProbeOps()
+
+	r := &Report{
+		Spec:         s.spec,
+		Duration:     s.spec.Duration,
+		Reads:        stats.Reads,
+		Writes:       stats.Writes,
+		FailedReads:  stats.ReadFailures,
+		FailedWrites: stats.WriteFailures,
+		StaleReads:   stats.StaleReads,
+		Window: LatencySummary{
+			Mean: stats.Window.Mean, P50: stats.Window.P50, P95: stats.Window.P95,
+			P99: stats.Window.P99, Max: stats.Window.Max,
+		},
+		EstimatedWindowP95: s.monitor.WindowQuantile(0.95),
+		ReadLatency: LatencySummary{
+			Mean: stats.ReadLatency.Mean, P50: stats.ReadLatency.P50, P95: stats.ReadLatency.P95,
+			P99: stats.ReadLatency.P99, Max: stats.ReadLatency.Max,
+		},
+		WriteLatency: LatencySummary{
+			Mean: stats.WriteLatency.Mean, P50: stats.WriteLatency.P50, P95: stats.WriteLatency.P95,
+			P99: stats.WriteLatency.P99, Max: stats.WriteLatency.Max,
+		},
+		MonitoringProbeOps: probeOps,
+		ComplianceRatio:    summary.ComplianceRatio,
+		MaxClusterSize:     s.maxNodes,
+		MinClusterSize:     s.minNodes,
+		FinalConfiguration: ConfigurationSummary{
+			ClusterSize:       s.cluster.Size(),
+			ReplicationFactor: s.store.ReplicationFactor(),
+			ReadConsistency:   consistencyFromStore(s.store.ReadConsistency()),
+			WriteConsistency:  consistencyFromStore(s.store.WriteConsistency()),
+		},
+		Series: make(map[string][]SeriesPoint, len(s.series)),
+	}
+	if stats.Reads > 0 {
+		r.StaleReadRate = float64(stats.StaleReads) / float64(stats.Reads)
+	}
+	if totalOps+probeOps > 0 {
+		r.MonitoringOverheadFraction = float64(probeOps) / float64(totalOps+probeOps)
+	}
+
+	r.Violations = Violations{
+		Window:       s.tracker.ViolationMinutes(sla.ClauseWindow),
+		ReadLatency:  s.tracker.ViolationMinutes(sla.ClauseReadLatency),
+		WriteLatency: s.tracker.ViolationMinutes(sla.ClauseWriteLatency),
+		Availability: s.tracker.ViolationMinutes(sla.ClauseAvailability),
+		Total:        s.tracker.TotalViolationMinutes(),
+	}
+
+	nodeSeconds := s.cluster.NodeSeconds()
+	cost := s.costs.Price(sla.Usage{
+		NodeSeconds:   nodeSeconds,
+		StaleReads:    stats.StaleReads,
+		ViolationTime: summary.TotalViolationTime,
+	})
+	r.Cost = CostSummary{
+		NodeHours:      nodeSeconds / 3600,
+		Infrastructure: cost.Infrastructure,
+		Compensation:   cost.Compensation,
+		Penalty:        cost.Penalty,
+		Total:          cost.Total(),
+	}
+
+	if s.smart != nil {
+		r.Reconfigurations = s.smart.Reconfigurations()
+		for _, d := range s.smart.Decisions() {
+			if !d.Action.IsNoop() {
+				r.Decisions = append(r.Decisions, d.String())
+			}
+		}
+	}
+	if s.reactive != nil {
+		r.Reconfigurations = s.reactive.Reconfigurations()
+		for _, d := range s.reactive.Decisions() {
+			if !d.Action.IsNoop() {
+				r.Decisions = append(r.Decisions, d.String())
+			}
+		}
+	}
+
+	for name, ts := range s.series {
+		pts := ts.Points()
+		out := make([]SeriesPoint, len(pts))
+		for i, p := range pts {
+			out[i] = SeriesPoint{At: p.At, Value: p.Value}
+		}
+		r.Series[name] = out
+	}
+	return r
+}
+
+// String renders the report as a human-readable summary.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "autonosql run: %v, controller=%s, pattern=%s\n",
+		r.Duration, modeOrNone(r.Spec.Controller.Mode), patternOrConstant(r.Spec.Workload.Pattern))
+	fmt.Fprintf(&b, "  operations: %d reads (%d failed, %d stale, %.3f%% stale), %d writes (%d failed)\n",
+		r.Reads, r.FailedReads, r.StaleReads, r.StaleReadRate*100, r.Writes, r.FailedWrites)
+	fmt.Fprintf(&b, "  inconsistency window: p50=%s p95=%s p99=%s max=%s (monitor estimate p95=%s)\n",
+		ms(r.Window.P50), ms(r.Window.P95), ms(r.Window.P99), ms(r.Window.Max), ms(r.EstimatedWindowP95))
+	fmt.Fprintf(&b, "  latency: read p99=%s write p99=%s\n", ms(r.ReadLatency.P99), ms(r.WriteLatency.P99))
+	fmt.Fprintf(&b, "  monitoring: %d probe ops (%.2f%% of traffic)\n",
+		r.MonitoringProbeOps, r.MonitoringOverheadFraction*100)
+	fmt.Fprintf(&b, "  SLA: compliance=%.2f%% violation-minutes window=%.1f read=%.1f write=%.1f availability=%.1f\n",
+		r.ComplianceRatio*100, r.Violations.Window, r.Violations.ReadLatency,
+		r.Violations.WriteLatency, r.Violations.Availability)
+	fmt.Fprintf(&b, "  cost: $%.2f (infra $%.2f over %.2f node-hours, compensation $%.2f, penalty $%.2f)\n",
+		r.Cost.Total, r.Cost.Infrastructure, r.Cost.NodeHours, r.Cost.Compensation, r.Cost.Penalty)
+	fmt.Fprintf(&b, "  configuration: nodes=%d (min=%d max=%d) rf=%d cl=%s/%s, %d reconfigurations\n",
+		r.FinalConfiguration.ClusterSize, r.MinClusterSize, r.MaxClusterSize,
+		r.FinalConfiguration.ReplicationFactor, r.FinalConfiguration.ReadConsistency,
+		r.FinalConfiguration.WriteConsistency, r.Reconfigurations)
+	return b.String()
+}
+
+// PlotSeries renders one of the report's time series as a fixed-width ASCII
+// plot, bucketed to roughly 30 rows. It returns an empty string for an
+// unknown series name.
+func (r *Report) PlotSeries(name string, width int) string {
+	pts, ok := r.Series[name]
+	if !ok || len(pts) == 0 {
+		return ""
+	}
+	if width <= 0 {
+		width = 50
+	}
+	bucket := r.Duration / 30
+	if bucket <= 0 {
+		bucket = time.Second
+	}
+	// Re-bucket the points.
+	type agg struct {
+		sum float64
+		n   int
+	}
+	buckets := make(map[int]*agg)
+	for _, p := range pts {
+		idx := int(p.At / bucket)
+		a, ok := buckets[idx]
+		if !ok {
+			a = &agg{}
+			buckets[idx] = a
+		}
+		a.sum += p.Value
+		a.n++
+	}
+	idxs := make([]int, 0, len(buckets))
+	max := 0.0
+	for i, a := range buckets {
+		idxs = append(idxs, i)
+		if v := a.sum / float64(a.n); v > max {
+			max = v
+		}
+	}
+	sort.Ints(idxs)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (max=%.4g)\n", name, max)
+	for _, i := range idxs {
+		v := buckets[i].sum / float64(buckets[i].n)
+		bars := 0
+		if max > 0 {
+			bars = int(v / max * float64(width))
+		}
+		fmt.Fprintf(&b, "%8s |%s %.4g\n", (time.Duration(i) * bucket).Truncate(time.Second), strings.Repeat("#", bars), v)
+	}
+	return b.String()
+}
+
+func ms(seconds float64) string {
+	return fmt.Sprintf("%.1fms", seconds*1000)
+}
+
+func modeOrNone(m ControllerMode) ControllerMode {
+	if m == "" {
+		return ControllerNone
+	}
+	return m
+}
+
+func patternOrConstant(p LoadPattern) LoadPattern {
+	if p == "" {
+		return LoadConstant
+	}
+	return p
+}

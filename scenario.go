@@ -1,0 +1,306 @@
+package autonosql
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"autonosql/internal/baseline"
+	"autonosql/internal/cluster"
+	"autonosql/internal/core"
+	"autonosql/internal/metrics"
+	"autonosql/internal/monitor"
+	"autonosql/internal/sim"
+	"autonosql/internal/sla"
+	"autonosql/internal/store"
+	"autonosql/internal/workload"
+)
+
+// Scenario is one fully assembled simulated system: cluster, store, workload,
+// monitor, SLA tracking and (optionally) a controller. Build it with
+// NewScenario, optionally register interventions with At, then call Run.
+type Scenario struct {
+	spec ScenarioSpec
+
+	engine  *sim.Engine
+	rnd     *sim.RandSource
+	cluster *cluster.Cluster
+	store   *store.Store
+	monitor *monitor.Monitor
+	gen     *workload.Generator
+	tenant  *cluster.TenantDriver
+
+	agreement sla.SLA
+	costs     sla.CostModel
+	tracker   *sla.Tracker
+
+	smart    *core.Controller
+	reactive *baseline.ReactiveAutoscaler
+
+	series      map[string]*metrics.TimeSeries
+	sampler     *sim.Ticker
+	lastControl time.Duration
+	maxNodes    int
+	minNodes    int
+
+	hooks []hook
+	ran   bool
+}
+
+type hook struct {
+	at time.Duration
+	fn func(*Handle)
+}
+
+// NewScenario validates the spec and assembles the simulated system.
+func NewScenario(spec ScenarioSpec) (*Scenario, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.SampleInterval <= 0 {
+		spec.SampleInterval = 10 * time.Second
+	}
+	if spec.Controller.ControlInterval <= 0 {
+		spec.Controller.ControlInterval = 10 * time.Second
+	}
+
+	engine := sim.NewEngine()
+	rnd := sim.NewRandSource(spec.Seed)
+	cl := cluster.New(spec.clusterConfig(), engine, rnd)
+
+	storeCfg, err := spec.storeConfig()
+	if err != nil {
+		return nil, err
+	}
+	st, err := store.New(storeCfg, engine, cl, rnd)
+	if err != nil {
+		return nil, fmt.Errorf("autonosql: assembling store: %w", err)
+	}
+	mon, err := monitor.New(spec.monitorConfig(), engine, st, cl)
+	if err != nil {
+		return nil, fmt.Errorf("autonosql: assembling monitor: %w", err)
+	}
+
+	s := &Scenario{
+		spec:      spec,
+		engine:    engine,
+		rnd:       rnd,
+		cluster:   cl,
+		store:     st,
+		monitor:   mon,
+		agreement: spec.slaModel(),
+		costs:     spec.costModel(),
+		tracker:   sla.NewTracker(spec.slaModel()),
+		series:    make(map[string]*metrics.TimeSeries),
+		maxNodes:  cl.Size(),
+		minNodes:  cl.Size(),
+	}
+
+	// Background platform interference (noisy neighbours).
+	if spec.Cluster.NoisyNeighbour {
+		td, err := cluster.NewTenantDriver(engine, cl, cluster.NoisyTenantProfile(), rnd.Stream("tenant"))
+		if err != nil {
+			return nil, fmt.Errorf("autonosql: assembling tenant driver: %w", err)
+		}
+		s.tenant = td
+	}
+
+	// Client workload routed through the monitor so client-observed latency
+	// and error rates are measured the way an application would measure them.
+	keys, err := s.keyChooser()
+	if err != nil {
+		return nil, err
+	}
+	gen, err := workload.NewGenerator(workload.Config{
+		Profile: spec.loadProfile(),
+		Mix:     workload.Mix{ReadFraction: spec.Workload.ReadFraction},
+		Keys:    keys,
+		Until:   spec.Duration,
+	}, engine, mon, rnd)
+	if err != nil {
+		return nil, fmt.Errorf("autonosql: assembling workload: %w", err)
+	}
+	s.gen = gen
+
+	// Controller.
+	actuator, err := core.NewSystemActuator(st, cl)
+	if err != nil {
+		return nil, fmt.Errorf("autonosql: assembling actuator: %w", err)
+	}
+	switch spec.Controller.Mode {
+	case ControllerSmart:
+		ctl, err := core.New(spec.controllerConfig(), actuator)
+		if err != nil {
+			return nil, fmt.Errorf("autonosql: assembling controller: %w", err)
+		}
+		s.smart = ctl
+	case ControllerReactive:
+		ra, err := baseline.NewReactiveAutoscaler(spec.reactiveConfig(), actuator)
+		if err != nil {
+			return nil, fmt.Errorf("autonosql: assembling reactive autoscaler: %w", err)
+		}
+		s.reactive = ra
+	case ControllerNone, "":
+		// Static configuration: nothing to assemble.
+	}
+
+	for _, name := range []string{
+		SeriesWindowP95, SeriesWindowEstimateP95, SeriesOfferedLoad, SeriesClusterSize,
+		SeriesUtilization, SeriesWriteConsistency, SeriesReplicationFactor, SeriesStaleReads,
+		SeriesReadLatencyP99, SeriesWriteLatencyP99,
+	} {
+		s.series[name] = metrics.NewTimeSeries(name)
+	}
+	return s, nil
+}
+
+// Names of the time series a Report carries.
+const (
+	// SeriesWindowP95 is the ground-truth 95th-percentile inconsistency
+	// window over recent writes, in milliseconds.
+	SeriesWindowP95 = "window_p95_ms"
+	// SeriesWindowEstimateP95 is the monitor's estimate of the same quantity.
+	SeriesWindowEstimateP95 = "window_estimate_p95_ms"
+	// SeriesOfferedLoad is the observed client operation rate in ops/s.
+	SeriesOfferedLoad = "offered_ops_per_sec"
+	// SeriesClusterSize is the number of serving nodes.
+	SeriesClusterSize = "cluster_size"
+	// SeriesUtilization is the mean node utilisation in [0, 1].
+	SeriesUtilization = "mean_utilization"
+	// SeriesWriteConsistency is the numeric write consistency level
+	// (1=ONE, 2=TWO, 3=QUORUM, 4=ALL).
+	SeriesWriteConsistency = "write_consistency_level"
+	// SeriesReplicationFactor is the replication factor.
+	SeriesReplicationFactor = "replication_factor"
+	// SeriesStaleReads is the cumulative number of stale reads served.
+	SeriesStaleReads = "stale_reads_total"
+	// SeriesReadLatencyP99 is the client-observed read latency p99 in
+	// milliseconds over recent operations.
+	SeriesReadLatencyP99 = "read_latency_p99_ms"
+	// SeriesWriteLatencyP99 is the client-observed write latency p99 in
+	// milliseconds over recent operations.
+	SeriesWriteLatencyP99 = "write_latency_p99_ms"
+)
+
+func (s *Scenario) keyChooser() (workload.KeyChooser, error) {
+	rng := s.rnd.Stream("keys")
+	n := s.spec.Workload.Keyspace
+	if n <= 0 {
+		n = 10000
+	}
+	switch s.spec.Workload.Keys {
+	case KeysUniform:
+		return workload.NewUniformKeys(n, rng), nil
+	case KeysLatest:
+		return workload.NewLatestKeys(n, rng), nil
+	case KeysZipfian, "":
+		return workload.NewZipfianKeys(n, 1.3, rng), nil
+	default:
+		return nil, fmt.Errorf("autonosql: unknown key distribution %q", s.spec.Workload.Keys)
+	}
+}
+
+// Spec returns the spec the scenario was built from.
+func (s *Scenario) Spec() ScenarioSpec { return s.spec }
+
+// At registers an intervention to run at the given virtual time during Run.
+// The callback receives a Handle bound to the live system. Interventions
+// registered after Run has been called are ignored.
+func (s *Scenario) At(at time.Duration, fn func(*Handle)) {
+	if fn == nil || at < 0 {
+		return
+	}
+	s.hooks = append(s.hooks, hook{at: at, fn: fn})
+}
+
+// Run executes the scenario for its configured duration and returns the
+// report. A scenario can only be run once.
+func (s *Scenario) Run() (*Report, error) {
+	if s.ran {
+		return nil, errors.New("autonosql: scenario has already been run")
+	}
+	s.ran = true
+
+	// Periodic sampling + SLA accounting + control.
+	sampler, err := sim.NewTicker(s.engine, s.spec.SampleInterval, s.onSample)
+	if err != nil {
+		return nil, fmt.Errorf("autonosql: starting sampler: %w", err)
+	}
+	s.sampler = sampler
+
+	// Interventions.
+	handle := &Handle{scenario: s}
+	for _, h := range s.hooks {
+		h := h
+		if _, err := s.engine.ScheduleAt(h.at, func(time.Duration) { h.fn(handle) }); err != nil {
+			return nil, fmt.Errorf("autonosql: scheduling intervention at %v: %w", h.at, err)
+		}
+	}
+
+	s.gen.Start()
+	if err := s.engine.Run(s.spec.Duration); err != nil {
+		return nil, fmt.Errorf("autonosql: running simulation: %w", err)
+	}
+	s.gen.Stop()
+	s.sampler.Stop()
+	if s.tenant != nil {
+		s.tenant.Stop()
+	}
+	if s.smart != nil {
+		s.smart.Stop()
+	}
+	if s.reactive != nil {
+		s.reactive.Stop()
+	}
+	return s.buildReport(), nil
+}
+
+// onSample is the per-interval bookkeeping: one monitoring snapshot feeds SLA
+// accounting, the time series and (when due) the controller.
+func (s *Scenario) onSample(now time.Duration) {
+	snap := s.monitor.Snapshot()
+
+	// Ground truth for evaluation: the true window over recent writes and the
+	// store's cumulative stale-read count.
+	trueWindowP95 := s.store.RecentWindowQuantile(0.95)
+	stats := s.store.Stats()
+
+	s.tracker.Observe(sla.Observation{
+		At:              now,
+		Interval:        snap.Interval,
+		WindowP95:       trueWindowP95,
+		ReadLatencyP99:  snap.ReadLatencyP99,
+		WriteLatencyP99: snap.WriteLatencyP99,
+		ErrorRate:       snap.ErrorRate,
+	})
+
+	s.series[SeriesWindowP95].Append(now, trueWindowP95*1000)
+	s.series[SeriesWindowEstimateP95].Append(now, snap.WindowP95*1000)
+	s.series[SeriesOfferedLoad].Append(now, snap.ObservedOpsPerSec)
+	s.series[SeriesClusterSize].Append(now, float64(snap.ClusterSize))
+	s.series[SeriesUtilization].Append(now, snap.MeanUtilization)
+	s.series[SeriesWriteConsistency].Append(now, float64(snap.WriteConsistency))
+	s.series[SeriesReplicationFactor].Append(now, float64(snap.ReplicationFactor))
+	s.series[SeriesStaleReads].Append(now, float64(stats.StaleReads))
+	s.series[SeriesReadLatencyP99].Append(now, snap.ReadLatencyP99*1000)
+	s.series[SeriesWriteLatencyP99].Append(now, snap.WriteLatencyP99*1000)
+
+	if snap.ClusterSize > s.maxNodes {
+		s.maxNodes = snap.ClusterSize
+	}
+	if snap.ClusterSize < s.minNodes && snap.ClusterSize > 0 {
+		s.minNodes = snap.ClusterSize
+	}
+
+	// Drive the configured controller at its own interval.
+	if now-s.lastControl < s.spec.Controller.ControlInterval && s.lastControl != 0 {
+		return
+	}
+	s.lastControl = now
+	switch {
+	case s.smart != nil:
+		s.smart.Step(snap)
+	case s.reactive != nil:
+		s.reactive.Step(snap)
+	}
+}

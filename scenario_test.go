@@ -1,0 +1,266 @@
+package autonosql
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// quickSpec returns a scenario small enough for unit tests: 90 simulated
+// seconds of moderate load on three nodes.
+func quickSpec() ScenarioSpec {
+	spec := DefaultScenarioSpec()
+	spec.Duration = 90 * time.Second
+	spec.SampleInterval = 5 * time.Second
+	spec.Workload.BaseOpsPerSec = 1200
+	spec.Workload.Keyspace = 2000
+	spec.Controller.Mode = ControllerNone
+	spec.Controller.ControlInterval = 5 * time.Second
+	return spec
+}
+
+func runScenario(t *testing.T, spec ScenarioSpec) *Report {
+	t.Helper()
+	sc, err := NewScenario(spec)
+	if err != nil {
+		t.Fatalf("NewScenario: %v", err)
+	}
+	rep, err := sc.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return rep
+}
+
+func TestScenarioRunProducesReport(t *testing.T) {
+	rep := runScenario(t, quickSpec())
+
+	if rep.Reads == 0 || rep.Writes == 0 {
+		t.Fatalf("no traffic recorded: %d reads, %d writes", rep.Reads, rep.Writes)
+	}
+	if rep.Window.P95 <= 0 {
+		t.Fatal("ground-truth window p95 is zero; the store recorded no windows")
+	}
+	if rep.Window.P50 > rep.Window.P95 || rep.Window.P95 > rep.Window.Max {
+		t.Fatalf("window percentiles not ordered: %+v", rep.Window)
+	}
+	if rep.ReadLatency.P99 <= 0 || rep.WriteLatency.P99 <= 0 {
+		t.Fatal("latency percentiles are zero")
+	}
+	if rep.EstimatedWindowP95 <= 0 {
+		t.Fatal("monitor produced no window estimate")
+	}
+	if rep.Cost.Total <= 0 || rep.Cost.NodeHours <= 0 {
+		t.Fatalf("cost not accounted: %+v", rep.Cost)
+	}
+	if rep.ComplianceRatio < 0 || rep.ComplianceRatio > 1 {
+		t.Fatalf("compliance ratio out of range: %v", rep.ComplianceRatio)
+	}
+	if rep.FinalConfiguration.ClusterSize != 3 || rep.FinalConfiguration.ReplicationFactor != 3 {
+		t.Fatalf("unexpected final configuration %+v", rep.FinalConfiguration)
+	}
+	if rep.Reconfigurations != 0 || len(rep.Decisions) != 0 {
+		t.Fatal("ControllerNone must not reconfigure anything")
+	}
+
+	for _, name := range []string{SeriesWindowP95, SeriesOfferedLoad, SeriesClusterSize, SeriesUtilization} {
+		pts := rep.Series[name]
+		if len(pts) < 10 {
+			t.Errorf("series %s has only %d points", name, len(pts))
+		}
+	}
+	text := rep.String()
+	for _, want := range []string{"inconsistency window", "SLA", "cost", "configuration"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("report text missing %q:\n%s", want, text)
+		}
+	}
+	if plot := rep.PlotSeries(SeriesWindowP95, 40); !strings.Contains(plot, SeriesWindowP95) {
+		t.Error("PlotSeries produced no output for a populated series")
+	}
+	if plot := rep.PlotSeries("no-such-series", 40); plot != "" {
+		t.Error("PlotSeries should return empty output for unknown series")
+	}
+}
+
+func TestScenarioIsDeterministic(t *testing.T) {
+	spec := quickSpec()
+	spec.Duration = 45 * time.Second
+	a := runScenario(t, spec)
+	b := runScenario(t, spec)
+	if a.Reads != b.Reads || a.Writes != b.Writes || a.StaleReads != b.StaleReads {
+		t.Fatalf("same seed produced different traffic: %d/%d/%d vs %d/%d/%d",
+			a.Reads, a.Writes, a.StaleReads, b.Reads, b.Writes, b.StaleReads)
+	}
+	if a.Window.P95 != b.Window.P95 || a.Cost.Total != b.Cost.Total {
+		t.Fatalf("same seed produced different outcomes: window %v vs %v, cost %v vs %v",
+			a.Window.P95, b.Window.P95, a.Cost.Total, b.Cost.Total)
+	}
+
+	spec.Seed = 999
+	c := runScenario(t, spec)
+	if c.Reads == a.Reads && c.Window.P95 == a.Window.P95 {
+		t.Fatal("different seeds produced identical runs; randomness is not wired to the seed")
+	}
+}
+
+func TestScenarioRunOnlyOnce(t *testing.T) {
+	sc, err := NewScenario(quickSpec())
+	if err != nil {
+		t.Fatalf("NewScenario: %v", err)
+	}
+	if _, err := sc.Run(); err != nil {
+		t.Fatalf("first Run: %v", err)
+	}
+	if _, err := sc.Run(); err == nil {
+		t.Fatal("second Run should fail")
+	}
+}
+
+func TestScenarioInterventions(t *testing.T) {
+	spec := quickSpec()
+	spec.Workload.BaseOpsPerSec = 800
+	sc, err := NewScenario(spec)
+	if err != nil {
+		t.Fatalf("NewScenario: %v", err)
+	}
+
+	var before, after ConsistencyLevel
+	var failErr, recoverErr error
+	sc.At(20*time.Second, func(h *Handle) {
+		before = h.WriteConsistency()
+		if err := h.SetWriteConsistency(ConsistencyQuorum); err != nil {
+			t.Errorf("SetWriteConsistency: %v", err)
+		}
+		after = h.WriteConsistency()
+	})
+	sc.At(30*time.Second, func(h *Handle) {
+		failErr = h.FailNode(0)
+	})
+	sc.At(50*time.Second, func(h *Handle) {
+		recoverErr = h.RecoverNode()
+		h.SetNetworkCongestion(0.4)
+		h.SetBackgroundLoad(0.3)
+	})
+	sc.At(70*time.Second, func(h *Handle) {
+		if h.Now() < 70*time.Second {
+			t.Error("hook ran before its scheduled time")
+		}
+		if h.TrueWindowP95() < 0 || h.EstimatedWindowP95() < 0 {
+			t.Error("window accessors returned negative values")
+		}
+		if h.ClusterSize() <= 0 || h.ReplicationFactor() <= 0 {
+			t.Error("handle reports empty cluster")
+		}
+	})
+
+	rep, err := sc.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if before != ConsistencyOne || after != ConsistencyQuorum {
+		t.Fatalf("consistency change not visible through the handle: before=%s after=%s", before, after)
+	}
+	if failErr != nil || recoverErr != nil {
+		t.Fatalf("fault injection failed: fail=%v recover=%v", failErr, recoverErr)
+	}
+	if rep.FinalConfiguration.WriteConsistency != ConsistencyQuorum {
+		t.Fatalf("final write consistency = %s, want QUORUM", rep.FinalConfiguration.WriteConsistency)
+	}
+}
+
+func TestScenarioHandleErrors(t *testing.T) {
+	spec := quickSpec()
+	spec.Duration = 30 * time.Second
+	sc, err := NewScenario(spec)
+	if err != nil {
+		t.Fatalf("NewScenario: %v", err)
+	}
+	sc.At(5*time.Second, func(h *Handle) {
+		if err := h.SetWriteConsistency("BOGUS"); err == nil {
+			t.Error("invalid consistency level accepted")
+		}
+		if err := h.SetReadConsistency("BOGUS"); err == nil {
+			t.Error("invalid consistency level accepted")
+		}
+		if err := h.FailNode(99); err == nil {
+			t.Error("failing a non-existent node succeeded")
+		}
+		if err := h.RecoverNode(); err == nil {
+			t.Error("recovering with no failed node succeeded")
+		}
+		if err := h.SetReplicationFactor(0); err == nil {
+			t.Error("zero replication factor accepted")
+		}
+	})
+	if _, err := sc.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestScenarioSmartControllerActsOnStressedSystem(t *testing.T) {
+	// Two small nodes, write-heavy load near saturation and a tight window
+	// SLA: the smart controller must reconfigure (tighten consistency and/or
+	// add nodes), and the report must carry its decisions.
+	spec := DefaultScenarioSpec()
+	spec.Duration = 4 * time.Minute
+	spec.SampleInterval = 5 * time.Second
+	spec.Cluster.InitialNodes = 2
+	spec.Cluster.MinNodes = 2
+	spec.Cluster.NodeOpsPerSec = 2500
+	spec.Cluster.BootstrapTime = 30 * time.Second
+	spec.Workload.BaseOpsPerSec = 3500
+	spec.Workload.ReadFraction = 0.3
+	spec.Workload.Keyspace = 2000
+	spec.SLA.MaxWindowP95 = 40 * time.Millisecond
+	spec.Controller.Mode = ControllerSmart
+	spec.Controller.ControlInterval = 10 * time.Second
+
+	rep := runScenario(t, spec)
+	if rep.Reconfigurations == 0 {
+		t.Fatal("smart controller never acted on a stressed system")
+	}
+	if len(rep.Decisions) == 0 {
+		t.Fatal("no decisions recorded in the report")
+	}
+	if rep.MaxClusterSize < rep.MinClusterSize {
+		t.Fatalf("cluster size bookkeeping broken: min=%d max=%d", rep.MinClusterSize, rep.MaxClusterSize)
+	}
+}
+
+func TestScenarioReactiveControllerScalesOnCPU(t *testing.T) {
+	spec := DefaultScenarioSpec()
+	spec.Duration = 4 * time.Minute
+	spec.SampleInterval = 10 * time.Second
+	spec.Cluster.InitialNodes = 2
+	spec.Cluster.MinNodes = 2
+	spec.Cluster.NodeOpsPerSec = 2000
+	spec.Cluster.BootstrapTime = 30 * time.Second
+	spec.Workload.BaseOpsPerSec = 3600
+	spec.Workload.Keyspace = 2000
+	spec.Controller.Mode = ControllerReactive
+	spec.Controller.ControlInterval = 10 * time.Second
+
+	rep := runScenario(t, spec)
+	if rep.Reconfigurations == 0 {
+		t.Fatal("reactive autoscaler never scaled an overloaded cluster")
+	}
+	if rep.MaxClusterSize <= 2 {
+		t.Fatalf("cluster never grew: max size %d", rep.MaxClusterSize)
+	}
+}
+
+func TestScenarioNoisyNeighbourWidensWindow(t *testing.T) {
+	quiet := quickSpec()
+	quiet.Duration = 2 * time.Minute
+	quiet.Workload.BaseOpsPerSec = 2500
+	noisy := quiet
+	noisy.Cluster.NoisyNeighbour = true
+
+	repQuiet := runScenario(t, quiet)
+	repNoisy := runScenario(t, noisy)
+	if repNoisy.Window.P95 <= repQuiet.Window.P95 {
+		t.Fatalf("noisy-neighbour interference should widen the window: quiet p95=%v noisy p95=%v",
+			repQuiet.Window.P95, repNoisy.Window.P95)
+	}
+}
