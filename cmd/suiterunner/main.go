@@ -1,0 +1,169 @@
+// Command suiterunner expands a scenario grid — workload pattern × controller
+// mode × cluster size × SLA tier — into concrete variants with deterministic
+// per-variant seeds, runs them concurrently across a bounded worker pool and
+// prints the aggregated comparison tables. The full suite report can also be
+// exported as CSV (one row per variant) or JSON (lossless, including the
+// sampled time series).
+//
+// Usage examples:
+//
+//	suiterunner                                       # default 12-variant grid
+//	suiterunner -patterns constant,diurnal,spike -controllers none,smart \
+//	    -nodes 3,6 -sla-tiers tight,loose -duration 10m
+//	suiterunner -csv sweep.csv -json sweep.json       # export the results
+//	suiterunner -list                                 # print the grid and exit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"autonosql"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+func run(args []string, out *os.File) int {
+	fs := flag.NewFlagSet("suiterunner", flag.ContinueOnError)
+	var (
+		seed        = fs.Int64("seed", 1, "base seed; per-variant seeds are derived from it")
+		duration    = fs.Duration("duration", 5*time.Minute, "simulated duration per variant")
+		patterns    = fs.String("patterns", "constant,diurnal,spike", "comma-separated load patterns to sweep")
+		controllers = fs.String("controllers", "none,smart", "comma-separated controller modes to sweep")
+		nodes       = fs.String("nodes", "3,6", "comma-separated initial cluster sizes to sweep")
+		slaTiers    = fs.String("sla-tiers", "", "comma-separated SLA tiers to sweep (tight, default, loose); empty keeps the base SLA")
+		repeats     = fs.Int("repeats", 1, "runs per grid cell with distinct derived seeds")
+		baseOps     = fs.Float64("base", 2000, "base offered load (ops/s)")
+		peakOps     = fs.Float64("peak", 4000, "peak offered load for non-constant patterns (ops/s)")
+		nodeOps     = fs.Float64("node-ops", 2000, "per-node sustainable ops/s")
+		maxNodes    = fs.Int("max-nodes", 12, "maximum cluster size reachable through scaling")
+		parallel    = fs.Int("parallelism", 0, "max concurrently running variants (0 = GOMAXPROCS)")
+		csvPath     = fs.String("csv", "", "write the per-variant results as CSV to this file")
+		jsonPath    = fs.String("json", "", "write the full suite report as JSON to this file")
+		list        = fs.Bool("list", false, "print the expanded variants and exit without running")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	base := autonosql.DefaultScenarioSpec()
+	base.Seed = *seed
+	base.Duration = *duration
+	base.Cluster.NodeOpsPerSec = *nodeOps
+	base.Cluster.MaxNodes = *maxNodes
+	base.Workload.BaseOpsPerSec = *baseOps
+	base.Workload.PeakOpsPerSec = *peakOps
+
+	grid, err := buildGrid(*patterns, *controllers, *nodes, *slaTiers, *repeats)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "suiterunner: %v\n", err)
+		return 2
+	}
+
+	suite, err := autonosql.NewSuite(autonosql.SuiteSpec{
+		Base:        base,
+		Grid:        grid,
+		Parallelism: *parallel,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "suiterunner: %v\n", err)
+		return 2
+	}
+
+	variants := suite.Variants()
+	if *list {
+		for _, v := range variants {
+			fmt.Fprintf(out, "%-60s seed=%d\n", v.Name, v.Spec.Seed)
+		}
+		return 0
+	}
+
+	fmt.Fprintf(out, "autonosql suite: %d variants, %v simulated each\n\n", len(variants), *duration)
+	started := time.Now()
+	report, err := suite.Run()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "suiterunner: %v\n", err)
+		return 1
+	}
+	fmt.Fprint(out, report.ComparisonTable())
+	fmt.Fprintln(out)
+	fmt.Fprint(out, report.CostTable())
+	fmt.Fprintf(out, "\ncompleted in %v\n", time.Since(started).Round(time.Millisecond))
+
+	if best := report.CheapestCompliant(0); best != nil {
+		fmt.Fprintf(out, "cheapest fully compliant variant: %s ($%.2f)\n", best.Name, best.Report.Cost.Total)
+	}
+
+	if *csvPath != "" {
+		if err := writeFile(*csvPath, report.WriteCSV); err != nil {
+			fmt.Fprintf(os.Stderr, "suiterunner: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(out, "wrote CSV results to %s\n", *csvPath)
+	}
+	if *jsonPath != "" {
+		if err := writeFile(*jsonPath, report.WriteJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "suiterunner: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(out, "wrote JSON report to %s\n", *jsonPath)
+	}
+	return 0
+}
+
+// buildGrid parses the axis flags into a Grid.
+func buildGrid(patterns, controllers, nodes, slaTiers string, repeats int) (autonosql.Grid, error) {
+	var grid autonosql.Grid
+	for _, p := range splitList(patterns) {
+		grid.Patterns = append(grid.Patterns, autonosql.LoadPattern(p))
+	}
+	for _, c := range splitList(controllers) {
+		grid.Controllers = append(grid.Controllers, autonosql.ControllerMode(c))
+	}
+	for _, n := range splitList(nodes) {
+		size, err := strconv.Atoi(n)
+		if err != nil || size <= 0 {
+			return autonosql.Grid{}, fmt.Errorf("invalid cluster size %q", n)
+		}
+		grid.ClusterSizes = append(grid.ClusterSizes, size)
+	}
+	for _, name := range splitList(slaTiers) {
+		tier, ok := autonosql.LookupSLATier(name)
+		if !ok {
+			return autonosql.Grid{}, fmt.Errorf("unknown SLA tier %q (available: tight, default, loose)", name)
+		}
+		grid.SLATiers = append(grid.SLATiers, tier)
+	}
+	grid.Repeats = repeats
+	return grid, nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func writeFile(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

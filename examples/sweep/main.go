@@ -1,0 +1,59 @@
+// Sweep: expand a parameter grid — three load patterns × two controllers ×
+// two cluster sizes — into twelve scenario variants with deterministic
+// per-variant seeds, run them concurrently through the suite runner and
+// compare the outcomes: which combinations hold the SLA, and what each one
+// costs. The grid is the programmatic equivalent of cmd/suiterunner.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"autonosql"
+)
+
+func main() {
+	base := autonosql.DefaultScenarioSpec()
+	base.Duration = 4 * time.Minute
+	base.Cluster.NodeOpsPerSec = 2000
+	base.Cluster.MaxNodes = 10
+	base.Workload.BaseOpsPerSec = 1500
+	base.Workload.PeakOpsPerSec = 3500
+	base.SLA.MaxWindowP95 = 150 * time.Millisecond
+
+	suite, err := autonosql.NewSuite(autonosql.SuiteSpec{
+		Base: base,
+		Grid: autonosql.Grid{
+			Patterns:     []autonosql.LoadPattern{autonosql.LoadConstant, autonosql.LoadDiurnal, autonosql.LoadSpike},
+			Controllers:  []autonosql.ControllerMode{autonosql.ControllerNone, autonosql.ControllerSmart},
+			ClusterSizes: []int{3, 6},
+		},
+	})
+	if err != nil {
+		log.Fatalf("building suite: %v", err)
+	}
+
+	fmt.Printf("running %d variants...\n\n", len(suite.Variants()))
+	report, err := suite.Run()
+	if err != nil {
+		log.Fatalf("running suite: %v", err)
+	}
+
+	fmt.Print(report.ComparisonTable())
+	fmt.Println()
+	fmt.Print(report.CostTable())
+
+	if best := report.CheapestCompliant(0); best != nil {
+		fmt.Printf("\ncheapest fully compliant variant: %s ($%.2f)\n", best.Name, best.Report.Cost.Total)
+	}
+
+	// The per-variant outcomes round-trip through CSV (and the full report,
+	// time series included, through JSON), so sweeps can be archived and
+	// re-analysed later.
+	fmt.Println()
+	if err := report.WriteCSV(os.Stdout); err != nil {
+		log.Fatalf("exporting results: %v", err)
+	}
+}

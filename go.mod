@@ -1,0 +1,3 @@
+module autonosql
+
+go 1.24

@@ -1,0 +1,21 @@
+// Package cluster models the infrastructure an eventually-consistent store
+// runs on: the nodes, the datacentre network between them, and the shared
+// multi-tenant platform underneath.
+//
+// A Node is a serial executor with a finite capacity: foreground reads and
+// writes, background replication applies and repair work all queue for the
+// same per-node service time, so saturating a node visibly delays replica
+// convergence — the mechanism behind the inconsistency window the paper
+// studies. The Network adds log-normally jittered propagation delay and an
+// externally settable congestion level.
+//
+// The Cluster ties the nodes together and models elasticity the way a cloud
+// deployment experiences it: AddNode provisions a node that only starts
+// serving after its bootstrap time, RemoveNode drains a node over its
+// decommission time, and FailNode/RecoverNode model crashes. NodeSeconds
+// accounts consumed capacity for the cost model.
+//
+// A TenantDriver replays a background-load profile on the same nodes,
+// reproducing the noisy-neighbour interference that makes the window drift
+// over time at an otherwise identical configuration and load.
+package cluster

@@ -32,10 +32,10 @@ func newFakeActuator() *fakeActuator {
 	return &fakeActuator{size: 3, rf: 3, readCL: store.One, writeCL: store.One, minSize: 1, maxSize: 64}
 }
 
-func (f *fakeActuator) ClusterSize() int                          { return f.size }
-func (f *fakeActuator) ReplicationFactor() int                    { return f.rf }
-func (f *fakeActuator) ReadConsistency() store.ConsistencyLevel   { return f.readCL }
-func (f *fakeActuator) WriteConsistency() store.ConsistencyLevel  { return f.writeCL }
+func (f *fakeActuator) ClusterSize() int                         { return f.size }
+func (f *fakeActuator) ReplicationFactor() int                   { return f.rf }
+func (f *fakeActuator) ReadConsistency() store.ConsistencyLevel  { return f.readCL }
+func (f *fakeActuator) WriteConsistency() store.ConsistencyLevel { return f.writeCL }
 func (f *fakeActuator) SetReadConsistency(cl store.ConsistencyLevel) error {
 	if err := f.consumeFailure(); err != nil {
 		return err

@@ -1,0 +1,21 @@
+// Package experiment reproduces the evaluation of "Advanced monitoring and
+// smart auto-scaling of NoSQL systems". The paper is a doctoral-symposium
+// vision paper without a numbered evaluation section, so the experiments here
+// (E1–E5) are derived from its research questions and research plan; the
+// repository's ARCHITECTURE.md documents the mapping.
+//
+//	E1 — which parameters drive the inconsistency window (research plan step 1)
+//	E2 — cost and accuracy of window monitoring (RQ1)
+//	E3 — deriving configuration from the SLA (RQ2)
+//	E4 — reconfiguration overhead, convergence and wrong actions (RQ3)
+//	E5 — end-to-end smart auto-scaling vs. the baselines (aims & motivation)
+//
+// Every experiment is deterministic for a given scale and produces one or
+// more Tables plus figure-like ASCII series where a timeline matters.
+//
+// The experiments do not run their scenarios by hand: each one declares its
+// parameter cells as named autonosql suite variants and executes them through
+// the public suite runner, which spreads the independent simulations across a
+// bounded goroutine pool. Per-cell seeds are fixed in the specs, so the
+// numbers are identical whatever the parallelism.
+package experiment

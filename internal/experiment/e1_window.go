@@ -66,45 +66,28 @@ func effectiveCapacity(nodes int, nodeOpsPerSec, readFraction float64, rf int) f
 // RunE1 reproduces the window parameter study (research plan step 1 and the
 // Bermbach & Tai drift observation): how the inconsistency window depends on
 // offered load, replication factor, write consistency level and
-// noisy-neighbour interference.
+// noisy-neighbour interference. All cells of all four sub-studies are
+// independent, so they run as one concurrent suite.
 func RunE1(scale Scale) (*Result, error) {
 	started := time.Now()
 	res := &Result{ID: "E1", Title: "Inconsistency-window parameter study"}
 
-	// --- E1a: window vs offered load -------------------------------------
 	loads := []float64{0.30, 0.50, 0.70, 0.85, 0.95}
+	rfs := []int{1, 2, 3, 5}
+	levels := []autonosql.ConsistencyLevel{autonosql.ConsistencyOne, autonosql.ConsistencyTwo,
+		autonosql.ConsistencyQuorum, autonosql.ConsistencyAll}
 	if scale == ScaleQuick {
 		loads = []float64{0.30, 0.70, 0.95}
+		rfs = []int{1, 3, 5}
+		levels = []autonosql.ConsistencyLevel{autonosql.ConsistencyOne, autonosql.ConsistencyQuorum, autonosql.ConsistencyAll}
 	}
-	ta := Table{
-		ID:    "E1a",
-		Title: "Inconsistency window vs offered load (RF=3, write CL=ONE, quiet platform)",
-		Columns: []string{"load (frac of capacity)", "ops/s", "window p50 (ms)", "window p95 (ms)",
-			"window p99 (ms)", "write p99 (ms)", "stale reads"},
-	}
+	noisies := []bool{false, true}
+
+	var variants []autonosql.Variant
 	for _, frac := range loads {
 		spec := e1BaseSpec(scale)
 		spec.Workload.BaseOpsPerSec = frac * effectiveCapacity(3, 2000, 0.5, 3)
-		rep, err := run(spec)
-		if err != nil {
-			return nil, fmt.Errorf("E1a load=%.2f: %w", frac, err)
-		}
-		ta.AddRow(fnum(frac), fops(spec.Workload.BaseOpsPerSec), fms(rep.Window.P50), fms(rep.Window.P95),
-			fms(rep.Window.P99), fms(rep.WriteLatency.P99), fpct(rep.StaleReadRate))
-	}
-	ta.AddNote("expected shape: the window grows super-linearly as the load approaches the cluster capacity")
-	res.Tables = append(res.Tables, ta)
-
-	// --- E1b: window vs replication factor --------------------------------
-	rfs := []int{1, 2, 3, 5}
-	if scale == ScaleQuick {
-		rfs = []int{1, 3, 5}
-	}
-	tb := Table{
-		ID:    "E1b",
-		Title: "Inconsistency window vs replication factor (load=60%, write CL=ONE)",
-		Columns: []string{"replication factor", "window p50 (ms)", "window p95 (ms)", "window p99 (ms)",
-			"write p99 (ms)", "stale reads"},
+		variants = append(variants, autonosql.Variant{Name: fmt.Sprintf("E1a load=%.2f", frac), Spec: spec})
 	}
 	for _, rf := range rfs {
 		spec := e1BaseSpec(scale)
@@ -112,10 +95,52 @@ func RunE1(scale Scale) (*Result, error) {
 		spec.Cluster.InitialNodes = 5 // room for RF=5
 		spec.Workload.BaseOpsPerSec = 0.6 * effectiveCapacity(5, 2000, 0.5, 3)
 		spec.Store.ReplicationFactor = rf
-		rep, err := run(spec)
-		if err != nil {
-			return nil, fmt.Errorf("E1b rf=%d: %w", rf, err)
-		}
+		variants = append(variants, autonosql.Variant{Name: fmt.Sprintf("E1b rf=%d", rf), Spec: spec})
+	}
+	for _, cl := range levels {
+		spec := e1BaseSpec(scale)
+		spec.Seed = 103
+		spec.Workload.BaseOpsPerSec = 0.6 * effectiveCapacity(3, 2000, 0.5, 3)
+		spec.Store.WriteConsistency = cl
+		variants = append(variants, autonosql.Variant{Name: fmt.Sprintf("E1c cl=%s", cl), Spec: spec})
+	}
+	for _, noisy := range noisies {
+		spec := e1BaseSpec(scale)
+		spec.Seed = 104
+		spec.Workload.BaseOpsPerSec = 0.6 * effectiveCapacity(3, 2000, 0.5, 3)
+		spec.Cluster.NoisyNeighbour = noisy
+		variants = append(variants, autonosql.Variant{Name: fmt.Sprintf("E1d noisy=%v", noisy), Spec: spec})
+	}
+
+	reports, err := runSuite(variants)
+	if err != nil {
+		return nil, fmt.Errorf("E1: %w", err)
+	}
+
+	// --- E1a: window vs offered load -------------------------------------
+	ta := Table{
+		ID:    "E1a",
+		Title: "Inconsistency window vs offered load (RF=3, write CL=ONE, quiet platform)",
+		Columns: []string{"load (frac of capacity)", "ops/s", "window p50 (ms)", "window p95 (ms)",
+			"window p99 (ms)", "write p99 (ms)", "stale reads"},
+	}
+	for _, frac := range loads {
+		rep := reports[fmt.Sprintf("E1a load=%.2f", frac)]
+		ta.AddRow(fnum(frac), fops(rep.Spec.Workload.BaseOpsPerSec), fms(rep.Window.P50), fms(rep.Window.P95),
+			fms(rep.Window.P99), fms(rep.WriteLatency.P99), fpct(rep.StaleReadRate))
+	}
+	ta.AddNote("expected shape: the window grows super-linearly as the load approaches the cluster capacity")
+	res.Tables = append(res.Tables, ta)
+
+	// --- E1b: window vs replication factor --------------------------------
+	tb := Table{
+		ID:    "E1b",
+		Title: "Inconsistency window vs replication factor (load=60%, write CL=ONE)",
+		Columns: []string{"replication factor", "window p50 (ms)", "window p95 (ms)", "window p99 (ms)",
+			"write p99 (ms)", "stale reads"},
+	}
+	for _, rf := range rfs {
+		rep := reports[fmt.Sprintf("E1b rf=%d", rf)]
 		tb.AddRow(fint(rf), fms(rep.Window.P50), fms(rep.Window.P95), fms(rep.Window.P99),
 			fms(rep.WriteLatency.P99), fpct(rep.StaleReadRate))
 	}
@@ -123,11 +148,6 @@ func RunE1(scale Scale) (*Result, error) {
 	res.Tables = append(res.Tables, tb)
 
 	// --- E1c: window vs write consistency level ---------------------------
-	levels := []autonosql.ConsistencyLevel{autonosql.ConsistencyOne, autonosql.ConsistencyTwo,
-		autonosql.ConsistencyQuorum, autonosql.ConsistencyAll}
-	if scale == ScaleQuick {
-		levels = []autonosql.ConsistencyLevel{autonosql.ConsistencyOne, autonosql.ConsistencyQuorum, autonosql.ConsistencyAll}
-	}
 	tc := Table{
 		ID:    "E1c",
 		Title: "Inconsistency window vs write consistency level (load=60%, RF=3)",
@@ -135,14 +155,7 @@ func RunE1(scale Scale) (*Result, error) {
 			"write p99 (ms)", "stale reads"},
 	}
 	for _, cl := range levels {
-		spec := e1BaseSpec(scale)
-		spec.Seed = 103
-		spec.Workload.BaseOpsPerSec = 0.6 * effectiveCapacity(3, 2000, 0.5, 3)
-		spec.Store.WriteConsistency = cl
-		rep, err := run(spec)
-		if err != nil {
-			return nil, fmt.Errorf("E1c cl=%s: %w", cl, err)
-		}
+		rep := reports[fmt.Sprintf("E1c cl=%s", cl)]
 		tc.AddRow(string(cl), fms(rep.Window.P50), fms(rep.Window.P95), fms(rep.Window.P99),
 			fms(rep.WriteLatency.P99), fpct(rep.StaleReadRate))
 	}
@@ -156,15 +169,8 @@ func RunE1(scale Scale) (*Result, error) {
 		Columns: []string{"noisy neighbour", "window p50 (ms)", "window p95 (ms)", "window p99 (ms)",
 			"write p99 (ms)", "stale reads"},
 	}
-	for _, noisy := range []bool{false, true} {
-		spec := e1BaseSpec(scale)
-		spec.Seed = 104
-		spec.Workload.BaseOpsPerSec = 0.6 * effectiveCapacity(3, 2000, 0.5, 3)
-		spec.Cluster.NoisyNeighbour = noisy
-		rep, err := run(spec)
-		if err != nil {
-			return nil, fmt.Errorf("E1d noisy=%v: %w", noisy, err)
-		}
+	for _, noisy := range noisies {
+		rep := reports[fmt.Sprintf("E1d noisy=%v", noisy)]
 		td.AddRow(fbool(noisy), fms(rep.Window.P50), fms(rep.Window.P95), fms(rep.Window.P99),
 			fms(rep.WriteLatency.P99), fpct(rep.StaleReadRate))
 	}
@@ -174,13 +180,4 @@ func RunE1(scale Scale) (*Result, error) {
 
 	res.Elapsed = time.Since(started)
 	return res, nil
-}
-
-// run builds and runs one scenario.
-func run(spec autonosql.ScenarioSpec) (*autonosql.Report, error) {
-	sc, err := autonosql.NewScenario(spec)
-	if err != nil {
-		return nil, err
-	}
-	return sc.Run()
 }

@@ -38,15 +38,6 @@ func RunE2(scale Scale) (*Result, error) {
 		return spec
 	}
 
-	// Reference run without any monitoring overhead: active probing off.
-	reference := baseSpec()
-	reference.Monitor.ActiveProbes = false
-	reference.Monitor.PassiveObservation = false
-	refRep, err := run(reference)
-	if err != nil {
-		return nil, fmt.Errorf("E2 reference: %w", err)
-	}
-
 	type cell struct {
 		name      string
 		active    bool
@@ -70,23 +61,36 @@ func RunE2(scale Scale) (*Result, error) {
 		}
 	}
 
+	// Reference run without any monitoring overhead, plus one variant per
+	// monitoring technique, all concurrent.
+	const refName = "unmonitored reference"
+	reference := baseSpec()
+	reference.Monitor.ActiveProbes = false
+	reference.Monitor.PassiveObservation = false
+	variants := []autonosql.Variant{{Name: refName, Spec: reference}}
+	for _, c := range cells {
+		spec := baseSpec()
+		spec.Monitor.ActiveProbes = c.active
+		spec.Monitor.PassiveObservation = c.passive
+		spec.Monitor.ProbeRate = c.probeRate
+		variants = append(variants, autonosql.Variant{Name: c.name, Spec: spec})
+	}
+	reports, err := runSuite(variants)
+	if err != nil {
+		return nil, fmt.Errorf("E2: %w", err)
+	}
+	refRep := reports[refName]
+
 	t := Table{
 		ID:    "E2",
 		Title: "Window-monitoring techniques: accuracy vs overhead (load=70%, RF=3, CL=ONE)",
 		Columns: []string{"technique", "true p95 (ms)", "estimate p95 (ms)", "relative error",
 			"probe ops", "overhead (% of ops)", "read p99 delta (ms)"},
 	}
-	t.AddRow("unmonitored reference", fms(refRep.Window.P95), "-", "-", "0", fpct(0), fms(0))
+	t.AddRow(refName, fms(refRep.Window.P95), "-", "-", "0", fpct(0), fms(0))
 
 	for _, c := range cells {
-		spec := baseSpec()
-		spec.Monitor.ActiveProbes = c.active
-		spec.Monitor.PassiveObservation = c.passive
-		spec.Monitor.ProbeRate = c.probeRate
-		rep, err := run(spec)
-		if err != nil {
-			return nil, fmt.Errorf("E2 %s: %w", c.name, err)
-		}
+		rep := reports[c.name]
 		relErr := 0.0
 		if rep.Window.P95 > 0 {
 			relErr = math.Abs(rep.EstimatedWindowP95-rep.Window.P95) / rep.Window.P95

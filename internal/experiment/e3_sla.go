@@ -67,11 +67,7 @@ func RunE3(scale Scale) (*Result, error) {
 		return spec
 	}
 
-	runOutcome := func(spec autonosql.ScenarioSpec) (e3Outcome, error) {
-		rep, err := run(spec)
-		if err != nil {
-			return e3Outcome{}, err
-		}
+	outcomeOf := func(rep *autonosql.Report) e3Outcome {
 		return e3Outcome{
 			windowP95:  rep.Window.P95,
 			writeP99:   rep.WriteLatency.P99,
@@ -81,7 +77,7 @@ func RunE3(scale Scale) (*Result, error) {
 			finalNodes: rep.FinalConfiguration.ClusterSize,
 			finalCL:    rep.FinalConfiguration.WriteConsistency,
 			reconfigs:  rep.Reconfigurations,
-		}, nil
+		}
 	}
 
 	// --- Exhaustive static search ------------------------------------------
@@ -100,27 +96,49 @@ func RunE3(scale Scale) (*Result, error) {
 	if scale == ScaleQuick {
 		statics = statics[:4]
 	}
-	staticOutcomes := make([]e3Outcome, len(statics))
-	// Use a permissive window clause for the static measurement runs so the
-	// penalty term does not distort the measured infrastructure/compensation
-	// cost; compliance against each SLA limit is evaluated afterwards from
-	// the measured window.
-	for i, sc := range statics {
+
+	limits := []time.Duration{50 * time.Millisecond, 100 * time.Millisecond, 250 * time.Millisecond,
+		500 * time.Millisecond, 1500 * time.Millisecond}
+	if scale == ScaleQuick {
+		limits = []time.Duration{100 * time.Millisecond, 500 * time.Millisecond}
+	}
+
+	// The static measurements and the per-limit controller runs are all
+	// independent, so they form one suite. The static measurement runs use a
+	// permissive window clause so the penalty term does not distort the
+	// measured infrastructure/compensation cost; compliance against each SLA
+	// limit is evaluated afterwards from the measured window.
+	var variants []autonosql.Variant
+	for _, sc := range statics {
 		spec := baseSpec()
 		spec.SLA.MaxWindowP95 = 10 * time.Second
 		spec.Cluster.InitialNodes = sc.nodes
 		spec.Cluster.MinNodes = sc.nodes
 		spec.Store.WriteConsistency = sc.writeCL
-		out, err := runOutcome(spec)
-		if err != nil {
-			return nil, fmt.Errorf("E3 static %q: %w", sc.name, err)
-		}
-		staticOutcomes[i] = out
+		variants = append(variants, autonosql.Variant{Name: "static " + sc.name, Spec: spec})
+	}
+	for _, limit := range limits {
+		spec := baseSpec()
+		spec.SLA.MaxWindowP95 = limit
+		spec.Controller.Mode = autonosql.ControllerSmart
+		spec.Controller.Predictive = true
+		spec.Controller.AllowConsistencyChanges = true
+		spec.Controller.AllowScaling = true
+		variants = append(variants, autonosql.Variant{Name: "controller limit=" + limit.String(), Spec: spec})
+	}
+	reports, err := runSuite(variants)
+	if err != nil {
+		return nil, fmt.Errorf("E3: %w", err)
+	}
+
+	staticOutcomes := make([]e3Outcome, len(statics))
+	for i, sc := range statics {
+		staticOutcomes[i] = outcomeOf(reports["static "+sc.name])
 	}
 
 	staticTable := Table{
-		ID:    "E3a",
-		Title: "Static configuration candidates under the E3 workload (load=70% of 3 nodes)",
+		ID:      "E3a",
+		Title:   "Static configuration candidates under the E3 workload (load=70% of 3 nodes)",
 		Columns: []string{"configuration", "window p95 (ms)", "write p99 (ms)", "infra+compensation cost"},
 	}
 	for i, sc := range statics {
@@ -130,12 +148,6 @@ func RunE3(scale Scale) (*Result, error) {
 	res.Tables = append(res.Tables, staticTable)
 
 	// --- SLA sweep: controller vs offline optimum vs static extremes --------
-	limits := []time.Duration{50 * time.Millisecond, 100 * time.Millisecond, 250 * time.Millisecond,
-		500 * time.Millisecond, 1500 * time.Millisecond}
-	if scale == ScaleQuick {
-		limits = []time.Duration{100 * time.Millisecond, 500 * time.Millisecond}
-	}
-
 	t := Table{
 		ID:    "E3b",
 		Title: "SLA-driven configuration vs offline optimum and static policies",
@@ -150,16 +162,7 @@ func RunE3(scale Scale) (*Result, error) {
 	}
 	for _, limit := range limits {
 		// Smart controller run: starts loose, must satisfy this SLA.
-		spec := baseSpec()
-		spec.SLA.MaxWindowP95 = limit
-		spec.Controller.Mode = autonosql.ControllerSmart
-		spec.Controller.Predictive = true
-		spec.Controller.AllowConsistencyChanges = true
-		spec.Controller.AllowScaling = true
-		ctl, err := runOutcome(spec)
-		if err != nil {
-			return nil, fmt.Errorf("E3 controller limit=%v: %w", limit, err)
-		}
+		ctl := outcomeOf(reports["controller limit="+limit.String()])
 
 		// Offline optimum: the cheapest static candidate whose measured
 		// window meets the limit.

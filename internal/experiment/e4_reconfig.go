@@ -88,50 +88,74 @@ func RunE4(scale Scale) (*Result, error) {
 			"window p95 after (ms)", "after/before", "converged", "time to converge (s)"},
 	}
 
-	var figures []string
+	// One variant per (action, congestion) cell. The mid-run intervention and
+	// the optional congestion injection are registered through the variant's
+	// Configure hook; action errors are captured per cell and checked after
+	// the suite has run.
+	type e4Cell struct {
+		name      string
+		action    e4Action
+		congested bool
+		applyErr  error
+	}
+	var cells []*e4Cell
+	var variants []autonosql.Variant
 	for _, congested := range []bool{false, true} {
 		for i, action := range actions {
+			cell := &e4Cell{
+				name:      fmt.Sprintf("%s congested=%v", action.name, congested),
+				action:    action,
+				congested: congested,
+			}
+			cells = append(cells, cell)
 			spec := baseSpec(401 + int64(i))
-			sc, err := autonosql.NewScenario(spec)
-			if err != nil {
-				return nil, fmt.Errorf("E4 %s: %w", action.name, err)
-			}
-			if congested {
-				sc.At(congestionAt, func(h *autonosql.Handle) { h.SetNetworkCongestion(0.6) })
-			}
-			var applyErr error
-			sc.At(actionAt, func(h *autonosql.Handle) { applyErr = action.apply(h) })
-			rep, err := sc.Run()
-			if err != nil {
-				return nil, fmt.Errorf("E4 %s: %w", action.name, err)
-			}
-			if applyErr != nil {
-				return nil, fmt.Errorf("E4 %s: applying action: %w", action.name, applyErr)
-			}
+			variants = append(variants, autonosql.Variant{
+				Name: cell.name,
+				Spec: spec,
+				Configure: func(sc *autonosql.Scenario) error {
+					if cell.congested {
+						sc.At(congestionAt, func(h *autonosql.Handle) { h.SetNetworkCongestion(0.6) })
+					}
+					sc.At(actionAt, func(h *autonosql.Handle) { cell.applyErr = cell.action.apply(h) })
+					return nil
+				},
+			})
+		}
+	}
+	reports, err := runSuite(variants)
+	if err != nil {
+		return nil, fmt.Errorf("E4: %w", err)
+	}
 
-			tl := analyzeTimeline(rep.Series[autonosql.SeriesWindowP95], actionAt, congestionAt, congested, duration)
-			ratio := 0.0
-			if tl.before > 0 {
-				ratio = tl.after / tl.before
-			}
-			convergence := "-"
-			if tl.converged {
-				convergence = fmt.Sprintf("%.0f", tl.convergence.Seconds())
-			}
-			t.AddRow(action.name, fbool(congested), fms(tl.before), fms(tl.peak), fms(tl.after),
-				fnum(ratio), fbool(tl.converged), convergence)
+	var figures []string
+	for _, cell := range cells {
+		if cell.applyErr != nil {
+			return nil, fmt.Errorf("E4 %s: applying action: %w", cell.action.name, cell.applyErr)
+		}
+		rep := reports[cell.name]
 
-			// Keep two representative figures: the helpful action under normal
-			// conditions and the paper's wrong action under congestion.
-			if !congested && action.name == "tighten write CL (ONE->QUORUM)" {
-				figures = append(figures, "Figure E4-1: window p95 timeline, tighten write CL at t="+actionAt.String()+"\n"+
-					rep.PlotSeries(autonosql.SeriesWindowP95, 50))
-			}
-			if congested && action.name == "increase RF (3->4)" {
-				figures = append(figures, "Figure E4-2: window p95 timeline, increase RF under network congestion "+
-					"(congestion from t="+congestionAt.String()+", action at t="+actionAt.String()+")\n"+
-					rep.PlotSeries(autonosql.SeriesWindowP95, 50))
-			}
+		tl := analyzeTimeline(rep.Series[autonosql.SeriesWindowP95], actionAt, congestionAt, cell.congested, duration)
+		ratio := 0.0
+		if tl.before > 0 {
+			ratio = tl.after / tl.before
+		}
+		convergence := "-"
+		if tl.converged {
+			convergence = fmt.Sprintf("%.0f", tl.convergence.Seconds())
+		}
+		t.AddRow(cell.action.name, fbool(cell.congested), fms(tl.before), fms(tl.peak), fms(tl.after),
+			fnum(ratio), fbool(tl.converged), convergence)
+
+		// Keep two representative figures: the helpful action under normal
+		// conditions and the paper's wrong action under congestion.
+		if !cell.congested && cell.action.name == "tighten write CL (ONE->QUORUM)" {
+			figures = append(figures, "Figure E4-1: window p95 timeline, tighten write CL at t="+actionAt.String()+"\n"+
+				rep.PlotSeries(autonosql.SeriesWindowP95, 50))
+		}
+		if cell.congested && cell.action.name == "increase RF (3->4)" {
+			figures = append(figures, "Figure E4-2: window p95 timeline, increase RF under network congestion "+
+				"(congestion from t="+congestionAt.String()+", action at t="+actionAt.String()+")\n"+
+				rep.PlotSeries(autonosql.SeriesWindowP95, 50))
 		}
 	}
 	t.AddNote("expected shape: tightening the write consistency level shrinks the window almost immediately; " +

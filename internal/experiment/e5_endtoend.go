@@ -85,7 +85,9 @@ func RunE5(scale Scale) (*Result, error) {
 			"reconfigurations", "max nodes"},
 	}
 
-	var figures []string
+	// One variant per policy; the four policy runs are independent and share
+	// the same diurnal + flash-crowd day, so they run as one suite.
+	variants := make([]autonosql.Variant, 0, len(policies))
 	for _, p := range policies {
 		spec := baseSpec()
 		spec.Cluster.InitialNodes = p.nodes
@@ -94,10 +96,16 @@ func RunE5(scale Scale) (*Result, error) {
 		}
 		spec.Store.WriteConsistency = p.writeCL
 		spec.Controller.Mode = p.mode
-		rep, err := run(spec)
-		if err != nil {
-			return nil, fmt.Errorf("E5 %s: %w", p.name, err)
-		}
+		variants = append(variants, autonosql.Variant{Name: p.name, Spec: spec})
+	}
+	reports, err := runSuite(variants)
+	if err != nil {
+		return nil, fmt.Errorf("E5: %w", err)
+	}
+
+	var figures []string
+	for _, p := range policies {
+		rep := reports[p.name]
 
 		compliance.AddRow(p.name, fms(rep.Window.P95), fms(rep.ReadLatency.P99), fms(rep.WriteLatency.P99),
 			fmt.Sprintf("%d", rep.StaleReads), fminutes(rep.Violations.Window),

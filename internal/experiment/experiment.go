@@ -1,17 +1,3 @@
-// Package experiment reproduces the evaluation of "Advanced monitoring and
-// smart auto-scaling of NoSQL systems". The paper is a doctoral-symposium
-// vision paper without a numbered evaluation section, so the experiments here
-// (E1–E5) are derived from its research questions and research plan; DESIGN.md
-// documents the mapping and EXPERIMENTS.md records the measured outcomes.
-//
-//	E1 — which parameters drive the inconsistency window (research plan step 1)
-//	E2 — cost and accuracy of window monitoring (RQ1)
-//	E3 — deriving configuration from the SLA (RQ2)
-//	E4 — reconfiguration overhead, convergence and wrong actions (RQ3)
-//	E5 — end-to-end smart auto-scaling vs. the baselines (aims & motivation)
-//
-// Every experiment is deterministic for a given scale and produces one or
-// more Tables plus figure-like ASCII series where a timeline matters.
 package experiment
 
 import (
@@ -19,6 +5,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"autonosql"
 )
 
 // Scale selects how much virtual time and parameter coverage an experiment
@@ -112,4 +100,20 @@ func IDs() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// runSuite executes the given named variants concurrently through the public
+// suite runner and returns their reports keyed by variant name. Every
+// experiment routes its parameter cells through here instead of running
+// scenarios one by one.
+func runSuite(variants []autonosql.Variant) (map[string]*autonosql.Report, error) {
+	suite, err := autonosql.NewSuite(autonosql.SuiteSpec{Variants: variants})
+	if err != nil {
+		return nil, err
+	}
+	report, err := suite.Run()
+	if err != nil {
+		return nil, err
+	}
+	return report.Reports(), nil
 }

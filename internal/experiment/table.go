@@ -2,7 +2,8 @@ package experiment
 
 import (
 	"fmt"
-	"strings"
+
+	"autonosql/internal/text"
 )
 
 // Table is one result table of an experiment, formatted like the tables a
@@ -39,53 +40,18 @@ func (t *Table) AddNote(format string, args ...any) {
 
 // Format renders the table as aligned plain text.
 func (t *Table) Format() string {
-	widths := make([]int, len(t.Columns))
-	for i, c := range t.Columns {
-		widths[i] = len(c)
-	}
-	for _, row := range t.Rows {
-		for i, cell := range row {
-			if i < len(widths) && len(cell) > widths[i] {
-				widths[i] = len(cell)
-			}
-		}
-	}
-
-	var b strings.Builder
-	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
-	writeRow := func(cells []string) {
-		for i, cell := range cells {
-			if i > 0 {
-				b.WriteString("  ")
-			}
-			fmt.Fprintf(&b, "%-*s", widths[i], cell)
-		}
-		b.WriteByte('\n')
-	}
-	writeRow(t.Columns)
-	sep := make([]string, len(t.Columns))
-	for i := range sep {
-		sep[i] = strings.Repeat("-", widths[i])
-	}
-	writeRow(sep)
-	for _, row := range t.Rows {
-		writeRow(row)
-	}
-	for _, n := range t.Notes {
-		fmt.Fprintf(&b, "note: %s\n", n)
-	}
-	return b.String()
+	return text.FormatAligned(fmt.Sprintf("%s — %s", t.ID, t.Title), t.Columns, t.Rows, t.Notes)
 }
 
 // formatting helpers shared by the experiment runners.
 
-func fms(seconds float64) string  { return fmt.Sprintf("%.1f", seconds*1000) }
-func fpct(frac float64) string    { return fmt.Sprintf("%.2f%%", frac*100) }
-func fnum(v float64) string       { return fmt.Sprintf("%.2f", v) }
-func fint(v int) string           { return fmt.Sprintf("%d", v) }
-func fdollar(v float64) string    { return fmt.Sprintf("$%.2f", v) }
-func fops(v float64) string       { return fmt.Sprintf("%.0f", v) }
-func fminutes(v float64) string   { return fmt.Sprintf("%.1f", v) }
+func fms(seconds float64) string { return fmt.Sprintf("%.1f", seconds*1000) }
+func fpct(frac float64) string   { return fmt.Sprintf("%.2f%%", frac*100) }
+func fnum(v float64) string      { return fmt.Sprintf("%.2f", v) }
+func fint(v int) string          { return fmt.Sprintf("%d", v) }
+func fdollar(v float64) string   { return fmt.Sprintf("$%.2f", v) }
+func fops(v float64) string      { return fmt.Sprintf("%.0f", v) }
+func fminutes(v float64) string  { return fmt.Sprintf("%.1f", v) }
 func fbool(v bool) string {
 	if v {
 		return "yes"

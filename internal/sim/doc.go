@@ -1,0 +1,8 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All components of the autonosql simulator (the replicated store, the
+// cluster resource model, workload generators, monitors and controllers) are
+// driven by a single virtual clock owned by an Engine. Events are ordered by
+// virtual time and, for events scheduled at the same instant, by insertion
+// order, which makes every run fully reproducible for a given set of seeds.
+package sim

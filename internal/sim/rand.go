@@ -22,13 +22,21 @@ func NewRandSource(seed int64) *RandSource {
 // Seed returns the root seed of the source.
 func (s *RandSource) Seed() int64 { return s.seed }
 
-// Stream returns a dedicated *rand.Rand for the named consumer.
-func (s *RandSource) Stream(name string) *rand.Rand {
+// DeriveSeed deterministically derives a child seed from a root seed and a
+// name. Distinct names yield independent child seeds for the same root, and
+// the derivation is stable across runs and platforms, so both the random
+// streams inside one scenario and the per-variant seeds of a scenario suite
+// can be derived without coordination.
+func DeriveSeed(root int64, name string) int64 {
 	h := fnv.New64a()
 	_, _ = h.Write([]byte(name))
 	const mix = int64(0x9E3779B97F4A7C15 >> 1)
-	derived := int64(h.Sum64()) ^ (s.seed * mix)
-	return rand.New(rand.NewSource(derived)) //nolint:gosec // simulation determinism, not crypto
+	return int64(h.Sum64()) ^ (root * mix)
+}
+
+// Stream returns a dedicated *rand.Rand for the named consumer.
+func (s *RandSource) Stream(name string) *rand.Rand {
+	return rand.New(rand.NewSource(DeriveSeed(s.seed, name))) //nolint:gosec // simulation determinism, not crypto
 }
 
 // Exponential draws an exponentially distributed duration with the given

@@ -1,20 +1,3 @@
-// Package sla implements the extended service-level agreement the paper
-// builds its autonomous system around: next to the usual bounds on
-// performance (latency) and availability (error rate), the SLA also bounds
-// the maximum size of the inconsistency window of the eventually-consistent
-// store.
-//
-// The package provides three pieces:
-//
-//   - SLA: the agreement itself, with a Check method that evaluates a single
-//     observation interval against every clause.
-//   - Tracker: violation accounting over a whole run, expressed as
-//     violation-minutes per clause, which is how the experiments report SLA
-//     compliance.
-//   - CostModel: the financial side of the paper's motivation — the cost of
-//     infrastructure (node-hours), the compensation cost of stale reads
-//     (e.g. double bookings in the e-commerce example), and contractual
-//     penalties for SLA violations.
 package sla
 
 import (

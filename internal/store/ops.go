@@ -1,6 +1,7 @@
 package store
 
 import (
+	"sort"
 	"time"
 
 	"autonosql/internal/cluster"
@@ -553,11 +554,24 @@ func (s *Store) queueHint(id cluster.NodeID, key Key, ver version, tracker *writ
 // available, so dropped mutations converge without waiting for the full
 // anti-entropy sweep.
 func (s *Store) retryHints(time.Duration) {
-	for id := range s.pendingHints {
+	for _, id := range s.hintedNodes() {
 		if node, ok := s.cluster.Node(id); ok && node.Available() {
 			s.deliverHints(id)
 		}
 	}
+}
+
+// hintedNodes returns the nodes with queued hints in ascending ID order.
+// Delivery draws network jitter from a shared random stream and schedules
+// events, so iterating the pendingHints map directly would let Go's
+// randomized map order leak into the simulation and break reproducibility.
+func (s *Store) hintedNodes() []cluster.NodeID {
+	ids := make([]cluster.NodeID, 0, len(s.pendingHints))
+	for id := range s.pendingHints {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
 }
 
 // deliverHints flushes queued hints (up to maxHintsPerDelivery) to a node
@@ -626,7 +640,7 @@ func (s *Store) deliverHints(id cluster.NodeID) {
 // latest acknowledged version of the keys it owns.
 func (s *Store) runAntiEntropy(time.Duration) {
 	s.aeRuns.Inc()
-	for id := range s.pendingHints {
+	for _, id := range s.hintedNodes() {
 		s.deliverHints(id)
 	}
 	s.repairAll()

@@ -186,14 +186,14 @@ type Store struct {
 	observers []Observer
 
 	// ground-truth metrics
-	readLatency    *metrics.Histogram
-	writeLatency   *metrics.Histogram
-	windowHist     *metrics.Histogram
-	recentWindow   *metrics.WindowedStat
-	reads          metrics.Counter
-	writes         metrics.Counter
-	readFailures   metrics.Counter
-	writeFailures  metrics.Counter
+	readLatency      *metrics.Histogram
+	writeLatency     *metrics.Histogram
+	windowHist       *metrics.Histogram
+	recentWindow     *metrics.WindowedStat
+	reads            metrics.Counter
+	writes           metrics.Counter
+	readFailures     metrics.Counter
+	writeFailures    metrics.Counter
 	staleReads       metrics.Counter
 	readRepairs      metrics.Counter
 	hintsQueued      metrics.Counter
@@ -425,10 +425,10 @@ func (s *Store) NodeRecovered(id cluster.NodeID) {
 // Stats returns a snapshot of cumulative ground-truth statistics.
 func (s *Store) Stats() Stats {
 	return Stats{
-		Reads:          s.reads.Value(),
-		Writes:         s.writes.Value(),
-		ReadFailures:   s.readFailures.Value(),
-		WriteFailures:  s.writeFailures.Value(),
+		Reads:            s.reads.Value(),
+		Writes:           s.writes.Value(),
+		ReadFailures:     s.readFailures.Value(),
+		WriteFailures:    s.writeFailures.Value(),
 		StaleReads:       s.staleReads.Value(),
 		ReadRepairs:      s.readRepairs.Value(),
 		HintsQueued:      s.hintsQueued.Value(),
@@ -436,9 +436,9 @@ func (s *Store) Stats() Stats {
 		DroppedMutations: s.droppedMutations.Value(),
 		LostUpdates:      s.lostUpdates.Value(),
 		AntiEntropyRan:   s.aeRuns.Value(),
-		ReadLatency:    s.readLatency.Snapshot(),
-		WriteLatency:   s.writeLatency.Snapshot(),
-		Window:         s.windowHist.Snapshot(),
+		ReadLatency:      s.readLatency.Snapshot(),
+		WriteLatency:     s.writeLatency.Snapshot(),
+		Window:           s.windowHist.Snapshot(),
 	}
 }
 

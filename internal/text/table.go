@@ -1,0 +1,58 @@
+// Package text renders aligned plain-text result tables. It is the single
+// formatting backend behind the experiment tables and the suite comparison
+// tables, so every table the project prints lines up the same way.
+package text
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FormatAligned renders one table: an optional header line, a column header
+// row, a separator, the data rows and optional "note:" lines. Rows shorter
+// than the header are padded with empty cells; longer rows are truncated.
+func FormatAligned(header string, columns []string, rows [][]string, notes []string) string {
+	widths := make([]int, len(columns))
+	for i, c := range columns {
+		widths[i] = len(c)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+
+	var b strings.Builder
+	if header != "" {
+		b.WriteString(header)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i := range columns {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(columns)
+	sep := make([]string, len(columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	for _, n := range notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}

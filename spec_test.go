@@ -74,9 +74,9 @@ func TestLoadProfileSelection(t *testing.T) {
 		min, max float64
 	}{
 		{LoadConstant, time.Minute, 99, 101},
-		{LoadStep, time.Minute, 99, 101},                 // before the step
+		{LoadStep, time.Minute, 99, 101},                   // before the step
 		{LoadStep, 5*time.Minute + time.Second, 999, 1001}, // inside the step
-		{LoadDiurnal, 5 * time.Minute, 900, 1001},        // near the crest
+		{LoadDiurnal, 5 * time.Minute, 900, 1001},          // near the crest
 		{LoadSpike, time.Minute, 99, 101},
 		{LoadDiurnalSpike, time.Minute, 99, 1100},
 	}

@@ -1,0 +1,325 @@
+package autonosql
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"autonosql/internal/sim"
+)
+
+// SLATier is a named SLA strictness preset used as a suite axis: the whole
+// SLASpec (clause bounds and prices) a variant runs under.
+type SLATier struct {
+	// Name identifies the tier in variant names and report rows.
+	Name string
+	// SLA is the agreement applied to variants on this tier.
+	SLA SLASpec
+}
+
+// DefaultSLATiers returns the three presets the suite runner and CLI expose:
+// tight (strict bounds, expensive violations), default (the bounds of
+// DefaultScenarioSpec) and loose (bounds an eventually-consistent application
+// that tolerates staleness would accept).
+func DefaultSLATiers() []SLATier {
+	def := DefaultScenarioSpec().SLA
+	tight := def
+	tight.MaxWindowP95 = 50 * time.Millisecond
+	tight.MaxReadLatencyP99 = 15 * time.Millisecond
+	tight.MaxWriteLatencyP99 = 20 * time.Millisecond
+	tight.MaxErrorRate = 0.0005
+	tight.ViolationPenaltyPerMinute = 2.00
+	loose := def
+	loose.MaxWindowP95 = time.Second
+	loose.MaxReadLatencyP99 = 50 * time.Millisecond
+	loose.MaxWriteLatencyP99 = 60 * time.Millisecond
+	loose.MaxErrorRate = 0.01
+	loose.ViolationPenaltyPerMinute = 0.50
+	return []SLATier{
+		{Name: "tight", SLA: tight},
+		{Name: "default", SLA: def},
+		{Name: "loose", SLA: loose},
+	}
+}
+
+// LookupSLATier returns the default tier with the given name.
+func LookupSLATier(name string) (SLATier, bool) {
+	for _, t := range DefaultSLATiers() {
+		if t.Name == name {
+			return t, true
+		}
+	}
+	return SLATier{}, false
+}
+
+// Grid is the axis grid of a suite. Each non-empty axis multiplies the
+// number of variants; an empty axis keeps the base spec's value. The
+// expansion order is fixed (pattern, controller, cluster size, SLA tier,
+// seed offset), so a given grid always produces the same variants in the
+// same order.
+type Grid struct {
+	// Patterns are the workload load shapes to sweep over.
+	Patterns []LoadPattern
+	// Controllers are the controller modes to sweep over.
+	Controllers []ControllerMode
+	// ClusterSizes are the initial cluster sizes to sweep over.
+	ClusterSizes []int
+	// SLATiers are the SLA presets to sweep over.
+	SLATiers []SLATier
+	// Repeats runs every cell with that many different derived seeds
+	// (0 and 1 both mean one run per cell).
+	Repeats int
+}
+
+// Size returns the number of variants the grid expands to over a base spec.
+func (g Grid) Size() int {
+	n := 1
+	for _, axis := range []int{len(g.Patterns), len(g.Controllers), len(g.ClusterSizes), len(g.SLATiers)} {
+		if axis > 0 {
+			n *= axis
+		}
+	}
+	if g.Repeats > 1 {
+		n *= g.Repeats
+	}
+	return n
+}
+
+// Variant is one concrete scenario inside a suite.
+type Variant struct {
+	// Name identifies the variant in reports and exports; it must be unique
+	// within a suite.
+	Name string
+	// Spec is the complete scenario specification, including the seed.
+	Spec ScenarioSpec
+	// Configure, when non-nil, runs on the assembled Scenario before it is
+	// executed — for example to register Scenario.At interventions.
+	Configure func(*Scenario) error
+}
+
+// ExpandGrid expands the axis grid over a base spec into the full cross
+// product of variants. Every variant gets a deterministic seed derived from
+// the base seed and the variant name, so (a) two variants never share a seed
+// and (b) the same base spec and grid always produce the same variants, in
+// the same order, regardless of where or how often they run. A grid with no
+// swept axis expands to the single base spec verbatim, seed included.
+func ExpandGrid(base ScenarioSpec, grid Grid) []Variant {
+	patterns := grid.Patterns
+	if len(patterns) == 0 {
+		patterns = []LoadPattern{base.Workload.Pattern}
+	}
+	controllers := grid.Controllers
+	if len(controllers) == 0 {
+		controllers = []ControllerMode{base.Controller.Mode}
+	}
+	sizes := grid.ClusterSizes
+	if len(sizes) == 0 {
+		sizes = []int{base.Cluster.InitialNodes}
+	}
+	tiers := grid.SLATiers
+	if len(tiers) == 0 {
+		tiers = []SLATier{{SLA: base.SLA}}
+	}
+	repeats := grid.Repeats
+	if repeats < 1 {
+		repeats = 1
+	}
+
+	variants := make([]Variant, 0, grid.Size())
+	for _, pattern := range patterns {
+		for _, controller := range controllers {
+			for _, size := range sizes {
+				for _, tier := range tiers {
+					for rep := 0; rep < repeats; rep++ {
+						name := gridVariantName(grid, pattern, controller, size, tier, rep)
+						spec := base
+						if name == "base" {
+							// Degenerate grid with no swept axis: keep the
+							// base spec (and its seed) verbatim, so a suite
+							// of one reproduces a direct NewScenario run.
+							variants = append(variants, Variant{Name: name, Spec: spec})
+							continue
+						}
+						if len(grid.Patterns) > 0 {
+							spec.Workload.Pattern = pattern
+						}
+						if len(grid.Controllers) > 0 {
+							spec.Controller.Mode = controller
+						}
+						if len(grid.ClusterSizes) > 0 {
+							spec.Cluster.InitialNodes = size
+						}
+						if len(grid.SLATiers) > 0 {
+							spec.SLA = tier.SLA
+						}
+						spec.Seed = sim.DeriveSeed(base.Seed, name)
+						variants = append(variants, Variant{Name: name, Spec: spec})
+					}
+				}
+			}
+		}
+	}
+	return variants
+}
+
+// gridVariantName builds the canonical variant name from the swept axis
+// values; axes the grid does not sweep contribute no component.
+func gridVariantName(grid Grid, pattern LoadPattern, controller ControllerMode, size int, tier SLATier, rep int) string {
+	var parts []string
+	if len(grid.Patterns) > 0 {
+		parts = append(parts, "pattern="+string(patternOrConstant(pattern)))
+	}
+	if len(grid.Controllers) > 0 {
+		parts = append(parts, "ctl="+string(modeOrNone(controller)))
+	}
+	if len(grid.ClusterSizes) > 0 {
+		parts = append(parts, fmt.Sprintf("nodes=%d", size))
+	}
+	if len(grid.SLATiers) > 0 {
+		parts = append(parts, "sla="+tier.Name)
+	}
+	if grid.Repeats > 1 {
+		parts = append(parts, fmt.Sprintf("rep=%d", rep))
+	}
+	if len(parts) == 0 {
+		return "base"
+	}
+	name := parts[0]
+	for _, p := range parts[1:] {
+		name += " " + p
+	}
+	return name
+}
+
+// SuiteSpec describes a batch of scenario variants to run and compare: a
+// base spec, an axis grid expanded over it, optional explicit variants
+// appended after the grid, and the concurrency bound.
+type SuiteSpec struct {
+	// Base is the spec every grid variant starts from.
+	Base ScenarioSpec
+	// Grid is the axis grid expanded over Base.
+	Grid Grid
+	// Variants are explicit variants appended after the grid expansion.
+	// Their specs are used verbatim (including their seeds).
+	Variants []Variant
+	// Parallelism bounds the number of concurrently running scenarios;
+	// zero or negative means GOMAXPROCS.
+	Parallelism int
+}
+
+// Suite is a validated, expanded batch of scenario variants. Build it with
+// NewSuite and execute it with Run; a suite can be run any number of times
+// and always produces the same SuiteReport.
+type Suite struct {
+	spec     SuiteSpec
+	variants []Variant
+}
+
+// NewSuite expands the grid, appends the explicit variants and validates
+// every resulting scenario spec and name.
+func NewSuite(spec SuiteSpec) (*Suite, error) {
+	variants := ExpandGrid(spec.Base, spec.Grid)
+	if len(spec.Grid.Patterns) == 0 && len(spec.Grid.Controllers) == 0 &&
+		len(spec.Grid.ClusterSizes) == 0 && len(spec.Grid.SLATiers) == 0 && spec.Grid.Repeats <= 1 {
+		// A grid with no swept axis expands to the bare base spec; drop it
+		// when explicit variants are given, so SuiteSpec{Variants: ...} does
+		// not smuggle in an extra run of the base.
+		if len(spec.Variants) > 0 {
+			variants = variants[:0]
+		}
+	}
+	variants = append(variants, spec.Variants...)
+	if len(variants) == 0 {
+		return nil, errors.New("autonosql: suite has no variants")
+	}
+	seen := make(map[string]struct{}, len(variants))
+	for i, v := range variants {
+		if v.Name == "" {
+			return nil, fmt.Errorf("autonosql: suite variant %d has no name", i)
+		}
+		if _, dup := seen[v.Name]; dup {
+			return nil, fmt.Errorf("autonosql: duplicate suite variant name %q", v.Name)
+		}
+		seen[v.Name] = struct{}{}
+		if err := v.Spec.Validate(); err != nil {
+			return nil, fmt.Errorf("autonosql: suite variant %q: %w", v.Name, err)
+		}
+	}
+	return &Suite{spec: spec, variants: variants}, nil
+}
+
+// Variants returns the expanded variants in execution order.
+func (s *Suite) Variants() []Variant {
+	out := make([]Variant, len(s.variants))
+	copy(out, s.variants)
+	return out
+}
+
+// Run executes every variant across a bounded pool of goroutines and
+// aggregates the per-variant reports into a SuiteReport. Each variant is an
+// independent simulation with its own engine and random streams, so the
+// report is identical whatever the parallelism; results are ordered by
+// variant index, not completion order. A failing variant aborts the suite:
+// in-flight variants finish, unstarted ones are skipped, and Run returns the
+// first failure by variant index.
+func (s *Suite) Run() (*SuiteReport, error) {
+	n := len(s.variants)
+	workers := s.spec.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	results := make([]VariantResult, n)
+	errs := make([]error, n)
+	var next atomic.Int64
+	next.Store(-1)
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n || failed.Load() {
+					return
+				}
+				v := s.variants[i]
+				report, err := runVariant(v)
+				if err != nil {
+					errs[i] = fmt.Errorf("autonosql: suite variant %q: %w", v.Name, err)
+					failed.Store(true)
+					continue
+				}
+				results[i] = VariantResult{Name: v.Name, Spec: v.Spec, Report: report}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &SuiteReport{Variants: results}, nil
+}
+
+// runVariant assembles, configures and runs one variant's scenario.
+func runVariant(v Variant) (*Report, error) {
+	scenario, err := NewScenario(v.Spec)
+	if err != nil {
+		return nil, err
+	}
+	if v.Configure != nil {
+		if err := v.Configure(scenario); err != nil {
+			return nil, fmt.Errorf("configuring: %w", err)
+		}
+	}
+	return scenario.Run()
+}

@@ -1,0 +1,194 @@
+package autonosql
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"autonosql/internal/text"
+)
+
+// VariantResult pairs one suite variant with the report its run produced.
+type VariantResult struct {
+	// Name is the variant name.
+	Name string
+	// Spec is the exact scenario specification the run used.
+	Spec ScenarioSpec
+	// Report is the run's outcome.
+	Report *Report
+}
+
+// SuiteReport is the aggregated outcome of one suite run: every variant's
+// report in execution order, plus comparison tables and CSV/JSON export.
+type SuiteReport struct {
+	// Variants are the per-variant results, ordered by variant index.
+	Variants []VariantResult
+}
+
+// Len returns the number of variant results.
+func (r *SuiteReport) Len() int { return len(r.Variants) }
+
+// Find returns the result with the given variant name, or nil.
+func (r *SuiteReport) Find(name string) *VariantResult {
+	for i := range r.Variants {
+		if r.Variants[i].Name == name {
+			return &r.Variants[i]
+		}
+	}
+	return nil
+}
+
+// Reports returns the per-variant reports keyed by variant name.
+func (r *SuiteReport) Reports() map[string]*Report {
+	out := make(map[string]*Report, len(r.Variants))
+	for _, v := range r.Variants {
+		out[v.Name] = v.Report
+	}
+	return out
+}
+
+// ComparisonTable renders the SLA-facing comparison across variants: the
+// ground-truth inconsistency-window percentiles, client latency, stale
+// reads, violation minutes and compliance.
+func (r *SuiteReport) ComparisonTable() string {
+	columns := []string{"variant", "window p50 (ms)", "window p95 (ms)", "window p99 (ms)",
+		"read p99 (ms)", "write p99 (ms)", "stale reads", "violation min", "compliance"}
+	rows := make([][]string, 0, len(r.Variants))
+	for _, v := range r.Variants {
+		rep := v.Report
+		rows = append(rows, []string{
+			v.Name,
+			msCell(rep.Window.P50), msCell(rep.Window.P95), msCell(rep.Window.P99),
+			msCell(rep.ReadLatency.P99), msCell(rep.WriteLatency.P99),
+			strconv.FormatUint(rep.StaleReads, 10),
+			fmt.Sprintf("%.1f", rep.Violations.Total),
+			fmt.Sprintf("%.2f%%", rep.ComplianceRatio*100),
+		})
+	}
+	return text.FormatAligned("suite comparison — SLA outcomes", columns, rows, nil)
+}
+
+// CostTable renders the cost-facing comparison across variants: node-hours,
+// the cost components, reconfiguration counts and cluster-size extremes.
+func (r *SuiteReport) CostTable() string {
+	columns := []string{"variant", "node-hours", "infrastructure", "compensation", "penalty",
+		"total cost", "reconfigs", "nodes (min..max)"}
+	rows := make([][]string, 0, len(r.Variants))
+	for _, v := range r.Variants {
+		rep := v.Report
+		rows = append(rows, []string{
+			v.Name,
+			fmt.Sprintf("%.2f", rep.Cost.NodeHours),
+			dollarCell(rep.Cost.Infrastructure), dollarCell(rep.Cost.Compensation),
+			dollarCell(rep.Cost.Penalty), dollarCell(rep.Cost.Total),
+			strconv.Itoa(rep.Reconfigurations),
+			fmt.Sprintf("%d..%d", rep.MinClusterSize, rep.MaxClusterSize),
+		})
+	}
+	return text.FormatAligned("suite comparison — cost", columns, rows, nil)
+}
+
+// String renders both comparison tables.
+func (r *SuiteReport) String() string {
+	return r.ComparisonTable() + "\n" + r.CostTable()
+}
+
+// CheapestCompliant returns the variant with the lowest total cost among
+// those whose total violation minutes do not exceed maxViolationMinutes, or
+// nil when no variant qualifies. Ties break towards the earlier variant, so
+// the answer is deterministic.
+func (r *SuiteReport) CheapestCompliant(maxViolationMinutes float64) *VariantResult {
+	var best *VariantResult
+	for i := range r.Variants {
+		v := &r.Variants[i]
+		if v.Report.Violations.Total > maxViolationMinutes {
+			continue
+		}
+		if best == nil || v.Report.Cost.Total < best.Report.Cost.Total {
+			best = v
+		}
+	}
+	return best
+}
+
+// SuiteCSVHeader is the column header of the CSV export, in column order.
+func SuiteCSVHeader() []string {
+	return []string{
+		"variant", "seed", "duration_s", "pattern", "controller", "initial_nodes", "sla_window_p95_ms",
+		"reads", "writes", "failed_reads", "failed_writes", "stale_reads",
+		"window_p50_ms", "window_p95_ms", "window_p99_ms", "window_max_ms", "window_estimate_p95_ms",
+		"read_p99_ms", "write_p99_ms",
+		"violation_min_window", "violation_min_read", "violation_min_write", "violation_min_availability",
+		"violation_min_total", "compliance",
+		"node_hours", "cost_infrastructure", "cost_compensation", "cost_penalty", "cost_total",
+		"reconfigurations", "min_nodes", "max_nodes",
+	}
+}
+
+// csvRow renders one variant as CSV cells matching SuiteCSVHeader.
+func (v *VariantResult) csvRow() []string {
+	rep := v.Report
+	f := func(val float64) string { return strconv.FormatFloat(val, 'g', -1, 64) }
+	u := func(val uint64) string { return strconv.FormatUint(val, 10) }
+	return []string{
+		v.Name,
+		strconv.FormatInt(v.Spec.Seed, 10),
+		f(v.Spec.Duration.Seconds()),
+		string(patternOrConstant(v.Spec.Workload.Pattern)),
+		string(modeOrNone(v.Spec.Controller.Mode)),
+		strconv.Itoa(v.Spec.Cluster.InitialNodes),
+		f(v.Spec.SLA.MaxWindowP95.Seconds() * 1000),
+		u(rep.Reads), u(rep.Writes), u(rep.FailedReads), u(rep.FailedWrites), u(rep.StaleReads),
+		f(rep.Window.P50 * 1000), f(rep.Window.P95 * 1000), f(rep.Window.P99 * 1000),
+		f(rep.Window.Max * 1000), f(rep.EstimatedWindowP95 * 1000),
+		f(rep.ReadLatency.P99 * 1000), f(rep.WriteLatency.P99 * 1000),
+		f(rep.Violations.Window), f(rep.Violations.ReadLatency), f(rep.Violations.WriteLatency),
+		f(rep.Violations.Availability), f(rep.Violations.Total), f(rep.ComplianceRatio),
+		f(rep.Cost.NodeHours), f(rep.Cost.Infrastructure), f(rep.Cost.Compensation),
+		f(rep.Cost.Penalty), f(rep.Cost.Total),
+		strconv.Itoa(rep.Reconfigurations),
+		strconv.Itoa(rep.MinClusterSize), strconv.Itoa(rep.MaxClusterSize),
+	}
+}
+
+// WriteCSV writes the suite outcome as one CSV record per variant, headed by
+// SuiteCSVHeader. The numeric cells use the shortest exact representation,
+// so a written value parses back to the identical float64.
+func (r *SuiteReport) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(SuiteCSVHeader()); err != nil {
+		return fmt.Errorf("autonosql: writing suite CSV header: %w", err)
+	}
+	for i := range r.Variants {
+		if err := cw.Write(r.Variants[i].csvRow()); err != nil {
+			return fmt.Errorf("autonosql: writing suite CSV row %q: %w", r.Variants[i].Name, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON writes the complete suite report — specs, reports and series —
+// as indented JSON. ReadSuiteReportJSON restores it losslessly.
+func (r *SuiteReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return fmt.Errorf("autonosql: encoding suite report: %w", err)
+	}
+	return nil
+}
+
+// ReadSuiteReportJSON reads a suite report written by WriteJSON.
+func ReadSuiteReportJSON(rd io.Reader) (*SuiteReport, error) {
+	var r SuiteReport
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, fmt.Errorf("autonosql: decoding suite report: %w", err)
+	}
+	return &r, nil
+}
+
+func msCell(seconds float64) string { return fmt.Sprintf("%.1f", seconds*1000) }
+func dollarCell(v float64) string   { return fmt.Sprintf("$%.2f", v) }
