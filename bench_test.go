@@ -1,10 +1,13 @@
 package autonosql_test
 
 // The benchmark harness regenerates the experiment suite derived from the
-// paper (see DESIGN.md): one benchmark per experiment, E1–E5, plus a
-// micro-benchmark of the simulation itself. Benchmarks run the quick-scale
-// sweep so `go test -bench=.` finishes in minutes; the full sweep used for
-// EXPERIMENTS.md is produced by `go run ./cmd/benchrunner -exp all`.
+// paper (see ARCHITECTURE.md for the system layout and EXPERIMENTS.md for
+// the experiment-to-research-question mapping): one benchmark per
+// experiment, E1–E5, plus a micro-benchmark of the simulation itself.
+// Benchmarks run the quick-scale sweep so `go test -bench=.` finishes in
+// minutes; the full sweep used for EXPERIMENTS.md is produced by
+// `go run ./cmd/benchrunner -exp all`. Performance benchmarks and the
+// recorded BENCH_*.json trajectory are described in PERFORMANCE.md.
 //
 // Each benchmark reports domain metrics (window percentiles, violation
 // minutes, cost) through b.ReportMetric, so -benchmem output doubles as a

@@ -1,0 +1,194 @@
+package autonosql_test
+
+// Golden-report determinism tests. The fingerprints under testdata/ were
+// captured before the hot-path optimisation work (event pooling, scratch
+// buffers, cached node lists — see PERFORMANCE.md) and must stay bit-for-bit
+// identical: every float in a Report is fingerprinted via math.Float64bits,
+// so even a 1-ULP drift in any statistic fails the test. Regenerate with
+//
+//	go test -run TestGolden -update-golden
+//
+// only when a change is *meant* to alter simulation results, and say why in
+// the commit message.
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"autonosql"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden fingerprints")
+
+// fpFloat renders a float64 so that any bit-level change is visible.
+func fpFloat(v float64) string {
+	return fmt.Sprintf("%#016x", math.Float64bits(v))
+}
+
+func fpLatency(b *strings.Builder, name string, l autonosql.LatencySummary) {
+	fmt.Fprintf(b, "%s: mean=%s p50=%s p95=%s p99=%s max=%s\n",
+		name, fpFloat(l.Mean), fpFloat(l.P50), fpFloat(l.P95), fpFloat(l.P99), fpFloat(l.Max))
+}
+
+// fingerprintReport folds every number a Report carries into a readable,
+// line-oriented fingerprint. Time series are folded into a running FNV-style
+// mix of their exact float bits so the fingerprint stays small.
+func fingerprintReport(r *autonosql.Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ops: reads=%d writes=%d failedReads=%d failedWrites=%d stale=%d staleRate=%s\n",
+		r.Reads, r.Writes, r.FailedReads, r.FailedWrites, r.StaleReads, fpFloat(r.StaleReadRate))
+	fpLatency(&b, "window", r.Window)
+	fmt.Fprintf(&b, "windowEstimateP95=%s\n", fpFloat(r.EstimatedWindowP95))
+	fpLatency(&b, "readLatency", r.ReadLatency)
+	fpLatency(&b, "writeLatency", r.WriteLatency)
+	fmt.Fprintf(&b, "monitoring: probeOps=%d overhead=%s\n",
+		r.MonitoringProbeOps, fpFloat(r.MonitoringOverheadFraction))
+	fmt.Fprintf(&b, "sla: compliance=%s vWindow=%s vRead=%s vWrite=%s vAvail=%s vTotal=%s\n",
+		fpFloat(r.ComplianceRatio), fpFloat(r.Violations.Window), fpFloat(r.Violations.ReadLatency),
+		fpFloat(r.Violations.WriteLatency), fpFloat(r.Violations.Availability), fpFloat(r.Violations.Total))
+	fmt.Fprintf(&b, "cost: nodeHours=%s infra=%s comp=%s penalty=%s total=%s\n",
+		fpFloat(r.Cost.NodeHours), fpFloat(r.Cost.Infrastructure), fpFloat(r.Cost.Compensation),
+		fpFloat(r.Cost.Penalty), fpFloat(r.Cost.Total))
+	fmt.Fprintf(&b, "config: nodes=%d rf=%d rcl=%s wcl=%s min=%d max=%d reconfigs=%d decisions=%d\n",
+		r.FinalConfiguration.ClusterSize, r.FinalConfiguration.ReplicationFactor,
+		r.FinalConfiguration.ReadConsistency, r.FinalConfiguration.WriteConsistency,
+		r.MinClusterSize, r.MaxClusterSize, r.Reconfigurations, len(r.Decisions))
+
+	names := make([]string, 0, len(r.Series))
+	for name := range r.Series {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pts := r.Series[name]
+		mix := uint64(1469598103934665603)
+		for _, p := range pts {
+			mix = (mix ^ uint64(p.At)) * 1099511628211
+			mix = (mix ^ math.Float64bits(p.Value)) * 1099511628211
+		}
+		fmt.Fprintf(&b, "series %s: n=%d mix=%#016x\n", name, len(pts), mix)
+	}
+	return b.String()
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden_"+name+".txt")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatalf("mkdir testdata: %v", err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatalf("writing %s: %v", path, err)
+		}
+		t.Logf("updated %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update-golden to create): %v", err)
+	}
+	if string(want) == got {
+		return
+	}
+	wantLines := strings.Split(string(want), "\n")
+	gotLines := strings.Split(got, "\n")
+	for i := 0; i < len(wantLines) || i < len(gotLines); i++ {
+		var w, g string
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if w != g {
+			t.Errorf("fingerprint line %d changed:\n  want: %s\n  got:  %s", i+1, w, g)
+		}
+	}
+	t.Fatalf("report fingerprint diverged from %s: the simulation is no longer bit-for-bit reproducible", path)
+}
+
+// goldenSpec is the fixed-seed quick-scale scenario all golden cases build on.
+func goldenSpec(seed int64, mode autonosql.ControllerMode) autonosql.ScenarioSpec {
+	spec := autonosql.DefaultScenarioSpec()
+	spec.Seed = seed
+	spec.Duration = 60 * time.Second
+	spec.Workload.BaseOpsPerSec = 2000
+	spec.Controller.Mode = mode
+	return spec
+}
+
+func runGoldenScenario(t *testing.T, spec autonosql.ScenarioSpec) *autonosql.Report {
+	t.Helper()
+	scenario, err := autonosql.NewScenario(spec)
+	if err != nil {
+		t.Fatalf("NewScenario: %v", err)
+	}
+	rep, err := scenario.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return rep
+}
+
+// TestGoldenScenarioNoController pins the plain store + workload hot path.
+func TestGoldenScenarioNoController(t *testing.T) {
+	rep := runGoldenScenario(t, goldenSpec(42, autonosql.ControllerNone))
+	checkGolden(t, "scenario_none_seed42", fingerprintReport(rep))
+}
+
+// TestGoldenScenarioSmart pins the full MAPE-K path: monitoring, analysis,
+// planning and reconfiguration actions all feed off the same event loop.
+func TestGoldenScenarioSmart(t *testing.T) {
+	spec := goldenSpec(1234, autonosql.ControllerSmart)
+	spec.Duration = 2 * time.Minute
+	rep := runGoldenScenario(t, spec)
+	checkGolden(t, "scenario_smart_seed1234", fingerprintReport(rep))
+}
+
+// TestGoldenScenarioRerunIdentical runs the same fixed-seed scenario twice in
+// one process and requires identical fingerprints, so state leaking between
+// runs (pools, caches, scratch buffers) is caught even without golden files.
+func TestGoldenScenarioRerunIdentical(t *testing.T) {
+	a := fingerprintReport(runGoldenScenario(t, goldenSpec(7, autonosql.ControllerNone)))
+	b := fingerprintReport(runGoldenScenario(t, goldenSpec(7, autonosql.ControllerNone)))
+	if a != b {
+		t.Fatalf("two runs of the same seed produced different fingerprints:\nfirst:\n%s\nsecond:\n%s", a, b)
+	}
+}
+
+// TestGoldenSuite pins a small two-variant suite, exercising the concurrent
+// runner: the aggregated report must be identical whatever the parallelism.
+func TestGoldenSuite(t *testing.T) {
+	base := goldenSpec(7, autonosql.ControllerNone)
+	base.Duration = 45 * time.Second
+	suiteSpec := autonosql.SuiteSpec{
+		Base: base,
+		Grid: autonosql.Grid{
+			Controllers: []autonosql.ControllerMode{autonosql.ControllerNone, autonosql.ControllerReactive},
+		},
+	}
+	for _, parallelism := range []int{1, 2} {
+		suiteSpec.Parallelism = parallelism
+		suite, err := autonosql.NewSuite(suiteSpec)
+		if err != nil {
+			t.Fatalf("NewSuite: %v", err)
+		}
+		rep, err := suite.Run()
+		if err != nil {
+			t.Fatalf("suite.Run: %v", err)
+		}
+		var b strings.Builder
+		for _, v := range rep.Variants {
+			fmt.Fprintf(&b, "== variant %s\n%s", v.Name, fingerprintReport(v.Report))
+		}
+		checkGolden(t, "suite_controllers_seed7", b.String())
+	}
+}

@@ -101,6 +101,13 @@ type Cluster struct {
 	nextID    NodeID
 	listeners []MembershipListener
 
+	// availCache is the memoised result of AvailableNodes. The store asks for
+	// the available-node list on every operation to pick a coordinator, so
+	// rebuilding (and re-sorting) it per call dominated the coordinator path;
+	// membership and node-state changes invalidate the cache instead.
+	availCache []*Node
+	availDirty bool
+
 	// pendingJoins tracks nodes currently bootstrapping so that rebalance
 	// load can be removed once they finish.
 	pendingJoins int
@@ -113,18 +120,29 @@ type Cluster struct {
 func New(cfg Config, engine *sim.Engine, rnd *sim.RandSource) *Cluster {
 	cfg = cfg.withDefaults()
 	c := &Cluster{
-		cfg:     cfg,
-		engine:  engine,
-		network: NewNetwork(cfg.Network, rnd.Stream("network")),
-		rnd:     rnd,
-		nodes:   make(map[NodeID]*Node),
+		cfg:        cfg,
+		engine:     engine,
+		network:    NewNetwork(cfg.Network, rnd.Stream("network")),
+		rnd:        rnd,
+		nodes:      make(map[NodeID]*Node),
+		availDirty: true,
 	}
 	for i := 0; i < cfg.InitialNodes; i++ {
 		id := c.allocateID()
-		c.nodes[id] = NewNode(id, cfg.Node, engine, rnd.Stream(fmt.Sprintf("node-%d", id)))
+		c.nodes[id] = c.adopt(NewNode(id, cfg.Node, engine, rnd.Stream(fmt.Sprintf("node-%d", id))))
 	}
 	return c
 }
+
+// adopt wires a node's state-change notification to the availability cache
+// and marks the cache stale.
+func (c *Cluster) adopt(n *Node) *Node {
+	n.notify = c.invalidateAvail
+	c.availDirty = true
+	return n
+}
+
+func (c *Cluster) invalidateAvail() { c.availDirty = true }
 
 func (c *Cluster) allocateID() NodeID {
 	c.nextID++
@@ -161,16 +179,22 @@ func (c *Cluster) Nodes() []*Node {
 }
 
 // AvailableNodes returns the nodes currently able to serve requests, ordered
-// by ID.
+// by ID. The result is memoised until the next membership or node-state
+// change; callers must treat it as read-only. A fresh slice is built on every
+// rebuild, so a list obtained before a change remains a valid snapshot.
 func (c *Cluster) AvailableNodes() []*Node {
-	out := make([]*Node, 0, len(c.nodes))
-	for _, n := range c.nodes {
-		if n.Available() {
-			out = append(out, n)
+	if c.availDirty {
+		out := make([]*Node, 0, len(c.nodes))
+		for _, n := range c.nodes {
+			if n.Available() {
+				out = append(out, n)
+			}
 		}
+		sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
+		c.availCache = out
+		c.availDirty = false
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
-	return out
+	return c.availCache
 }
 
 // Size returns the number of nodes that are up or draining.
@@ -188,13 +212,13 @@ func (c *Cluster) AddNode() (NodeID, error) {
 	}
 	c.accountNodeSeconds()
 	id := c.allocateID()
-	node := NewNode(id, c.cfg.Node, c.engine, c.rnd.Stream(fmt.Sprintf("node-%d", id)))
+	node := c.adopt(NewNode(id, c.cfg.Node, c.engine, c.rnd.Stream(fmt.Sprintf("node-%d", id))))
 	node.SetState(NodeJoining)
 	c.nodes[id] = node
 	c.pendingJoins++
 	c.applyRebalanceLoad()
 
-	c.engine.MustSchedule(c.cfg.BootstrapTime, func(time.Duration) {
+	c.engine.After(c.cfg.BootstrapTime, func(time.Duration) {
 		// The node may have been failed or removed while bootstrapping.
 		n, ok := c.nodes[id]
 		if !ok || n.State() != NodeJoining {
@@ -234,11 +258,12 @@ func (c *Cluster) RemoveNode(id NodeID) error {
 	for _, l := range c.listeners {
 		l.NodeLeft(id)
 	}
-	c.engine.MustSchedule(c.cfg.DecommissionTime, func(time.Duration) {
+	c.engine.After(c.cfg.DecommissionTime, func(time.Duration) {
 		c.accountNodeSeconds()
 		if cur, ok := c.nodes[id]; ok && cur.State() == NodeDraining {
 			cur.SetState(NodeDown)
 			delete(c.nodes, id)
+			c.invalidateAvail()
 		}
 		c.pendingJoins--
 		c.applyRebalanceLoad()

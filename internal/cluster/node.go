@@ -136,6 +136,10 @@ type Node struct {
 	busyAccum   time.Duration
 	opsServed   metrics.Counter
 	opsRejected metrics.Counter
+
+	// notify, when set by the owning cluster, is invoked on every state
+	// transition so derived views (the available-node cache) can invalidate.
+	notify func()
 }
 
 // NewNode constructs a node in the NodeUp state.
@@ -156,7 +160,12 @@ func (n *Node) ID() NodeID { return n.id }
 func (n *Node) State() NodeState { return n.state }
 
 // SetState transitions the node lifecycle state.
-func (n *Node) SetState(s NodeState) { n.state = s }
+func (n *Node) SetState(s NodeState) {
+	n.state = s
+	if n.notify != nil {
+		n.notify()
+	}
+}
 
 // Config returns the node's capacity configuration.
 func (n *Node) Config() NodeConfig { return n.cfg }

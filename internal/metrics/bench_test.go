@@ -1,0 +1,78 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkHistogramObserve measures the per-sample recording cost on the
+// store's latency/window path, including reservoir replacement once full.
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%1000) * 0.001)
+	}
+}
+
+// BenchmarkHistogramObserveDuration measures the duration-typed entry point
+// used by the store for every completed operation.
+func BenchmarkHistogramObserveDuration(b *testing.B) {
+	h := NewHistogram(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.ObserveDuration(time.Duration(i%1000) * time.Microsecond)
+	}
+}
+
+// BenchmarkHistogramSnapshot measures the controller-facing aggregation: one
+// sort amortised over three quantile queries.
+func BenchmarkHistogramSnapshot(b *testing.B) {
+	h := NewHistogram(4096)
+	for i := 0; i < 8192; i++ {
+		h.Observe(float64(i%997) * 0.001)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i) * 0.0001) // dirty the sort between snapshots
+		_ = h.Snapshot()
+	}
+}
+
+// BenchmarkWindowedObserve measures the monitor's sliding-window recording.
+func BenchmarkWindowedObserve(b *testing.B) {
+	w := NewWindowedStat(2048)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Observe(float64(i % 1000))
+	}
+}
+
+// BenchmarkWindowedQuantile measures the quantile query the sampler and the
+// controller issue several times per control interval.
+func BenchmarkWindowedQuantile(b *testing.B) {
+	w := NewWindowedStat(2048)
+	for i := 0; i < 4096; i++ {
+		w.Observe(float64(i % 997))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Observe(float64(i % 997))
+		_ = w.Quantile(0.95)
+	}
+}
+
+// BenchmarkTimeSeriesAppend measures the sampler's per-tick series append.
+func BenchmarkTimeSeriesAppend(b *testing.B) {
+	ts := NewTimeSeries("bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ts.Append(time.Duration(i)*time.Millisecond, float64(i))
+	}
+}

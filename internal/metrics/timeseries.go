@@ -158,6 +158,10 @@ type WindowedStat struct {
 	buf    []float64
 	next   int
 	filled bool
+	// scratch is the reusable sort buffer for quantile queries, which run
+	// several times per sampling interval over windows of thousands of
+	// samples.
+	scratch []float64
 }
 
 // NewWindowedStat creates a sliding window over the last size samples.
@@ -224,8 +228,8 @@ func (w *WindowedStat) Quantile(q float64) float64 {
 	if len(vs) == 0 {
 		return 0
 	}
-	cp := make([]float64, len(vs))
-	copy(cp, vs)
+	cp := append(w.scratch[:0], vs...)
+	w.scratch = cp
 	sort.Float64s(cp)
 	if q <= 0 {
 		return cp[0]

@@ -114,7 +114,7 @@ func (p *Prober) poll(key store.Key, wantVersion uint64, ackedAt, deadlineBase t
 			p.timeout++
 			p.onEstimate(p.cfg.Timeout.Seconds(), opsUsed)
 		default:
-			p.engine.MustSchedule(p.cfg.PollInterval, func(time.Duration) {
+			p.engine.After(p.cfg.PollInterval, func(time.Duration) {
 				p.poll(key, wantVersion, ackedAt, deadlineBase, opsUsed)
 			})
 		}

@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkScheduleFire measures the cost of one schedule + fire cycle on an
+// otherwise empty engine: the floor for every hop in the simulator.
+func BenchmarkScheduleFire(b *testing.B) {
+	e := NewEngine()
+	noop := func(time.Duration) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(time.Microsecond, noop)
+		e.Step()
+	}
+}
+
+// BenchmarkQueueChurn keeps a deep queue (as a loaded scenario does) while
+// scheduling and firing, exercising the heap's sift paths at realistic depth.
+func BenchmarkQueueChurn(b *testing.B) {
+	e := NewEngine()
+	noop := func(time.Duration) {}
+	const depth = 4096
+	for i := 0; i < depth; i++ {
+		e.After(time.Duration(i+1)*time.Millisecond, noop)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(time.Duration(depth)*time.Millisecond, noop)
+		e.Step()
+	}
+}
+
+// BenchmarkEventCascade measures a self-sustaining event chain, the shape of
+// the open-loop workload generator: each fired event schedules its successor.
+func BenchmarkEventCascade(b *testing.B) {
+	e := NewEngine()
+	remaining := b.N
+	var loop Handler
+	loop = func(time.Duration) {
+		if remaining > 0 {
+			remaining--
+			e.After(time.Microsecond, loop)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.After(time.Microsecond, loop)
+	for e.Step() {
+	}
+}
+
+// BenchmarkTicker measures the periodic-callback path used by control loops,
+// anti-entropy sweeps and samplers.
+func BenchmarkTicker(b *testing.B) {
+	e := NewEngine()
+	tk, err := NewTicker(e, time.Millisecond, func(time.Duration) {})
+	if err != nil {
+		b.Fatalf("NewTicker: %v", err)
+	}
+	defer tk.Stop()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"time"
@@ -17,7 +16,11 @@ type Event struct {
 	seq      uint64
 	handler  Handler
 	canceled bool
-	index    int // heap index, -1 once popped
+	// pooled marks events scheduled through After/AfterAt: no reference to
+	// them ever escapes the engine, so they are recycled after firing.
+	pooled bool
+	// next links recycled events into the engine's free list.
+	next *Event
 }
 
 // At returns the virtual time the event is scheduled for.
@@ -52,13 +55,15 @@ type Engine struct {
 	running bool
 	// processed counts events that have fired (excluding cancelled ones).
 	processed uint64
+	// free is the head of the recycled-event list. Events scheduled with
+	// After/AfterAt return here after firing, so a steady-state simulation
+	// schedules millions of events with a handful of allocations.
+	free *Event
 }
 
 // NewEngine returns an engine whose clock starts at virtual time zero.
 func NewEngine() *Engine {
-	e := &Engine{}
-	heap.Init(&e.queue)
-	return e
+	return &Engine{}
 }
 
 // Now returns the current virtual time.
@@ -66,7 +71,7 @@ func (e *Engine) Now() time.Duration { return e.now }
 
 // Pending returns the number of events currently scheduled (including
 // cancelled events that have not been drained yet).
-func (e *Engine) Pending() int { return e.queue.Len() }
+func (e *Engine) Pending() int { return len(e.queue) }
 
 // Processed returns the number of events that have fired so far.
 func (e *Engine) Processed() uint64 { return e.processed }
@@ -81,7 +86,10 @@ func (e *Engine) Schedule(delay time.Duration, handler Handler) (*Event, error) 
 	return e.ScheduleAt(e.now+delay, handler)
 }
 
-// ScheduleAt schedules handler to run at absolute virtual time at.
+// ScheduleAt schedules handler to run at absolute virtual time at. The
+// returned event is never recycled, so the caller may hold it indefinitely
+// (e.g. to cancel it); hot paths that do not need the handle should prefer
+// After/AfterAt.
 func (e *Engine) ScheduleAt(at time.Duration, handler Handler) (*Event, error) {
 	if handler == nil {
 		return nil, errors.New("sim: nil handler")
@@ -91,7 +99,7 @@ func (e *Engine) ScheduleAt(at time.Duration, handler Handler) (*Event, error) {
 	}
 	e.seq++
 	ev := &Event{at: at, seq: e.seq, handler: handler}
-	heap.Push(&e.queue, ev)
+	e.queue.push(ev)
 	return ev, nil
 }
 
@@ -105,20 +113,83 @@ func (e *Engine) MustSchedule(delay time.Duration, handler Handler) *Event {
 	return ev
 }
 
+// After schedules handler to run after delay without handing out the event,
+// panicking on error. It is the fire-and-forget variant of MustSchedule for
+// hot paths that never cancel: because no reference escapes, the engine
+// recycles the event object after it fires instead of allocating a new one
+// per schedule.
+func (e *Engine) After(delay time.Duration, handler Handler) {
+	if delay < 0 {
+		panic(fmt.Errorf("%w: delay %v", ErrPastEvent, delay))
+	}
+	e.AfterAt(e.now+delay, handler)
+}
+
+// AfterAt is After with an absolute virtual timestamp.
+func (e *Engine) AfterAt(at time.Duration, handler Handler) {
+	if handler == nil {
+		panic(errors.New("sim: nil handler"))
+	}
+	if at < e.now {
+		panic(fmt.Errorf("%w: at=%v now=%v", ErrPastEvent, at, e.now))
+	}
+	ev := e.free
+	if ev != nil {
+		e.free = ev.next
+		ev.next = nil
+		ev.canceled = false
+	} else {
+		ev = &Event{}
+	}
+	e.seq++
+	ev.at = at
+	ev.seq = e.seq
+	ev.handler = handler
+	ev.pooled = true
+	e.queue.push(ev)
+}
+
+// release returns a pooled event to the free list. The handler reference is
+// dropped so the closure (and anything it captures) can be collected.
+func (e *Engine) release(ev *Event) {
+	ev.handler = nil
+	ev.pooled = false
+	ev.next = e.free
+	e.free = ev
+}
+
+// fire advances the clock to ev's timestamp and invokes its handler. The
+// event must already be popped and not cancelled. Pooled events are recycled
+// before the handler runs: the event is fully off the queue, so the handler
+// (which may schedule new work) can reuse it immediately.
+func (e *Engine) fire(ev *Event) {
+	e.now = ev.at
+	e.processed++
+	h := ev.handler
+	if ev.pooled {
+		e.release(ev)
+	}
+	h(e.now)
+}
+
+// discard drops a cancelled event that has been popped, recycling it when
+// pooled.
+func (e *Engine) discard(ev *Event) {
+	if ev.pooled {
+		e.release(ev)
+	}
+}
+
 // Step fires the next pending event, advancing the clock to its timestamp.
 // It returns false when no events remain.
 func (e *Engine) Step() bool {
-	for e.queue.Len() > 0 {
-		ev, ok := heap.Pop(&e.queue).(*Event)
-		if !ok {
-			return false
-		}
+	for len(e.queue) > 0 {
+		ev := e.queue.pop()
 		if ev.canceled {
+			e.discard(ev)
 			continue
 		}
-		e.now = ev.at
-		e.processed++
-		ev.handler(e.now)
+		e.fire(ev)
 		return true
 	}
 	return false
@@ -137,16 +208,16 @@ func (e *Engine) Run(until time.Duration) error {
 	e.running = true
 	defer func() { e.running = false }()
 
-	for e.queue.Len() > 0 {
+	for len(e.queue) > 0 {
 		next := e.queue[0]
 		if next.canceled {
-			heap.Pop(&e.queue)
+			e.discard(e.queue.pop())
 			continue
 		}
 		if next.at > until {
 			break
 		}
-		e.Step()
+		e.fire(e.queue.pop())
 	}
 	if e.now < until {
 		e.now = until
@@ -164,53 +235,88 @@ func (e *Engine) RunAll(maxEvents uint64) error {
 	e.running = true
 	defer func() { e.running = false }()
 	start := e.processed
-	for e.queue.Len() > 0 {
+	for len(e.queue) > 0 {
 		if maxEvents > 0 && e.processed-start >= maxEvents {
 			return fmt.Errorf("sim: exceeded event cap of %d", maxEvents)
 		}
-		next := e.queue[0]
+		next := e.queue.pop()
 		if next.canceled {
-			heap.Pop(&e.queue)
+			e.discard(next)
 			continue
 		}
-		e.Step()
+		e.fire(next)
 	}
 	return nil
 }
 
-// eventQueue is a min-heap ordered by (time, sequence).
+// eventQueue is a hand-rolled 4-ary min-heap ordered by (time, sequence).
+// Compared to container/heap over a 2-ary heap this avoids the interface
+// boxing on every push/pop, halves the sift-down depth (pop-heavy workloads
+// dominate a simulator), and lets the comparisons inline. Because (at, seq)
+// is a total order — seq is unique — the pop order is exactly ascending
+// (at, seq) whatever the internal arity, which keeps simulations bit-for-bit
+// reproducible.
 type eventQueue []*Event
 
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// eventBefore reports whether a fires before b.
+func eventBefore(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return q[i].seq < q[j].seq
+	return a.seq < b.seq
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-func (q *eventQueue) Push(x any) {
-	ev, ok := x.(*Event)
-	if !ok {
-		return
+// push inserts ev, sifting it up with the hole-movement idiom (the event is
+// written once at its final position instead of swapping at every level).
+func (q *eventQueue) push(ev *Event) {
+	s := append(*q, ev)
+	*q = s
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !eventBefore(ev, s[parent]) {
+			break
+		}
+		s[i] = s[parent]
+		i = parent
 	}
-	ev.index = len(*q)
-	*q = append(*q, ev)
+	s[i] = ev
 }
 
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*q = old[:n-1]
-	return ev
+// pop removes and returns the earliest event.
+func (q *eventQueue) pop() *Event {
+	s := *q
+	top := s[0]
+	n := len(s) - 1
+	last := s[n]
+	s[n] = nil
+	s = s[:n]
+	*q = s
+	if n > 0 {
+		// Sift the former tail down from the root.
+		i := 0
+		for {
+			first := i<<2 + 1
+			if first >= n {
+				break
+			}
+			best := first
+			end := first + 4
+			if end > n {
+				end = n
+			}
+			for c := first + 1; c < end; c++ {
+				if eventBefore(s[c], s[best]) {
+					best = c
+				}
+			}
+			if !eventBefore(s[best], last) {
+				break
+			}
+			s[i] = s[best]
+			i = best
+		}
+		s[i] = last
+	}
+	return top
 }

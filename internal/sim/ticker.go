@@ -12,6 +12,9 @@ type Ticker struct {
 	engine  *Engine
 	period  time.Duration
 	handler Handler
+	// tickFn is the bound tick method, created once so re-arming does not
+	// allocate a new method value per period.
+	tickFn  Handler
 	next    *Event
 	stopped bool
 	fired   uint64
@@ -30,6 +33,7 @@ func NewTicker(engine *Engine, period time.Duration, handler Handler) (*Ticker, 
 		return nil, errors.New("sim: nil ticker handler")
 	}
 	t := &Ticker{engine: engine, period: period, handler: handler}
+	t.tickFn = t.tick
 	if err := t.schedule(); err != nil {
 		return nil, err
 	}
@@ -37,7 +41,7 @@ func NewTicker(engine *Engine, period time.Duration, handler Handler) (*Ticker, 
 }
 
 func (t *Ticker) schedule() error {
-	ev, err := t.engine.Schedule(t.period, t.tick)
+	ev, err := t.engine.Schedule(t.period, t.tickFn)
 	if err != nil {
 		return err
 	}

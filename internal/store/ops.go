@@ -1,7 +1,7 @@
 package store
 
 import (
-	"sort"
+	"slices"
 	"time"
 
 	"autonosql/internal/cluster"
@@ -17,14 +17,28 @@ import (
 
 // writeState tracks one in-flight write at the coordinator: how many replica
 // acknowledgements it still needs, how many can still arrive, and when the
-// client was (or will be) acknowledged.
+// client was (or will be) acknowledged. The window tracker, the live replica
+// list and the per-ack handler are embedded so one allocation covers the
+// whole per-write bookkeeping.
 type writeState struct {
 	store    *Store
 	key      Key
 	ver      version
 	issuedAt time.Duration
 	cb       func(Result)
-	tracker  *writeTracker
+	// tracker follows the write until every replica applied it; it is
+	// embedded by value and handed around as &w.tracker.
+	tracker writeTracker
+	// coord and live capture the coordinator and live preference list between
+	// the client leg and the coordinator fan-out.
+	coord *cluster.Node
+	live  []cluster.NodeID
+	// liveBuf backs live for the common replication factors without a second
+	// allocation.
+	liveBuf [8]cluster.NodeID
+	// ackFn is the single reusable handler for replica-acknowledgement
+	// events, created once per write instead of once per replica.
+	ackFn func(time.Duration)
 
 	required int
 	// possible is the number of replicas that can still acknowledge (live
@@ -108,13 +122,11 @@ func (s *Store) completeWrite(w *writeState, ackAtCoord time.Duration) {
 	if delay < 0 {
 		delay = 0
 	}
-	s.engine.MustSchedule(delay, func(at time.Duration) {
+	s.engine.After(delay, func(at time.Duration) {
 		if cur, ok := s.latestAcked[w.key]; !ok || w.ver > cur {
 			s.latestAcked[w.key] = w.ver
 		}
-		if w.tracker != nil {
-			w.tracker.setAck(at)
-		}
+		w.tracker.setAck(at)
 		latency := at - w.issuedAt
 		s.writeLatency.ObserveDuration(latency)
 		if w.cb != nil {
@@ -147,7 +159,7 @@ func (s *Store) Write(key Key, cb func(Result)) {
 		s.failOp(OpWrite, key, now, ErrNoNodes, cb)
 		return
 	}
-	replicaIDs := s.ring.ReplicasFor(key, s.rf)
+	replicaIDs := s.appendReplicas(key)
 	if len(replicaIDs) == 0 {
 		s.writeFailures.Inc()
 		s.failOp(OpWrite, key, now, ErrNoNodes, cb)
@@ -166,42 +178,48 @@ func (s *Store) Write(key Key, cb func(Result)) {
 	s.nextVersion++
 	ver := s.nextVersion
 
-	tracker := &writeTracker{
-		store:     s,
-		key:       key,
-		ver:       ver,
-		remaining: len(replicaIDs),
-	}
 	state := &writeState{
 		store:    s,
 		key:      key,
 		ver:      ver,
 		issuedAt: now,
 		cb:       cb,
-		tracker:  tracker,
+		coord:    coord,
 		required: required,
 		possible: len(live),
 		replicas: len(replicaIDs),
 	}
+	state.tracker = writeTracker{
+		store:     s,
+		key:       key,
+		ver:       ver,
+		remaining: len(replicaIDs),
+	}
+	// live points into the per-operation scratch buffer, which the next
+	// operation overwrites; keep a copy in the state's inline buffer.
+	state.live = append(state.liveBuf[:0], live...)
+	state.ackFn = state.onAck
 
 	// Unreachable replicas get hints (or are dropped, counted as lost).
 	for _, id := range down {
-		s.queueHint(id, key, ver, tracker)
+		s.queueHint(id, key, ver, &state.tracker)
 	}
 
 	// Client -> coordinator.
 	clientLeg := s.cluster.Network().ClientToNode()
-	liveIDs := append([]cluster.NodeID(nil), live...)
-	s.engine.MustSchedule(clientLeg, func(arrival time.Duration) {
-		s.coordinateWrite(state, coord, liveIDs, arrival)
-	})
+	s.engine.After(clientLeg, state.dispatch)
+}
+
+// dispatch runs when the client request reaches the coordinator.
+func (w *writeState) dispatch(arrival time.Duration) {
+	w.store.coordinateWrite(w, arrival)
 }
 
 // coordinateWrite runs on the coordinator once the client request arrives:
 // the coordinator processes the mutation locally and fans it out to the other
 // replicas.
-func (s *Store) coordinateWrite(w *writeState, coord *cluster.Node, live []cluster.NodeID, arrival time.Duration) {
-	coordDelay, accepted := coord.Enqueue(arrival, cluster.ForegroundOp)
+func (s *Store) coordinateWrite(w *writeState, arrival time.Duration) {
+	coordDelay, accepted := w.coord.Enqueue(arrival, cluster.ForegroundOp)
 	if !accepted {
 		w.failed = true
 		s.writeFailures.Inc()
@@ -211,19 +229,17 @@ func (s *Store) coordinateWrite(w *writeState, coord *cluster.Node, live []clust
 	coordDone := arrival + coordDelay
 	net := s.cluster.Network()
 
-	for _, id := range live {
-		if id == coord.ID() {
+	for _, id := range w.live {
+		if id == w.coord.ID() {
 			// The coordinator applies the mutation as part of processing it
 			// and acknowledges itself immediately afterwards.
-			s.scheduleApply(id, w.key, w.ver, coordDone, w.tracker)
-			s.engine.MustSchedule(delayUntil(s.engine.Now(), coordDone), func(at time.Duration) {
-				w.onAck(at)
-			})
+			s.scheduleApply(id, w.key, w.ver, coordDone, &w.tracker)
+			s.engine.After(delayUntil(s.engine.Now(), coordDone), w.ackFn)
 			continue
 		}
 		id := id
 		sendLeg := net.NodeToNode()
-		s.engine.MustSchedule(delayUntil(s.engine.Now(), coordDone+sendLeg), func(arrive time.Duration) {
+		s.engine.After(delayUntil(s.engine.Now(), coordDone+sendLeg), func(arrive time.Duration) {
 			s.applyOnReplica(w, id, arrive)
 		})
 	}
@@ -237,46 +253,51 @@ func (s *Store) coordinateWrite(w *writeState, coord *cluster.Node, live []clust
 func (s *Store) applyOnReplica(w *writeState, id cluster.NodeID, arrive time.Duration) {
 	node, ok := s.cluster.Node(id)
 	if !ok || !node.Available() {
-		s.queueHint(id, w.key, w.ver, w.tracker)
+		s.queueHint(id, w.key, w.ver, &w.tracker)
 		w.onReplicaLost()
 		return
 	}
 	applyDelay, accepted := node.Enqueue(arrive, cluster.ReplicationApply)
 	if !accepted {
-		s.queueHint(id, w.key, w.ver, w.tracker)
+		s.queueHint(id, w.key, w.ver, &w.tracker)
 		w.onReplicaLost()
 		return
 	}
 	applyAt := arrive + applyDelay
 	if applyAt-w.issuedAt > s.cfg.MutationDropTimeout {
 		s.droppedMutations.Inc()
-		s.queueHint(id, w.key, w.ver, w.tracker)
+		s.queueHint(id, w.key, w.ver, &w.tracker)
 		w.onReplicaLost()
 		return
 	}
-	s.scheduleApply(id, w.key, w.ver, applyAt, w.tracker)
+	s.scheduleApply(id, w.key, w.ver, applyAt, &w.tracker)
 	ackAt := applyAt + s.cluster.Network().NodeToNode()
-	s.engine.MustSchedule(delayUntil(s.engine.Now(), ackAt), func(at time.Duration) {
-		w.onAck(at)
-	})
+	s.engine.After(delayUntil(s.engine.Now(), ackAt), w.ackFn)
 }
 
-// readState tracks one in-flight read at the coordinator.
+// readState tracks one in-flight read at the coordinator. The coordinator,
+// target list and contacted list are embedded (with inline backing arrays for
+// the common consistency levels) so one allocation covers the whole read.
 type readState struct {
 	store    *Store
 	key      Key
 	issuedAt time.Duration
 	cb       func(Result)
+	coord    *cluster.Node
+	// targets is the preference-ordered set of replicas the read contacts.
+	targets    []cluster.NodeID
+	targetsBuf [8]cluster.NodeID
 
 	required  int
 	possible  int
 	responses int
 
-	freshest   version
-	divergent  bool
-	contacted  []cluster.NodeID
-	lastSeenAt time.Duration
-	done       bool
+	freshest     version
+	divergent    bool
+	contacted    []cluster.NodeID
+	contactedBuf [8]cluster.NodeID
+	lastSeenAt   time.Duration
+	done         bool
 }
 
 // onResponse records one replica's answer arriving back at the coordinator.
@@ -318,7 +339,7 @@ func (r *readState) onReplicaLost() {
 func (s *Store) completeRead(r *readState, lastResponseAt time.Duration) {
 	now := s.engine.Now()
 	clientDone := lastResponseAt + s.cluster.Network().ClientToNode()
-	s.engine.MustSchedule(delayUntil(now, clientDone), func(at time.Duration) {
+	s.engine.After(delayUntil(now, clientDone), func(at time.Duration) {
 		latest := s.latestAcked[r.key]
 		stale := r.freshest < latest
 		if stale {
@@ -357,7 +378,7 @@ func (s *Store) Read(key Key, cb func(Result)) {
 		s.failOp(OpRead, key, now, ErrNoNodes, cb)
 		return
 	}
-	replicaIDs := s.ring.ReplicasFor(key, s.rf)
+	replicaIDs := s.appendReplicas(key)
 	if len(replicaIDs) == 0 {
 		s.readFailures.Inc()
 		s.failOp(OpRead, key, now, ErrNoNodes, cb)
@@ -377,22 +398,28 @@ func (s *Store) Read(key Key, cb func(Result)) {
 		key:      key,
 		issuedAt: now,
 		cb:       cb,
+		coord:    coord,
 		required: required,
 		possible: required,
 	}
 	// Contact exactly `required` live replicas in preference order, as a
-	// token-aware driver would.
-	targets := append([]cluster.NodeID(nil), live[:required]...)
+	// token-aware driver would. The scratch buffer is copied into the state's
+	// inline array because it is overwritten by the next operation.
+	state.targets = append(state.targetsBuf[:0], live[:required]...)
+	state.contacted = state.contactedBuf[:0]
 
 	clientLeg := s.cluster.Network().ClientToNode()
-	s.engine.MustSchedule(clientLeg, func(arrival time.Duration) {
-		s.coordinateRead(state, coord, targets, arrival)
-	})
+	s.engine.After(clientLeg, state.dispatch)
+}
+
+// dispatch runs when the client request reaches the coordinator.
+func (r *readState) dispatch(arrival time.Duration) {
+	r.store.coordinateRead(r, arrival)
 }
 
 // coordinateRead runs on the coordinator once the client request arrives.
-func (s *Store) coordinateRead(r *readState, coord *cluster.Node, targets []cluster.NodeID, arrival time.Duration) {
-	coordDelay, accepted := coord.Enqueue(arrival, cluster.ForegroundOp)
+func (s *Store) coordinateRead(r *readState, arrival time.Duration) {
+	coordDelay, accepted := r.coord.Enqueue(arrival, cluster.ForegroundOp)
 	if !accepted {
 		r.done = true
 		s.readFailures.Inc()
@@ -402,10 +429,10 @@ func (s *Store) coordinateRead(r *readState, coord *cluster.Node, targets []clus
 	coordDone := arrival + coordDelay
 	net := s.cluster.Network()
 
-	for _, id := range targets {
+	for _, id := range r.targets {
 		id := id
-		if id == coord.ID() {
-			s.engine.MustSchedule(delayUntil(s.engine.Now(), coordDone), func(at time.Duration) {
+		if id == r.coord.ID() {
+			s.engine.After(delayUntil(s.engine.Now(), coordDone), func(at time.Duration) {
 				v := version(0)
 				if rep, ok := s.replicas[id]; ok {
 					v = rep.read(r.key)
@@ -415,7 +442,7 @@ func (s *Store) coordinateRead(r *readState, coord *cluster.Node, targets []clus
 			continue
 		}
 		sendLeg := net.NodeToNode()
-		s.engine.MustSchedule(delayUntil(s.engine.Now(), coordDone+sendLeg), func(arrive time.Duration) {
+		s.engine.After(delayUntil(s.engine.Now(), coordDone+sendLeg), func(arrive time.Duration) {
 			s.readOnReplica(r, id, arrive)
 		})
 	}
@@ -436,7 +463,7 @@ func (s *Store) readOnReplica(r *readState, id cluster.NodeID, arrive time.Durat
 	}
 	processAt := arrive + delay
 	respondAt := processAt + s.cluster.Network().NodeToNode()
-	s.engine.MustSchedule(delayUntil(s.engine.Now(), respondAt), func(at time.Duration) {
+	s.engine.After(delayUntil(s.engine.Now(), respondAt), func(at time.Duration) {
 		v := version(0)
 		if rep, ok := s.replicas[id]; ok {
 			v = rep.read(r.key)
@@ -451,7 +478,7 @@ func (s *Store) failOp(kind OpKind, key Key, issued time.Duration, err error, cb
 		return
 	}
 	delay := s.cluster.Network().ClientToNode() * 2
-	s.engine.MustSchedule(delay, func(at time.Duration) {
+	s.engine.After(delay, func(at time.Duration) {
 		cb(Result{
 			Kind:        kind,
 			Key:         key,
@@ -474,18 +501,28 @@ func (s *Store) pickCoordinator() (*cluster.Node, bool) {
 	return nodes[s.rng.Intn(len(nodes))], true
 }
 
+// appendReplicas resolves the key's preference list into the store's scratch
+// buffer. The result is valid until the next operation; callers that need to
+// retain it past an event boundary must copy it.
+func (s *Store) appendReplicas(key Key) []cluster.NodeID {
+	s.replicaScratch = s.ring.AppendReplicasFor(s.replicaScratch[:0], key, s.rf)
+	return s.replicaScratch
+}
+
 // partitionReplicas splits a preference list into live and unavailable
-// replica IDs.
+// replica IDs. Both results live in per-store scratch buffers that the next
+// operation overwrites.
 func (s *Store) partitionReplicas(ids []cluster.NodeID) (live, down []cluster.NodeID) {
-	live = make([]cluster.NodeID, 0, len(ids))
+	s.liveScratch = s.liveScratch[:0]
+	s.downScratch = s.downScratch[:0]
 	for _, id := range ids {
 		if n, ok := s.cluster.Node(id); ok && n.Available() {
-			live = append(live, id)
+			s.liveScratch = append(s.liveScratch, id)
 		} else {
-			down = append(down, id)
+			s.downScratch = append(s.downScratch, id)
 		}
 	}
-	return live, down
+	return s.liveScratch, s.downScratch
 }
 
 // delayUntil converts an absolute virtual time into a non-negative delay from
@@ -500,7 +537,7 @@ func delayUntil(now, at time.Duration) time.Duration {
 // scheduleApply arranges for a replica to apply a version at the given
 // virtual time and for the write tracker to learn about it.
 func (s *Store) scheduleApply(id cluster.NodeID, key Key, ver version, at time.Duration, tracker *writeTracker) {
-	s.engine.MustSchedule(delayUntil(s.engine.Now(), at), func(applied time.Duration) {
+	s.engine.After(delayUntil(s.engine.Now(), at), func(applied time.Duration) {
 		if rep, ok := s.replicas[id]; ok {
 			rep.apply(key, ver)
 		}
@@ -565,12 +602,14 @@ func (s *Store) retryHints(time.Duration) {
 // Delivery draws network jitter from a shared random stream and schedules
 // events, so iterating the pendingHints map directly would let Go's
 // randomized map order leak into the simulation and break reproducibility.
+// The result lives in a scratch buffer reused across sweeps.
 func (s *Store) hintedNodes() []cluster.NodeID {
-	ids := make([]cluster.NodeID, 0, len(s.pendingHints))
+	ids := s.hintIDScratch[:0]
 	for id := range s.pendingHints {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
+	s.hintIDScratch = ids
 	return ids
 }
 
@@ -612,7 +651,7 @@ func (s *Store) deliverHints(id cluster.NodeID) {
 		h := h
 		at += s.cfg.HintDeliveryDelay
 		arrive := at + net.NodeToNode()
-		s.engine.MustSchedule(delayUntil(now, arrive), func(arrived time.Duration) {
+		s.engine.After(delayUntil(now, arrive), func(arrived time.Duration) {
 			target, ok := s.cluster.Node(id)
 			if !ok || !target.Available() {
 				s.lostUpdates.Inc()
@@ -651,7 +690,7 @@ func (s *Store) runAntiEntropy(time.Duration) {
 // Merkle-tree repair without tracking per-key digests.
 func (s *Store) repairAll() {
 	for key, ver := range s.latestAcked {
-		for _, id := range s.ring.ReplicasFor(key, s.rf) {
+		for _, id := range s.appendReplicas(key) {
 			rep, ok := s.replicas[id]
 			if !ok {
 				continue
@@ -678,7 +717,7 @@ func (s *Store) scheduleReadRepair(key Key, contacted []cluster.NodeID) {
 		}
 		id := id
 		s.readRepairs.Inc()
-		s.engine.MustSchedule(s.cfg.ReadRepairDelay, func(time.Duration) {
+		s.engine.After(s.cfg.ReadRepairDelay, func(time.Duration) {
 			if rep, ok := s.replicas[id]; ok {
 				rep.apply(key, latest)
 			}

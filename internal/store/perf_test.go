@@ -1,0 +1,73 @@
+package store
+
+// Allocation-regression tests for the operation hot path. The thresholds are
+// deliberately above the measured steady state (about 9 allocations per write
+// and 4 per read after the scratch-buffer and event-pooling work recorded in
+// PERFORMANCE.md) so routine noise does not flake, but a reintroduced
+// per-operation slice, map or closure regression trips them immediately.
+
+import (
+	"testing"
+)
+
+// maxWriteAllocs bounds the average allocations for one complete write
+// (coordinator hop, replica fan-out, acks, client ack, window tracking).
+const maxWriteAllocs = 14
+
+// maxReadAllocs bounds the average allocations for one complete read.
+const maxReadAllocs = 8
+
+func TestWritePathAllocations(t *testing.T) {
+	rig := newBenchRig(t, 3)
+	fired := 0
+	cb := func(Result) { fired++ }
+	// Warm the event pool and the store's scratch buffers.
+	issued := 0
+	for ; issued < 128; issued++ {
+		rig.store.Write(rig.keys[issued%len(rig.keys)], cb)
+	}
+	rig.settle(t, &fired, issued)
+
+	avg := testing.AllocsPerRun(300, func() {
+		issued++
+		rig.store.Write(rig.keys[issued%len(rig.keys)], cb)
+		rig.settle(t, &fired, issued)
+	})
+	if avg > maxWriteAllocs {
+		t.Errorf("write path allocates %.1f objects per op, want <= %d — a per-operation allocation crept back in", avg, maxWriteAllocs)
+	}
+}
+
+func TestReadPathAllocations(t *testing.T) {
+	rig := newBenchRig(t, 3)
+	fired := 0
+	cb := func(Result) { fired++ }
+	issued := 0
+	for ; issued < 128; issued++ {
+		rig.store.Write(rig.keys[issued%len(rig.keys)], cb)
+	}
+	rig.settle(t, &fired, issued)
+
+	avg := testing.AllocsPerRun(300, func() {
+		issued++
+		rig.store.Read(rig.keys[issued%len(rig.keys)], cb)
+		rig.settle(t, &fired, issued)
+	})
+	if avg > maxReadAllocs {
+		t.Errorf("read path allocates %.1f objects per op, want <= %d — a per-operation allocation crept back in", avg, maxReadAllocs)
+	}
+}
+
+// TestRingLookupAllocations pins the zero-allocation property of the ring
+// lookup with a reused scratch buffer.
+func TestRingLookupAllocations(t *testing.T) {
+	rig := newBenchRig(t, 5)
+	ring := rig.store.ring
+	out := ring.AppendReplicasFor(nil, rig.keys[0], 3)
+	avg := testing.AllocsPerRun(200, func() {
+		out = ring.AppendReplicasFor(out[:0], rig.keys[1], 3)
+	})
+	if avg != 0 {
+		t.Errorf("ring lookup allocates %.1f objects per call with a reused buffer, want 0", avg)
+	}
+}

@@ -1,7 +1,6 @@
 package store
 
 import (
-	"hash/fnv"
 	"sort"
 	"strconv"
 
@@ -82,25 +81,44 @@ func (r *Ring) Remove(id cluster.NodeID) {
 // ReplicasFor returns the preference list of up to rf distinct nodes
 // responsible for the key, walking the ring clockwise from the key's token.
 func (r *Ring) ReplicasFor(key Key, rf int) []cluster.NodeID {
+	return r.AppendReplicasFor(nil, key, rf)
+}
+
+// AppendReplicasFor appends the key's preference list to dst and returns the
+// extended slice, so per-operation callers can reuse a scratch buffer instead
+// of allocating. Deduplication is a linear scan over the appended tail:
+// preference lists hold at most the cluster's node count entries, where a
+// scan beats a map by a wide margin.
+func (r *Ring) AppendReplicasFor(dst []cluster.NodeID, key Key, rf int) []cluster.NodeID {
 	if rf <= 0 || len(r.tokens) == 0 {
-		return nil
+		return dst
 	}
 	if rf > len(r.members) {
 		rf = len(r.members)
 	}
 	h := hashString(string(key))
-	start := sort.Search(len(r.tokens), func(i int) bool { return r.tokens[i].hash >= h })
-	out := make([]cluster.NodeID, 0, rf)
-	seen := make(map[cluster.NodeID]bool, rf)
-	for i := 0; i < len(r.tokens) && len(out) < rf; i++ {
-		t := r.tokens[(start+i)%len(r.tokens)]
-		if seen[t.node] {
-			continue
+	// Inlined sort.Search over the token ring: find the first token >= h.
+	lo, hi := 0, len(r.tokens)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if r.tokens[mid].hash < h {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
-		seen[t.node] = true
-		out = append(out, t.node)
 	}
-	return out
+	base := len(dst)
+walk:
+	for i := 0; i < len(r.tokens) && len(dst)-base < rf; i++ {
+		t := r.tokens[(lo+i)%len(r.tokens)]
+		for _, existing := range dst[base:] {
+			if existing == t.node {
+				continue walk
+			}
+		}
+		dst = append(dst, t.node)
+	}
+	return dst
 }
 
 // Primary returns the first node in the key's preference list.
@@ -112,14 +130,25 @@ func (r *Ring) Primary(key Key) (cluster.NodeID, bool) {
 	return reps[0], true
 }
 
+// FNV-1a 64-bit parameters, matching hash/fnv.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
 // hashString hashes s with FNV-1a and then passes the result through a
 // 64-bit avalanche finaliser (MurmurHash3's fmix64). Plain FNV clusters badly
 // for short, similar strings such as "node-1#17", which skews ring ownership;
-// the finaliser restores uniformity.
+// the finaliser restores uniformity. The FNV loop is written out rather than
+// using hash/fnv so per-lookup callers pay no allocation for the hasher or
+// the string-to-bytes conversion.
 func hashString(s string) uint64 {
-	h := fnv.New64a()
-	_, _ = h.Write([]byte(s))
-	return fmix64(h.Sum64())
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return fmix64(h)
 }
 
 func fmix64(h uint64) uint64 {

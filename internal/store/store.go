@@ -185,6 +185,16 @@ type Store struct {
 
 	observers []Observer
 
+	// Per-operation scratch buffers. The read/write hot path resolves a
+	// preference list and partitions it into live/down replicas for every
+	// operation; reusing these buffers keeps that path allocation-free. They
+	// are only valid within one synchronous call chain — anything that must
+	// survive an event boundary is copied into the operation's state.
+	replicaScratch []cluster.NodeID
+	liveScratch    []cluster.NodeID
+	downScratch    []cluster.NodeID
+	hintIDScratch  []cluster.NodeID
+
 	// ground-truth metrics
 	readLatency      *metrics.Histogram
 	writeLatency     *metrics.Histogram
@@ -357,7 +367,7 @@ func (s *Store) startRebalance() {
 		n.SetRebalanceLoad(0.25)
 	}
 	s.cluster.Network().SetReplicationLoad(clampF(s.cluster.Network().ReplicationLoad()+0.3, 0, 1))
-	s.engine.MustSchedule(rebalanceDuration, func(time.Duration) {
+	s.engine.After(rebalanceDuration, func(time.Duration) {
 		for _, n := range s.cluster.AvailableNodes() {
 			n.SetRebalanceLoad(0)
 		}
@@ -388,7 +398,7 @@ func (s *Store) streamOwnedRanges(id cluster.NodeID) {
 		return
 	}
 	for key, ver := range s.latestAcked {
-		for _, owner := range s.ring.ReplicasFor(key, s.rf) {
+		for _, owner := range s.appendReplicas(key) {
 			if owner == id {
 				rep.apply(key, ver)
 				break

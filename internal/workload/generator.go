@@ -104,6 +104,15 @@ type Generator struct {
 	readLat      *metrics.Histogram
 	writeLat     *metrics.Histogram
 	lastRate     float64
+
+	// arrivals is the dedicated inter-arrival random stream, bound at Start.
+	arrivals *rand.Rand
+	// tickFn, onReadFn and onWriteFn are the per-arrival handlers, bound once
+	// so the open-loop arrival chain does not allocate a closure per
+	// operation.
+	tickFn    sim.Handler
+	onReadFn  func(store.Result)
+	onWriteFn func(store.Result)
 }
 
 // NewGenerator creates a generator. Start must be called to begin issuing
@@ -121,22 +130,27 @@ func NewGenerator(cfg Config, engine *sim.Engine, target Target, rnd *sim.RandSo
 	if cfg.Mix.ReadFraction < 0 || cfg.Mix.ReadFraction > 1 {
 		return nil, errors.New("workload: read fraction must be within [0, 1]")
 	}
-	return &Generator{
+	g := &Generator{
 		cfg:      cfg,
 		engine:   engine,
 		target:   target,
 		rng:      rnd,
 		readLat:  metrics.NewHistogram(0),
 		writeLat: metrics.NewHistogram(0),
-	}, nil
+	}
+	g.tickFn = g.tick
+	g.onReadFn = g.onRead
+	g.onWriteFn = g.onWrite
+	return g, nil
 }
 
 // Start schedules the first arrival.
 func (g *Generator) Start() {
-	g.scheduleNext(g.rng.Stream("arrivals"))
+	g.arrivals = g.rng.Stream("arrivals")
+	g.scheduleNext()
 }
 
-func (g *Generator) scheduleNext(rng *rand.Rand) {
+func (g *Generator) scheduleNext() {
 	now := g.engine.Now()
 	if g.stopped {
 		return
@@ -154,7 +168,7 @@ func (g *Generator) scheduleNext(rng *rand.Rand) {
 		// Idle period: re-evaluate the profile shortly.
 		gap = 100 * time.Millisecond
 	} else {
-		gap = time.Duration(sim.Exponential(rng, float64(time.Second)/rate))
+		gap = time.Duration(sim.Exponential(g.arrivals, float64(time.Second)/rate))
 		if gap <= 0 {
 			gap = time.Microsecond
 		}
@@ -162,27 +176,32 @@ func (g *Generator) scheduleNext(rng *rand.Rand) {
 			gap = 10 * time.Second
 		}
 	}
-	g.engine.MustSchedule(gap, func(time.Duration) {
-		if g.stopped {
-			return
-		}
-		if rate > 0 {
-			g.issueOne(rng)
-		}
-		g.scheduleNext(rng)
-	})
+	g.engine.After(gap, g.tickFn)
+}
+
+// tick fires one arrival: issue an operation at the rate captured when the
+// arrival was scheduled (zero-rate ticks only re-evaluate the profile), then
+// schedule the next arrival.
+func (g *Generator) tick(time.Duration) {
+	if g.stopped {
+		return
+	}
+	if g.lastRate > 0 {
+		g.issueOne(g.arrivals)
+	}
+	g.scheduleNext()
 }
 
 func (g *Generator) issueOne(rng *rand.Rand) {
 	if rng.Float64() < g.cfg.Mix.ReadFraction {
 		key := g.cfg.Keys.NextRead()
 		g.readsIssued.Inc()
-		g.target.Read(key, g.onRead)
+		g.target.Read(key, g.onReadFn)
 		return
 	}
 	key := g.cfg.Keys.NextWrite()
 	g.writesIssued.Inc()
-	g.target.Write(key, g.onWrite)
+	g.target.Write(key, g.onWriteFn)
 }
 
 func (g *Generator) onRead(r store.Result) {

@@ -3,6 +3,7 @@ package workload
 import (
 	"math/rand"
 	"strconv"
+	"sync"
 
 	"autonosql/internal/sim"
 	"autonosql/internal/store"
@@ -92,6 +93,29 @@ func (l *LatestKeys) NextWrite() store.Key {
 	return k
 }
 
+// keyTableSize bounds the precomputed key-name table. The default keyspace
+// (10000 keys) fits comfortably; indices beyond the table fall back to
+// formatting. 1<<14 entries cost ~400 KB once per process.
+const keyTableSize = 1 << 14
+
+var (
+	keyTableOnce sync.Once
+	keyTable     []store.Key
+)
+
+// keyName returns the canonical name of key i. Key choosers call it once per
+// operation, so the common indices are served from a shared immutable table
+// instead of allocating a fresh string per operation.
 func keyName(i int) store.Key {
+	if i >= 0 && i < keyTableSize {
+		keyTableOnce.Do(func() {
+			t := make([]store.Key, keyTableSize)
+			for j := range t {
+				t[j] = store.Key("key-" + strconv.Itoa(j))
+			}
+			keyTable = t
+		})
+		return keyTable[i]
+	}
 	return store.Key("key-" + strconv.Itoa(i))
 }

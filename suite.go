@@ -275,6 +275,7 @@ func (s *Suite) Run() (*SuiteReport, error) {
 		workers = n
 	}
 
+	started := time.Now()
 	results := make([]VariantResult, n)
 	errs := make([]error, n)
 	var next atomic.Int64
@@ -307,7 +308,7 @@ func (s *Suite) Run() (*SuiteReport, error) {
 			return nil, err
 		}
 	}
-	return &SuiteReport{Variants: results}, nil
+	return &SuiteReport{Variants: results, Elapsed: time.Since(started)}, nil
 }
 
 // runVariant assembles, configures and runs one variant's scenario.

@@ -205,6 +205,10 @@ func TestSuiteConcurrentMatchesSequential(t *testing.T) {
 		t.Fatalf("concurrent run: %v", err)
 	}
 
+	// Elapsed is wall-clock metadata and legitimately differs between runs;
+	// everything else must be identical whatever the parallelism.
+	seqReport.Elapsed = 0
+	conReport.Elapsed = 0
 	if !reflect.DeepEqual(seqReport, conReport) {
 		t.Fatal("concurrent suite report differs from sequential report")
 	}
@@ -214,6 +218,7 @@ func TestSuiteConcurrentMatchesSequential(t *testing.T) {
 	if err != nil {
 		t.Fatalf("second concurrent run: %v", err)
 	}
+	conAgain.Elapsed = 0
 	if !reflect.DeepEqual(conReport, conAgain) {
 		t.Fatal("re-running the same suite produced a different report")
 	}
@@ -316,6 +321,12 @@ func TestSuiteReportJSONRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatalf("ReadSuiteReportJSON: %v", err)
 	}
+	// Elapsed is wall-clock measurement metadata and deliberately excluded
+	// from the export, so exports of identical suites stay byte-identical.
+	if restored.Elapsed != 0 {
+		t.Errorf("restored report has Elapsed=%v, want it excluded from JSON", restored.Elapsed)
+	}
+	report.Elapsed = 0
 	if !reflect.DeepEqual(report, restored) {
 		t.Fatal("JSON round trip changed the suite report")
 	}

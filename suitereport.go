@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"time"
 
 	"autonosql/internal/text"
 )
@@ -25,6 +26,19 @@ type VariantResult struct {
 type SuiteReport struct {
 	// Variants are the per-variant results, ordered by variant index.
 	Variants []VariantResult
+	// Elapsed is the wall-clock time the suite run took. It is measurement
+	// metadata, not simulation output, so it is excluded from the JSON export
+	// to keep exports of identical suites byte-identical.
+	Elapsed time.Duration `json:"-"`
+}
+
+// ScenariosPerSecond returns the suite's wall-clock throughput in scenarios
+// per second (zero when the elapsed time was not recorded).
+func (r *SuiteReport) ScenariosPerSecond() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(len(r.Variants)) / r.Elapsed.Seconds()
 }
 
 // Len returns the number of variant results.
