@@ -41,6 +41,7 @@ func run(args []string, out *os.File) int {
 		controller = fs.String("controller", "none", "controller: none, reactive, smart")
 		windowSLA  = fs.Duration("sla-window", 250*time.Millisecond, "SLA bound on the p95 inconsistency window")
 		probes     = fs.Float64("probe-rate", 1, "active read-after-write probes per second (0 disables)")
+		faults     = fs.String("faults", "", "fault plan, comma-separated kind:start:duration[:n=N][:sev=S] events\n(kinds: crash, slow, partition, storm; e.g. \"crash:1m:30s,storm:2m:30s:sev=0.8\")")
 		plot       = fs.String("plot", "", "comma-separated report series to plot (e.g. window_p95_ms,cluster_size)")
 		decisions  = fs.Bool("decisions", false, "print the controller decision log")
 	)
@@ -66,6 +67,12 @@ func run(args []string, out *os.File) int {
 	spec.Monitor.ProbeRate = *probes
 	spec.SLA.MaxWindowP95 = *windowSLA
 	spec.Controller.Mode = autonosql.ControllerMode(*controller)
+	plan, err := autonosql.ParseFaultPlan(*faults)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nosqlsim: %v\n", err)
+		return 2
+	}
+	spec.Faults = plan
 
 	scenario, err := autonosql.NewScenario(spec)
 	if err != nil {

@@ -1,7 +1,7 @@
 // Command suiterunner expands a scenario grid — workload pattern × controller
-// mode × cluster size × SLA tier — into concrete variants with deterministic
-// per-variant seeds, runs them concurrently across a bounded worker pool and
-// prints the aggregated comparison tables. The full suite report can also be
+// mode × cluster size × SLA tier × fault profile — into concrete variants
+// with deterministic per-variant seeds, runs them concurrently across a
+// bounded worker pool and prints the aggregated comparison tables. The full suite report can also be
 // exported as CSV (one row per variant) or JSON (lossless, including the
 // sampled time series).
 //
@@ -10,6 +10,7 @@
 //	suiterunner                                       # default 12-variant grid
 //	suiterunner -patterns constant,diurnal,spike -controllers none,smart \
 //	    -nodes 3,6 -sla-tiers tight,loose -duration 10m
+//	suiterunner -controllers none,smart -faults none,crash,partition
 //	suiterunner -csv sweep.csv -json sweep.json       # export the results
 //	suiterunner -list                                 # print the grid and exit
 package main
@@ -39,6 +40,7 @@ func run(args []string, out *os.File) int {
 		controllers = fs.String("controllers", "none,smart", "comma-separated controller modes to sweep")
 		nodes       = fs.String("nodes", "3,6", "comma-separated initial cluster sizes to sweep")
 		slaTiers    = fs.String("sla-tiers", "", "comma-separated SLA tiers to sweep (tight, default, loose); empty keeps the base SLA")
+		faultAxis   = fs.String("faults", "", "comma-separated fault profiles to sweep (none, crash, partition, slow, storm),\nscaled to the run duration; empty keeps runs fault-free")
 		repeats     = fs.Int("repeats", 1, "runs per grid cell with distinct derived seeds")
 		baseOps     = fs.Float64("base", 2000, "base offered load (ops/s)")
 		peakOps     = fs.Float64("peak", 4000, "peak offered load for non-constant patterns (ops/s)")
@@ -61,7 +63,7 @@ func run(args []string, out *os.File) int {
 	base.Workload.BaseOpsPerSec = *baseOps
 	base.Workload.PeakOpsPerSec = *peakOps
 
-	grid, err := buildGrid(*patterns, *controllers, *nodes, *slaTiers, *repeats)
+	grid, err := buildGrid(*patterns, *controllers, *nodes, *slaTiers, *faultAxis, *duration, *repeats)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "suiterunner: %v\n", err)
 		return 2
@@ -95,6 +97,10 @@ func run(args []string, out *os.File) int {
 	fmt.Fprint(out, report.ComparisonTable())
 	fmt.Fprintln(out)
 	fmt.Fprint(out, report.CostTable())
+	if ft := report.FaultsTable(); ft != "" {
+		fmt.Fprintln(out)
+		fmt.Fprint(out, ft)
+	}
 	fmt.Fprintf(out, "\ncompleted in %v\n", time.Since(started).Round(time.Millisecond))
 
 	if best := report.CheapestCompliant(0); best != nil {
@@ -119,7 +125,7 @@ func run(args []string, out *os.File) int {
 }
 
 // buildGrid parses the axis flags into a Grid.
-func buildGrid(patterns, controllers, nodes, slaTiers string, repeats int) (autonosql.Grid, error) {
+func buildGrid(patterns, controllers, nodes, slaTiers, faults string, duration time.Duration, repeats int) (autonosql.Grid, error) {
 	var grid autonosql.Grid
 	for _, p := range splitList(patterns) {
 		grid.Patterns = append(grid.Patterns, autonosql.LoadPattern(p))
@@ -140,6 +146,13 @@ func buildGrid(patterns, controllers, nodes, slaTiers string, repeats int) (auto
 			return autonosql.Grid{}, fmt.Errorf("unknown SLA tier %q (available: tight, default, loose)", name)
 		}
 		grid.SLATiers = append(grid.SLATiers, tier)
+	}
+	for _, name := range splitList(faults) {
+		profile, ok := autonosql.LookupFaultProfile(name, duration)
+		if !ok {
+			return autonosql.Grid{}, fmt.Errorf("unknown fault profile %q (available: none, crash, partition, slow, storm)", name)
+		}
+		grid.Faults = append(grid.Faults, profile)
 	}
 	grid.Repeats = repeats
 	return grid, nil

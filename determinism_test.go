@@ -61,6 +61,15 @@ func fingerprintReport(r *autonosql.Report) string {
 		r.FinalConfiguration.ReadConsistency, r.FinalConfiguration.WriteConsistency,
 		r.MinClusterSize, r.MaxClusterSize, r.Reconfigurations, len(r.Decisions))
 
+	// Fault windows (absent for fault-free runs, so the pre-fault golden
+	// files are unaffected): every statistic buildFaultWindows derives is
+	// pinned bit-for-bit, not just the window count.
+	for _, fw := range r.Faults {
+		fmt.Fprintf(&b, "fault %s %v..%v nodes=%v sev=%s samples=%d mean=%s peak=%s viol=%s\n",
+			fw.Kind, fw.Start, fw.End, fw.Nodes, fpFloat(fw.Severity), fw.Samples,
+			fpFloat(fw.WindowP95Mean), fpFloat(fw.WindowP95Peak), fpFloat(fw.SLAViolationFraction))
+	}
+
 	names := make([]string, 0, len(r.Series))
 	for name := range r.Series {
 		names = append(names, name)
@@ -161,6 +170,85 @@ func TestGoldenScenarioRerunIdentical(t *testing.T) {
 	b := fingerprintReport(runGoldenScenario(t, goldenSpec(7, autonosql.ControllerNone)))
 	if a != b {
 		t.Fatalf("two runs of the same seed produced different fingerprints:\nfirst:\n%s\nsecond:\n%s", a, b)
+	}
+}
+
+// goldenFaultSpec is the fixed-seed scenario the fault golden cases build
+// on: four nodes so crashes and partitions leave a serving majority.
+func goldenFaultSpec(seed int64) autonosql.ScenarioSpec {
+	spec := goldenSpec(seed, autonosql.ControllerNone)
+	spec.Duration = 90 * time.Second
+	spec.Cluster.InitialNodes = 4
+	return spec
+}
+
+// TestGoldenScenarioCrashRestart pins the crash+restart fault path: node
+// failure mid-run, hint accumulation while it is down, hint replay and window
+// resolution after the restart. The injector draws targets from its own
+// stream, so the schedule — and therefore every statistic — is bit-for-bit
+// reproducible.
+func TestGoldenScenarioCrashRestart(t *testing.T) {
+	spec := goldenFaultSpec(4242)
+	spec.Faults = autonosql.FaultPlan{Faults: []autonosql.FaultSpec{
+		autonosql.CrashFault(20*time.Second, 30*time.Second, 1),
+	}}
+	rep := runGoldenScenario(t, spec)
+	if len(rep.Faults) != 1 {
+		t.Fatalf("report has %d fault windows, want 1", len(rep.Faults))
+	}
+	checkGolden(t, "scenario_crash_seed4242", fingerprintReport(rep))
+}
+
+// TestGoldenScenarioPartitionHeal pins the partition+heal fault path:
+// coordinator-relative replica liveness, hint queueing across the cut, and
+// the convergence burst after the heal.
+func TestGoldenScenarioPartitionHeal(t *testing.T) {
+	spec := goldenFaultSpec(7777)
+	spec.Faults = autonosql.FaultPlan{Faults: []autonosql.FaultSpec{
+		autonosql.PartitionFault(20*time.Second, 40*time.Second, 2),
+	}}
+	rep := runGoldenScenario(t, spec)
+	if len(rep.Faults) != 1 {
+		t.Fatalf("report has %d fault windows, want 1", len(rep.Faults))
+	}
+	checkGolden(t, "scenario_partition_seed7777", fingerprintReport(rep))
+}
+
+// TestFaultSuiteConcurrentEqualsSequential pins that fault injection keeps
+// the suite runner's core guarantee: with faults on the grid, a concurrent
+// run produces bit-for-bit the same reports as a sequential one.
+func TestFaultSuiteConcurrentEqualsSequential(t *testing.T) {
+	base := goldenFaultSpec(11)
+	base.Duration = 45 * time.Second
+	suiteSpec := autonosql.SuiteSpec{
+		Base: base,
+		Grid: autonosql.Grid{
+			Controllers: []autonosql.ControllerMode{autonosql.ControllerNone, autonosql.ControllerSmart},
+			Faults:      autonosql.DefaultFaultProfiles(base.Duration)[:3], // none, crash, partition
+		},
+	}
+	fingerprint := func(parallelism int) string {
+		suiteSpec.Parallelism = parallelism
+		suite, err := autonosql.NewSuite(suiteSpec)
+		if err != nil {
+			t.Fatalf("NewSuite: %v", err)
+		}
+		rep, err := suite.Run()
+		if err != nil {
+			t.Fatalf("suite.Run: %v", err)
+		}
+		var b strings.Builder
+		for _, v := range rep.Variants {
+			// fingerprintReport folds the fault windows in, so the
+			// comparison covers the injected schedules too.
+			fmt.Fprintf(&b, "== variant %s\n%s", v.Name, fingerprintReport(v.Report))
+		}
+		return b.String()
+	}
+	sequential := fingerprint(1)
+	concurrent := fingerprint(4)
+	if sequential != concurrent {
+		t.Fatal("fault suite diverged between sequential and concurrent execution: fault injection is not deterministic under parallelism")
 	}
 }
 

@@ -26,8 +26,16 @@
 // the time series needed to plot how the system behaved.
 //
 // Mid-run interventions (changing consistency levels, adding nodes, injecting
-// network congestion or node failures) are scheduled with Scenario.At, which
-// hands the callback a Handle bound to the running system. The experiment
-// harness uses the same mechanism to reproduce the reconfiguration-overhead
-// experiments.
+// network congestion, partitions or node failures) are scheduled with
+// Scenario.At, which hands the callback a Handle bound to the running system.
+// The experiment harness uses the same mechanism to reproduce the
+// reconfiguration-overhead experiments.
+//
+// Declarative fault injection goes through ScenarioSpec.Faults: a FaultPlan
+// schedules node crashes and restarts, slow nodes, network partitions with
+// heals and latency storms at fixed virtual times, with victims drawn
+// deterministically from the scenario seed. The suite runner sweeps fault
+// profiles as a grid axis (Grid.Faults), and the Report annotates every
+// fault window with the inconsistency-window behaviour observed while it
+// was active.
 package autonosql

@@ -1,0 +1,157 @@
+package autonosql_test
+
+// Native Go fuzz targets for the public spec surface. Two properties are
+// pinned:
+//
+//  1. validate-never-panics: ScenarioSpec.Validate (and ParseFaultPlan) must
+//     reject arbitrary input with an error, never a panic.
+//  2. valid-spec-always-runs: any spec that Validate accepts must assemble
+//     and complete a (shortened) run without error. This is the contract the
+//     suite runner relies on — NewSuite validates variants up front and
+//     treats later failures as bugs.
+//
+// Seed corpora live under testdata/fuzz/<FuzzName>/ in the standard format,
+// so `go test` exercises them on every ordinary test run; CI additionally
+// runs each target briefly with -fuzz.
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"autonosql"
+)
+
+// fuzzSpec builds a ScenarioSpec from raw fuzz inputs without any
+// sanitisation beyond bounding the simulated work a valid spec may demand,
+// so the fuzzer explores validation edge cases while runs stay fast.
+func fuzzSpec(seed, durationMs, sampleMs int64, nodes, rf, keyspace int,
+	baseOps, peakOps, readFrac, probeRate, severity float64,
+	readCL, writeCL, controller, pattern, keys, faultKind string, faultAtMs, faultDurMs int64, faultNodes int) autonosql.ScenarioSpec {
+	spec := autonosql.DefaultScenarioSpec()
+	spec.Seed = seed
+	spec.Duration = time.Duration(durationMs) * time.Millisecond
+	spec.SampleInterval = time.Duration(sampleMs) * time.Millisecond
+	spec.Cluster.InitialNodes = nodes
+	spec.Store.ReplicationFactor = rf
+	spec.Store.ReadConsistency = autonosql.ConsistencyLevel(readCL)
+	spec.Store.WriteConsistency = autonosql.ConsistencyLevel(writeCL)
+	spec.Controller.Mode = autonosql.ControllerMode(controller)
+	spec.Workload.Pattern = autonosql.LoadPattern(pattern)
+	spec.Workload.Keys = autonosql.KeyDistribution(keys)
+	spec.Workload.Keyspace = keyspace
+	spec.Workload.BaseOpsPerSec = baseOps
+	spec.Workload.PeakOpsPerSec = peakOps
+	spec.Workload.ReadFraction = readFrac
+	spec.Monitor.ProbeRate = probeRate
+	spec.Faults = autonosql.FaultPlan{Faults: []autonosql.FaultSpec{{
+		Kind:     autonosql.FaultKind(faultKind),
+		At:       time.Duration(faultAtMs) * time.Millisecond,
+		Duration: time.Duration(faultDurMs) * time.Millisecond,
+		Nodes:    faultNodes,
+		Severity: severity,
+	}}}
+	return spec
+}
+
+// boundForRun caps the simulated work of an already-validated spec so one
+// fuzz execution stays in the low milliseconds. Only magnitudes are clamped;
+// the structural fields under test are left untouched.
+func boundForRun(spec autonosql.ScenarioSpec) autonosql.ScenarioSpec {
+	if spec.Duration > 2*time.Second {
+		spec.Duration = 2 * time.Second
+	}
+	if spec.Workload.BaseOpsPerSec > 300 {
+		spec.Workload.BaseOpsPerSec = 300
+	}
+	if spec.Workload.PeakOpsPerSec > 300 {
+		spec.Workload.PeakOpsPerSec = 300
+	}
+	if spec.Workload.Keyspace > 2000 {
+		spec.Workload.Keyspace = 2000
+	}
+	if spec.Cluster.InitialNodes > 12 {
+		spec.Cluster.InitialNodes = 12
+	}
+	if spec.Store.ReplicationFactor > 12 {
+		spec.Store.ReplicationFactor = 12
+	}
+	if spec.Monitor.ProbeRate > 20 {
+		spec.Monitor.ProbeRate = 20
+	}
+	return spec
+}
+
+func FuzzSpecValidate(f *testing.F) {
+	// One healthy spec, one of every controller/pattern family, and a few
+	// hostile shapes (nonsense strings, extreme magnitudes, weird faults).
+	f.Add(int64(1), int64(5000), int64(500), 3, 3, 100, 50.0, 0.0, 0.5, 1.0, 0.0,
+		"ONE", "ONE", "none", "constant", "zipfian", "crash", int64(1000), int64(1000), 1)
+	f.Add(int64(42), int64(2000), int64(250), 4, 3, 50, 80.0, 120.0, 0.9, 2.0, 0.7,
+		"QUORUM", "ALL", "smart", "diurnal+spike", "latest", "storm", int64(500), int64(800), 0)
+	f.Add(int64(-7), int64(1000), int64(100), 2, 2, 10, 10.0, 20.0, 0.0, 0.5, 0.4,
+		"TWO", "QUORUM", "reactive", "step", "uniform", "slow", int64(0), int64(0), 2)
+	f.Add(int64(0), int64(-5), int64(0), 0, 0, -3, -1.0, -2.0, 1.5, -1.0, -0.5,
+		"THREE", "", "chaos-monkey", "sawtooth", "gaussian", "meteor", int64(-1), int64(-1), -2)
+	f.Add(int64(9), int64(3000), int64(300), 5, 9, 100, 60.0, 0.0, 0.5, 1.0, 1.0,
+		"one", "all", "", "spike", "", "partition", int64(1500), int64(900), 99)
+
+	f.Fuzz(func(t *testing.T, seed, durationMs, sampleMs int64, nodes, rf, keyspace int,
+		baseOps, peakOps, readFrac, probeRate, severity float64,
+		readCL, writeCL, controller, pattern, keys, faultKind string, faultAtMs, faultDurMs int64, faultNodes int) {
+		spec := fuzzSpec(seed, durationMs, sampleMs, nodes, rf, keyspace,
+			baseOps, peakOps, readFrac, probeRate, severity,
+			readCL, writeCL, controller, pattern, keys, faultKind, faultAtMs, faultDurMs, faultNodes)
+		// Property 1: Validate never panics, whatever the input.
+		if err := spec.Validate(); err != nil {
+			return
+		}
+		// Property 2: a spec that validated must run to completion.
+		spec = boundForRun(spec)
+		scenario, err := autonosql.NewScenario(spec)
+		if err != nil {
+			t.Fatalf("valid spec rejected by NewScenario: %v\nspec: %+v", err, spec)
+		}
+		rep, err := scenario.Run()
+		if err != nil {
+			t.Fatalf("valid spec failed to run: %v\nspec: %+v", err, spec)
+		}
+		if rep.Duration != spec.Duration {
+			t.Fatalf("report duration %v != spec duration %v", rep.Duration, spec.Duration)
+		}
+	})
+}
+
+func FuzzParseFaultPlan(f *testing.F) {
+	f.Add("crash:30s:60s")
+	f.Add("partition:1m:45s:n=2,storm:10s:30s:sev=0.8")
+	f.Add("slow:20s:40s:n=2:sev=0.5")
+	f.Add("")
+	f.Add("crash:30s:60s,,  ,partition:0s:0s")
+	f.Add("meteor:1s:1s")
+	f.Add("crash:1s:1s:n=-1:sev=2:wat=3")
+	f.Add("crash:9999999h:1ns:n=2147483647")
+
+	f.Fuzz(func(t *testing.T, s string) {
+		plan, err := autonosql.ParseFaultPlan(s)
+		if err != nil {
+			return // rejected without panicking: fine
+		}
+		// Parser contract: accepted plans always pass spec validation, and
+		// the parsed plan has one event per non-blank element.
+		spec := autonosql.DefaultScenarioSpec()
+		spec.Faults = plan
+		if verr := spec.Validate(); verr != nil {
+			t.Fatalf("ParseFaultPlan(%q) accepted a plan that fails validation: %v", s, verr)
+		}
+		elems := 0
+		for _, part := range strings.Split(s, ",") {
+			if strings.TrimSpace(part) != "" {
+				elems++
+			}
+		}
+		if len(plan.Faults) != elems {
+			t.Fatalf("ParseFaultPlan(%q) produced %d events for %d elements", s, len(plan.Faults), elems)
+		}
+	})
+}

@@ -107,6 +107,53 @@ func (h *Handle) SetNetworkCongestion(level float64) {
 	h.scenario.cluster.Network().SetCongestion(level)
 }
 
+// Partition isolates the given serving nodes (by ordinal, 0 = oldest) from
+// the rest of the cluster: node-to-node traffic across the cut is
+// undeliverable until HealPartition, while clients still reach both sides.
+func (h *Handle) Partition(ordinals ...int) error {
+	nodes := h.scenario.cluster.AvailableNodes()
+	net := h.scenario.cluster.Network()
+	seen := make(map[int]bool, len(ordinals))
+	ids := make([]cluster.NodeID, 0, len(ordinals))
+	newlyIsolated := 0
+	for _, ord := range ordinals {
+		if ord < 0 || ord >= len(nodes) {
+			return fmt.Errorf("autonosql: no serving node with ordinal %d", ord)
+		}
+		if seen[ord] {
+			continue
+		}
+		seen[ord] = true
+		id := nodes[ord].ID()
+		if !net.Isolated(id) {
+			newlyIsolated++
+		}
+		ids = append(ids, id)
+	}
+	// Count what the cut would look like after this call, including serving
+	// nodes isolated by earlier calls or faults: at least one connected
+	// serving node must remain, or the "partition" is a silent global repair
+	// freeze. Only serving nodes count on either side — a crashed node that
+	// is also isolated is already outside the denominator.
+	isolatedServing := 0
+	for _, n := range nodes {
+		if net.Isolated(n.ID()) {
+			isolatedServing++
+		}
+	}
+	if isolatedServing+newlyIsolated >= len(nodes) {
+		return errors.New("autonosql: cannot isolate every node")
+	}
+	net.Isolate(ids)
+	return nil
+}
+
+// HealPartition reconnects every currently isolated node, whatever isolated
+// it.
+func (h *Handle) HealPartition() {
+	h.scenario.cluster.Network().ClearPartition()
+}
+
 // SetBackgroundLoad sets the noisy-neighbour CPU load fraction in [0, 0.95]
 // on every node.
 func (h *Handle) SetBackgroundLoad(fraction float64) {

@@ -306,3 +306,43 @@ func TestTenantDriverDefaultInterval(t *testing.T) {
 		t.Fatalf("NewTenantDriver with zero interval: %v", err)
 	}
 }
+
+// TestPartitionIsolationRefcounts pins that overlapping partition faults
+// compose: a node isolated by two faults reconnects only when both heal, and
+// the heal of one fault never reconnects a node another still isolates.
+func TestPartitionIsolationRefcounts(t *testing.T) {
+	net := NewNetwork(DefaultNetworkConfig(), sim.NewRandSource(1).Stream("net"))
+	a, b, c := NodeID(1), NodeID(2), NodeID(3)
+
+	if !net.Reachable(a, b) || net.PartitionActive() {
+		t.Fatal("fresh network not fully connected")
+	}
+	net.Isolate([]NodeID{a})    // fault 1
+	net.Isolate([]NodeID{a, b}) // fault 2 overlaps on a
+	if net.Reachable(a, c) || net.Reachable(b, c) {
+		t.Fatal("isolated nodes reachable from the majority")
+	}
+	if !net.Reachable(a, b) {
+		t.Fatal("nodes on the isolated side not mutually reachable")
+	}
+	net.Heal([]NodeID{a, b}) // fault 2 ends
+	if net.Reachable(a, c) {
+		t.Fatal("healing one fault reconnected a node another fault still isolates")
+	}
+	if !net.Reachable(b, c) {
+		t.Fatal("node isolated only by the healed fault did not reconnect")
+	}
+	net.Heal([]NodeID{a}) // fault 1 ends
+	if !net.Reachable(a, c) || net.PartitionActive() {
+		t.Fatal("network not fully connected after every fault healed")
+	}
+	if got := net.IsolatedCount(); got != 0 {
+		t.Fatalf("IsolatedCount = %d after full heal", got)
+	}
+
+	net.Isolate([]NodeID{a, b})
+	net.ClearPartition()
+	if net.PartitionActive() || net.IsolatedCount() != 0 {
+		t.Fatal("ClearPartition left isolation behind")
+	}
+}

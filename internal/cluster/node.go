@@ -132,6 +132,10 @@ type Node struct {
 	background float64
 	// rebalance is extra load from ongoing bootstrap/decommission streaming.
 	rebalance float64
+	// fault is capacity lost to an injected slow-node fault (a degraded disk,
+	// a stolen CPU). It composes with the tenant and rebalance components so
+	// the fault injector never clobbers what the tenant driver set.
+	fault float64
 
 	busyAccum   time.Duration
 	opsServed   metrics.Counter
@@ -193,10 +197,19 @@ func (n *Node) SetRebalanceLoad(f float64) {
 // RebalanceLoad returns the current rebalance load fraction.
 func (n *Node) RebalanceLoad() float64 { return n.rebalance }
 
+// SetFaultLoad sets the fraction [0, 0.95] of capacity lost to an injected
+// slow-node fault.
+func (n *Node) SetFaultLoad(f float64) {
+	n.fault = clamp(f, 0, 0.95)
+}
+
+// FaultLoad returns the current slow-node fault load fraction.
+func (n *Node) FaultLoad() float64 { return n.fault }
+
 // contention is the total fraction of capacity unavailable to foreground
 // work.
 func (n *Node) contention() float64 {
-	return clamp(n.background+n.rebalance, 0, 0.97)
+	return clamp(n.background+n.rebalance+n.fault, 0, 0.97)
 }
 
 // WorkKind distinguishes coordinated foreground operations from background

@@ -1,0 +1,22 @@
+// Package fault is the fault-injection engine of the simulator. It turns a
+// declarative plan of fault events — node crashes and restarts, slow nodes
+// (capacity degradation), network partitions with later heals, and latency
+// storms — into scheduled interventions on the simulation event loop, driving
+// the hooks the cluster and network models already expose
+// (Cluster.FailNode/RecoverNode, Node.SetFaultLoad, Network.Isolate/Heal,
+// Network.SetFaultCongestion).
+//
+// The paper's central observation is that the inconsistency window depends on
+// dynamic conditions: the load on the database and on the platform it runs
+// on. Real deployments add a third dynamic dimension — degraded
+// infrastructure. Grid-deployment experience reports show node loss and
+// degraded links dominating operations; this package makes those conditions
+// reproducible, so the autonomous controller can be evaluated under exactly
+// the circumstances where SLA-driven reconfiguration matters most.
+//
+// Determinism: every choice the injector makes (which nodes to crash, which
+// group to isolate) is drawn from a dedicated named random stream, and every
+// action fires at a planned virtual time on the engine. The same seed and
+// plan therefore produce bit-for-bit identical fault schedules, which is what
+// lets fault scenarios participate in the golden-report determinism tests.
+package fault

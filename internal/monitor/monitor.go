@@ -85,6 +85,10 @@ type Snapshot struct {
 	// Monitoring overhead.
 	ProbeOpsPerSec        float64
 	ProbeOverheadFraction float64
+	// ProbeFailures is the cumulative number of probes whose write was
+	// rejected outright (crashed or partitioned store). A rising count tells
+	// the controller the window estimate is censored, not healthy.
+	ProbeFailures uint64
 
 	// Current configuration, as the controller's knowledge of the plant.
 	ClusterSize       int
@@ -253,6 +257,9 @@ func (m *Monitor) Snapshot() Snapshot {
 		ReplicationFactor: m.store.ReplicationFactor(),
 		ReadConsistency:   m.store.ReadConsistency(),
 		WriteConsistency:  m.store.WriteConsistency(),
+	}
+	if m.prober != nil {
+		snap.ProbeFailures = m.prober.Failed()
 	}
 	if interval > 0 {
 		secs := interval.Seconds()

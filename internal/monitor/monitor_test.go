@@ -278,6 +278,57 @@ func TestProberTimeoutPath(t *testing.T) {
 	}
 }
 
+// TestProbeFailureRecordedNotSilent pins the fault-visibility regression: a
+// probe whose write is rejected by a crashed/partitioned store must be
+// counted as a failure AND feed a censored (timeout-valued) estimate into the
+// monitor's window series, instead of silently disappearing and leaving the
+// controller blind while divergence is worst.
+func TestProbeFailureRecordedNotSilent(t *testing.T) {
+	engine := sim.NewEngine()
+	src := sim.NewRandSource(12)
+	clusterCfg := cluster.DefaultConfig()
+	clusterCfg.InitialNodes = 3
+	cl := cluster.New(clusterCfg, engine, src)
+	storeCfg := store.DefaultConfig()
+	storeCfg.WriteConsistency = store.All
+	st, err := store.New(storeCfg, engine, cl, src)
+	if err != nil {
+		t.Fatalf("store.New: %v", err)
+	}
+	const timeout = 500 * time.Millisecond
+	var estimates []float64
+	p, err := NewProber(ProberConfig{Rate: 5, Timeout: timeout, PollInterval: 20 * time.Millisecond},
+		engine, st, func(w float64, _ int) { estimates = append(estimates, w) })
+	if err != nil {
+		t.Fatalf("NewProber: %v", err)
+	}
+	// Fail two of three nodes: CL=ALL probe writes are rejected outright.
+	nodes := cl.AvailableNodes()
+	if err := cl.FailNode(nodes[0].ID()); err != nil {
+		t.Fatalf("FailNode: %v", err)
+	}
+	if err := cl.FailNode(nodes[1].ID()); err != nil {
+		t.Fatalf("FailNode: %v", err)
+	}
+	if err := engine.Run(3 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	p.Stop()
+	if p.Failed() == 0 {
+		t.Fatal("probe writes against a two-thirds-failed cluster were not counted as failures")
+	}
+	censored := 0
+	for _, e := range estimates {
+		if e == timeout.Seconds() {
+			censored++
+		}
+	}
+	if censored == 0 {
+		t.Fatalf("no censored timeout estimates recorded for %d failed probes (estimates: %v)",
+			p.Failed(), estimates)
+	}
+}
+
 func TestSnapshotWindowGrowsUnderLoad(t *testing.T) {
 	if testing.Short() {
 		t.Skip("load test skipped in -short mode")

@@ -40,6 +40,7 @@ type Prober struct {
 	started uint64
 	done    uint64
 	timeout uint64
+	failed  uint64
 }
 
 // NewProber creates and starts a prober. onEstimate is invoked once per
@@ -86,6 +87,10 @@ func (p *Prober) Completed() uint64 { return p.done }
 // TimedOut returns the number of probes abandoned at the timeout.
 func (p *Prober) TimedOut() uint64 { return p.timeout }
 
+// Failed returns the number of probes whose write was rejected outright
+// (unavailable or crashed coordinator, partition-starved consistency level).
+func (p *Prober) Failed() uint64 { return p.failed }
+
 func (p *Prober) startProbe() {
 	p.seq++
 	p.started++
@@ -93,8 +98,13 @@ func (p *Prober) startProbe() {
 	ops := 1
 	p.store.Write(key, func(w store.Result) {
 		if w.Err != nil {
-			// An unavailable store is a signal in itself, but there is no
-			// window to estimate; drop the probe.
+			// A probe write rejected by a crashed or partitioned store is a
+			// consistency signal, not a gap in the data: dropping it silently
+			// would leave the monitor blind exactly when divergence is worst.
+			// Record the probe as failed and feed the censored timeout value
+			// into the estimate series, the same way an abandoned poll does.
+			p.failed++
+			p.onEstimate(p.cfg.Timeout.Seconds(), ops)
 			return
 		}
 		p.poll(key, w.Version, w.CompletedAt, w.CompletedAt, ops)

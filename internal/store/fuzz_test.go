@@ -1,0 +1,40 @@
+package store
+
+import "testing"
+
+// FuzzParseConsistencyLevel pins that the parser never panics on arbitrary
+// input and that accepted levels round-trip through String(): the symbolic
+// names are the store's wire format in specs, CLIs and suite exports.
+func FuzzParseConsistencyLevel(f *testing.F) {
+	f.Add("ONE")
+	f.Add("two")
+	f.Add("QUORUM")
+	f.Add("all")
+	f.Add("")
+	f.Add("QuOrUm")
+	f.Add("EACH_QUORUM")
+	f.Add("ONE ")
+
+	f.Fuzz(func(t *testing.T, s string) {
+		cl, err := ParseConsistencyLevel(s)
+		if err != nil {
+			if cl != 0 {
+				t.Fatalf("ParseConsistencyLevel(%q) returned level %v alongside error %v", s, cl, err)
+			}
+			return
+		}
+		if cl < One || cl > All {
+			t.Fatalf("ParseConsistencyLevel(%q) = %d outside the defined levels", s, int(cl))
+		}
+		back, err := ParseConsistencyLevel(cl.String())
+		if err != nil || back != cl {
+			t.Fatalf("level %v does not round-trip through String(): got (%v, %v)", cl, back, err)
+		}
+		// Required must stay within [1, rf] for any parsed level.
+		for _, rf := range []int{1, 2, 3, 5, 9} {
+			if n := cl.Required(rf); n < 1 || n > rf {
+				t.Fatalf("%v.Required(%d) = %d outside [1, %d]", cl, rf, n, rf)
+			}
+		}
+	})
+}

@@ -166,7 +166,7 @@ func (s *Store) Write(key Key, cb func(Result)) {
 		return
 	}
 	required := s.writeCL.Required(len(replicaIDs))
-	live, down := s.partitionReplicas(replicaIDs)
+	live, down := s.partitionReplicas(coord.ID(), replicaIDs)
 	if len(live) < required {
 		s.writeFailures.Inc()
 		s.failOp(OpWrite, key, now, ErrUnavailable, cb)
@@ -202,7 +202,7 @@ func (s *Store) Write(key Key, cb func(Result)) {
 
 	// Unreachable replicas get hints (or are dropped, counted as lost).
 	for _, id := range down {
-		s.queueHint(id, key, ver, &state.tracker)
+		s.queueHint(id, key, ver, &state.tracker, coord.ID())
 	}
 
 	// Client -> coordinator.
@@ -252,21 +252,23 @@ func (s *Store) coordinateWrite(w *writeState, arrival time.Duration) {
 // that blows the inconsistency window up when replicas cannot keep up.
 func (s *Store) applyOnReplica(w *writeState, id cluster.NodeID, arrive time.Duration) {
 	node, ok := s.cluster.Node(id)
-	if !ok || !node.Available() {
-		s.queueHint(id, w.key, w.ver, &w.tracker)
+	if !ok || !node.Available() || !s.cluster.Network().Reachable(w.coord.ID(), id) {
+		// Down, removed, or a partition opened between dispatch and arrival:
+		// the mutation cannot be delivered and becomes a hint.
+		s.queueHint(id, w.key, w.ver, &w.tracker, w.coord.ID())
 		w.onReplicaLost()
 		return
 	}
 	applyDelay, accepted := node.Enqueue(arrive, cluster.ReplicationApply)
 	if !accepted {
-		s.queueHint(id, w.key, w.ver, &w.tracker)
+		s.queueHint(id, w.key, w.ver, &w.tracker, w.coord.ID())
 		w.onReplicaLost()
 		return
 	}
 	applyAt := arrive + applyDelay
 	if applyAt-w.issuedAt > s.cfg.MutationDropTimeout {
 		s.droppedMutations.Inc()
-		s.queueHint(id, w.key, w.ver, &w.tracker)
+		s.queueHint(id, w.key, w.ver, &w.tracker, w.coord.ID())
 		w.onReplicaLost()
 		return
 	}
@@ -385,7 +387,7 @@ func (s *Store) Read(key Key, cb func(Result)) {
 		return
 	}
 	required := s.readCL.Required(len(replicaIDs))
-	live, _ := s.partitionReplicas(replicaIDs)
+	live, _ := s.partitionReplicas(coord.ID(), replicaIDs)
 	if len(live) < required {
 		s.readFailures.Inc()
 		s.failOp(OpRead, key, now, ErrUnavailable, cb)
@@ -452,7 +454,7 @@ func (s *Store) coordinateRead(r *readState, arrival time.Duration) {
 // reports the version it holds once it has processed the request.
 func (s *Store) readOnReplica(r *readState, id cluster.NodeID, arrive time.Duration) {
 	node, ok := s.cluster.Node(id)
-	if !ok || !node.Available() {
+	if !ok || !node.Available() || !s.cluster.Network().Reachable(r.coord.ID(), id) {
 		r.onReplicaLost()
 		return
 	}
@@ -510,13 +512,16 @@ func (s *Store) appendReplicas(key Key) []cluster.NodeID {
 }
 
 // partitionReplicas splits a preference list into live and unavailable
-// replica IDs. Both results live in per-store scratch buffers that the next
-// operation overwrites.
-func (s *Store) partitionReplicas(ids []cluster.NodeID) (live, down []cluster.NodeID) {
+// replica IDs from the point of view of the coordinating node: a replica is
+// live only when it is up AND reachable from the coordinator under the
+// current network partition. Both results live in per-store scratch buffers
+// that the next operation overwrites.
+func (s *Store) partitionReplicas(coord cluster.NodeID, ids []cluster.NodeID) (live, down []cluster.NodeID) {
 	s.liveScratch = s.liveScratch[:0]
 	s.downScratch = s.downScratch[:0]
+	net := s.cluster.Network()
 	for _, id := range ids {
-		if n, ok := s.cluster.Node(id); ok && n.Available() {
+		if n, ok := s.cluster.Node(id); ok && n.Available() && net.Reachable(coord, id) {
 			s.liveScratch = append(s.liveScratch, id)
 		} else {
 			s.downScratch = append(s.downScratch, id)
@@ -566,7 +571,7 @@ const maxHintsPerDelivery = 20000
 // replica. With hinted handoff disabled and no anti-entropy, the update is
 // lost until a newer write arrives (counted as a lost update) and the tracker
 // is discounted so the window stays defined.
-func (s *Store) queueHint(id cluster.NodeID, key Key, ver version, tracker *writeTracker) {
+func (s *Store) queueHint(id cluster.NodeID, key Key, ver version, tracker *writeTracker, origin cluster.NodeID) {
 	if !s.cfg.HintedHandoff && s.cfg.AntiEntropyInterval <= 0 {
 		s.lostUpdates.Inc()
 		if tracker != nil {
@@ -584,7 +589,7 @@ func (s *Store) queueHint(id cluster.NodeID, key Key, ver version, tracker *writ
 		return
 	}
 	s.hintsQueued.Inc()
-	s.pendingHints[id] = append(s.pendingHints[id], pendingApply{key: key, ver: ver, tracker: tracker})
+	s.pendingHints[id] = append(s.pendingHints[id], pendingApply{key: key, ver: ver, tracker: tracker, origin: origin})
 }
 
 // retryHints periodically redelivers queued hints to nodes that are
@@ -622,8 +627,10 @@ func (s *Store) deliverHints(id cluster.NodeID) {
 		return
 	}
 	node, ok := s.cluster.Node(id)
-	if !ok || !node.Available() {
-		// Still unreachable; keep the backlog queued.
+	net := s.cluster.Network()
+	if !ok || !node.Available() || net.Isolated(id) {
+		// Still down or cut off behind a partition (hint replay originates on
+		// the majority side); keep the backlog queued.
 		return
 	}
 	// Throttle the replay to a fraction of the replica's capacity over one
@@ -635,23 +642,65 @@ func (s *Store) deliverHints(id cluster.NodeID) {
 	if limit > maxHintsPerDelivery {
 		limit = maxHintsPerDelivery
 	}
-	batch := hints
-	if len(batch) > limit {
+	var batch []pendingApply
+	if net.PartitionActive() {
+		// A hint replays only when its originating coordinator's side can
+		// reach the target: a write acknowledged on the minority side of a
+		// partition must stay invisible to the majority until the heal, or
+		// the split-brain inconsistency window would close at the first
+		// retry tick instead of at the heal. Scan for a deliverable hint
+		// first: when the whole backlog is cross-cut (the common case during
+		// a long partition) the retry tick must not rebuild it.
+		deliverable := false
+		for _, h := range hints {
+			if net.Reachable(h.origin, id) {
+				deliverable = true
+				break
+			}
+		}
+		if !deliverable {
+			return
+		}
+		keep := make([]pendingApply, 0, len(hints))
+		for _, h := range hints {
+			if len(batch) < limit && net.Reachable(h.origin, id) {
+				batch = append(batch, h)
+			} else {
+				keep = append(keep, h)
+			}
+		}
+		if len(keep) > 0 {
+			s.pendingHints[id] = keep
+		} else {
+			delete(s.pendingHints, id)
+		}
+	} else if len(hints) > limit {
 		batch = hints[:limit]
 		remaining := make([]pendingApply, len(hints)-limit)
 		copy(remaining, hints[limit:])
 		s.pendingHints[id] = remaining
 	} else {
+		batch = hints
 		delete(s.pendingHints, id)
 	}
+	if len(batch) == 0 {
+		return
+	}
 	now := s.engine.Now()
-	net := s.cluster.Network()
 	at := now
 	for _, h := range batch {
 		h := h
 		at += s.cfg.HintDeliveryDelay
 		arrive := at + net.NodeToNode()
 		s.engine.After(delayUntil(now, arrive), func(arrived time.Duration) {
+			// A partition may have opened between batch assembly and
+			// arrival; a delivery that can no longer cross the (new) cut is
+			// requeued rather than applied, the same arrival-time recheck
+			// every other replication path performs.
+			if !net.Reachable(h.origin, id) || net.Isolated(id) {
+				s.pendingHints[id] = append(s.pendingHints[id], h)
+				return
+			}
 			target, ok := s.cluster.Node(id)
 			if !ok || !target.Available() {
 				s.lostUpdates.Inc()
@@ -687,12 +736,25 @@ func (s *Store) runAntiEntropy(time.Duration) {
 
 // repairAll brings every live replica up to the newest acknowledged version
 // of each key it is responsible for. It models the effect of a completed
-// Merkle-tree repair without tracking per-key digests.
+// Merkle-tree repair without tracking per-key digests. Crashed replicas are
+// skipped — a repair stream cannot reach a node that is down — and the whole
+// sweep aborts while a partition is active: a repair session needs the
+// replica set connected, and latestAcked holds cluster-wide knowledge
+// (including minority-acknowledged versions) that no single side possesses
+// during the cut. Divergence therefore persists until nodes recover or the
+// partition heals, which is exactly the window the fault scenarios measure.
 func (s *Store) repairAll() {
+	net := s.cluster.Network()
+	if net.PartitionActive() {
+		return
+	}
 	for key, ver := range s.latestAcked {
 		for _, id := range s.appendReplicas(key) {
 			rep, ok := s.replicas[id]
 			if !ok {
+				continue
+			}
+			if node, up := s.cluster.Node(id); !up || !node.Available() {
 				continue
 			}
 			if rep.read(key) < ver {
@@ -710,16 +772,32 @@ func (s *Store) scheduleReadRepair(key Key, contacted []cluster.NodeID) {
 	if latest == 0 {
 		return
 	}
+	// latestAcked is cluster-wide knowledge: while a partition is active it
+	// includes versions acknowledged on the *other* side of the cut (a
+	// minority coordinator keeps acking CL=ONE writes), which no repair
+	// message could physically carry across. Repairing from it in either
+	// direction would close the split-brain window early, so read repair
+	// pauses entirely for the duration of the partition, exactly like the
+	// anti-entropy sweep.
+	if s.cluster.Network().PartitionActive() {
+		return
+	}
 	for _, id := range contacted {
 		rep, ok := s.replicas[id]
 		if !ok || rep.read(key) >= latest {
 			continue
 		}
 		id := id
-		s.readRepairs.Inc()
 		s.engine.After(s.cfg.ReadRepairDelay, func(time.Duration) {
-			if rep, ok := s.replicas[id]; ok {
+			// The node may have crashed or been partitioned away since the
+			// read; a repair mutation cannot reach it then.
+			node, up := s.cluster.Node(id)
+			if !up || !node.Available() || s.cluster.Network().Isolated(id) {
+				return
+			}
+			if rep, ok := s.replicas[id]; ok && rep.read(key) < latest {
 				rep.apply(key, latest)
+				s.readRepairs.Inc()
 			}
 		})
 	}

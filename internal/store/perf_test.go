@@ -8,6 +8,8 @@ package store
 
 import (
 	"testing"
+
+	"autonosql/internal/cluster"
 )
 
 // maxWriteAllocs bounds the average allocations for one complete write
@@ -70,4 +72,38 @@ func TestRingLookupAllocations(t *testing.T) {
 	if avg != 0 {
 		t.Errorf("ring lookup allocates %.1f objects per call with a reused buffer, want 0", avg)
 	}
+}
+
+// TestFaultChecksAllocationFree pins that the fault-awareness added to the
+// op path — coordinator-relative replica partitioning and the network
+// reachability/isolation checks — contributes zero allocations, with and
+// without an active partition. Together with the write/read thresholds above
+// this guarantees a scenario that declares no faults keeps the recorded
+// BENCH baseline: the fault engine's entire hot-path footprint is these
+// checks.
+func TestFaultChecksAllocationFree(t *testing.T) {
+	rig := newBenchRig(t, 5)
+	net := rig.store.cluster.Network()
+	ids := make([]cluster.NodeID, 0, 3)
+	for _, n := range rig.store.cluster.AvailableNodes()[:3] {
+		ids = append(ids, n.ID())
+	}
+	coord := ids[0]
+
+	check := func(label string) {
+		t.Helper()
+		avg := testing.AllocsPerRun(300, func() {
+			replicas := rig.store.appendReplicas(rig.keys[0])
+			rig.store.partitionReplicas(coord, replicas)
+			net.Reachable(coord, ids[1])
+			net.Isolated(ids[2])
+		})
+		if avg != 0 {
+			t.Errorf("%s: fault checks allocate %.1f objects per op, want 0", label, avg)
+		}
+	}
+	check("no partition")
+	net.Isolate(ids[1:2])
+	check("partition active")
+	net.Heal(ids[1:2])
 }

@@ -225,6 +225,11 @@ type pendingApply struct {
 	key     Key
 	ver     version
 	tracker *writeTracker
+	// origin is the coordinator that queued the hint. Under a network
+	// partition a hint replays only when its origin's side can reach the
+	// target: a minority-side coordinator's writes must stay invisible to the
+	// majority until the heal.
+	origin cluster.NodeID
 }
 
 // writeTracker follows a single acknowledged write until every replica in

@@ -360,6 +360,105 @@ func TestHintedHandoffDeliversAfterRecovery(t *testing.T) {
 	}
 }
 
+// TestPartitionHoldsMinorityHintsUntilHeal pins the split-brain semantics:
+// a write acknowledged by a minority-side coordinator queues hints for the
+// majority replicas, and those hints must NOT replay across the active cut
+// on a retry tick — the inconsistency window of a partition closes at the
+// heal, not at the next hint-retry interval.
+func TestPartitionHoldsMinorityHintsUntilHeal(t *testing.T) {
+	clusterCfg := cluster.DefaultConfig()
+	clusterCfg.InitialNodes = 4
+	cfg := DefaultConfig()
+	cfg.AntiEntropyInterval = 0 // isolate hinted handoff
+	cfg.ReadRepair = false
+	cfg.HintRetryInterval = time.Second
+	h := newHarness(t, clusterCfg, cfg, 21)
+	net := h.cluster.Network()
+
+	// Isolate one node and write (CL=ONE) until a minority-side coordinator
+	// acknowledges a write: its majority replicas become hints whose origin
+	// is on the minority side.
+	nodes := h.cluster.AvailableNodes()
+	minority := nodes[0].ID()
+	net.Isolate([]cluster.NodeID{minority})
+	for i := 0; i < 200; i++ {
+		h.writeSync(Key(fmt.Sprintf("p-%d", i)))
+	}
+	queued := h.store.Stats().HintsQueued
+	if queued == 0 {
+		t.Fatal("no hints queued across the partition")
+	}
+
+	// Run through several retry intervals with the partition still active:
+	// hints whose origin cannot reach their target must stay queued.
+	if err := h.engine.Run(h.engine.Now() + 5*time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	crossCut := 0
+	for target, hints := range h.store.pendingHints {
+		for _, hint := range hints {
+			if !net.Reachable(hint.origin, target) {
+				crossCut++
+			}
+		}
+	}
+	if crossCut == 0 {
+		t.Fatal("no cross-cut hints retained while the partition was active — they were delivered across the cut")
+	}
+
+	// Heal and let the retry ticker run: everything converges.
+	net.Heal([]cluster.NodeID{minority})
+	if err := h.engine.Run(h.engine.Now() + 10*time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if h.store.Stats().HintsDelivered == 0 {
+		t.Fatal("hints never delivered after the heal")
+	}
+	for target, hints := range h.store.pendingHints {
+		if len(hints) > 0 {
+			t.Fatalf("%d hints still queued for %v after the heal", len(hints), target)
+		}
+	}
+}
+
+// TestAntiEntropySkipsActivePartition pins that the repair sweep does not
+// leak cluster-wide knowledge across an active cut: divergence on either
+// side persists until the heal, then the next sweep converges it.
+func TestAntiEntropySkipsActivePartition(t *testing.T) {
+	clusterCfg := cluster.DefaultConfig()
+	clusterCfg.InitialNodes = 4
+	cfg := DefaultConfig()
+	cfg.HintedHandoff = false
+	cfg.ReadRepair = false
+	cfg.AntiEntropyInterval = 2 * time.Second
+	h := newHarness(t, clusterCfg, cfg, 22)
+	net := h.cluster.Network()
+
+	minority := h.cluster.AvailableNodes()[0].ID()
+	net.Isolate([]cluster.NodeID{minority})
+	for i := 0; i < 100; i++ {
+		h.writeSync(Key(fmt.Sprintf("ae-%d", i)))
+	}
+	before := h.store.ReplicaKeyCount(minority)
+	if err := h.engine.Run(h.engine.Now() + 6*time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if h.store.Stats().AntiEntropyRan == 0 {
+		t.Fatal("anti-entropy never ticked")
+	}
+	if got := h.store.ReplicaKeyCount(minority); got != before {
+		t.Fatalf("anti-entropy repaired an isolated node across the cut: %d -> %d keys", before, got)
+	}
+
+	net.Heal([]cluster.NodeID{minority})
+	if err := h.engine.Run(h.engine.Now() + 6*time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := h.store.ReplicaKeyCount(minority); got <= before {
+		t.Fatalf("anti-entropy did not converge the minority after the heal: still %d keys", got)
+	}
+}
+
 func TestAntiEntropyRepairsJoinedNode(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.HintedHandoff = false

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"autonosql/internal/fault"
 	"autonosql/internal/sla"
 )
 
@@ -60,6 +61,46 @@ type ConfigurationSummary struct {
 	WriteConsistency  ConsistencyLevel
 }
 
+// FaultWindow is one injected fault as it actually struck, annotated with
+// the system's behaviour while it was active: the ground-truth inconsistency
+// window over the report samples inside the fault interval and the fraction
+// of those samples that violated the SLA's window clause.
+type FaultWindow struct {
+	// Kind is the fault class (crash, slow, partition, storm).
+	Kind string
+	// Start and End delimit the fault's active interval in virtual time.
+	Start time.Duration
+	End   time.Duration
+	// Nodes are the IDs of the nodes the fault touched (empty for storms).
+	Nodes []int
+	// Severity is the injected intensity (zero for crash and partition).
+	Severity float64
+
+	// Samples is the number of report samples inside [Start, End].
+	Samples int
+	// WindowP95Mean and WindowP95Peak summarise the sampled ground-truth
+	// p95 inconsistency window during the fault, in seconds.
+	WindowP95Mean float64
+	WindowP95Peak float64
+	// SLAViolationFraction is the fraction of samples during the fault whose
+	// window p95 exceeded the SLA bound.
+	SLAViolationFraction float64
+}
+
+// String renders the window compactly.
+func (w FaultWindow) String() string {
+	s := fmt.Sprintf("%s %v..%v", w.Kind, w.Start, w.End)
+	if len(w.Nodes) > 0 {
+		s += fmt.Sprintf(" nodes=%v", w.Nodes)
+	}
+	if w.Severity > 0 {
+		s += fmt.Sprintf(" sev=%.2f", w.Severity)
+	}
+	s += fmt.Sprintf(" | window p95 mean=%s peak=%s, %.0f%% of samples in violation",
+		ms(w.WindowP95Mean), ms(w.WindowP95Peak), w.SLAViolationFraction*100)
+	return s
+}
+
 // Report is the outcome of one scenario run.
 type Report struct {
 	// Spec echoes the scenario specification the run used.
@@ -108,6 +149,10 @@ type Report struct {
 	// Decisions is the controller's decision log rendered as strings
 	// (empty for ControllerNone).
 	Decisions []string
+
+	// Faults is the timeline of injected faults with per-window behaviour
+	// stats (empty for fault-free runs).
+	Faults []FaultWindow
 
 	// Series are the sampled time series, keyed by the Series* constants.
 	Series map[string][]SeriesPoint
@@ -208,7 +253,54 @@ func (s *Scenario) buildReport() *Report {
 		}
 		r.Series[name] = out
 	}
+
+	if s.injector != nil {
+		r.Faults = buildFaultWindows(s.injector.Timeline(), r.Series[SeriesWindowP95],
+			s.spec.SLA.MaxWindowP95)
+	}
 	return r
+}
+
+// buildFaultWindows annotates the injector's timeline with the behaviour the
+// sampled series recorded while each fault was active.
+func buildFaultWindows(timeline []fault.Window, windowP95 []SeriesPoint, slaBound time.Duration) []FaultWindow {
+	if len(timeline) == 0 {
+		return nil
+	}
+	boundMs := slaBound.Seconds() * 1000
+	out := make([]FaultWindow, 0, len(timeline))
+	for _, w := range timeline {
+		fw := FaultWindow{
+			Kind:     w.Kind.String(),
+			Start:    w.Start,
+			End:      w.End,
+			Severity: w.Severity,
+		}
+		for _, id := range w.Nodes {
+			fw.Nodes = append(fw.Nodes, int(id))
+		}
+		violations := 0
+		for _, p := range windowP95 {
+			if p.At < w.Start || p.At > w.End {
+				continue
+			}
+			fw.Samples++
+			v := p.Value / 1000 // series is in milliseconds
+			fw.WindowP95Mean += v
+			if v > fw.WindowP95Peak {
+				fw.WindowP95Peak = v
+			}
+			if boundMs > 0 && p.Value > boundMs {
+				violations++
+			}
+		}
+		if fw.Samples > 0 {
+			fw.WindowP95Mean /= float64(fw.Samples)
+			fw.SLAViolationFraction = float64(violations) / float64(fw.Samples)
+		}
+		out = append(out, fw)
+	}
+	return out
 }
 
 // String renders the report as a human-readable summary.
@@ -232,6 +324,9 @@ func (r *Report) String() string {
 		r.FinalConfiguration.ClusterSize, r.MinClusterSize, r.MaxClusterSize,
 		r.FinalConfiguration.ReplicationFactor, r.FinalConfiguration.ReadConsistency,
 		r.FinalConfiguration.WriteConsistency, r.Reconfigurations)
+	for _, fw := range r.Faults {
+		fmt.Fprintf(&b, "  fault: %s\n", fw)
+	}
 	return b.String()
 }
 

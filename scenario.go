@@ -8,6 +8,7 @@ import (
 	"autonosql/internal/baseline"
 	"autonosql/internal/cluster"
 	"autonosql/internal/core"
+	"autonosql/internal/fault"
 	"autonosql/internal/metrics"
 	"autonosql/internal/monitor"
 	"autonosql/internal/sim"
@@ -22,13 +23,14 @@ import (
 type Scenario struct {
 	spec ScenarioSpec
 
-	engine  *sim.Engine
-	rnd     *sim.RandSource
-	cluster *cluster.Cluster
-	store   *store.Store
-	monitor *monitor.Monitor
-	gen     *workload.Generator
-	tenant  *cluster.TenantDriver
+	engine   *sim.Engine
+	rnd      *sim.RandSource
+	cluster  *cluster.Cluster
+	store    *store.Store
+	monitor  *monitor.Monitor
+	gen      *workload.Generator
+	tenant   *cluster.TenantDriver
+	injector *fault.Injector
 
 	agreement sla.SLA
 	costs     sla.CostModel
@@ -94,6 +96,16 @@ func NewScenario(spec ScenarioSpec) (*Scenario, error) {
 		series:    make(map[string]*metrics.TimeSeries),
 		maxNodes:  cl.Size(),
 		minNodes:  cl.Size(),
+	}
+
+	// Fault injection. The injector is assembled only when the plan is
+	// non-empty, so fault-free scenarios carry no injection machinery at all.
+	if !spec.Faults.Empty() {
+		inj, err := fault.NewInjector(engine, cl, rnd.Stream("fault"), spec.Duration)
+		if err != nil {
+			return nil, fmt.Errorf("autonosql: assembling fault injector: %w", err)
+		}
+		s.injector = inj
 	}
 
 	// Background platform interference (noisy neighbours).
@@ -234,6 +246,13 @@ func (s *Scenario) Run() (*Report, error) {
 		h := h
 		if _, err := s.engine.ScheduleAt(h.at, func(time.Duration) { h.fn(handle) }); err != nil {
 			return nil, fmt.Errorf("autonosql: scheduling intervention at %v: %w", h.at, err)
+		}
+	}
+
+	// Planned fault events.
+	if s.injector != nil {
+		if err := s.injector.Schedule(s.spec.Faults.toInternal()); err != nil {
+			return nil, fmt.Errorf("autonosql: scheduling faults: %w", err)
 		}
 	}
 

@@ -206,6 +206,11 @@ type ScenarioSpec struct {
 	Monitor    MonitorSpec
 	SLA        SLASpec
 	Controller ControllerSpec
+
+	// Faults schedules deterministic fault injection — node crashes and
+	// restarts, slow nodes, network partitions and heals, latency storms —
+	// over the run. The zero value runs failure-free.
+	Faults FaultPlan
 }
 
 // DefaultScenarioSpec returns a ready-to-run scenario: a three-node cluster,
@@ -305,6 +310,9 @@ func (s ScenarioSpec) Validate() error {
 		return fmt.Errorf("autonosql: %w", err)
 	}
 	if err := s.costModel().Validate(); err != nil {
+		return fmt.Errorf("autonosql: %w", err)
+	}
+	if err := s.Faults.validate(); err != nil {
 		return fmt.Errorf("autonosql: %w", err)
 	}
 	return nil

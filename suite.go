@@ -58,8 +58,8 @@ func LookupSLATier(name string) (SLATier, bool) {
 // Grid is the axis grid of a suite. Each non-empty axis multiplies the
 // number of variants; an empty axis keeps the base spec's value. The
 // expansion order is fixed (pattern, controller, cluster size, SLA tier,
-// seed offset), so a given grid always produces the same variants in the
-// same order.
+// fault profile, seed offset), so a given grid always produces the same
+// variants in the same order.
 type Grid struct {
 	// Patterns are the workload load shapes to sweep over.
 	Patterns []LoadPattern
@@ -69,6 +69,10 @@ type Grid struct {
 	ClusterSizes []int
 	// SLATiers are the SLA presets to sweep over.
 	SLATiers []SLATier
+	// Faults are the fault profiles to sweep over (e.g. none vs crash vs
+	// partition), so controllers can be compared under identical degraded
+	// conditions.
+	Faults []FaultProfile
 	// Repeats runs every cell with that many different derived seeds
 	// (0 and 1 both mean one run per cell).
 	Repeats int
@@ -77,7 +81,7 @@ type Grid struct {
 // Size returns the number of variants the grid expands to over a base spec.
 func (g Grid) Size() int {
 	n := 1
-	for _, axis := range []int{len(g.Patterns), len(g.Controllers), len(g.ClusterSizes), len(g.SLATiers)} {
+	for _, axis := range []int{len(g.Patterns), len(g.Controllers), len(g.ClusterSizes), len(g.SLATiers), len(g.Faults)} {
 		if axis > 0 {
 			n *= axis
 		}
@@ -123,6 +127,10 @@ func ExpandGrid(base ScenarioSpec, grid Grid) []Variant {
 	if len(tiers) == 0 {
 		tiers = []SLATier{{SLA: base.SLA}}
 	}
+	faults := grid.Faults
+	if len(faults) == 0 {
+		faults = []FaultProfile{{Plan: base.Faults}}
+	}
 	repeats := grid.Repeats
 	if repeats < 1 {
 		repeats = 1
@@ -133,30 +141,35 @@ func ExpandGrid(base ScenarioSpec, grid Grid) []Variant {
 		for _, controller := range controllers {
 			for _, size := range sizes {
 				for _, tier := range tiers {
-					for rep := 0; rep < repeats; rep++ {
-						name := gridVariantName(grid, pattern, controller, size, tier, rep)
-						spec := base
-						if name == "base" {
-							// Degenerate grid with no swept axis: keep the
-							// base spec (and its seed) verbatim, so a suite
-							// of one reproduces a direct NewScenario run.
+					for _, fp := range faults {
+						for rep := 0; rep < repeats; rep++ {
+							name := gridVariantName(grid, pattern, controller, size, tier, fp, rep)
+							spec := base
+							if name == "base" {
+								// Degenerate grid with no swept axis: keep the
+								// base spec (and its seed) verbatim, so a suite
+								// of one reproduces a direct NewScenario run.
+								variants = append(variants, Variant{Name: name, Spec: spec})
+								continue
+							}
+							if len(grid.Patterns) > 0 {
+								spec.Workload.Pattern = pattern
+							}
+							if len(grid.Controllers) > 0 {
+								spec.Controller.Mode = controller
+							}
+							if len(grid.ClusterSizes) > 0 {
+								spec.Cluster.InitialNodes = size
+							}
+							if len(grid.SLATiers) > 0 {
+								spec.SLA = tier.SLA
+							}
+							if len(grid.Faults) > 0 {
+								spec.Faults = fp.Plan
+							}
+							spec.Seed = sim.DeriveSeed(base.Seed, name)
 							variants = append(variants, Variant{Name: name, Spec: spec})
-							continue
 						}
-						if len(grid.Patterns) > 0 {
-							spec.Workload.Pattern = pattern
-						}
-						if len(grid.Controllers) > 0 {
-							spec.Controller.Mode = controller
-						}
-						if len(grid.ClusterSizes) > 0 {
-							spec.Cluster.InitialNodes = size
-						}
-						if len(grid.SLATiers) > 0 {
-							spec.SLA = tier.SLA
-						}
-						spec.Seed = sim.DeriveSeed(base.Seed, name)
-						variants = append(variants, Variant{Name: name, Spec: spec})
 					}
 				}
 			}
@@ -167,7 +180,7 @@ func ExpandGrid(base ScenarioSpec, grid Grid) []Variant {
 
 // gridVariantName builds the canonical variant name from the swept axis
 // values; axes the grid does not sweep contribute no component.
-func gridVariantName(grid Grid, pattern LoadPattern, controller ControllerMode, size int, tier SLATier, rep int) string {
+func gridVariantName(grid Grid, pattern LoadPattern, controller ControllerMode, size int, tier SLATier, fp FaultProfile, rep int) string {
 	var parts []string
 	if len(grid.Patterns) > 0 {
 		parts = append(parts, "pattern="+string(patternOrConstant(pattern)))
@@ -180,6 +193,9 @@ func gridVariantName(grid Grid, pattern LoadPattern, controller ControllerMode, 
 	}
 	if len(grid.SLATiers) > 0 {
 		parts = append(parts, "sla="+tier.Name)
+	}
+	if len(grid.Faults) > 0 {
+		parts = append(parts, "faults="+fp.Name)
 	}
 	if grid.Repeats > 1 {
 		parts = append(parts, fmt.Sprintf("rep=%d", rep))
@@ -223,7 +239,8 @@ type Suite struct {
 func NewSuite(spec SuiteSpec) (*Suite, error) {
 	variants := ExpandGrid(spec.Base, spec.Grid)
 	if len(spec.Grid.Patterns) == 0 && len(spec.Grid.Controllers) == 0 &&
-		len(spec.Grid.ClusterSizes) == 0 && len(spec.Grid.SLATiers) == 0 && spec.Grid.Repeats <= 1 {
+		len(spec.Grid.ClusterSizes) == 0 && len(spec.Grid.SLATiers) == 0 &&
+		len(spec.Grid.Faults) == 0 && spec.Grid.Repeats <= 1 {
 		// A grid with no swept axis expands to the bare base spec; drop it
 		// when explicit variants are given, so SuiteSpec{Variants: ...} does
 		// not smuggle in an extra run of the base.

@@ -104,9 +104,43 @@ func (r *SuiteReport) CostTable() string {
 	return text.FormatAligned("suite comparison — cost", columns, rows, nil)
 }
 
-// String renders both comparison tables.
+// FaultsTable renders the fault timeline across variants: every injected
+// fault window with the inconsistency-window behaviour observed while it was
+// active. It returns an empty string when no variant injected faults.
+func (r *SuiteReport) FaultsTable() string {
+	columns := []string{"variant", "fault", "active", "nodes", "window p95 mean (ms)",
+		"window p95 peak (ms)", "samples in violation"}
+	rows := make([][]string, 0, len(r.Variants))
+	for _, v := range r.Variants {
+		for _, fw := range v.Report.Faults {
+			nodes := "-"
+			if len(fw.Nodes) > 0 {
+				nodes = fmt.Sprint(fw.Nodes)
+			}
+			rows = append(rows, []string{
+				v.Name,
+				fw.Kind,
+				fmt.Sprintf("%v..%v", fw.Start, fw.End),
+				nodes,
+				msCell(fw.WindowP95Mean), msCell(fw.WindowP95Peak),
+				fmt.Sprintf("%.0f%%", fw.SLAViolationFraction*100),
+			})
+		}
+	}
+	if len(rows) == 0 {
+		return ""
+	}
+	return text.FormatAligned("suite comparison — fault windows", columns, rows, nil)
+}
+
+// String renders both comparison tables, plus the fault table when any
+// variant injected faults.
 func (r *SuiteReport) String() string {
-	return r.ComparisonTable() + "\n" + r.CostTable()
+	s := r.ComparisonTable() + "\n" + r.CostTable()
+	if ft := r.FaultsTable(); ft != "" {
+		s += "\n" + ft
+	}
+	return s
 }
 
 // CheapestCompliant returns the variant with the lowest total cost among
