@@ -36,6 +36,7 @@ func run(args []string) int {
 		nodeOps    = fs.Float64("node-ops", 2000, "per-node sustainable ops/s")
 		windowSLA  = fs.Duration("sla-window", 150*time.Millisecond, "SLA bound on the p95 inconsistency window")
 		noisy      = fs.Bool("noisy-neighbour", false, "enable multi-tenant background load")
+		tenants    = fs.String("tenants", "", "named tenants, comma-separated class:pattern:base[:peak=P][:read=F][:keys=K][:name=N]\n(e.g. \"gold:diurnal:2000,bronze:constant:500\"); replaces -base/-peak/-pattern traffic")
 		predictive = fs.Bool("predictive", true, "enable predictive scaling (smart controller)")
 		decisions  = fs.Bool("decisions", false, "print the controller decision log")
 	)
@@ -56,6 +57,12 @@ func run(args []string) int {
 	spec.SLA.MaxWindowP95 = *windowSLA
 	spec.Controller.Mode = autonosql.ControllerMode(*controller)
 	spec.Controller.Predictive = *predictive
+	tenantSpecs, err := autonosql.ParseTenantSpecs(*tenants)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "autoscale: %v\n", err)
+		return 2
+	}
+	spec.Tenants = tenantSpecs
 
 	scenario, err := autonosql.NewScenario(spec)
 	if err != nil {

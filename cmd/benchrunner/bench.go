@@ -133,7 +133,15 @@ func runBenchJSON(dir string) (string, error) {
 		Parallelism:     runtime.GOMAXPROCS(0),
 	}
 
+	// Never clobber an earlier trajectory point recorded on the same day: a
+	// same-date baseline gets an ordinal suffix so both points survive.
 	path := filepath.Join(dir, "BENCH_"+out.Date+".json")
+	for n := 2; ; n++ {
+		if _, err := os.Stat(path); os.IsNotExist(err) {
+			break
+		}
+		path = filepath.Join(dir, fmt.Sprintf("BENCH_%s.%d.json", out.Date, n))
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return "", fmt.Errorf("creating %s: %w", path, err)

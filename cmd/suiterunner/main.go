@@ -1,9 +1,10 @@
 // Command suiterunner expands a scenario grid — workload pattern × controller
-// mode × cluster size × SLA tier × fault profile — into concrete variants
-// with deterministic per-variant seeds, runs them concurrently across a
-// bounded worker pool and prints the aggregated comparison tables. The full suite report can also be
-// exported as CSV (one row per variant) or JSON (lossless, including the
-// sampled time series).
+// mode × cluster size × SLA tier × fault profile × tenant mix — into concrete
+// variants with deterministic per-variant seeds, runs them concurrently
+// across a bounded worker pool and prints the aggregated comparison tables.
+// The full suite report can also be exported as CSV (one row per variant,
+// plus an optional per-tenant CSV) or JSON (lossless, including the sampled
+// time series).
 //
 // Usage examples:
 //
@@ -11,6 +12,8 @@
 //	suiterunner -patterns constant,diurnal,spike -controllers none,smart \
 //	    -nodes 3,6 -sla-tiers tight,loose -duration 10m
 //	suiterunner -controllers none,smart -faults none,crash,partition
+//	suiterunner -controllers reactive,smart -tenant-mixes gold-bronze
+//	suiterunner -tenants gold:diurnal:2000,bronze:constant:500 -tenants-csv tenants.csv
 //	suiterunner -csv sweep.csv -json sweep.json       # export the results
 //	suiterunner -list                                 # print the grid and exit
 package main
@@ -41,6 +44,9 @@ func run(args []string, out *os.File) int {
 		nodes       = fs.String("nodes", "3,6", "comma-separated initial cluster sizes to sweep")
 		slaTiers    = fs.String("sla-tiers", "", "comma-separated SLA tiers to sweep (tight, default, loose); empty keeps the base SLA")
 		faultAxis   = fs.String("faults", "", "comma-separated fault profiles to sweep (none, crash, partition, slow, storm),\nscaled to the run duration; empty keeps runs fault-free")
+		tenants     = fs.String("tenants", "", "named tenants applied to every variant, comma-separated\nclass:pattern:base[:peak=P][:read=F][:keys=K][:name=N]")
+		mixAxis     = fs.String("tenant-mixes", "", "comma-separated tenant mixes to sweep (none, gold-bronze, three-tier);\nempty keeps the base tenants")
+		tenantsCSV  = fs.String("tenants-csv", "", "write the per-tenant results as CSV to this file")
 		repeats     = fs.Int("repeats", 1, "runs per grid cell with distinct derived seeds")
 		baseOps     = fs.Float64("base", 2000, "base offered load (ops/s)")
 		peakOps     = fs.Float64("peak", 4000, "peak offered load for non-constant patterns (ops/s)")
@@ -62,8 +68,14 @@ func run(args []string, out *os.File) int {
 	base.Cluster.MaxNodes = *maxNodes
 	base.Workload.BaseOpsPerSec = *baseOps
 	base.Workload.PeakOpsPerSec = *peakOps
+	baseTenants, err := autonosql.ParseTenantSpecs(*tenants)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "suiterunner: %v\n", err)
+		return 2
+	}
+	base.Tenants = baseTenants
 
-	grid, err := buildGrid(*patterns, *controllers, *nodes, *slaTiers, *faultAxis, *duration, *repeats)
+	grid, err := buildGrid(*patterns, *controllers, *nodes, *slaTiers, *faultAxis, *mixAxis, *duration, *repeats)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "suiterunner: %v\n", err)
 		return 2
@@ -101,6 +113,10 @@ func run(args []string, out *os.File) int {
 		fmt.Fprintln(out)
 		fmt.Fprint(out, ft)
 	}
+	if tt := report.TenantsTable(); tt != "" {
+		fmt.Fprintln(out)
+		fmt.Fprint(out, tt)
+	}
 	fmt.Fprintf(out, "\ncompleted in %v\n", time.Since(started).Round(time.Millisecond))
 
 	if best := report.CheapestCompliant(0); best != nil {
@@ -121,11 +137,18 @@ func run(args []string, out *os.File) int {
 		}
 		fmt.Fprintf(out, "wrote JSON report to %s\n", *jsonPath)
 	}
+	if *tenantsCSV != "" {
+		if err := writeFile(*tenantsCSV, report.WriteTenantsCSV); err != nil {
+			fmt.Fprintf(os.Stderr, "suiterunner: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(out, "wrote per-tenant CSV results to %s\n", *tenantsCSV)
+	}
 	return 0
 }
 
 // buildGrid parses the axis flags into a Grid.
-func buildGrid(patterns, controllers, nodes, slaTiers, faults string, duration time.Duration, repeats int) (autonosql.Grid, error) {
+func buildGrid(patterns, controllers, nodes, slaTiers, faults, tenantMixes string, duration time.Duration, repeats int) (autonosql.Grid, error) {
 	var grid autonosql.Grid
 	for _, p := range splitList(patterns) {
 		grid.Patterns = append(grid.Patterns, autonosql.LoadPattern(p))
@@ -153,6 +176,13 @@ func buildGrid(patterns, controllers, nodes, slaTiers, faults string, duration t
 			return autonosql.Grid{}, fmt.Errorf("unknown fault profile %q (available: none, crash, partition, slow, storm)", name)
 		}
 		grid.Faults = append(grid.Faults, profile)
+	}
+	for _, name := range splitList(tenantMixes) {
+		mix, ok := autonosql.LookupTenantMix(name)
+		if !ok {
+			return autonosql.Grid{}, fmt.Errorf("unknown tenant mix %q (available: none, gold-bronze, three-tier)", name)
+		}
+		grid.TenantMixes = append(grid.TenantMixes, mix)
 	}
 	grid.Repeats = repeats
 	return grid, nil

@@ -70,6 +70,23 @@ func fingerprintReport(r *autonosql.Report) string {
 			fpFloat(fw.WindowP95Mean), fpFloat(fw.WindowP95Peak), fpFloat(fw.SLAViolationFraction))
 	}
 
+	// Tenant sections (absent for single-tenant runs, so the pre-tenant
+	// golden files are unaffected): every per-tenant statistic is pinned
+	// bit-for-bit.
+	for _, tr := range r.Tenants {
+		fmt.Fprintf(&b, "tenant %s class=%s ops: reads=%d writes=%d failedReads=%d failedWrites=%d stale=%d staleRate=%s\n",
+			tr.Name, tr.Class, tr.Reads, tr.Writes, tr.FailedReads, tr.FailedWrites,
+			tr.StaleReads, fpFloat(tr.StaleReadRate))
+		fpLatency(&b, "tenant "+tr.Name+" window", tr.Window)
+		fpLatency(&b, "tenant "+tr.Name+" readLatency", tr.ReadLatency)
+		fpLatency(&b, "tenant "+tr.Name+" writeLatency", tr.WriteLatency)
+		fmt.Fprintf(&b, "tenant %s sla: compliance=%s vWindow=%s vRead=%s vWrite=%s vAvail=%s vTotal=%s penalty=%s comp=%s\n",
+			tr.Name, fpFloat(tr.ComplianceRatio), fpFloat(tr.Violations.Window),
+			fpFloat(tr.Violations.ReadLatency), fpFloat(tr.Violations.WriteLatency),
+			fpFloat(tr.Violations.Availability), fpFloat(tr.Violations.Total),
+			fpFloat(tr.PenaltyCost), fpFloat(tr.CompensationCost))
+	}
+
 	names := make([]string, 0, len(r.Series))
 	for name := range r.Series {
 		names = append(names, name)

@@ -1,0 +1,112 @@
+// Multi-tenant SLA classes: a premium (gold) tenant with a tight
+// inconsistency-window bound shares the cluster with a best-effort (bronze)
+// batch tenant. Mid-run the bronze tenant's write-heavy flash crowd saturates
+// the replicas, and the gold tenant — whose own traffic never changed — takes
+// the damage: replica applies queue behind the burst and its inconsistency
+// window blows through its SLA.
+//
+// The classic CPU-threshold autoscaler only sees aggregate utilisation, so it
+// reacts late and blindly and the gold tenant's window degrades by orders of
+// magnitude. The tenant-aware smart controller consumes the worst
+// penalty-weighted tenant signal, so the gold tenant's distress drives the
+// control loop directly — predictive scale-out fires on the burst's ramp,
+// every decision names the tenant that triggered it, and scale-in is vetoed
+// while gold is in violation — keeping the breach several times smaller and
+// the recovery faster.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"autonosql"
+)
+
+func spec(mode autonosql.ControllerMode) autonosql.ScenarioSpec {
+	s := autonosql.DefaultScenarioSpec()
+	s.Duration = 16 * time.Minute
+	s.SampleInterval = 10 * time.Second
+	s.Cluster.InitialNodes = 4
+	s.Cluster.MaxNodes = 10
+	s.Cluster.NodeOpsPerSec = 2000
+	s.Cluster.BootstrapTime = 20 * time.Second
+	s.Controller.Mode = mode
+	s.Tenants = []autonosql.TenantSpec{
+		{
+			// The premium service: steady daytime traffic, strict window SLA.
+			Name:  "checkout",
+			Class: autonosql.SLAGold,
+			Workload: autonosql.WorkloadSpec{
+				Pattern:       autonosql.LoadDiurnal,
+				BaseOpsPerSec: 800,
+				PeakOpsPerSec: 1300,
+				ReadFraction:  0.7,
+			},
+		},
+		{
+			// The noisy neighbour: a write-heavy batch job that ramps to three
+			// and a half times its base rate for five minutes mid-run.
+			Name:  "batch",
+			Class: autonosql.SLABronze,
+			Workload: autonosql.WorkloadSpec{
+				Pattern:       autonosql.LoadSpike,
+				BaseOpsPerSec: 400,
+				PeakOpsPerSec: 1400,
+				ReadFraction:  0.2,
+				PeakStart:     6 * time.Minute,
+				PeakDuration:  5 * time.Minute,
+			},
+		},
+	}
+	return s
+}
+
+func run(name string, s autonosql.ScenarioSpec) *autonosql.Report {
+	scenario, err := autonosql.NewScenario(s)
+	if err != nil {
+		log.Fatalf("%s: %v", name, err)
+	}
+	rep, err := scenario.Run()
+	if err != nil {
+		log.Fatalf("%s: %v", name, err)
+	}
+	return rep
+}
+
+func main() {
+	reactive := run("reactive", spec(autonosql.ControllerReactive))
+	smart := run("smart", spec(autonosql.ControllerSmart))
+
+	fmt.Println("same two tenants (gold diurnal + bronze flash crowd), different controllers:")
+	fmt.Printf("%-10s %-10s %-8s %-17s %-15s %-14s %-10s\n",
+		"controller", "tenant", "class", "window p95 (ms)", "violation min", "penalty ($)", "stale")
+	for _, row := range []struct {
+		name string
+		rep  *autonosql.Report
+	}{
+		{"reactive", reactive},
+		{"smart", smart},
+	} {
+		for _, tr := range row.rep.Tenants {
+			fmt.Printf("%-10s %-10s %-8s %-17.1f %-15.1f %-14.2f %-10d\n",
+				row.name, tr.Name, tr.Class, tr.Window.P95*1000,
+				tr.Violations.Total, tr.PenaltyCost+tr.CompensationCost, tr.StaleReads)
+		}
+	}
+
+	gold := func(rep *autonosql.Report) autonosql.TenantReport { return rep.Tenants[0] }
+	fmt.Printf("\ngold window p95 over the run: reactive=%.0fms smart=%.0fms (%.1fx better)\n",
+		gold(reactive).Window.P95*1000, gold(smart).Window.P95*1000,
+		gold(reactive).Window.P95/gold(smart).Window.P95)
+
+	fmt.Println("\ngold tenant's ground-truth window under the reactive controller:")
+	fmt.Print(reactive.PlotSeries("tenant/checkout/window_p95_ms", 40))
+	fmt.Println("\nsame tenant under the tenant-aware smart controller:")
+	fmt.Print(smart.PlotSeries("tenant/checkout/window_p95_ms", 40))
+
+	fmt.Println("\nsmart controller decisions (each names the tenant that drove it):")
+	for _, d := range smart.Decisions {
+		fmt.Printf("  %s\n", d)
+	}
+}

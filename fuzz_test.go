@@ -122,6 +122,43 @@ func FuzzSpecValidate(f *testing.F) {
 	})
 }
 
+func FuzzParseTenantSpec(f *testing.F) {
+	f.Add("gold:diurnal:2000,bronze:constant:500")
+	f.Add("gold:constant:1500:name=checkout:read=0.9:keys=5000")
+	f.Add("bronze:spike:300:peak=3000,bronze:constant:100")
+	f.Add("silver:diurnal+spike:800:peak=1600:read=0.5")
+	f.Add("")
+	f.Add("gold:diurnal:2000,,  ,bronze:constant:0")
+	f.Add("platinum:constant:100")
+	f.Add("gold:constant:1e309")
+	f.Add("gold:constant:100:name=a,gold:constant:100:name=a")
+	f.Add("gold:constant:100:wat=1:sev=2")
+
+	f.Fuzz(func(t *testing.T, s string) {
+		specs, err := autonosql.ParseTenantSpecs(s)
+		if err != nil {
+			return // rejected without panicking: fine
+		}
+		// Parser contract: accepted tenant lists always pass spec validation
+		// (names filled in and unique, classes and patterns known, rates
+		// bounded), and produce one tenant per non-blank element.
+		spec := autonosql.DefaultScenarioSpec()
+		spec.Tenants = specs
+		if verr := spec.Validate(); verr != nil {
+			t.Fatalf("ParseTenantSpecs(%q) accepted a list that fails validation: %v", s, verr)
+		}
+		elems := 0
+		for _, part := range strings.Split(s, ",") {
+			if strings.TrimSpace(part) != "" {
+				elems++
+			}
+		}
+		if len(specs) != elems {
+			t.Fatalf("ParseTenantSpecs(%q) produced %d tenants for %d elements", s, len(specs), elems)
+		}
+	})
+}
+
 func FuzzParseFaultPlan(f *testing.F) {
 	f.Add("crash:30s:60s")
 	f.Add("partition:1m:45s:n=2,storm:10s:30s:sev=0.8")

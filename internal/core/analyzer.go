@@ -7,6 +7,7 @@ import (
 	"autonosql/internal/metrics"
 	"autonosql/internal/monitor"
 	"autonosql/internal/sla"
+	"autonosql/internal/tenant"
 )
 
 // Condition is the analyzer's classification of the system state relative to
@@ -96,7 +97,9 @@ type Analysis struct {
 	At time.Duration
 	// Snapshot is the monitoring snapshot the analysis is based on.
 	Snapshot monitor.Snapshot
-	// Headroom is the observed/limit ratio for each SLA clause.
+	// Headroom is the observed/limit ratio for each SLA clause. In a
+	// multi-tenant snapshot it is the driving tenant's headroom against that
+	// tenant's own SLA class.
 	Headroom sla.Headroom
 	// Primary is the most urgent condition detected.
 	Primary Condition
@@ -110,6 +113,16 @@ type Analysis struct {
 	// WindowTrusted reports whether the snapshot carried enough window
 	// samples for window-driven decisions.
 	WindowTrusted bool
+
+	// Tenant names the tenant whose penalty-weighted signal drove this
+	// analysis; it is empty for single-tenant snapshots, where the analyzer
+	// works from the aggregate estimate.
+	Tenant string
+	// TenantClass is the driving tenant's SLA class (empty when Tenant is).
+	TenantClass string
+	// GoldViolation reports whether any gold-class tenant is currently in
+	// violation of its own SLA; while it holds, the planner vetoes scale-in.
+	GoldViolation bool
 }
 
 // Analyzer turns monitoring snapshots into Analyses. It keeps a short history
@@ -130,7 +143,12 @@ func NewAnalyzer(cfg Config) *Analyzer {
 	}
 }
 
-// Analyze classifies one snapshot.
+// Analyze classifies one snapshot. For a multi-tenant snapshot the analysis
+// is driven by the worst penalty-weighted tenant signal — each tenant's
+// observations are ranked against its own SLA class, scaled by its violation
+// price — instead of the aggregate estimate, so a gold tenant pushed towards
+// its bound by a bronze tenant's burst wins the controller's attention even
+// while the aggregate still looks healthy.
 func (a *Analyzer) Analyze(snap monitor.Snapshot) Analysis {
 	obs := sla.Observation{
 		At:              snap.At,
@@ -140,27 +158,56 @@ func (a *Analyzer) Analyze(snap monitor.Snapshot) Analysis {
 		WriteLatencyP99: snap.WriteLatencyP99,
 		ErrorRate:       snap.ErrorRate,
 	}
-	head := a.cfg.SLA.Headroom(obs)
+	agreement := a.cfg.SLA
+
+	an := Analysis{
+		At:       snap.At,
+		Snapshot: snap,
+	}
+
+	// Multi-tenant snapshot: substitute the driving tenant's observations and
+	// agreement for the aggregate ones before classification.
+	if len(snap.Tenants) > 0 {
+		worst := snap.Tenants[0]
+		for _, sig := range snap.Tenants[1:] {
+			if sig.Urgency() > worst.Urgency() {
+				worst = sig
+			}
+		}
+		obs.WindowP95 = worst.WindowP95
+		obs.ReadLatencyP99 = worst.ReadLatencyP99
+		obs.WriteLatencyP99 = worst.WriteLatencyP99
+		obs.ErrorRate = worst.ErrorRate
+		agreement = worst.SLA
+		an.Tenant = worst.Name
+		an.TenantClass = string(worst.Class)
+		for _, sig := range snap.Tenants {
+			if sig.Class == tenant.Gold && sig.InViolation() {
+				an.GoldViolation = true
+				break
+			}
+		}
+	}
+
+	head := agreement.Headroom(obs)
 
 	a.predictor.Observe(snap.At, snap.ObservedOpsPerSec)
 	smoothedUtil := a.util.Update(snap.MeanUtilization)
 
-	an := Analysis{
-		At:                snap.At,
-		Snapshot:          snap,
-		Headroom:          head,
-		LoadTrend:         a.predictor.TrendPerSecond(),
-		ForecastOpsPerSec: a.predictor.Forecast(snap.At + a.cfg.PredictionHorizon),
-		WindowTrusted:     snap.WindowSamples >= a.cfg.MinWindowSamples,
-	}
+	an.Headroom = head
+	an.LoadTrend = a.predictor.TrendPerSecond()
+	an.ForecastOpsPerSec = a.predictor.Forecast(snap.At + a.cfg.PredictionHorizon)
+	an.WindowTrusted = snap.WindowSamples >= a.cfg.MinWindowSamples
 
-	an.Primary, an.Cause = a.classify(snap, head, smoothedUtil, an.WindowTrusted)
+	an.Primary, an.Cause = a.classify(snap, obs, agreement, head, smoothedUtil, an.WindowTrusted)
 	return an
 }
 
 // classify applies the condition hierarchy: availability first, then the
-// window, then latency, then cost recovery.
-func (a *Analyzer) classify(snap monitor.Snapshot, head sla.Headroom, smoothedUtil float64, windowTrusted bool) (Condition, Cause) {
+// window, then latency, then cost recovery. obs and agreement are the
+// effective observation and SLA — the aggregate pair for single-tenant
+// snapshots, the driving tenant's pair otherwise.
+func (a *Analyzer) classify(snap monitor.Snapshot, obs sla.Observation, agreement sla.SLA, head sla.Headroom, smoothedUtil float64, windowTrusted bool) (Condition, Cause) {
 	high := a.cfg.HighFraction
 	low := a.cfg.LowFraction
 
@@ -174,7 +221,7 @@ func (a *Analyzer) classify(snap monitor.Snapshot, head sla.Headroom, smoothedUt
 		return ConditionAvailabilityLow, CauseUnknown
 
 	case windowTrusted && head.Window > high:
-		return ConditionWindowHigh, a.windowCause(snap, smoothedUtil)
+		return ConditionWindowHigh, a.windowCause(snap, obs, agreement, smoothedUtil)
 
 	case head.ReadLatency > high || head.WriteLatency > high:
 		if snap.MaxUtilization >= a.cfg.TargetUtilization || smoothedUtil >= a.cfg.TargetUtilization {
@@ -204,15 +251,15 @@ func (a *Analyzer) classify(snap monitor.Snapshot, head sla.Headroom, smoothedUt
 // still large, propagation is delayed in the network; if neither holds, the
 // configuration itself (asynchronous replication at CL=ONE) leaves the window
 // unbounded and should be tightened.
-func (a *Analyzer) windowCause(snap monitor.Snapshot, smoothedUtil float64) Cause {
+func (a *Analyzer) windowCause(snap monitor.Snapshot, obs sla.Observation, agreement sla.SLA, smoothedUtil float64) Cause {
 	if snap.MaxUtilization >= a.cfg.TargetUtilization || smoothedUtil >= a.cfg.TargetUtilization {
 		return CauseCPUSaturation
 	}
 	if smoothedUtil < a.cfg.TargetUtilization*0.7 {
 		// Plenty of CPU headroom yet replicas lag: latency inflation points at
 		// the network when writes are slow too, otherwise at loose consistency.
-		writeLatencyElevated := a.cfg.SLA.MaxWriteLatencyP99 > 0 &&
-			snap.WriteLatencyP99 > 0.5*a.cfg.SLA.MaxWriteLatencyP99.Seconds()
+		writeLatencyElevated := agreement.MaxWriteLatencyP99 > 0 &&
+			obs.WriteLatencyP99 > 0.5*agreement.MaxWriteLatencyP99.Seconds()
 		if writeLatencyElevated {
 			return CauseNetworkCongestion
 		}

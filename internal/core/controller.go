@@ -26,7 +26,8 @@ type Decision struct {
 	WriteConsistency  store.ConsistencyLevel
 }
 
-// String renders the decision compactly for logs.
+// String renders the decision compactly for logs. In a multi-tenant run the
+// line names the tenant whose penalty-weighted signal drove the decision.
 func (d Decision) String() string {
 	status := "noop"
 	if d.Applied {
@@ -34,10 +35,17 @@ func (d Decision) String() string {
 	} else if d.Err != nil {
 		status = "failed: " + d.Err.Error()
 	}
-	return fmt.Sprintf("[%8s] %-20s %-9s window=%.0fms util=%.2f nodes=%d cl=%s/%s rf=%d",
+	s := fmt.Sprintf("[%8s] %-20s %-9s window=%.0fms util=%.2f nodes=%d cl=%s/%s rf=%d",
 		d.At.Truncate(time.Second), d.Action.String(), status,
 		d.Analysis.Snapshot.WindowP95*1000, d.Analysis.Snapshot.MeanUtilization,
 		d.ClusterSize, d.ReadConsistency, d.WriteConsistency, d.ReplicationFactor)
+	if d.Analysis.Tenant != "" {
+		s += fmt.Sprintf(" tenant=%s(%s)", d.Analysis.Tenant, d.Analysis.TenantClass)
+		if d.Analysis.GoldViolation {
+			s += " gold-violation"
+		}
+	}
+	return s
 }
 
 // SnapshotSource supplies periodic monitoring snapshots. *monitor.Monitor

@@ -226,6 +226,12 @@ func (p *Planner) tryRemoveNode(an Analysis, plant PlantState, reason string) (A
 	if plant.ClusterSize <= p.cfg.MinNodes || plant.ClusterSize <= plant.ReplicationFactor {
 		return Action{}, false
 	}
+	// A gold tenant in violation vetoes scale-in outright: shrinking the
+	// cluster while the premium class is already breaching its SLA trades
+	// the most expensive violation minutes for the cheapest node-hours.
+	if an.GoldViolation {
+		return Action{}, false
+	}
 	// Removing a node shortly after adding one is the oscillation the paper
 	// warns about; the scale-in cooldown also applies to recent scale-outs.
 	cooldownOK := !p.kb.InCooldown(ActionRemoveNode, an.At, p.cfg.ScaleInCooldown) &&

@@ -8,6 +8,7 @@ import (
 	"autonosql/internal/metrics"
 	"autonosql/internal/sim"
 	"autonosql/internal/store"
+	"autonosql/internal/tenant"
 )
 
 // Config configures a Monitor.
@@ -95,6 +96,14 @@ type Snapshot struct {
 	ReplicationFactor int
 	ReadConsistency   store.ConsistencyLevel
 	WriteConsistency  store.ConsistencyLevel
+
+	// Tenants carries the per-tenant signals of a multi-tenant scenario,
+	// one per declared tenant, expressed against each tenant's own SLA
+	// class. It is filled by the scenario's sampling loop (the monitor has
+	// no tenant knowledge of its own) and empty in single-tenant runs; the
+	// tenant-aware controller acts on the worst penalty-weighted entry
+	// instead of the aggregate estimate when it is non-empty.
+	Tenants []tenant.Signal
 }
 
 // Monitor gathers estimates and exposes Snapshots. It implements
@@ -167,11 +176,39 @@ func (m *Monitor) Stop() {
 }
 
 // Read implements workload.Target: it forwards to the store and records the
-// client-observed outcome.
+// client-observed outcome. It is the untagged view — identical to
+// Tagged(0).Read, kept as a single implementation there.
 func (m *Monitor) Read(key store.Key, cb func(store.Result)) {
+	m.Tagged(0).Read(key, cb)
+}
+
+// Write implements workload.Target: it forwards to the store and records the
+// client-observed outcome.
+func (m *Monitor) Write(key store.Key, cb func(store.Result)) {
+	m.Tagged(0).Write(key, cb)
+}
+
+// TaggedTarget routes one tenant's operations through the monitor's
+// aggregate client-side accounting while tagging them with the tenant's
+// store ID, so the controller's aggregate view still covers all client
+// traffic and the store can attribute ground truth per tenant. It satisfies
+// workload.Target and tenant.Target.
+type TaggedTarget struct {
+	m  *Monitor
+	id store.TenantID
+}
+
+// Tagged returns the monitor's tagged view for one tenant.
+func (m *Monitor) Tagged(id store.TenantID) TaggedTarget {
+	return TaggedTarget{m: m, id: id}
+}
+
+// Read implements workload.Target.
+func (t TaggedTarget) Read(key store.Key, cb func(store.Result)) {
+	m := t.m
 	m.opsInterval++
 	m.opsTotal++
-	m.store.Read(key, func(r store.Result) {
+	m.store.ReadAs(t.id, key, func(r store.Result) {
 		if r.Err != nil {
 			m.errorsInterval++
 		} else {
@@ -183,12 +220,12 @@ func (m *Monitor) Read(key store.Key, cb func(store.Result)) {
 	})
 }
 
-// Write implements workload.Target: it forwards to the store and records the
-// client-observed outcome.
-func (m *Monitor) Write(key store.Key, cb func(store.Result)) {
+// Write implements workload.Target.
+func (t TaggedTarget) Write(key store.Key, cb func(store.Result)) {
+	m := t.m
 	m.opsInterval++
 	m.opsTotal++
-	m.store.Write(key, func(r store.Result) {
+	m.store.WriteAs(t.id, key, func(r store.Result) {
 		if r.Err != nil {
 			m.errorsInterval++
 		} else {

@@ -10,12 +10,24 @@ import (
 // current virtual time to the handler.
 type Handler func(now time.Duration)
 
+// ArgHandler is a Handler with a pre-bound argument. The argument rides
+// inside the event and is handed back when it fires, so hot paths that
+// schedule one event per item (for example a coordinator fanning a write out
+// to each replica) can use a single package-level function instead of
+// allocating a fresh closure per item. Passing a pointer as arg does not
+// allocate.
+type ArgHandler func(arg any, now time.Duration)
+
 // Event is a scheduled callback inside the simulation.
 type Event struct {
-	at       time.Duration
-	seq      uint64
-	handler  Handler
-	canceled bool
+	at      time.Duration
+	seq     uint64
+	handler Handler
+	// argHandler and arg carry an ArgHandler event (scheduled with
+	// AfterArg/AfterArgAt); handler and argHandler are mutually exclusive.
+	argHandler ArgHandler
+	arg        any
+	canceled   bool
 	// pooled marks events scheduled through After/AfterAt: no reference to
 	// them ever escapes the engine, so they are recycled after firing.
 	pooled bool
@@ -149,10 +161,49 @@ func (e *Engine) AfterAt(at time.Duration, handler Handler) {
 	e.queue.push(ev)
 }
 
-// release returns a pooled event to the free list. The handler reference is
-// dropped so the closure (and anything it captures) can be collected.
+// AfterArg schedules h(arg) to run after delay. Like After it is
+// fire-and-forget and pooled; unlike After the handler is a plain function
+// plus a pre-bound argument, so scheduling allocates nothing when h is a
+// package-level function and arg is a pointer.
+func (e *Engine) AfterArg(delay time.Duration, h ArgHandler, arg any) {
+	if delay < 0 {
+		panic(fmt.Errorf("%w: delay %v", ErrPastEvent, delay))
+	}
+	e.AfterArgAt(e.now+delay, h, arg)
+}
+
+// AfterArgAt is AfterArg with an absolute virtual timestamp.
+func (e *Engine) AfterArgAt(at time.Duration, h ArgHandler, arg any) {
+	if h == nil {
+		panic(errors.New("sim: nil handler"))
+	}
+	if at < e.now {
+		panic(fmt.Errorf("%w: at=%v now=%v", ErrPastEvent, at, e.now))
+	}
+	ev := e.free
+	if ev != nil {
+		e.free = ev.next
+		ev.next = nil
+		ev.canceled = false
+	} else {
+		ev = &Event{}
+	}
+	e.seq++
+	ev.at = at
+	ev.seq = e.seq
+	ev.argHandler = h
+	ev.arg = arg
+	ev.pooled = true
+	e.queue.push(ev)
+}
+
+// release returns a pooled event to the free list. The handler and argument
+// references are dropped so the closure (and anything it captures) can be
+// collected.
 func (e *Engine) release(ev *Event) {
 	ev.handler = nil
+	ev.argHandler = nil
+	ev.arg = nil
 	ev.pooled = false
 	ev.next = e.free
 	e.free = ev
@@ -166,10 +217,15 @@ func (e *Engine) fire(ev *Event) {
 	e.now = ev.at
 	e.processed++
 	h := ev.handler
+	ah, arg := ev.argHandler, ev.arg
 	if ev.pooled {
 		e.release(ev)
 	}
-	h(e.now)
+	if h != nil {
+		h(e.now)
+		return
+	}
+	ah(arg, e.now)
 }
 
 // discard drops a cancelled event that has been popped, recycling it when

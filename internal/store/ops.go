@@ -25,6 +25,7 @@ type writeState struct {
 	key      Key
 	ver      version
 	issuedAt time.Duration
+	tenant   TenantID
 	cb       func(Result)
 	// tracker follows the write until every replica applied it; it is
 	// embedded by value and handed around as &w.tracker.
@@ -36,9 +37,12 @@ type writeState struct {
 	// liveBuf backs live for the common replication factors without a second
 	// allocation.
 	liveBuf [8]cluster.NodeID
-	// ackFn is the single reusable handler for replica-acknowledgement
-	// events, created once per write instead of once per replica.
-	ackFn func(time.Duration)
+	// fanout holds one pre-bound dispatch slot per live replica, so the
+	// coordinator fan-out schedules package-level ArgHandler events instead
+	// of allocating a closure per replica. fanoutBuf backs it inline for the
+	// common replication factors.
+	fanout    []writeFanout
+	fanoutBuf [8]writeFanout
 
 	required int
 	// possible is the number of replicas that can still acknowledge (live
@@ -52,6 +56,64 @@ type writeState struct {
 	clientAcked bool
 	failed      bool
 	observed    bool
+}
+
+// writeFanout is the per-replica slot of a write's coordinator fan-out: it
+// points back at the write so the package-level event handlers below can be
+// scheduled with the engine's allocation-free AfterArg path.
+type writeFanout struct {
+	w  *writeState
+	id cluster.NodeID
+}
+
+// Package-level ArgHandler trampolines for the write path. Using named
+// functions (instead of per-event closures) keeps the fan-out hot path at a
+// single allocation per write: the writeState itself.
+func writeDispatchEvent(arg any, arrival time.Duration) {
+	w := arg.(*writeState)
+	w.store.coordinateWrite(w, arrival)
+}
+
+func writeAckEvent(arg any, at time.Duration) {
+	arg.(*writeState).onAck(at)
+}
+
+func writeArriveEvent(arg any, arrive time.Duration) {
+	f := arg.(*writeFanout)
+	f.w.store.applyOnReplica(f, arrive)
+}
+
+func writeApplyEvent(arg any, applied time.Duration) {
+	f := arg.(*writeFanout)
+	w := f.w
+	if rep, ok := w.store.replicas[f.id]; ok {
+		rep.apply(w.key, w.ver)
+	}
+	w.tracker.applied(applied)
+}
+
+func writeClientAckEvent(arg any, at time.Duration) {
+	w := arg.(*writeState)
+	s := w.store
+	if cur, ok := s.latestAcked[w.key]; !ok || w.ver > cur {
+		s.latestAcked[w.key] = w.ver
+	}
+	w.tracker.setAck(at)
+	latency := at - w.issuedAt
+	s.writeLatency.ObserveDuration(latency)
+	if t := s.tenant(w.tenant); t != nil {
+		t.writeLatency.ObserveDuration(latency)
+	}
+	if w.cb != nil {
+		w.cb(Result{
+			Kind:        OpWrite,
+			Key:         w.key,
+			IssuedAt:    w.issuedAt,
+			CompletedAt: at,
+			Latency:     latency,
+			Version:     uint64(w.ver),
+		})
+	}
 }
 
 // onAck records one replica acknowledgement arriving at the coordinator.
@@ -84,6 +146,7 @@ func (w *writeState) onReplicaLost() {
 	if !w.clientAcked && w.possible < w.required {
 		w.failed = true
 		w.store.writeFailures.Inc()
+		w.store.tenantWriteFailure(w.tenant)
 		w.store.failOp(OpWrite, w.key, w.issuedAt, ErrUnavailable, w.cb)
 		return
 	}
@@ -122,24 +185,7 @@ func (s *Store) completeWrite(w *writeState, ackAtCoord time.Duration) {
 	if delay < 0 {
 		delay = 0
 	}
-	s.engine.After(delay, func(at time.Duration) {
-		if cur, ok := s.latestAcked[w.key]; !ok || w.ver > cur {
-			s.latestAcked[w.key] = w.ver
-		}
-		w.tracker.setAck(at)
-		latency := at - w.issuedAt
-		s.writeLatency.ObserveDuration(latency)
-		if w.cb != nil {
-			w.cb(Result{
-				Kind:        OpWrite,
-				Key:         w.key,
-				IssuedAt:    w.issuedAt,
-				CompletedAt: at,
-				Latency:     latency,
-				Version:     uint64(w.ver),
-			})
-		}
-	})
+	s.engine.AfterArg(delay, writeClientAckEvent, w)
 }
 
 // Write stores a new version of key and invokes cb when the client is
@@ -147,7 +193,13 @@ func (s *Store) completeWrite(w *writeState, ackAtCoord time.Duration) {
 // determined by the current write consistency level; remaining replicas
 // converge asynchronously and the elapsed time until they do is recorded as
 // the write's inconsistency window.
-func (s *Store) Write(key Key, cb func(Result)) {
+func (s *Store) Write(key Key, cb func(Result)) { s.WriteAs(0, key, cb) }
+
+// WriteAs is Write with a tenant tag: the operation contributes to the
+// tagged tenant's ground-truth statistics (latency, failures, inconsistency
+// window) in addition to the aggregate set. Tag zero is the plain untagged
+// write.
+func (s *Store) WriteAs(tenant TenantID, key Key, cb func(Result)) {
 	now := s.engine.Now()
 	if s.closed {
 		s.failOp(OpWrite, key, now, ErrStopped, cb)
@@ -156,12 +208,14 @@ func (s *Store) Write(key Key, cb func(Result)) {
 	coord, ok := s.pickCoordinator()
 	if !ok {
 		s.writeFailures.Inc()
+		s.tenantWriteFailure(tenant)
 		s.failOp(OpWrite, key, now, ErrNoNodes, cb)
 		return
 	}
 	replicaIDs := s.appendReplicas(key)
 	if len(replicaIDs) == 0 {
 		s.writeFailures.Inc()
+		s.tenantWriteFailure(tenant)
 		s.failOp(OpWrite, key, now, ErrNoNodes, cb)
 		return
 	}
@@ -169,11 +223,15 @@ func (s *Store) Write(key Key, cb func(Result)) {
 	live, down := s.partitionReplicas(coord.ID(), replicaIDs)
 	if len(live) < required {
 		s.writeFailures.Inc()
+		s.tenantWriteFailure(tenant)
 		s.failOp(OpWrite, key, now, ErrUnavailable, cb)
 		return
 	}
 
 	s.writes.Inc()
+	if t := s.tenant(tenant); t != nil {
+		t.writes.Inc()
+	}
 	s.writesSinceTick++
 	s.nextVersion++
 	ver := s.nextVersion
@@ -183,6 +241,7 @@ func (s *Store) Write(key Key, cb func(Result)) {
 		key:      key,
 		ver:      ver,
 		issuedAt: now,
+		tenant:   tenant,
 		cb:       cb,
 		coord:    coord,
 		required: required,
@@ -193,12 +252,12 @@ func (s *Store) Write(key Key, cb func(Result)) {
 		store:     s,
 		key:       key,
 		ver:       ver,
+		tenant:    tenant,
 		remaining: len(replicaIDs),
 	}
 	// live points into the per-operation scratch buffer, which the next
 	// operation overwrites; keep a copy in the state's inline buffer.
 	state.live = append(state.liveBuf[:0], live...)
-	state.ackFn = state.onAck
 
 	// Unreachable replicas get hints (or are dropped, counted as lost).
 	for _, id := range down {
@@ -207,12 +266,7 @@ func (s *Store) Write(key Key, cb func(Result)) {
 
 	// Client -> coordinator.
 	clientLeg := s.cluster.Network().ClientToNode()
-	s.engine.After(clientLeg, state.dispatch)
-}
-
-// dispatch runs when the client request reaches the coordinator.
-func (w *writeState) dispatch(arrival time.Duration) {
-	w.store.coordinateWrite(w, arrival)
+	s.engine.AfterArg(clientLeg, writeDispatchEvent, state)
 }
 
 // coordinateWrite runs on the coordinator once the client request arrives:
@@ -223,25 +277,34 @@ func (s *Store) coordinateWrite(w *writeState, arrival time.Duration) {
 	if !accepted {
 		w.failed = true
 		s.writeFailures.Inc()
+		s.tenantWriteFailure(w.tenant)
 		s.failOp(OpWrite, w.key, w.issuedAt, ErrUnavailable, w.cb)
 		return
 	}
 	coordDone := arrival + coordDelay
 	net := s.cluster.Network()
 
+	// Bind one fan-out slot per live replica before scheduling anything, so
+	// slot addresses are stable when the handlers fire.
+	w.fanout = w.fanoutBuf[:0]
+	if len(w.live) > len(w.fanoutBuf) {
+		w.fanout = make([]writeFanout, 0, len(w.live))
+	}
 	for _, id := range w.live {
+		w.fanout = append(w.fanout, writeFanout{w: w, id: id})
+	}
+
+	for i, id := range w.live {
+		f := &w.fanout[i]
 		if id == w.coord.ID() {
 			// The coordinator applies the mutation as part of processing it
 			// and acknowledges itself immediately afterwards.
-			s.scheduleApply(id, w.key, w.ver, coordDone, &w.tracker)
-			s.engine.After(delayUntil(s.engine.Now(), coordDone), w.ackFn)
+			s.engine.AfterArg(delayUntil(s.engine.Now(), coordDone), writeApplyEvent, f)
+			s.engine.AfterArg(delayUntil(s.engine.Now(), coordDone), writeAckEvent, w)
 			continue
 		}
-		id := id
 		sendLeg := net.NodeToNode()
-		s.engine.After(delayUntil(s.engine.Now(), coordDone+sendLeg), func(arrive time.Duration) {
-			s.applyOnReplica(w, id, arrive)
-		})
+		s.engine.AfterArg(delayUntil(s.engine.Now(), coordDone+sendLeg), writeArriveEvent, f)
 	}
 }
 
@@ -250,7 +313,8 @@ func (s *Store) coordinateWrite(w *writeState, arrival time.Duration) {
 // time the replica gets to it, in which case it is dropped and becomes a
 // hint — the overload behaviour of Dynamo-style stores, and the mechanism
 // that blows the inconsistency window up when replicas cannot keep up.
-func (s *Store) applyOnReplica(w *writeState, id cluster.NodeID, arrive time.Duration) {
+func (s *Store) applyOnReplica(f *writeFanout, arrive time.Duration) {
+	w, id := f.w, f.id
 	node, ok := s.cluster.Node(id)
 	if !ok || !node.Available() || !s.cluster.Network().Reachable(w.coord.ID(), id) {
 		// Down, removed, or a partition opened between dispatch and arrival:
@@ -272,9 +336,9 @@ func (s *Store) applyOnReplica(w *writeState, id cluster.NodeID, arrive time.Dur
 		w.onReplicaLost()
 		return
 	}
-	s.scheduleApply(id, w.key, w.ver, applyAt, &w.tracker)
+	s.engine.AfterArg(delayUntil(s.engine.Now(), applyAt), writeApplyEvent, f)
 	ackAt := applyAt + s.cluster.Network().NodeToNode()
-	s.engine.After(delayUntil(s.engine.Now(), ackAt), w.ackFn)
+	s.engine.AfterArg(delayUntil(s.engine.Now(), ackAt), writeAckEvent, w)
 }
 
 // readState tracks one in-flight read at the coordinator. The coordinator,
@@ -284,11 +348,16 @@ type readState struct {
 	store    *Store
 	key      Key
 	issuedAt time.Duration
+	tenant   TenantID
 	cb       func(Result)
 	coord    *cluster.Node
 	// targets is the preference-ordered set of replicas the read contacts.
 	targets    []cluster.NodeID
 	targetsBuf [8]cluster.NodeID
+	// fanout mirrors writeState.fanout: one pre-bound slot per contacted
+	// replica, so the read fan-out schedules no per-replica closures.
+	fanout    []readFanout
+	fanoutBuf [8]readFanout
 
 	required  int
 	possible  int
@@ -300,6 +369,68 @@ type readState struct {
 	contactedBuf [8]cluster.NodeID
 	lastSeenAt   time.Duration
 	done         bool
+}
+
+// readFanout is the per-replica slot of a read's coordinator fan-out.
+type readFanout struct {
+	r  *readState
+	id cluster.NodeID
+}
+
+// Package-level ArgHandler trampolines for the read path, mirroring the
+// write-path set above.
+func readDispatchEvent(arg any, arrival time.Duration) {
+	r := arg.(*readState)
+	r.store.coordinateRead(r, arrival)
+}
+
+func readArriveEvent(arg any, arrive time.Duration) {
+	f := arg.(*readFanout)
+	f.r.store.readOnReplica(f, arrive)
+}
+
+// readRespondEvent fires when a replica's answer arrives back at the
+// coordinator; the version is read at response time, as before.
+func readRespondEvent(arg any, at time.Duration) {
+	f := arg.(*readFanout)
+	r := f.r
+	v := version(0)
+	if rep, ok := r.store.replicas[f.id]; ok {
+		v = rep.read(r.key)
+	}
+	r.onResponse(f.id, v, at)
+}
+
+func readClientDoneEvent(arg any, at time.Duration) {
+	r := arg.(*readState)
+	s := r.store
+	latest := s.latestAcked[r.key]
+	stale := r.freshest < latest
+	if stale {
+		s.staleReads.Inc()
+	}
+	if s.cfg.ReadRepair && (r.divergent || stale) {
+		s.scheduleReadRepair(r.key, r.contacted)
+	}
+	latency := at - r.issuedAt
+	s.readLatency.ObserveDuration(latency)
+	if t := s.tenant(r.tenant); t != nil {
+		if stale {
+			t.staleReads.Inc()
+		}
+		t.readLatency.ObserveDuration(latency)
+	}
+	if r.cb != nil {
+		r.cb(Result{
+			Kind:        OpRead,
+			Key:         r.key,
+			IssuedAt:    r.issuedAt,
+			CompletedAt: at,
+			Latency:     latency,
+			Version:     uint64(r.freshest),
+			Stale:       stale,
+		})
+	}
 }
 
 // onResponse records one replica's answer arriving back at the coordinator.
@@ -333,6 +464,7 @@ func (r *readState) onReplicaLost() {
 	if r.possible < r.required {
 		r.done = true
 		r.store.readFailures.Inc()
+		r.store.tenantReadFailure(r.tenant)
 		r.store.failOp(OpRead, r.key, r.issuedAt, ErrUnavailable, r.cb)
 	}
 }
@@ -341,34 +473,15 @@ func (r *readState) onReplicaLost() {
 func (s *Store) completeRead(r *readState, lastResponseAt time.Duration) {
 	now := s.engine.Now()
 	clientDone := lastResponseAt + s.cluster.Network().ClientToNode()
-	s.engine.After(delayUntil(now, clientDone), func(at time.Duration) {
-		latest := s.latestAcked[r.key]
-		stale := r.freshest < latest
-		if stale {
-			s.staleReads.Inc()
-		}
-		if s.cfg.ReadRepair && (r.divergent || stale) {
-			s.scheduleReadRepair(r.key, r.contacted)
-		}
-		latency := at - r.issuedAt
-		s.readLatency.ObserveDuration(latency)
-		if r.cb != nil {
-			r.cb(Result{
-				Kind:        OpRead,
-				Key:         r.key,
-				IssuedAt:    r.issuedAt,
-				CompletedAt: at,
-				Latency:     latency,
-				Version:     uint64(r.freshest),
-				Stale:       stale,
-			})
-		}
-	})
+	s.engine.AfterArg(delayUntil(now, clientDone), readClientDoneEvent, r)
 }
 
 // Read fetches key and invokes cb with the freshest version observed among
 // the replicas the read consistency level requires.
-func (s *Store) Read(key Key, cb func(Result)) {
+func (s *Store) Read(key Key, cb func(Result)) { s.ReadAs(0, key, cb) }
+
+// ReadAs is Read with a tenant tag, mirroring WriteAs.
+func (s *Store) ReadAs(tenant TenantID, key Key, cb func(Result)) {
 	now := s.engine.Now()
 	if s.closed {
 		s.failOp(OpRead, key, now, ErrStopped, cb)
@@ -377,12 +490,14 @@ func (s *Store) Read(key Key, cb func(Result)) {
 	coord, ok := s.pickCoordinator()
 	if !ok {
 		s.readFailures.Inc()
+		s.tenantReadFailure(tenant)
 		s.failOp(OpRead, key, now, ErrNoNodes, cb)
 		return
 	}
 	replicaIDs := s.appendReplicas(key)
 	if len(replicaIDs) == 0 {
 		s.readFailures.Inc()
+		s.tenantReadFailure(tenant)
 		s.failOp(OpRead, key, now, ErrNoNodes, cb)
 		return
 	}
@@ -390,15 +505,20 @@ func (s *Store) Read(key Key, cb func(Result)) {
 	live, _ := s.partitionReplicas(coord.ID(), replicaIDs)
 	if len(live) < required {
 		s.readFailures.Inc()
+		s.tenantReadFailure(tenant)
 		s.failOp(OpRead, key, now, ErrUnavailable, cb)
 		return
 	}
 
 	s.reads.Inc()
+	if t := s.tenant(tenant); t != nil {
+		t.reads.Inc()
+	}
 	state := &readState{
 		store:    s,
 		key:      key,
 		issuedAt: now,
+		tenant:   tenant,
 		cb:       cb,
 		coord:    coord,
 		required: required,
@@ -411,12 +531,7 @@ func (s *Store) Read(key Key, cb func(Result)) {
 	state.contacted = state.contactedBuf[:0]
 
 	clientLeg := s.cluster.Network().ClientToNode()
-	s.engine.After(clientLeg, state.dispatch)
-}
-
-// dispatch runs when the client request reaches the coordinator.
-func (r *readState) dispatch(arrival time.Duration) {
-	r.store.coordinateRead(r, arrival)
+	s.engine.AfterArg(clientLeg, readDispatchEvent, state)
 }
 
 // coordinateRead runs on the coordinator once the client request arrives.
@@ -425,34 +540,38 @@ func (s *Store) coordinateRead(r *readState, arrival time.Duration) {
 	if !accepted {
 		r.done = true
 		s.readFailures.Inc()
+		s.tenantReadFailure(r.tenant)
 		s.failOp(OpRead, r.key, r.issuedAt, ErrUnavailable, r.cb)
 		return
 	}
 	coordDone := arrival + coordDelay
 	net := s.cluster.Network()
 
+	r.fanout = r.fanoutBuf[:0]
+	if len(r.targets) > len(r.fanoutBuf) {
+		r.fanout = make([]readFanout, 0, len(r.targets))
+	}
 	for _, id := range r.targets {
-		id := id
+		r.fanout = append(r.fanout, readFanout{r: r, id: id})
+	}
+
+	for i, id := range r.targets {
+		f := &r.fanout[i]
 		if id == r.coord.ID() {
-			s.engine.After(delayUntil(s.engine.Now(), coordDone), func(at time.Duration) {
-				v := version(0)
-				if rep, ok := s.replicas[id]; ok {
-					v = rep.read(r.key)
-				}
-				r.onResponse(id, v, at)
-			})
+			// The coordinator answers from its own replica once it has
+			// processed the request.
+			s.engine.AfterArg(delayUntil(s.engine.Now(), coordDone), readRespondEvent, f)
 			continue
 		}
 		sendLeg := net.NodeToNode()
-		s.engine.After(delayUntil(s.engine.Now(), coordDone+sendLeg), func(arrive time.Duration) {
-			s.readOnReplica(r, id, arrive)
-		})
+		s.engine.AfterArg(delayUntil(s.engine.Now(), coordDone+sendLeg), readArriveEvent, f)
 	}
 }
 
 // readOnReplica runs on a replica when a read request arrives; the replica
 // reports the version it holds once it has processed the request.
-func (s *Store) readOnReplica(r *readState, id cluster.NodeID, arrive time.Duration) {
+func (s *Store) readOnReplica(f *readFanout, arrive time.Duration) {
+	r, id := f.r, f.id
 	node, ok := s.cluster.Node(id)
 	if !ok || !node.Available() || !s.cluster.Network().Reachable(r.coord.ID(), id) {
 		r.onReplicaLost()
@@ -465,13 +584,7 @@ func (s *Store) readOnReplica(r *readState, id cluster.NodeID, arrive time.Durat
 	}
 	processAt := arrive + delay
 	respondAt := processAt + s.cluster.Network().NodeToNode()
-	s.engine.After(delayUntil(s.engine.Now(), respondAt), func(at time.Duration) {
-		v := version(0)
-		if rep, ok := s.replicas[id]; ok {
-			v = rep.read(r.key)
-		}
-		r.onResponse(id, v, at)
-	})
+	s.engine.AfterArg(delayUntil(s.engine.Now(), respondAt), readRespondEvent, f)
 }
 
 // failOp delivers a failure result after a minimal client round trip.
@@ -870,4 +983,8 @@ func (t *writeTracker) record() {
 	}
 	t.store.windowHist.ObserveDuration(window)
 	t.store.recentWindow.Observe(window.Seconds())
+	if ts := t.store.tenant(t.tenant); ts != nil {
+		ts.windowHist.ObserveDuration(window)
+		ts.recentWindow.Observe(window.Seconds())
+	}
 }

@@ -1,8 +1,9 @@
 package store
 
 // Allocation-regression tests for the operation hot path. The thresholds are
-// deliberately above the measured steady state (about 9 allocations per write
-// and 4 per read after the scratch-buffer and event-pooling work recorded in
+// deliberately above the measured steady state (exactly 1 allocation per
+// write and 1 per read — the operation state object — after the fan-out
+// closures were replaced with pre-bound ArgHandler events, see
 // PERFORMANCE.md) so routine noise does not flake, but a reintroduced
 // per-operation slice, map or closure regression trips them immediately.
 
@@ -14,10 +15,10 @@ import (
 
 // maxWriteAllocs bounds the average allocations for one complete write
 // (coordinator hop, replica fan-out, acks, client ack, window tracking).
-const maxWriteAllocs = 14
+const maxWriteAllocs = 4
 
 // maxReadAllocs bounds the average allocations for one complete read.
-const maxReadAllocs = 8
+const maxReadAllocs = 3
 
 func TestWritePathAllocations(t *testing.T) {
 	rig := newBenchRig(t, 3)

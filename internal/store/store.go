@@ -185,6 +185,10 @@ type Store struct {
 
 	observers []Observer
 
+	// tenants holds per-tenant ground-truth metric sets (index id-1) when
+	// the scenario registered tenants; nil in untagged single-tenant mode.
+	tenants []*tenantStats
+
 	// Per-operation scratch buffers. The read/write hot path resolves a
 	// preference list and partitions it into live/down replicas for every
 	// operation; reusing these buffers keeps that path allocation-free. They
@@ -239,6 +243,7 @@ type writeTracker struct {
 	store     *Store
 	key       Key
 	ver       version
+	tenant    TenantID
 	ackAt     time.Duration
 	remaining int
 	lastApply time.Duration

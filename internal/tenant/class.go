@@ -1,0 +1,120 @@
+package tenant
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"autonosql/internal/sla"
+)
+
+// Class is a named per-tenant service class. Classes order by strictness:
+// gold buys the tightest bounds and the highest violation penalties, bronze
+// tolerates the most staleness for the smallest bill.
+type Class string
+
+// Supported classes.
+const (
+	// Gold is the premium class: tight window and latency bounds, expensive
+	// violations. While any gold tenant is in violation the tenant-aware
+	// controller refuses to scale the cluster in.
+	Gold Class = "gold"
+	// Silver is the standard class.
+	Silver Class = "silver"
+	// Bronze is the best-effort class: loose bounds, cheap violations.
+	Bronze Class = "bronze"
+)
+
+// Classes lists every class from strictest to loosest.
+func Classes() []Class { return []Class{Gold, Silver, Bronze} }
+
+// ParseClass parses a class name (case-insensitive).
+func ParseClass(s string) (Class, error) {
+	switch Class(strings.ToLower(strings.TrimSpace(s))) {
+	case Gold:
+		return Gold, nil
+	case Silver:
+		return Silver, nil
+	case Bronze:
+		return Bronze, nil
+	default:
+		return "", fmt.Errorf("tenant: unknown SLA class %q (want gold, silver or bronze)", s)
+	}
+}
+
+// Valid reports whether c is a known class.
+func (c Class) Valid() bool {
+	_, err := ParseClass(string(c))
+	return err == nil
+}
+
+// Rank orders classes by strictness (gold highest). Unknown classes rank 0.
+func (c Class) Rank() int {
+	switch c {
+	case Gold:
+		return 3
+	case Silver:
+		return 2
+	case Bronze:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// ClassSpec is the concrete agreement a class maps to: the SLA clauses the
+// tenant is promised and the prices attached to breaking them.
+type ClassSpec struct {
+	Class Class
+	// SLA holds the per-tenant clause bounds.
+	SLA sla.SLA
+	// PenaltyPerMinute is the contractual penalty per minute during which any
+	// clause of this tenant's SLA is violated. It doubles as the weight the
+	// tenant-aware analyzer uses when picking the worst tenant signal.
+	PenaltyPerMinute float64
+	// StaleReadCompensation prices one stale read served to this tenant.
+	StaleReadCompensation float64
+}
+
+// Spec returns the preset agreement for the class. Unknown classes fall back
+// to the bronze preset so a zero-value class never divides by zero.
+func (c Class) Spec() ClassSpec {
+	switch c {
+	case Gold:
+		return ClassSpec{
+			Class: Gold,
+			SLA: sla.SLA{
+				MaxWindowP95:       150 * time.Millisecond,
+				MaxReadLatencyP99:  20 * time.Millisecond,
+				MaxWriteLatencyP99: 25 * time.Millisecond,
+				MaxErrorRate:       0.001,
+			},
+			PenaltyPerMinute:      4.00,
+			StaleReadCompensation: 0.05,
+		}
+	case Silver:
+		return ClassSpec{
+			Class: Silver,
+			SLA: sla.SLA{
+				MaxWindowP95:       400 * time.Millisecond,
+				MaxReadLatencyP99:  35 * time.Millisecond,
+				MaxWriteLatencyP99: 40 * time.Millisecond,
+				MaxErrorRate:       0.005,
+			},
+			PenaltyPerMinute:      1.00,
+			StaleReadCompensation: 0.02,
+		}
+	default:
+		return ClassSpec{
+			Class: Bronze,
+			SLA: sla.SLA{
+				MaxWindowP95:       1500 * time.Millisecond,
+				MaxReadLatencyP99:  75 * time.Millisecond,
+				MaxWriteLatencyP99: 90 * time.Millisecond,
+				MaxErrorRate:       0.02,
+			},
+			PenaltyPerMinute:      0.20,
+			StaleReadCompensation: 0.005,
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package tenant
+
+import (
+	"errors"
+	"time"
+
+	"autonosql/internal/metrics"
+	"autonosql/internal/sla"
+	"autonosql/internal/store"
+)
+
+// Target is the subset of the store/monitor API a tenant drives; it matches
+// workload.Target structurally, so a Runtime can be handed straight to a
+// workload generator and can itself wrap a monitor's tagged view.
+type Target interface {
+	Read(key store.Key, cb func(store.Result))
+	Write(key store.Key, cb func(store.Result))
+}
+
+// Signal is the per-tenant slice of a monitoring snapshot: one tenant's
+// observed state over the last sampling interval, expressed against that
+// tenant's own SLA class. The tenant-aware controller consumes the worst
+// penalty-weighted Signal instead of the aggregate estimate.
+type Signal struct {
+	// Name identifies the tenant.
+	Name string
+	// Class is the tenant's SLA class.
+	Class Class
+	// SLA holds the clause bounds of the tenant's class.
+	SLA sla.SLA
+	// PenaltyPerMinute is the violation price, used as the weight when
+	// ranking tenants by urgency.
+	PenaltyPerMinute float64
+
+	// WindowP95 is the tenant's ground-truth p95 inconsistency window over
+	// recent writes, in seconds.
+	WindowP95 float64
+	// ReadLatencyP99 and WriteLatencyP99 are the tenant's client-observed
+	// latency percentiles over the interval, in seconds.
+	ReadLatencyP99  float64
+	WriteLatencyP99 float64
+	// ErrorRate is the fraction of the tenant's operations that failed in
+	// the interval.
+	ErrorRate float64
+	// OfferedOpsPerSec is the tenant's observed operation rate over the
+	// interval.
+	OfferedOpsPerSec float64
+}
+
+// observation converts the signal into the tenant's SLA observation.
+func (s Signal) observation(at, interval time.Duration) sla.Observation {
+	return sla.Observation{
+		At:              at,
+		Interval:        interval,
+		WindowP95:       s.WindowP95,
+		ReadLatencyP99:  s.ReadLatencyP99,
+		WriteLatencyP99: s.WriteLatencyP99,
+		ErrorRate:       s.ErrorRate,
+	}
+}
+
+// Headroom returns the observed/limit ratio of the signal against the
+// tenant's own SLA class.
+func (s Signal) Headroom() sla.Headroom {
+	return s.SLA.Headroom(s.observation(0, time.Second))
+}
+
+// InViolation reports whether any clause of the tenant's SLA is currently
+// violated by the signal.
+func (s Signal) InViolation() bool {
+	return !s.SLA.Satisfied(s.observation(0, time.Second))
+}
+
+// Urgency is the penalty-weighted badness of the signal: the worst
+// observed/limit ratio across the tenant's clauses, scaled by the violation
+// price of the tenant's class. The analyzer drives the control loop from the
+// tenant with the highest urgency.
+func (s Signal) Urgency() float64 {
+	w := s.PenaltyPerMinute
+	if w <= 0 {
+		w = 0.01
+	}
+	return w * s.Headroom().MaxRatio()
+}
+
+// Runtime is one tenant's client-side assembly inside a running scenario. It
+// sits between the tenant's workload generator and the (monitor-tagged)
+// store target: every operation flows through it, so it can keep the
+// tenant's windowed client-observed latencies and interval error counts, and
+// fold per-tenant SLA compliance into the tenant's own tracker.
+type Runtime struct {
+	id    store.TenantID
+	name  string
+	class ClassSpec
+
+	inner   Target
+	tracker *sla.Tracker
+
+	readLat  *metrics.WindowedStat
+	writeLat *metrics.WindowedStat
+
+	opsInterval  uint64
+	errsInterval uint64
+	lastSignal   Signal
+}
+
+// NewRuntime creates the runtime for one tenant. The inner target is where
+// operations are forwarded (typically the monitor's tagged view of the
+// store).
+func NewRuntime(id store.TenantID, name string, class Class, inner Target) (*Runtime, error) {
+	if id <= 0 {
+		return nil, errors.New("tenant: id must be positive")
+	}
+	if name == "" {
+		return nil, errors.New("tenant: name is required")
+	}
+	if !class.Valid() {
+		return nil, errors.New("tenant: unknown class " + string(class))
+	}
+	if inner == nil {
+		return nil, errors.New("tenant: target is required")
+	}
+	spec := class.Spec()
+	return &Runtime{
+		id:       id,
+		name:     name,
+		class:    spec,
+		inner:    inner,
+		tracker:  sla.NewTracker(spec.SLA),
+		readLat:  metrics.NewWindowedStat(2048),
+		writeLat: metrics.NewWindowedStat(2048),
+	}, nil
+}
+
+// ID returns the tenant's store tag.
+func (r *Runtime) ID() store.TenantID { return r.id }
+
+// Name returns the tenant's name.
+func (r *Runtime) Name() string { return r.name }
+
+// Class returns the tenant's SLA class agreement.
+func (r *Runtime) Class() ClassSpec { return r.class }
+
+// Tracker returns the tenant's SLA compliance tracker.
+func (r *Runtime) Tracker() *sla.Tracker { return r.tracker }
+
+// Read implements Target: the operation is forwarded with the tenant's
+// outcome accounting wrapped around the caller's callback.
+func (r *Runtime) Read(key store.Key, cb func(store.Result)) {
+	r.opsInterval++
+	r.inner.Read(key, func(res store.Result) {
+		if res.Err != nil {
+			r.errsInterval++
+		} else {
+			r.readLat.Observe(res.Latency.Seconds())
+		}
+		if cb != nil {
+			cb(res)
+		}
+	})
+}
+
+// Write implements Target, mirroring Read.
+func (r *Runtime) Write(key store.Key, cb func(store.Result)) {
+	r.opsInterval++
+	r.inner.Write(key, func(res store.Result) {
+		if res.Err != nil {
+			r.errsInterval++
+		} else {
+			r.writeLat.Observe(res.Latency.Seconds())
+		}
+		if cb != nil {
+			cb(res)
+		}
+	})
+}
+
+// Observe folds one sampling interval into the tenant's SLA tracker and
+// returns the tenant's Signal for the interval. windowP95 is the tenant's
+// ground-truth p95 inconsistency window in seconds (supplied by the store's
+// per-tenant tracking); the latencies and error rate come from the runtime's
+// own client-side accounting. The interval accumulators reset on return.
+func (r *Runtime) Observe(at, interval time.Duration, windowP95 float64) Signal {
+	sig := Signal{
+		Name:             r.name,
+		Class:            r.class.Class,
+		SLA:              r.class.SLA,
+		PenaltyPerMinute: r.class.PenaltyPerMinute,
+		WindowP95:        windowP95,
+		ReadLatencyP99:   r.readLat.Quantile(0.99),
+		WriteLatencyP99:  r.writeLat.Quantile(0.99),
+	}
+	if r.opsInterval > 0 {
+		sig.ErrorRate = float64(r.errsInterval) / float64(r.opsInterval)
+	}
+	if interval > 0 {
+		sig.OfferedOpsPerSec = float64(r.opsInterval) / interval.Seconds()
+	}
+	r.opsInterval = 0
+	r.errsInterval = 0
+	r.lastSignal = sig
+	r.tracker.Observe(sig.observation(at, interval))
+	return sig
+}
+
+// LastSignal returns the most recent signal produced by Observe.
+func (r *Runtime) LastSignal() Signal { return r.lastSignal }
+
+// Summary is the tenant's final compliance-and-cost accounting for a run.
+type Summary struct {
+	Name  string
+	Class Class
+	// Compliance is the tenant's SLA tracker summary.
+	Compliance sla.Summary
+	// Penalty prices the tenant's violation minutes at the class rate.
+	Penalty float64
+}
+
+// Summarize prices the tenant's accumulated compliance record.
+func (r *Runtime) Summarize() Summary {
+	sum := r.tracker.Summary()
+	return Summary{
+		Name:       r.name,
+		Class:      r.class.Class,
+		Compliance: sum,
+		Penalty:    sum.TotalViolationTime.Minutes() * r.class.PenaltyPerMinute,
+	}
+}

@@ -1,0 +1,151 @@
+package tenant
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"autonosql/internal/store"
+)
+
+func TestParseClass(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Class
+	}{
+		{"gold", Gold}, {"GOLD", Gold}, {" Silver ", Silver}, {"bronze", Bronze},
+	} {
+		got, err := ParseClass(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseClass(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+	}
+	for _, bad := range []string{"", "platinum", "g0ld"} {
+		if _, err := ParseClass(bad); err == nil {
+			t.Errorf("ParseClass(%q) accepted", bad)
+		}
+	}
+}
+
+func TestClassOrdering(t *testing.T) {
+	if !(Gold.Rank() > Silver.Rank() && Silver.Rank() > Bronze.Rank()) {
+		t.Errorf("class ranks not ordered: gold=%d silver=%d bronze=%d",
+			Gold.Rank(), Silver.Rank(), Bronze.Rank())
+	}
+	var prevWindow time.Duration
+	var prevPenalty = 1e18
+	for _, c := range Classes() {
+		spec := c.Spec()
+		if err := spec.SLA.Validate(); err != nil {
+			t.Errorf("class %s SLA invalid: %v", c, err)
+		}
+		if spec.SLA.MaxWindowP95 <= prevWindow {
+			t.Errorf("class %s window bound %v not looser than previous %v", c, spec.SLA.MaxWindowP95, prevWindow)
+		}
+		if spec.PenaltyPerMinute >= prevPenalty {
+			t.Errorf("class %s penalty %v not cheaper than previous %v", c, spec.PenaltyPerMinute, prevPenalty)
+		}
+		prevWindow = spec.SLA.MaxWindowP95
+		prevPenalty = spec.PenaltyPerMinute
+	}
+}
+
+// fakeTarget completes every operation synchronously with a fixed latency,
+// failing when told to.
+type fakeTarget struct {
+	latency time.Duration
+	fail    error
+	reads   int
+	writes  int
+}
+
+func (f *fakeTarget) Read(key store.Key, cb func(store.Result)) {
+	f.reads++
+	cb(store.Result{Kind: store.OpRead, Key: key, Err: f.fail, Latency: f.latency})
+}
+
+func (f *fakeTarget) Write(key store.Key, cb func(store.Result)) {
+	f.writes++
+	cb(store.Result{Kind: store.OpWrite, Key: key, Err: f.fail, Latency: f.latency})
+}
+
+func TestRuntimeObserveAndSummarize(t *testing.T) {
+	target := &fakeTarget{latency: 5 * time.Millisecond}
+	rt, err := NewRuntime(1, "gold", Gold, target)
+	if err != nil {
+		t.Fatalf("NewRuntime: %v", err)
+	}
+	for i := 0; i < 50; i++ {
+		rt.Read(store.Key("k"), nil)
+		rt.Write(store.Key("k"), nil)
+	}
+	interval := 10 * time.Second
+
+	// A compliant interval: window well inside the gold bound.
+	sig := rt.Observe(interval, interval, 0.010)
+	if sig.Name != "gold" || sig.Class != Gold {
+		t.Errorf("signal identity wrong: %+v", sig)
+	}
+	if sig.ErrorRate != 0 || sig.InViolation() {
+		t.Errorf("compliant interval flagged: %+v", sig)
+	}
+	if want := float64(100) / interval.Seconds(); sig.OfferedOpsPerSec != want {
+		t.Errorf("offered rate = %v, want %v", sig.OfferedOpsPerSec, want)
+	}
+
+	// A violating interval: window far past the gold 150 ms bound.
+	target.fail = errors.New("boom")
+	for i := 0; i < 10; i++ {
+		rt.Read(store.Key("k"), nil)
+	}
+	sig = rt.Observe(2*interval, interval, 1.0)
+	if !sig.InViolation() {
+		t.Errorf("violating interval not flagged: %+v", sig)
+	}
+	if sig.ErrorRate != 1 {
+		t.Errorf("error rate = %v, want 1", sig.ErrorRate)
+	}
+	if sig.Urgency() <= 0 {
+		t.Errorf("urgency = %v, want positive", sig.Urgency())
+	}
+
+	sum := rt.Summarize()
+	if sum.Name != "gold" || sum.Class != Gold {
+		t.Errorf("summary identity wrong: %+v", sum)
+	}
+	wantPenalty := interval.Minutes() * Gold.Spec().PenaltyPerMinute
+	if diff := sum.Penalty - wantPenalty; diff < -1e-9 || diff > 1e-9 {
+		t.Errorf("penalty = %v, want %v", sum.Penalty, wantPenalty)
+	}
+}
+
+func TestRuntimeValidation(t *testing.T) {
+	target := &fakeTarget{}
+	if _, err := NewRuntime(0, "x", Gold, target); err == nil {
+		t.Error("zero id accepted")
+	}
+	if _, err := NewRuntime(1, "", Gold, target); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := NewRuntime(1, "x", Class("platinum"), target); err == nil {
+		t.Error("unknown class accepted")
+	}
+	if _, err := NewRuntime(1, "x", Gold, nil); err == nil {
+		t.Error("nil target accepted")
+	}
+}
+
+func TestSignalUrgencyWeighting(t *testing.T) {
+	// Identical relative badness: the gold tenant must rank above bronze
+	// because its violations are pricier.
+	gold := Signal{Class: Gold, SLA: Gold.Spec().SLA,
+		PenaltyPerMinute: Gold.Spec().PenaltyPerMinute,
+		WindowP95:        2 * Gold.Spec().SLA.MaxWindowP95.Seconds()}
+	bronze := Signal{Class: Bronze, SLA: Bronze.Spec().SLA,
+		PenaltyPerMinute: Bronze.Spec().PenaltyPerMinute,
+		WindowP95:        2 * Bronze.Spec().SLA.MaxWindowP95.Seconds()}
+	if gold.Urgency() <= bronze.Urgency() {
+		t.Errorf("gold urgency %v not above bronze %v at equal relative violation",
+			gold.Urgency(), bronze.Urgency())
+	}
+}

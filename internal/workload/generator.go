@@ -86,6 +86,11 @@ type Config struct {
 	// MaxRate caps the instantaneous rate to protect the event queue from
 	// runaway profiles; zero means no cap.
 	MaxRate float64
+	// ArrivalStream names the random stream the inter-arrival draws come
+	// from; it defaults to "arrivals". Scenarios hosting several generators
+	// (one per tenant) must give each its own name, or every generator would
+	// replay the same arrival sequence.
+	ArrivalStream string
 }
 
 // Generator issues open-loop Poisson traffic against a Target.
@@ -146,7 +151,11 @@ func NewGenerator(cfg Config, engine *sim.Engine, target Target, rnd *sim.RandSo
 
 // Start schedules the first arrival.
 func (g *Generator) Start() {
-	g.arrivals = g.rng.Stream("arrivals")
+	name := g.cfg.ArrivalStream
+	if name == "" {
+		name = "arrivals"
+	}
+	g.arrivals = g.rng.Stream(name)
 	g.scheduleNext()
 }
 

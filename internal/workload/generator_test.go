@@ -2,6 +2,7 @@ package workload
 
 import (
 	"errors"
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -256,6 +257,52 @@ func TestKeyChoosers(t *testing.T) {
 	zeroL := NewLatestKeys(0, rng)
 	if zeroL.NextRead() == "" {
 		t.Fatal("degenerate latest keyspace should still work")
+	}
+}
+
+// TestSlicedChoosersStayInWindow pins the multi-tenant disjointness
+// guarantee: a chooser confined with Slice never emits a key outside
+// [base, base+size), whatever its distribution — including the append-only
+// "latest" distribution, whose unbounded growth must wrap inside the window
+// instead of running into the next tenant's slice.
+func TestSlicedChoosersStayInWindow(t *testing.T) {
+	src := sim.NewRandSource(2)
+	const base, size = 1000, 200
+	inWindow := func(k store.Key) bool {
+		var idx int
+		if _, err := fmt.Sscanf(string(k), "key-%d", &idx); err != nil {
+			return false
+		}
+		return idx >= base && idx < base+size
+	}
+	choosers := map[string]KeyChooser{
+		"uniform": NewUniformKeys(size, src.Stream("u")),
+		"zipfian": NewZipfianKeys(size, 1.3, src.Stream("z")),
+		"latest":  NewLatestKeys(size, src.Stream("l")),
+	}
+	for name, c := range choosers {
+		if !Slice(c, base, size) {
+			t.Fatalf("%s: Slice not applied", name)
+		}
+		// Far more writes than the window holds, so an unbounded appender
+		// would escape.
+		for i := 0; i < 5*size; i++ {
+			if k := c.NextWrite(); !inWindow(k) {
+				t.Fatalf("%s: write %d escaped the window: %s", name, i, k)
+			}
+			if k := c.NextRead(); !inWindow(k) {
+				t.Fatalf("%s: read %d escaped the window: %s", name, i, k)
+			}
+		}
+	}
+	// Unsliced latest keeps its unbounded append-only keyspace.
+	l := NewLatestKeys(10, src.Stream("l2"))
+	var last store.Key
+	for i := 0; i < 50; i++ {
+		last = l.NextWrite()
+	}
+	if last != "key-59" {
+		t.Fatalf("unsliced latest chooser changed behaviour: last write %s, want key-59", last)
 	}
 }
 

@@ -17,10 +17,31 @@ type KeyChooser interface {
 	NextWrite() store.Key
 }
 
+// Slicer is implemented by key choosers that can confine themselves to a
+// fixed window of the shared key namespace. Multi-tenant scenarios use it to
+// carve a disjoint slice per tenant, so tenants never collide on keys
+// whatever their individual distributions do — including append-style
+// distributions whose keyspace would otherwise grow without bound.
+type Slicer interface {
+	// Slice confines every key the chooser picks to [base, base+size).
+	Slice(base, size int)
+}
+
+// Slice confines c to the key window [base, base+size) when the chooser
+// supports slicing; it reports whether the window was applied.
+func Slice(c KeyChooser, base, size int) bool {
+	if s, ok := c.(Slicer); ok && size > 0 && base >= 0 {
+		s.Slice(base, size)
+		return true
+	}
+	return false
+}
+
 // UniformKeys picks keys uniformly from a fixed keyspace.
 type UniformKeys struct {
-	n   int
-	rng *rand.Rand
+	n    int
+	base int
+	rng  *rand.Rand
 }
 
 // NewUniformKeys creates a uniform chooser over n keys.
@@ -31,16 +52,25 @@ func NewUniformKeys(n int, rng *rand.Rand) *UniformKeys {
 	return &UniformKeys{n: n, rng: rng}
 }
 
+// Slice implements Slicer.
+func (u *UniformKeys) Slice(base, size int) {
+	u.base = base
+	if size < u.n {
+		u.n = size
+	}
+}
+
 // NextRead implements KeyChooser.
-func (u *UniformKeys) NextRead() store.Key { return keyName(u.rng.Intn(u.n)) }
+func (u *UniformKeys) NextRead() store.Key { return keyName(u.base + u.rng.Intn(u.n)) }
 
 // NextWrite implements KeyChooser.
-func (u *UniformKeys) NextWrite() store.Key { return keyName(u.rng.Intn(u.n)) }
+func (u *UniformKeys) NextWrite() store.Key { return keyName(u.base + u.rng.Intn(u.n)) }
 
 // ZipfianKeys picks keys with a zipfian popularity distribution, as YCSB
 // does: a small set of hot keys receives most of the traffic.
 type ZipfianKeys struct {
 	n    int
+	base int
 	zipf *sim.Zipf
 }
 
@@ -53,18 +83,33 @@ func NewZipfianKeys(n int, s float64, rng *rand.Rand) *ZipfianKeys {
 	return &ZipfianKeys{n: n, zipf: sim.NewZipf(rng, s, uint64(n))}
 }
 
+// Slice implements Slicer. The zipf generator already draws from [0, n), so
+// only the base moves; a size below n clamps by wrapping the tail indices.
+func (z *ZipfianKeys) Slice(base, size int) {
+	z.base = base
+	if size < z.n {
+		z.n = size
+	}
+}
+
 // NextRead implements KeyChooser.
-func (z *ZipfianKeys) NextRead() store.Key { return keyName(int(z.zipf.Next())) }
+func (z *ZipfianKeys) NextRead() store.Key { return keyName(z.base + int(z.zipf.Next())%z.n) }
 
 // NextWrite implements KeyChooser.
-func (z *ZipfianKeys) NextWrite() store.Key { return keyName(int(z.zipf.Next())) }
+func (z *ZipfianKeys) NextWrite() store.Key { return keyName(z.base + int(z.zipf.Next())%z.n) }
 
 // LatestKeys models YCSB workload D: writes append new keys and reads are
 // skewed towards the most recently inserted ones.
 type LatestKeys struct {
 	next int
-	zipf *sim.Zipf
-	rng  *rand.Rand
+	base int
+	// bound, when positive, wraps the append sequence so a sliced chooser
+	// stays inside its window: logical insert i lands on physical key
+	// base + i%bound. Unsliced choosers keep the unbounded append-only
+	// keyspace of YCSB workload D.
+	bound int
+	zipf  *sim.Zipf
+	rng   *rand.Rand
 }
 
 // NewLatestKeys creates a latest-skewed chooser seeded with initial existing
@@ -76,6 +121,26 @@ func NewLatestKeys(initial int, rng *rand.Rand) *LatestKeys {
 	return &LatestKeys{next: initial, zipf: sim.NewZipf(rng, 1.3, 1024), rng: rng}
 }
 
+// Slice implements Slicer. The append sequence keeps its "latest" recency
+// shape but wraps physically inside the window, so a latest-distribution
+// tenant can never write into a neighbouring tenant's slice.
+func (l *LatestKeys) Slice(base, size int) {
+	l.base = base
+	l.bound = size
+	if l.next > size {
+		l.next = size
+	}
+}
+
+// key maps a logical insert index onto the physical key, wrapping sliced
+// choosers inside their window.
+func (l *LatestKeys) key(idx int) store.Key {
+	if l.bound > 0 {
+		idx %= l.bound
+	}
+	return keyName(l.base + idx)
+}
+
 // NextRead implements KeyChooser: reads target recent keys.
 func (l *LatestKeys) NextRead() store.Key {
 	offset := int(l.zipf.Next())
@@ -83,12 +148,12 @@ func (l *LatestKeys) NextRead() store.Key {
 	if idx < 0 {
 		idx = 0
 	}
-	return keyName(idx)
+	return l.key(idx)
 }
 
 // NextWrite implements KeyChooser: each write inserts the next key.
 func (l *LatestKeys) NextWrite() store.Key {
-	k := keyName(l.next)
+	k := l.key(l.next)
 	l.next++
 	return k
 }

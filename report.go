@@ -8,6 +8,7 @@ import (
 
 	"autonosql/internal/fault"
 	"autonosql/internal/sla"
+	"autonosql/internal/tenant"
 )
 
 // SeriesPoint is one sample of a report time series.
@@ -101,6 +102,50 @@ func (w FaultWindow) String() string {
 	return s
 }
 
+// TenantReport is one tenant's slice of a multi-tenant run: its traffic,
+// its ground-truth inconsistency-window and latency distributions, its
+// compliance against its own SLA class, and the money its violations and
+// stale reads cost.
+type TenantReport struct {
+	// Name and Class identify the tenant and its SLA class.
+	Name  string
+	Class string
+
+	// Traffic and failure counts, attributed from the store's ground truth.
+	Reads         uint64
+	Writes        uint64
+	FailedReads   uint64
+	FailedWrites  uint64
+	StaleReads    uint64
+	StaleReadRate float64
+
+	// Window is the tenant's ground-truth inconsistency-window distribution
+	// (seconds) over its own writes.
+	Window LatencySummary
+	// ReadLatency and WriteLatency are the tenant's client-observed
+	// latencies (seconds).
+	ReadLatency  LatencySummary
+	WriteLatency LatencySummary
+
+	// ComplianceRatio and Violations measure the tenant against its own SLA
+	// class bounds.
+	ComplianceRatio float64
+	Violations      Violations
+
+	// PenaltyCost prices the tenant's violation minutes at its class rate;
+	// CompensationCost prices its stale reads.
+	PenaltyCost      float64
+	CompensationCost float64
+}
+
+// String renders the tenant section compactly.
+func (t TenantReport) String() string {
+	return fmt.Sprintf("%s(%s): %d reads (%d stale), %d writes, window p95=%s read p99=%s, compliance=%.2f%%, violation=%.1fmin, penalty=$%.2f",
+		t.Name, t.Class, t.Reads, t.StaleReads, t.Writes,
+		ms(t.Window.P95), ms(t.ReadLatency.P99),
+		t.ComplianceRatio*100, t.Violations.Total, t.PenaltyCost+t.CompensationCost)
+}
+
 // Report is the outcome of one scenario run.
 type Report struct {
 	// Spec echoes the scenario specification the run used.
@@ -153,6 +198,10 @@ type Report struct {
 	// Faults is the timeline of injected faults with per-window behaviour
 	// stats (empty for fault-free runs).
 	Faults []FaultWindow
+
+	// Tenants holds the per-tenant sections of a multi-tenant run, in
+	// declaration order (empty for single-tenant runs).
+	Tenants []TenantReport `json:",omitempty"`
 
 	// Series are the sampled time series, keyed by the Series* constants.
 	Series map[string][]SeriesPoint
@@ -258,7 +307,57 @@ func (s *Scenario) buildReport() *Report {
 		r.Faults = buildFaultWindows(s.injector.Timeline(), r.Series[SeriesWindowP95],
 			s.spec.SLA.MaxWindowP95)
 	}
+
+	for _, rt := range s.tenantRuntimes {
+		r.Tenants = append(r.Tenants, buildTenantReport(s, rt))
+	}
 	return r
+}
+
+// buildTenantReport assembles one tenant's section: store-attributed ground
+// truth plus the runtime's own compliance accounting, priced at the
+// tenant's class rates.
+func buildTenantReport(s *Scenario, rt *tenant.Runtime) TenantReport {
+	gt := s.store.TenantStats(rt.ID())
+	class := rt.Class()
+	tracker := rt.Tracker()
+	sum := rt.Summarize()
+
+	tr := TenantReport{
+		Name:         rt.Name(),
+		Class:        string(class.Class),
+		Reads:        gt.Reads,
+		Writes:       gt.Writes,
+		FailedReads:  gt.ReadFailures,
+		FailedWrites: gt.WriteFailures,
+		StaleReads:   gt.StaleReads,
+		Window: LatencySummary{
+			Mean: gt.Window.Mean, P50: gt.Window.P50, P95: gt.Window.P95,
+			P99: gt.Window.P99, Max: gt.Window.Max,
+		},
+		ReadLatency: LatencySummary{
+			Mean: gt.ReadLatency.Mean, P50: gt.ReadLatency.P50, P95: gt.ReadLatency.P95,
+			P99: gt.ReadLatency.P99, Max: gt.ReadLatency.Max,
+		},
+		WriteLatency: LatencySummary{
+			Mean: gt.WriteLatency.Mean, P50: gt.WriteLatency.P50, P95: gt.WriteLatency.P95,
+			P99: gt.WriteLatency.P99, Max: gt.WriteLatency.Max,
+		},
+		ComplianceRatio: sum.Compliance.ComplianceRatio,
+		Violations: Violations{
+			Window:       tracker.ViolationMinutes(sla.ClauseWindow),
+			ReadLatency:  tracker.ViolationMinutes(sla.ClauseReadLatency),
+			WriteLatency: tracker.ViolationMinutes(sla.ClauseWriteLatency),
+			Availability: tracker.ViolationMinutes(sla.ClauseAvailability),
+			Total:        tracker.TotalViolationMinutes(),
+		},
+		PenaltyCost:      sum.Penalty,
+		CompensationCost: float64(gt.StaleReads) * class.StaleReadCompensation,
+	}
+	if gt.Reads > 0 {
+		tr.StaleReadRate = float64(gt.StaleReads) / float64(gt.Reads)
+	}
+	return tr
 }
 
 // buildFaultWindows annotates the injector's timeline with the behaviour the
@@ -326,6 +425,9 @@ func (r *Report) String() string {
 		r.FinalConfiguration.WriteConsistency, r.Reconfigurations)
 	for _, fw := range r.Faults {
 		fmt.Fprintf(&b, "  fault: %s\n", fw)
+	}
+	for _, tr := range r.Tenants {
+		fmt.Fprintf(&b, "  tenant %s\n", tr)
 	}
 	return b.String()
 }

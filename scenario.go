@@ -14,6 +14,7 @@ import (
 	"autonosql/internal/sim"
 	"autonosql/internal/sla"
 	"autonosql/internal/store"
+	"autonosql/internal/tenant"
 	"autonosql/internal/workload"
 )
 
@@ -31,6 +32,11 @@ type Scenario struct {
 	gen      *workload.Generator
 	tenant   *cluster.TenantDriver
 	injector *fault.Injector
+
+	// Multi-tenant mode: one runtime + generator per declared tenant; gen is
+	// nil and the tenant generators carry all client traffic.
+	tenantRuntimes []*tenant.Runtime
+	tenantGens     []*workload.Generator
 
 	agreement sla.SLA
 	costs     sla.CostModel
@@ -119,20 +125,26 @@ func NewScenario(spec ScenarioSpec) (*Scenario, error) {
 
 	// Client workload routed through the monitor so client-observed latency
 	// and error rates are measured the way an application would measure them.
-	keys, err := s.keyChooser()
-	if err != nil {
+	// With declared tenants, each tenant gets its own generator, runtime and
+	// disjoint key-space slice instead of the single anonymous workload.
+	if len(spec.Tenants) == 0 {
+		keys, err := s.keyChooser()
+		if err != nil {
+			return nil, err
+		}
+		gen, err := workload.NewGenerator(workload.Config{
+			Profile: spec.loadProfile(),
+			Mix:     workload.Mix{ReadFraction: spec.Workload.ReadFraction},
+			Keys:    keys,
+			Until:   spec.Duration,
+		}, engine, mon, rnd)
+		if err != nil {
+			return nil, fmt.Errorf("autonosql: assembling workload: %w", err)
+		}
+		s.gen = gen
+	} else if err := s.assembleTenants(); err != nil {
 		return nil, err
 	}
-	gen, err := workload.NewGenerator(workload.Config{
-		Profile: spec.loadProfile(),
-		Mix:     workload.Mix{ReadFraction: spec.Workload.ReadFraction},
-		Keys:    keys,
-		Until:   spec.Duration,
-	}, engine, mon, rnd)
-	if err != nil {
-		return nil, fmt.Errorf("autonosql: assembling workload: %w", err)
-	}
-	s.gen = gen
 
 	// Controller.
 	actuator, err := core.NewSystemActuator(st, cl)
@@ -162,6 +174,14 @@ func NewScenario(spec ScenarioSpec) (*Scenario, error) {
 		SeriesReadLatencyP99, SeriesWriteLatencyP99,
 	} {
 		s.series[name] = metrics.NewTimeSeries(name)
+	}
+	// Each tenant gets its own ground-truth metrics stream alongside the
+	// aggregate series.
+	for _, ts := range spec.Tenants {
+		for _, base := range []string{SeriesWindowP95, SeriesOfferedLoad, SeriesReadLatencyP99} {
+			name := tenantSeriesName(ts.Name, base)
+			s.series[name] = metrics.NewTimeSeries(name)
+		}
 	}
 	return s, nil
 }
@@ -195,12 +215,19 @@ const (
 )
 
 func (s *Scenario) keyChooser() (workload.KeyChooser, error) {
-	rng := s.rnd.Stream("keys")
-	n := s.spec.Workload.Keyspace
+	return s.keyChooserFor(s.spec.Workload.Keys, s.spec.Workload.Keyspace, "keys")
+}
+
+// keyChooserFor builds a key chooser over its own random stream. Callers
+// that need a confined window of the key namespace (tenants) apply
+// workload.Slice on the result.
+func (s *Scenario) keyChooserFor(dist KeyDistribution, keyspace int, stream string) (workload.KeyChooser, error) {
+	rng := s.rnd.Stream(stream)
+	n := keyspace
 	if n <= 0 {
 		n = 10000
 	}
-	switch s.spec.Workload.Keys {
+	switch dist {
 	case KeysUniform:
 		return workload.NewUniformKeys(n, rng), nil
 	case KeysLatest:
@@ -208,8 +235,64 @@ func (s *Scenario) keyChooser() (workload.KeyChooser, error) {
 	case KeysZipfian, "":
 		return workload.NewZipfianKeys(n, 1.3, rng), nil
 	default:
-		return nil, fmt.Errorf("autonosql: unknown key distribution %q", s.spec.Workload.Keys)
+		return nil, fmt.Errorf("autonosql: unknown key distribution %q", dist)
 	}
+}
+
+// tenantKeyspace returns the key count of one tenant's slice.
+func tenantKeyspace(t TenantSpec) int {
+	if t.Workload.Keyspace > 0 {
+		return t.Workload.Keyspace
+	}
+	return 10000
+}
+
+// assembleTenants builds one runtime and one generator per declared tenant.
+// Tenant i (1-indexed as its store tag) drives the key range
+// [offset, offset+keyspace) where offset is the sum of the preceding
+// tenants' keyspaces, so tenants never collide on keys; its operations are
+// tagged through the monitor so the aggregate client view still covers all
+// traffic while the store attributes ground truth per tenant.
+func (s *Scenario) assembleTenants() error {
+	specs := s.spec.Tenants
+	s.store.RegisterTenants(len(specs))
+	s.tenantRuntimes = make([]*tenant.Runtime, 0, len(specs))
+	s.tenantGens = make([]*workload.Generator, 0, len(specs))
+	base := 0
+	for i, ts := range specs {
+		id := store.TenantID(i + 1)
+		class, err := ts.Class.toInternal()
+		if err != nil {
+			return fmt.Errorf("autonosql: tenant %q: %w", ts.Name, err)
+		}
+		keys, err := s.keyChooserFor(ts.Workload.Keys, ts.Workload.Keyspace,
+			"tenant-"+ts.Name+"-keys")
+		if err != nil {
+			return fmt.Errorf("autonosql: tenant %q: %w", ts.Name, err)
+		}
+		// Confine the chooser to the tenant's window even at base 0: the
+		// "latest" distribution appends without bound and would otherwise
+		// grow into the next tenant's slice.
+		workload.Slice(keys, base, tenantKeyspace(ts))
+		base += tenantKeyspace(ts)
+		rt, err := tenant.NewRuntime(id, ts.Name, class, s.monitor.Tagged(id))
+		if err != nil {
+			return fmt.Errorf("autonosql: tenant %q: %w", ts.Name, err)
+		}
+		gen, err := workload.NewGenerator(workload.Config{
+			Profile:       loadProfileFor(ts.Workload, s.spec.Duration),
+			Mix:           workload.Mix{ReadFraction: ts.Workload.ReadFraction},
+			Keys:          keys,
+			Until:         s.spec.Duration,
+			ArrivalStream: "tenant-" + ts.Name + "-arrivals",
+		}, s.engine, rt, s.rnd)
+		if err != nil {
+			return fmt.Errorf("autonosql: tenant %q workload: %w", ts.Name, err)
+		}
+		s.tenantRuntimes = append(s.tenantRuntimes, rt)
+		s.tenantGens = append(s.tenantGens, gen)
+	}
+	return nil
 }
 
 // Spec returns the spec the scenario was built from.
@@ -256,11 +339,21 @@ func (s *Scenario) Run() (*Report, error) {
 		}
 	}
 
-	s.gen.Start()
+	if s.gen != nil {
+		s.gen.Start()
+	}
+	for _, g := range s.tenantGens {
+		g.Start()
+	}
 	if err := s.engine.Run(s.spec.Duration); err != nil {
 		return nil, fmt.Errorf("autonosql: running simulation: %w", err)
 	}
-	s.gen.Stop()
+	if s.gen != nil {
+		s.gen.Stop()
+	}
+	for _, g := range s.tenantGens {
+		g.Stop()
+	}
 	s.sampler.Stop()
 	if s.tenant != nil {
 		s.tenant.Stop()
@@ -309,6 +402,26 @@ func (s *Scenario) onSample(now time.Duration) {
 	}
 	if snap.ClusterSize < s.minNodes && snap.ClusterSize > 0 {
 		s.minNodes = snap.ClusterSize
+	}
+
+	// Per-tenant bookkeeping: each tenant's ground-truth window feeds its own
+	// SLA tracker and metrics stream, and the resulting signals ride on the
+	// snapshot so the tenant-aware controller can act on the worst
+	// penalty-weighted tenant instead of the aggregate.
+	if len(s.tenantRuntimes) > 0 {
+		// A fresh slice per sample: the snapshot (and through it the signal
+		// slice) is retained inside controller decisions, so reusing one
+		// backing array would retroactively rewrite the decision log.
+		sigs := make([]tenant.Signal, len(s.tenantRuntimes))
+		for i, rt := range s.tenantRuntimes {
+			trueWindow := s.store.TenantRecentWindowQuantile(rt.ID(), 0.95)
+			sig := rt.Observe(now, snap.Interval, trueWindow)
+			sigs[i] = sig
+			s.series[tenantSeriesName(rt.Name(), SeriesWindowP95)].Append(now, trueWindow*1000)
+			s.series[tenantSeriesName(rt.Name(), SeriesOfferedLoad)].Append(now, sig.OfferedOpsPerSec)
+			s.series[tenantSeriesName(rt.Name(), SeriesReadLatencyP99)].Append(now, sig.ReadLatencyP99*1000)
+		}
+		snap.Tenants = sigs
 	}
 
 	// Drive the configured controller at its own interval.

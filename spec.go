@@ -3,6 +3,7 @@ package autonosql
 import (
 	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"autonosql/internal/baseline"
@@ -211,6 +212,14 @@ type ScenarioSpec struct {
 	// restarts, slow nodes, network partitions and heals, latency storms —
 	// over the run. The zero value runs failure-free.
 	Faults FaultPlan
+
+	// Tenants declares the scenario's named tenants. When the list is empty
+	// the scenario behaves exactly as before (one anonymous client workload
+	// described by Workload, one SLA, one aggregate report); when it is
+	// non-empty the tenants replace the Workload traffic — each tenant runs
+	// its own generator over a disjoint key-space slice under its own SLA
+	// class — and the report gains per-tenant sections.
+	Tenants []TenantSpec
 }
 
 // DefaultScenarioSpec returns a ready-to-run scenario: a three-node cluster,
@@ -273,10 +282,10 @@ func (s ScenarioSpec) Validate() error {
 	if s.Duration <= 0 {
 		return errors.New("autonosql: Duration must be positive")
 	}
-	if s.Workload.BaseOpsPerSec < 0 || s.Workload.PeakOpsPerSec < 0 {
-		return errors.New("autonosql: offered rates must be non-negative")
+	if !finiteNonNegative(s.Workload.BaseOpsPerSec) || !finiteNonNegative(s.Workload.PeakOpsPerSec) {
+		return errors.New("autonosql: offered rates must be finite and non-negative")
 	}
-	if s.Workload.ReadFraction < 0 || s.Workload.ReadFraction > 1 {
+	if math.IsNaN(s.Workload.ReadFraction) || s.Workload.ReadFraction < 0 || s.Workload.ReadFraction > 1 {
 		return errors.New("autonosql: ReadFraction must be within [0, 1]")
 	}
 	if s.Cluster.InitialNodes <= 0 {
@@ -313,6 +322,9 @@ func (s ScenarioSpec) Validate() error {
 		return fmt.Errorf("autonosql: %w", err)
 	}
 	if err := s.Faults.validate(); err != nil {
+		return fmt.Errorf("autonosql: %w", err)
+	}
+	if err := validateTenants(s.Tenants); err != nil {
 		return fmt.Errorf("autonosql: %w", err)
 	}
 	return nil
@@ -405,24 +417,31 @@ func (s ScenarioSpec) costModel() sla.CostModel {
 }
 
 func (s ScenarioSpec) loadProfile() workload.LoadProfile {
-	base := s.Workload.BaseOpsPerSec
-	peak := s.Workload.PeakOpsPerSec
+	return loadProfileFor(s.Workload, s.Duration)
+}
+
+// loadProfileFor builds the load profile for one workload description,
+// defaulting the period and peak placement from the run duration. Tenant
+// workloads share the exact defaulting rules of the scenario workload.
+func loadProfileFor(w WorkloadSpec, duration time.Duration) workload.LoadProfile {
+	base := w.BaseOpsPerSec
+	peak := w.PeakOpsPerSec
 	if peak <= 0 {
 		peak = base
 	}
-	period := s.Workload.Period
+	period := w.Period
 	if period <= 0 {
-		period = s.Duration
+		period = duration
 	}
-	peakStart := s.Workload.PeakStart
+	peakStart := w.PeakStart
 	if peakStart <= 0 {
-		peakStart = s.Duration / 2
+		peakStart = duration / 2
 	}
-	peakDur := s.Workload.PeakDuration
+	peakDur := w.PeakDuration
 	if peakDur <= 0 {
-		peakDur = s.Duration / 10
+		peakDur = duration / 10
 	}
-	switch s.Workload.Pattern {
+	switch w.Pattern {
 	case LoadStep:
 		return workload.StepProfile{Base: base, Peak: peak, From: peakStart, To: peakStart + peakDur}
 	case LoadDiurnal:

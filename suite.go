@@ -58,8 +58,8 @@ func LookupSLATier(name string) (SLATier, bool) {
 // Grid is the axis grid of a suite. Each non-empty axis multiplies the
 // number of variants; an empty axis keeps the base spec's value. The
 // expansion order is fixed (pattern, controller, cluster size, SLA tier,
-// fault profile, seed offset), so a given grid always produces the same
-// variants in the same order.
+// fault profile, tenant mix, seed offset), so a given grid always produces
+// the same variants in the same order.
 type Grid struct {
 	// Patterns are the workload load shapes to sweep over.
 	Patterns []LoadPattern
@@ -73,6 +73,10 @@ type Grid struct {
 	// partition), so controllers can be compared under identical degraded
 	// conditions.
 	Faults []FaultProfile
+	// TenantMixes are the tenant populations to sweep over (e.g. none vs a
+	// gold+bronze pair), so controllers can be compared under identical
+	// multi-tenant pressure.
+	TenantMixes []TenantMix
 	// Repeats runs every cell with that many different derived seeds
 	// (0 and 1 both mean one run per cell).
 	Repeats int
@@ -81,7 +85,7 @@ type Grid struct {
 // Size returns the number of variants the grid expands to over a base spec.
 func (g Grid) Size() int {
 	n := 1
-	for _, axis := range []int{len(g.Patterns), len(g.Controllers), len(g.ClusterSizes), len(g.SLATiers), len(g.Faults)} {
+	for _, axis := range []int{len(g.Patterns), len(g.Controllers), len(g.ClusterSizes), len(g.SLATiers), len(g.Faults), len(g.TenantMixes)} {
 		if axis > 0 {
 			n *= axis
 		}
@@ -131,6 +135,10 @@ func ExpandGrid(base ScenarioSpec, grid Grid) []Variant {
 	if len(faults) == 0 {
 		faults = []FaultProfile{{Plan: base.Faults}}
 	}
+	mixes := grid.TenantMixes
+	if len(mixes) == 0 {
+		mixes = []TenantMix{{Tenants: base.Tenants}}
+	}
 	repeats := grid.Repeats
 	if repeats < 1 {
 		repeats = 1
@@ -142,33 +150,38 @@ func ExpandGrid(base ScenarioSpec, grid Grid) []Variant {
 			for _, size := range sizes {
 				for _, tier := range tiers {
 					for _, fp := range faults {
-						for rep := 0; rep < repeats; rep++ {
-							name := gridVariantName(grid, pattern, controller, size, tier, fp, rep)
-							spec := base
-							if name == "base" {
-								// Degenerate grid with no swept axis: keep the
-								// base spec (and its seed) verbatim, so a suite
-								// of one reproduces a direct NewScenario run.
+						for _, mix := range mixes {
+							for rep := 0; rep < repeats; rep++ {
+								name := gridVariantName(grid, pattern, controller, size, tier, fp, mix, rep)
+								spec := base
+								if name == "base" {
+									// Degenerate grid with no swept axis: keep the
+									// base spec (and its seed) verbatim, so a suite
+									// of one reproduces a direct NewScenario run.
+									variants = append(variants, Variant{Name: name, Spec: spec})
+									continue
+								}
+								if len(grid.Patterns) > 0 {
+									spec.Workload.Pattern = pattern
+								}
+								if len(grid.Controllers) > 0 {
+									spec.Controller.Mode = controller
+								}
+								if len(grid.ClusterSizes) > 0 {
+									spec.Cluster.InitialNodes = size
+								}
+								if len(grid.SLATiers) > 0 {
+									spec.SLA = tier.SLA
+								}
+								if len(grid.Faults) > 0 {
+									spec.Faults = fp.Plan
+								}
+								if len(grid.TenantMixes) > 0 {
+									spec.Tenants = mix.Tenants
+								}
+								spec.Seed = sim.DeriveSeed(base.Seed, name)
 								variants = append(variants, Variant{Name: name, Spec: spec})
-								continue
 							}
-							if len(grid.Patterns) > 0 {
-								spec.Workload.Pattern = pattern
-							}
-							if len(grid.Controllers) > 0 {
-								spec.Controller.Mode = controller
-							}
-							if len(grid.ClusterSizes) > 0 {
-								spec.Cluster.InitialNodes = size
-							}
-							if len(grid.SLATiers) > 0 {
-								spec.SLA = tier.SLA
-							}
-							if len(grid.Faults) > 0 {
-								spec.Faults = fp.Plan
-							}
-							spec.Seed = sim.DeriveSeed(base.Seed, name)
-							variants = append(variants, Variant{Name: name, Spec: spec})
 						}
 					}
 				}
@@ -180,7 +193,7 @@ func ExpandGrid(base ScenarioSpec, grid Grid) []Variant {
 
 // gridVariantName builds the canonical variant name from the swept axis
 // values; axes the grid does not sweep contribute no component.
-func gridVariantName(grid Grid, pattern LoadPattern, controller ControllerMode, size int, tier SLATier, fp FaultProfile, rep int) string {
+func gridVariantName(grid Grid, pattern LoadPattern, controller ControllerMode, size int, tier SLATier, fp FaultProfile, mix TenantMix, rep int) string {
 	var parts []string
 	if len(grid.Patterns) > 0 {
 		parts = append(parts, "pattern="+string(patternOrConstant(pattern)))
@@ -196,6 +209,9 @@ func gridVariantName(grid Grid, pattern LoadPattern, controller ControllerMode, 
 	}
 	if len(grid.Faults) > 0 {
 		parts = append(parts, "faults="+fp.Name)
+	}
+	if len(grid.TenantMixes) > 0 {
+		parts = append(parts, "tenants="+mix.Name)
 	}
 	if grid.Repeats > 1 {
 		parts = append(parts, fmt.Sprintf("rep=%d", rep))
@@ -240,7 +256,8 @@ func NewSuite(spec SuiteSpec) (*Suite, error) {
 	variants := ExpandGrid(spec.Base, spec.Grid)
 	if len(spec.Grid.Patterns) == 0 && len(spec.Grid.Controllers) == 0 &&
 		len(spec.Grid.ClusterSizes) == 0 && len(spec.Grid.SLATiers) == 0 &&
-		len(spec.Grid.Faults) == 0 && spec.Grid.Repeats <= 1 {
+		len(spec.Grid.Faults) == 0 && len(spec.Grid.TenantMixes) == 0 &&
+		spec.Grid.Repeats <= 1 {
 		// A grid with no swept axis expands to the bare base spec; drop it
 		// when explicit variants are given, so SuiteSpec{Variants: ...} does
 		// not smuggle in an extra run of the base.

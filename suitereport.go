@@ -133,12 +133,44 @@ func (r *SuiteReport) FaultsTable() string {
 	return text.FormatAligned("suite comparison — fault windows", columns, rows, nil)
 }
 
+// TenantsTable renders the per-tenant comparison across variants: every
+// tenant of every multi-tenant variant with its class, ground-truth window,
+// latency, violation minutes and priced penalty. It returns an empty string
+// when no variant declared tenants.
+func (r *SuiteReport) TenantsTable() string {
+	columns := []string{"variant", "tenant", "class", "window p95 (ms)", "read p99 (ms)",
+		"stale reads", "violation min", "compliance", "penalty"}
+	rows := make([][]string, 0, len(r.Variants))
+	for _, v := range r.Variants {
+		for _, tr := range v.Report.Tenants {
+			rows = append(rows, []string{
+				v.Name,
+				tr.Name,
+				tr.Class,
+				msCell(tr.Window.P95), msCell(tr.ReadLatency.P99),
+				strconv.FormatUint(tr.StaleReads, 10),
+				fmt.Sprintf("%.1f", tr.Violations.Total),
+				fmt.Sprintf("%.2f%%", tr.ComplianceRatio*100),
+				dollarCell(tr.PenaltyCost + tr.CompensationCost),
+			})
+		}
+	}
+	if len(rows) == 0 {
+		return ""
+	}
+	return text.FormatAligned("suite comparison — tenants", columns, rows, nil)
+}
+
 // String renders both comparison tables, plus the fault table when any
-// variant injected faults.
+// variant injected faults and the tenant table when any variant declared
+// tenants.
 func (r *SuiteReport) String() string {
 	s := r.ComparisonTable() + "\n" + r.CostTable()
 	if ft := r.FaultsTable(); ft != "" {
 		s += "\n" + ft
+	}
+	if tt := r.TenantsTable(); tt != "" {
+		s += "\n" + tt
 	}
 	return s
 }
@@ -212,6 +244,57 @@ func (r *SuiteReport) WriteCSV(w io.Writer) error {
 	for i := range r.Variants {
 		if err := cw.Write(r.Variants[i].csvRow()); err != nil {
 			return fmt.Errorf("autonosql: writing suite CSV row %q: %w", r.Variants[i].Name, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// TenantCSVHeader is the column header of the per-tenant CSV export, in
+// column order. Tenant rows live in their own export (one row per
+// variant×tenant) rather than widening SuiteCSVHeader, whose shape is fixed.
+func TenantCSVHeader() []string {
+	return []string{
+		"variant", "tenant", "class",
+		"reads", "writes", "failed_reads", "failed_writes", "stale_reads",
+		"window_p50_ms", "window_p95_ms", "window_p99_ms",
+		"read_p99_ms", "write_p99_ms",
+		"violation_min_window", "violation_min_read", "violation_min_write",
+		"violation_min_availability", "violation_min_total", "compliance",
+		"penalty_cost", "compensation_cost",
+	}
+}
+
+// tenantCSVRow renders one tenant of one variant as CSV cells matching
+// TenantCSVHeader.
+func tenantCSVRow(variant string, tr TenantReport) []string {
+	f := func(val float64) string { return strconv.FormatFloat(val, 'g', -1, 64) }
+	u := func(val uint64) string { return strconv.FormatUint(val, 10) }
+	return []string{
+		variant, tr.Name, tr.Class,
+		u(tr.Reads), u(tr.Writes), u(tr.FailedReads), u(tr.FailedWrites), u(tr.StaleReads),
+		f(tr.Window.P50 * 1000), f(tr.Window.P95 * 1000), f(tr.Window.P99 * 1000),
+		f(tr.ReadLatency.P99 * 1000), f(tr.WriteLatency.P99 * 1000),
+		f(tr.Violations.Window), f(tr.Violations.ReadLatency), f(tr.Violations.WriteLatency),
+		f(tr.Violations.Availability), f(tr.Violations.Total), f(tr.ComplianceRatio),
+		f(tr.PenaltyCost), f(tr.CompensationCost),
+	}
+}
+
+// WriteTenantsCSV writes the per-tenant outcome as one CSV record per
+// variant×tenant, headed by TenantCSVHeader. Variants without tenants
+// contribute no rows.
+func (r *SuiteReport) WriteTenantsCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(TenantCSVHeader()); err != nil {
+		return fmt.Errorf("autonosql: writing tenant CSV header: %w", err)
+	}
+	for i := range r.Variants {
+		v := &r.Variants[i]
+		for _, tr := range v.Report.Tenants {
+			if err := cw.Write(tenantCSVRow(v.Name, tr)); err != nil {
+				return fmt.Errorf("autonosql: writing tenant CSV row %q/%q: %w", v.Name, tr.Name, err)
+			}
 		}
 	}
 	cw.Flush()

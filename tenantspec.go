@@ -1,0 +1,278 @@
+package autonosql
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"autonosql/internal/tenant"
+)
+
+// SLAClass names a per-tenant service class: gold, silver or bronze. Each
+// class maps to a preset per-tenant SLA (window, latency and availability
+// bounds) and penalty/compensation rates; gold is the strictest and most
+// expensive to violate, bronze the loosest and cheapest.
+type SLAClass string
+
+// Supported SLA classes.
+const (
+	// SLAGold is the premium class. While any gold tenant is in violation,
+	// the smart controller refuses to scale the cluster in.
+	SLAGold SLAClass = "gold"
+	// SLASilver is the standard class.
+	SLASilver SLAClass = "silver"
+	// SLABronze is the best-effort class.
+	SLABronze SLAClass = "bronze"
+)
+
+// toInternal maps the public class name onto the tenant subsystem's class.
+func (c SLAClass) toInternal() (tenant.Class, error) {
+	return tenant.ParseClass(string(c))
+}
+
+// TenantSpec describes one named tenant of a multi-tenant scenario: its SLA
+// class and its own client workload. Tenants share the cluster and the store
+// but drive disjoint slices of the key space, and every operation they issue
+// is attributed to them in the report.
+type TenantSpec struct {
+	// Name identifies the tenant in reports, series names and the controller
+	// decision log. Names must be unique within a scenario.
+	Name string
+	// Class selects the tenant's SLA class (gold, silver or bronze).
+	Class SLAClass
+	// Workload is the tenant's offered traffic. Keyspace zero defaults to
+	// 10000 keys; the slice each tenant works in is automatically offset so
+	// tenants never share keys.
+	Workload WorkloadSpec
+}
+
+// finiteNonNegative reports whether v is a finite number >= 0. Plain range
+// comparisons are false for NaN, so a spec carrying NaN (or +Inf, which
+// would collapse every inter-arrival gap to the minimum and flood the event
+// queue) must be rejected explicitly.
+func finiteNonNegative(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0) && v >= 0
+}
+
+// validate reports whether the tenant spec is well formed.
+func (t TenantSpec) validate() error {
+	if strings.TrimSpace(t.Name) == "" {
+		return fmt.Errorf("tenant has no name")
+	}
+	if _, err := t.Class.toInternal(); err != nil {
+		return fmt.Errorf("tenant %q: %w", t.Name, err)
+	}
+	w := t.Workload
+	if !finiteNonNegative(w.BaseOpsPerSec) || !finiteNonNegative(w.PeakOpsPerSec) {
+		return fmt.Errorf("tenant %q: offered rates must be finite and non-negative", t.Name)
+	}
+	if math.IsNaN(w.ReadFraction) || w.ReadFraction < 0 || w.ReadFraction > 1 {
+		return fmt.Errorf("tenant %q: ReadFraction must be within [0, 1]", t.Name)
+	}
+	if w.Keyspace < 0 {
+		return fmt.Errorf("tenant %q: Keyspace must be non-negative", t.Name)
+	}
+	switch w.Pattern {
+	case "", LoadConstant, LoadStep, LoadDiurnal, LoadSpike, LoadDiurnalSpike:
+	default:
+		return fmt.Errorf("tenant %q: unknown load pattern %q", t.Name, w.Pattern)
+	}
+	switch w.Keys {
+	case "", KeysUniform, KeysZipfian, KeysLatest:
+	default:
+		return fmt.Errorf("tenant %q: unknown key distribution %q", t.Name, w.Keys)
+	}
+	return nil
+}
+
+// maxTenants bounds the number of tenants one scenario may declare; it
+// protects the event queue from pathological fuzz inputs, not a realistic
+// configuration.
+const maxTenants = 64
+
+// validateTenants checks a scenario's tenant list as a whole.
+func validateTenants(tenants []TenantSpec) error {
+	if len(tenants) > maxTenants {
+		return fmt.Errorf("too many tenants (%d, max %d)", len(tenants), maxTenants)
+	}
+	seen := make(map[string]struct{}, len(tenants))
+	for i, t := range tenants {
+		if err := t.validate(); err != nil {
+			return fmt.Errorf("tenant %d: %w", i, err)
+		}
+		if _, dup := seen[t.Name]; dup {
+			return fmt.Errorf("duplicate tenant name %q", t.Name)
+		}
+		seen[t.Name] = struct{}{}
+	}
+	return nil
+}
+
+// ParseTenantSpecs parses the comma-separated -tenants DSL, one tenant per
+// element:
+//
+//	class:pattern:base[:peak=P][:read=F][:keys=K][:name=N]
+//
+// where class is gold, silver or bronze, pattern is a load pattern
+// (constant, step, diurnal, spike, diurnal+spike) and base is the offered
+// base rate in ops/s. Options: peak rate for non-constant patterns, read
+// fraction (default 0.5), keyspace size, and an explicit tenant name (the
+// default name is the class, suffixed with an ordinal when repeated).
+// Examples:
+//
+//	gold:diurnal:2000,bronze:constant:500
+//	gold:constant:1500:name=checkout,bronze:spike:300:peak=3000:read=0.9
+//
+// An empty string parses to no tenants (single-tenant behaviour). Every list
+// the parser accepts passes ScenarioSpec validation.
+func ParseTenantSpecs(s string) ([]TenantSpec, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var specs []TenantSpec
+	nameCount := make(map[string]int)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		spec, err := parseTenantSpec(part)
+		if err != nil {
+			return nil, fmt.Errorf("autonosql: tenant %q: %w", part, err)
+		}
+		if spec.Name == "" {
+			base := string(spec.Class)
+			nameCount[base]++
+			if n := nameCount[base]; n > 1 {
+				spec.Name = fmt.Sprintf("%s%d", base, n)
+			} else {
+				spec.Name = base
+			}
+		}
+		specs = append(specs, spec)
+	}
+	if err := validateTenants(specs); err != nil {
+		return nil, fmt.Errorf("autonosql: tenants: %w", err)
+	}
+	return specs, nil
+}
+
+func parseTenantSpec(s string) (TenantSpec, error) {
+	fields := strings.Split(s, ":")
+	if len(fields) < 3 {
+		return TenantSpec{}, fmt.Errorf("want class:pattern:base, got %d fields", len(fields))
+	}
+	class, err := tenant.ParseClass(fields[0])
+	if err != nil {
+		return TenantSpec{}, err
+	}
+	spec := TenantSpec{
+		Class: SLAClass(class),
+		Workload: WorkloadSpec{
+			Pattern:      LoadPattern(strings.ToLower(strings.TrimSpace(fields[1]))),
+			ReadFraction: 0.5,
+		},
+	}
+	switch spec.Workload.Pattern {
+	case LoadConstant, LoadStep, LoadDiurnal, LoadSpike, LoadDiurnalSpike:
+	default:
+		return TenantSpec{}, fmt.Errorf("unknown load pattern %q", fields[1])
+	}
+	base, err := strconv.ParseFloat(strings.TrimSpace(fields[2]), 64)
+	if err != nil {
+		return TenantSpec{}, fmt.Errorf("base rate: %w", err)
+	}
+	if base < 0 {
+		return TenantSpec{}, fmt.Errorf("base rate %v must be non-negative", base)
+	}
+	spec.Workload.BaseOpsPerSec = base
+	for _, opt := range fields[3:] {
+		opt = strings.TrimSpace(opt)
+		switch {
+		case strings.HasPrefix(opt, "peak="):
+			peak, err := strconv.ParseFloat(opt[5:], 64)
+			if err != nil || peak < 0 {
+				return TenantSpec{}, fmt.Errorf("peak rate %q must be a non-negative number", opt)
+			}
+			spec.Workload.PeakOpsPerSec = peak
+		case strings.HasPrefix(opt, "read="):
+			frac, err := strconv.ParseFloat(opt[5:], 64)
+			if err != nil || frac < 0 || frac > 1 {
+				return TenantSpec{}, fmt.Errorf("read fraction %q must be within [0, 1]", opt)
+			}
+			spec.Workload.ReadFraction = frac
+		case strings.HasPrefix(opt, "keys="):
+			keys, err := strconv.Atoi(opt[5:])
+			if err != nil || keys < 0 {
+				return TenantSpec{}, fmt.Errorf("keyspace %q must be a non-negative integer", opt)
+			}
+			spec.Workload.Keyspace = keys
+		case strings.HasPrefix(opt, "name="):
+			name := strings.TrimSpace(opt[5:])
+			if name == "" {
+				return TenantSpec{}, fmt.Errorf("empty tenant name")
+			}
+			spec.Name = name
+		default:
+			return TenantSpec{}, fmt.Errorf("unknown option %q (want peak=, read=, keys= or name=)", opt)
+		}
+	}
+	return spec, nil
+}
+
+// TenantMix is a named tenant population used as a suite axis, analogous to
+// SLATier and FaultProfile on their axes.
+type TenantMix struct {
+	// Name identifies the mix in variant names and report rows.
+	Name string
+	// Tenants is the tenant list applied to variants on this mix; empty
+	// keeps single-tenant behaviour.
+	Tenants []TenantSpec
+}
+
+// DefaultTenantMixes returns the canonical named tenant populations the
+// suite runner and CLI expose: none (single-tenant), gold-bronze (a premium
+// diurnal service sharing the cluster with a best-effort constant batch
+// load) and three-tier (gold diurnal + silver constant + bronze bursty).
+func DefaultTenantMixes() []TenantMix {
+	return []TenantMix{
+		{Name: "none"},
+		{Name: "gold-bronze", Tenants: []TenantSpec{
+			{Name: "gold", Class: SLAGold, Workload: WorkloadSpec{
+				Pattern: LoadDiurnal, BaseOpsPerSec: 1200, PeakOpsPerSec: 2400, ReadFraction: 0.6,
+			}},
+			{Name: "bronze", Class: SLABronze, Workload: WorkloadSpec{
+				Pattern: LoadConstant, BaseOpsPerSec: 800, ReadFraction: 0.2,
+			}},
+		}},
+		{Name: "three-tier", Tenants: []TenantSpec{
+			{Name: "gold", Class: SLAGold, Workload: WorkloadSpec{
+				Pattern: LoadDiurnal, BaseOpsPerSec: 1000, PeakOpsPerSec: 2000, ReadFraction: 0.6,
+			}},
+			{Name: "silver", Class: SLASilver, Workload: WorkloadSpec{
+				Pattern: LoadConstant, BaseOpsPerSec: 700, ReadFraction: 0.5,
+			}},
+			{Name: "bronze", Class: SLABronze, Workload: WorkloadSpec{
+				Pattern: LoadSpike, BaseOpsPerSec: 300, PeakOpsPerSec: 2500, ReadFraction: 0.2,
+			}},
+		}},
+	}
+}
+
+// LookupTenantMix returns the default mix with the given name.
+func LookupTenantMix(name string) (TenantMix, bool) {
+	for _, m := range DefaultTenantMixes() {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return TenantMix{}, false
+}
+
+// tenantSeriesName builds the per-tenant report series key, e.g.
+// "tenant/gold/window_p95_ms".
+func tenantSeriesName(tenantName, series string) string {
+	return "tenant/" + tenantName + "/" + series
+}
