@@ -1,0 +1,115 @@
+package autonosql
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// AdmissionSpec configures tenant-scoped admission control for the smart
+// controller. When enabled, the planner may throttle a noisy non-gold tenant
+// — shedding its excess arrivals through a deterministic token bucket before
+// they reach the store — instead of scaling the whole cluster for it. The
+// zero value disables admission control and reproduces pre-admission
+// behaviour exactly.
+type AdmissionSpec struct {
+	// Enabled allows throttle / unthrottle actions.
+	Enabled bool
+	// ThrottleFraction is the share of a tenant's observed offered rate a
+	// throttle action admits; each further throttle multiplies again.
+	// Zero selects the default (0.5).
+	ThrottleFraction float64
+	// MinRate is the admission floor in ops/s below which the controller
+	// never throttles a tenant. Zero selects the default (50).
+	MinRate float64
+	// Cooldown is the minimum time between admission actions on the same
+	// tenant. Cooldowns are keyed per (action, tenant), so throttling one
+	// tenant never delays throttling another. Zero selects the default (60s).
+	Cooldown time.Duration
+	// Holdoff is how long the driving pressure must have been gone before a
+	// throttled tenant is released. Zero selects the default (90s).
+	Holdoff time.Duration
+}
+
+// validate reports whether the admission spec is well formed.
+func (a AdmissionSpec) validate() error {
+	if math.IsNaN(a.ThrottleFraction) || a.ThrottleFraction < 0 || a.ThrottleFraction >= 1 {
+		return fmt.Errorf("admission: ThrottleFraction %v must be within [0, 1)", a.ThrottleFraction)
+	}
+	if !finiteNonNegative(a.MinRate) {
+		return fmt.Errorf("admission: MinRate must be finite and non-negative")
+	}
+	if a.Cooldown < 0 || a.Holdoff < 0 {
+		return fmt.Errorf("admission: cooldowns must be non-negative")
+	}
+	return nil
+}
+
+// ParseAdmissionSpec parses the -admission DSL:
+//
+//	off | on[:frac=F][:floor=R][:cooldown=D][:hold=D]
+//
+// where frac is the admitted share of the target tenant's offered rate in
+// (0, 1), floor the minimum admission rate in ops/s, and cooldown / hold the
+// per-tenant action cooldown and the release holdoff as Go durations.
+// Examples:
+//
+//	on
+//	on:frac=0.4:floor=100
+//	on:cooldown=2m:hold=90s
+//
+// An empty string parses to "off". Every spec the parser accepts passes
+// ScenarioSpec validation.
+func ParseAdmissionSpec(s string) (AdmissionSpec, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return AdmissionSpec{}, nil
+	}
+	fields := strings.Split(s, ":")
+	var spec AdmissionSpec
+	switch strings.ToLower(strings.TrimSpace(fields[0])) {
+	case "off":
+		if len(fields) > 1 {
+			return AdmissionSpec{}, fmt.Errorf("autonosql: admission %q: \"off\" takes no options", s)
+		}
+		return AdmissionSpec{}, nil
+	case "on":
+		spec.Enabled = true
+	default:
+		return AdmissionSpec{}, fmt.Errorf("autonosql: admission %q: want \"on\" or \"off\"", s)
+	}
+	for _, opt := range fields[1:] {
+		opt = strings.TrimSpace(opt)
+		switch {
+		case strings.HasPrefix(opt, "frac="):
+			frac, err := strconv.ParseFloat(opt[5:], 64)
+			if err != nil || math.IsNaN(frac) || frac <= 0 || frac >= 1 {
+				return AdmissionSpec{}, fmt.Errorf("autonosql: admission fraction %q must be within (0, 1)", opt)
+			}
+			spec.ThrottleFraction = frac
+		case strings.HasPrefix(opt, "floor="):
+			floor, err := strconv.ParseFloat(opt[6:], 64)
+			if err != nil || !finiteNonNegative(floor) || floor <= 0 {
+				return AdmissionSpec{}, fmt.Errorf("autonosql: admission floor %q must be a positive number", opt)
+			}
+			spec.MinRate = floor
+		case strings.HasPrefix(opt, "cooldown="):
+			d, err := time.ParseDuration(opt[9:])
+			if err != nil || d <= 0 {
+				return AdmissionSpec{}, fmt.Errorf("autonosql: admission cooldown %q must be a positive duration", opt)
+			}
+			spec.Cooldown = d
+		case strings.HasPrefix(opt, "hold="):
+			d, err := time.ParseDuration(opt[5:])
+			if err != nil || d <= 0 {
+				return AdmissionSpec{}, fmt.Errorf("autonosql: admission holdoff %q must be a positive duration", opt)
+			}
+			spec.Holdoff = d
+		default:
+			return AdmissionSpec{}, fmt.Errorf("autonosql: unknown admission option %q (want frac=, floor=, cooldown= or hold=)", opt)
+		}
+	}
+	return spec, nil
+}

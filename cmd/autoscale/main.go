@@ -37,6 +37,8 @@ func run(args []string) int {
 		windowSLA  = fs.Duration("sla-window", 150*time.Millisecond, "SLA bound on the p95 inconsistency window")
 		noisy      = fs.Bool("noisy-neighbour", false, "enable multi-tenant background load")
 		tenants    = fs.String("tenants", "", "named tenants, comma-separated class:pattern:base[:peak=P][:read=F][:keys=K][:name=N]\n(e.g. \"gold:diurnal:2000,bronze:constant:500\"); replaces -base/-peak/-pattern traffic")
+		admission  = fs.String("admission", "", "tenant admission control for the smart controller:\noff | on[:frac=F][:floor=R][:cooldown=D][:hold=D]")
+		placement  = fs.Bool("placement", false, "allow the smart controller to dedicate nodes to an SLA class")
 		predictive = fs.Bool("predictive", true, "enable predictive scaling (smart controller)")
 		decisions  = fs.Bool("decisions", false, "print the controller decision log")
 	)
@@ -63,6 +65,13 @@ func run(args []string) int {
 		return 2
 	}
 	spec.Tenants = tenantSpecs
+	admissionSpec, err := autonosql.ParseAdmissionSpec(*admission)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "autoscale: %v\n", err)
+		return 2
+	}
+	spec.Controller.Admission = admissionSpec
+	spec.Controller.AllowPlacement = *placement
 
 	scenario, err := autonosql.NewScenario(spec)
 	if err != nil {

@@ -43,6 +43,8 @@ func run(args []string, out *os.File) int {
 		probes     = fs.Float64("probe-rate", 1, "active read-after-write probes per second (0 disables)")
 		faults     = fs.String("faults", "", "fault plan, comma-separated kind:start:duration[:n=N][:sev=S] events\n(kinds: crash, slow, partition, storm; e.g. \"crash:1m:30s,storm:2m:30s:sev=0.8\")")
 		tenants    = fs.String("tenants", "", "multi-tenant workload, comma-separated class:pattern:base[:peak=P][:read=F][:keys=K][:name=N]\n(classes: gold, silver, bronze; e.g. \"gold:diurnal:2000,bronze:constant:500\"); replaces -ops/-pattern traffic")
+		admission  = fs.String("admission", "", "tenant admission control for the smart controller:\noff | on[:frac=F][:floor=R][:cooldown=D][:hold=D] (e.g. \"on:frac=0.4:floor=100\")")
+		placement  = fs.Bool("placement", false, "allow the smart controller to dedicate nodes to an SLA class")
 		plot       = fs.String("plot", "", "comma-separated report series to plot (e.g. window_p95_ms,cluster_size)")
 		decisions  = fs.Bool("decisions", false, "print the controller decision log")
 	)
@@ -80,6 +82,13 @@ func run(args []string, out *os.File) int {
 		return 2
 	}
 	spec.Tenants = tenantSpecs
+	admissionSpec, err := autonosql.ParseAdmissionSpec(*admission)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nosqlsim: %v\n", err)
+		return 2
+	}
+	spec.Controller.Admission = admissionSpec
+	spec.Controller.AllowPlacement = *placement
 
 	scenario, err := autonosql.NewScenario(spec)
 	if err != nil {

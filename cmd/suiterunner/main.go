@@ -45,6 +45,8 @@ func run(args []string, out *os.File) int {
 		slaTiers    = fs.String("sla-tiers", "", "comma-separated SLA tiers to sweep (tight, default, loose); empty keeps the base SLA")
 		faultAxis   = fs.String("faults", "", "comma-separated fault profiles to sweep (none, crash, partition, slow, storm),\nscaled to the run duration; empty keeps runs fault-free")
 		tenants     = fs.String("tenants", "", "named tenants applied to every variant, comma-separated\nclass:pattern:base[:peak=P][:read=F][:keys=K][:name=N]")
+		admission   = fs.String("admission", "", "tenant admission control for smart variants:\noff | on[:frac=F][:floor=R][:cooldown=D][:hold=D]")
+		placement   = fs.Bool("placement", false, "allow smart variants to dedicate nodes to an SLA class")
 		mixAxis     = fs.String("tenant-mixes", "", "comma-separated tenant mixes to sweep (none, gold-bronze, three-tier);\nempty keeps the base tenants")
 		tenantsCSV  = fs.String("tenants-csv", "", "write the per-tenant results as CSV to this file")
 		repeats     = fs.Int("repeats", 1, "runs per grid cell with distinct derived seeds")
@@ -74,6 +76,13 @@ func run(args []string, out *os.File) int {
 		return 2
 	}
 	base.Tenants = baseTenants
+	admissionSpec, err := autonosql.ParseAdmissionSpec(*admission)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "suiterunner: %v\n", err)
+		return 2
+	}
+	base.Controller.Admission = admissionSpec
+	base.Controller.AllowPlacement = *placement
 
 	grid, err := buildGrid(*patterns, *controllers, *nodes, *slaTiers, *faultAxis, *mixAxis, *duration, *repeats)
 	if err != nil {

@@ -72,7 +72,8 @@ func fingerprintReport(r *autonosql.Report) string {
 
 	// Tenant sections (absent for single-tenant runs, so the pre-tenant
 	// golden files are unaffected): every per-tenant statistic is pinned
-	// bit-for-bit.
+	// bit-for-bit. Admission / placement lines appear only for treated
+	// tenants, so pre-admission golden files are unaffected too.
 	for _, tr := range r.Tenants {
 		fmt.Fprintf(&b, "tenant %s class=%s ops: reads=%d writes=%d failedReads=%d failedWrites=%d stale=%d staleRate=%s\n",
 			tr.Name, tr.Class, tr.Reads, tr.Writes, tr.FailedReads, tr.FailedWrites,
@@ -85,6 +86,14 @@ func fingerprintReport(r *autonosql.Report) string {
 			fpFloat(tr.Violations.ReadLatency), fpFloat(tr.Violations.WriteLatency),
 			fpFloat(tr.Violations.Availability), fpFloat(tr.Violations.Total),
 			fpFloat(tr.PenaltyCost), fpFloat(tr.CompensationCost))
+		if tr.ShedOps > 0 || len(tr.Throttles) > 0 || tr.Pinned {
+			fmt.Fprintf(&b, "tenant %s admission: shed=%d throttledMin=%s pinned=%v\n",
+				tr.Name, tr.ShedOps, fpFloat(tr.ThrottledMinutes), tr.Pinned)
+			for _, tw := range tr.Throttles {
+				fmt.Fprintf(&b, "tenant %s throttle %v..%v rate=%s\n",
+					tr.Name, tw.Start, tw.End, fpFloat(tw.Rate))
+			}
+		}
 	}
 
 	names := make([]string, 0, len(r.Series))

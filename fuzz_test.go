@@ -159,6 +159,39 @@ func FuzzParseTenantSpec(f *testing.F) {
 	})
 }
 
+func FuzzParseAdmissionSpec(f *testing.F) {
+	f.Add("")
+	f.Add("off")
+	f.Add("on")
+	f.Add("on:frac=0.4:floor=100")
+	f.Add("on:cooldown=2m:hold=90s")
+	f.Add("ON:frac=0.999999")
+	f.Add("on:frac=NaN")
+	f.Add("on:floor=1e309")
+	f.Add("off:frac=0.5")
+	f.Add("on:wat=1")
+	f.Add("on:frac=:floor=")
+
+	f.Fuzz(func(t *testing.T, s string) {
+		spec, err := autonosql.ParseAdmissionSpec(s)
+		if err != nil {
+			return // rejected without panicking: fine
+		}
+		// Parser contract: accepted admission specs always pass scenario
+		// validation (fractions in range, rates finite, durations
+		// non-negative).
+		base := autonosql.DefaultScenarioSpec()
+		base.Controller.Admission = spec
+		if verr := base.Validate(); verr != nil {
+			t.Fatalf("ParseAdmissionSpec(%q) accepted a spec that fails validation: %v", s, verr)
+		}
+		// A disabled spec must be the zero value: "off" carries no tuning.
+		if !spec.Enabled && spec != (autonosql.AdmissionSpec{}) {
+			t.Fatalf("ParseAdmissionSpec(%q) produced tuning on a disabled spec: %+v", s, spec)
+		}
+	})
+}
+
 func FuzzParseFaultPlan(f *testing.F) {
 	f.Add("crash:30s:60s")
 	f.Add("partition:1m:45s:n=2,storm:10s:30s:sev=0.8")

@@ -160,6 +160,48 @@ func (h *Handle) SetBackgroundLoad(fraction float64) {
 	h.scenario.cluster.SetBackgroundLoad(fraction)
 }
 
+// ThrottleTenant engages (or re-rates) admission control on the named
+// tenant: arrivals beyond opsPerSec are shed before they reach the store,
+// counted as rejections in the tenant's ground truth. It fails in a
+// single-tenant scenario.
+func (h *Handle) ThrottleTenant(name string, opsPerSec float64) error {
+	if h.scenario.tenantAct == nil {
+		return errors.New("autonosql: scenario has no tenants")
+	}
+	return h.scenario.tenantAct.ThrottleTenant(name, opsPerSec)
+}
+
+// UnthrottleTenant removes admission control from the named tenant.
+func (h *Handle) UnthrottleTenant(name string) error {
+	if h.scenario.tenantAct == nil {
+		return errors.New("autonosql: scenario has no tenants")
+	}
+	return h.scenario.tenantAct.UnthrottleTenant(name)
+}
+
+// PinClass dedicates nodes to the named SLA class: the class's tenants place
+// replica sets and coordinators on the dedicated pool, everyone else prefers
+// the remainder. It fails in a single-tenant scenario.
+func (h *Handle) PinClass(class string) error {
+	if h.scenario.tenantAct == nil {
+		return errors.New("autonosql: scenario has no tenants")
+	}
+	return h.scenario.tenantAct.PinClass(class)
+}
+
+// UnpinClass releases the pinned class's dedicated nodes.
+func (h *Handle) UnpinClass() error {
+	if h.scenario.tenantAct == nil {
+		return errors.New("autonosql: scenario has no tenants")
+	}
+	return h.scenario.tenantAct.UnpinClass()
+}
+
+// PinnedClass returns the SLA class currently holding dedicated nodes, or "".
+func (h *Handle) PinnedClass() string {
+	return h.scenario.store.PinnedClass()
+}
+
 // TrueWindowP95 returns the ground-truth 95th-percentile inconsistency window
 // (seconds) over recent writes. Experiments use it; the controller never
 // sees it.

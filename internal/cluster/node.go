@@ -137,6 +137,11 @@ type Node struct {
 	// the fault injector never clobbers what the tenant driver set.
 	fault float64
 
+	// class tags the node as dedicated to one SLA class under a placement
+	// policy; empty means the node serves the shared pool. The store's
+	// replica-selection path and the controller's scale-in policy consult it.
+	class string
+
 	busyAccum   time.Duration
 	opsServed   metrics.Counter
 	opsRejected metrics.Counter
@@ -173,6 +178,13 @@ func (n *Node) SetState(s NodeState) {
 
 // Config returns the node's capacity configuration.
 func (n *Node) Config() NodeConfig { return n.cfg }
+
+// SetClass tags the node as dedicated to one SLA class ("" returns it to the
+// shared pool).
+func (n *Node) SetClass(class string) { n.class = class }
+
+// Class returns the SLA class the node is dedicated to, or "".
+func (n *Node) Class() string { return n.class }
 
 // Available reports whether the node can serve requests.
 func (n *Node) Available() bool {

@@ -36,6 +36,22 @@ const (
 	ActionAddNode
 	// ActionRemoveNode decommissions one node.
 	ActionRemoveNode
+	// ActionThrottleTenant enables (or tightens) admission control on one
+	// tenant: the tenant's arrivals are rate-limited by a token bucket and
+	// excess operations are shed before they reach the store. It is the
+	// planner's way to protect a premium tenant from a noisy neighbour
+	// without paying for extra capacity. Tenant-scoped.
+	ActionThrottleTenant
+	// ActionUnthrottleTenant removes admission control from one tenant once
+	// the pressure that justified it has passed. Tenant-scoped.
+	ActionUnthrottleTenant
+	// ActionPinTenantClass dedicates a set of nodes to one SLA class: the
+	// class's tenants place their replica sets (and coordinators) on the
+	// dedicated nodes, everyone else prefers the remainder. Class-scoped.
+	ActionPinTenantClass
+	// ActionUnpinTenantClass releases a class's dedicated nodes back into the
+	// shared pool. Class-scoped.
+	ActionUnpinTenantClass
 )
 
 // String implements fmt.Stringer.
@@ -59,6 +75,14 @@ func (k ActionKind) String() string {
 		return "add-node"
 	case ActionRemoveNode:
 		return "remove-node"
+	case ActionThrottleTenant:
+		return "throttle-tenant"
+	case ActionUnthrottleTenant:
+		return "unthrottle-tenant"
+	case ActionPinTenantClass:
+		return "pin-class"
+	case ActionUnpinTenantClass:
+		return "unpin-class"
 	default:
 		return fmt.Sprintf("action(%d)", int(k))
 	}
@@ -76,16 +100,86 @@ func ActionKinds() []ActionKind {
 		ActionDecreaseReplication,
 		ActionAddNode,
 		ActionRemoveNode,
+		ActionThrottleTenant,
+		ActionUnthrottleTenant,
+		ActionPinTenantClass,
+		ActionUnpinTenantClass,
+	}
+}
+
+// Scope identifies what an action applies to. The zero value is the
+// cluster-wide scope every pre-existing action kind uses; tenant-scoped
+// actions (admission control) name the tenant, class-scoped actions
+// (placement) name the SLA class. Carrying the scope on the action — instead
+// of leaving every knob global — is what lets the execute stage act on the
+// context that triggered the adaptation.
+type Scope struct {
+	// Tenant names the tenant a tenant-scoped action applies to.
+	Tenant string
+	// Class names the SLA class a class-scoped action applies to.
+	Class string
+}
+
+// ClusterScope returns the cluster-wide scope.
+func ClusterScope() Scope { return Scope{} }
+
+// TenantScope returns the scope of an action applying to one tenant.
+func TenantScope(name string) Scope { return Scope{Tenant: name} }
+
+// ClassScope returns the scope of an action applying to one SLA class.
+func ClassScope(class string) Scope { return Scope{Class: class} }
+
+// IsCluster reports whether the scope is cluster-wide.
+func (s Scope) IsCluster() bool { return s.Tenant == "" && s.Class == "" }
+
+// Target returns the scoped entity's name (the tenant or class), or "" for
+// the cluster-wide scope.
+func (s Scope) Target() string {
+	if s.Tenant != "" {
+		return s.Tenant
+	}
+	return s.Class
+}
+
+// String implements fmt.Stringer.
+func (s Scope) String() string {
+	switch {
+	case s.Tenant != "":
+		return "tenant " + s.Tenant
+	case s.Class != "":
+		return "class " + s.Class
+	default:
+		return "cluster"
+	}
+}
+
+// key renders the scope as a compact cooldown-map key. Tenant and class
+// names live in separate namespaces so a tenant named like a class cannot
+// alias its cooldowns.
+func (s Scope) key() string {
+	switch {
+	case s.Tenant != "":
+		return "t:" + s.Tenant
+	case s.Class != "":
+		return "c:" + s.Class
+	default:
+		return ""
 	}
 }
 
 // Action is a planned reconfiguration with the reason the planner chose it.
 type Action struct {
 	Kind ActionKind
+	// Scope is what the action applies to: the whole cluster (zero value),
+	// one tenant, or one SLA class.
+	Scope Scope
 	// Count is how many times the action is applied in one decision; it is
 	// only meaningful for add-node / remove-node, where the planner sizes the
 	// step proportionally to the capacity shortfall (zero means one).
-	Count  int
+	Count int
+	// Rate is the admission rate in ops/s a throttle action imposes; zero for
+	// every other kind.
+	Rate   float64
 	Reason string
 }
 
@@ -100,12 +194,21 @@ func (a Action) Steps() int {
 	return a.Count
 }
 
-// String implements fmt.Stringer.
+// String implements fmt.Stringer. Scoped actions name their target, and
+// throttle actions carry the imposed admission rate, so a decision log line
+// reads e.g. "throttle-tenant[batch @400ops/s] (...)".
 func (a Action) String() string {
 	if a.IsNoop() {
 		return "none"
 	}
 	name := a.Kind.String()
+	if !a.Scope.IsCluster() {
+		if a.Rate > 0 {
+			name = fmt.Sprintf("%s[%s @%.0fops/s]", name, a.Scope.Target(), a.Rate)
+		} else {
+			name = fmt.Sprintf("%s[%s]", name, a.Scope.Target())
+		}
+	}
 	if a.Steps() > 1 {
 		name = fmt.Sprintf("%s x%d", name, a.Steps())
 	}
@@ -141,6 +244,30 @@ type Actuator interface {
 	RemoveNode() error
 }
 
+// TenantActuator is the optional actuator extension scoped actions execute
+// through. A plant that hosts named tenants implements it alongside Actuator;
+// the controller discovers it with a type assertion and fails tenant- or
+// class-scoped actions cleanly when the plant does not support them.
+type TenantActuator interface {
+	// ThrottleTenant imposes (or tightens) admission control on the named
+	// tenant: arrivals beyond opsPerSec are shed before they reach the store.
+	ThrottleTenant(name string, opsPerSec float64) error
+	// UnthrottleTenant removes admission control from the named tenant.
+	UnthrottleTenant(name string) error
+	// ThrottledRate returns the tenant's current admission rate in ops/s and
+	// whether the tenant is throttled at all.
+	ThrottledRate(name string) (float64, bool)
+
+	// PinClass dedicates nodes to the named SLA class: the class's tenants
+	// place replica sets and coordinators on the dedicated nodes, everyone
+	// else prefers the remainder. At most one class is pinned at a time.
+	PinClass(class string) error
+	// UnpinClass releases the pinned class's nodes back into the shared pool.
+	UnpinClass() error
+	// PinnedClass returns the currently pinned class, or "".
+	PinnedClass() string
+}
+
 // Errors returned by actuators.
 var (
 	// ErrConsistencyBound is returned when a consistency level cannot be
@@ -151,6 +278,9 @@ var (
 	ErrReplicationBound = errors.New("core: replication factor already at bound")
 	// ErrNoRemovableNode is returned when no node is eligible for removal.
 	ErrNoRemovableNode = errors.New("core: no removable node")
+	// ErrNoTenantActuator is returned when a tenant- or class-scoped action is
+	// executed against a plant that does not implement TenantActuator.
+	ErrNoTenantActuator = errors.New("core: actuator does not support tenant-scoped actions")
 )
 
 // consistencyLadder is the ordered set of levels the controller steps
@@ -247,9 +377,17 @@ func (a *SystemActuator) AddNode() error {
 }
 
 // RemoveNode implements Actuator. It removes the newest node that is fully
-// up; joining or draining nodes are left alone.
+// up; joining or draining nodes are left alone. Nodes dedicated to a pinned
+// SLA class are only removed when no shared node is eligible: scale-in must
+// not quietly dismantle the placement the controller set up for the premium
+// class.
 func (a *SystemActuator) RemoveNode() error {
 	nodes := a.cluster.Nodes()
+	for i := len(nodes) - 1; i >= 0; i-- {
+		if nodes[i].State() == cluster.NodeUp && nodes[i].Class() == "" {
+			return a.cluster.RemoveNode(nodes[i].ID())
+		}
+	}
 	for i := len(nodes) - 1; i >= 0; i-- {
 		if nodes[i].State() == cluster.NodeUp {
 			return a.cluster.RemoveNode(nodes[i].ID())

@@ -121,9 +121,39 @@ type Analysis struct {
 	// TenantClass is the driving tenant's SLA class (empty when Tenant is).
 	TenantClass string
 	// GoldViolation reports whether any gold-class tenant is currently in
-	// violation of its own SLA; while it holds, the planner vetoes scale-in.
+	// violation of its own SLA; while it holds, the planner vetoes scale-in
+	// and prefers tenant-scoped protection over cluster-wide growth.
 	GoldViolation bool
+
+	// ThrottleCandidate names the best admission-control target: the
+	// unthrottled non-gold tenant shedding whose load buys the most relief
+	// per dollar of contractual penalty. Empty when no such tenant exists.
+	ThrottleCandidate string
+	// ThrottleCandidateRate is the candidate's observed offered rate in
+	// ops/s, the base the planner derives the admission rate from.
+	ThrottleCandidateRate float64
+	// Throttled lists the currently throttled tenants in declaration order,
+	// with each tenant's admission state, for the planner's escalation and
+	// recovery paths.
+	Throttled []ThrottledTenant
 }
+
+// ThrottledTenant is one currently throttled tenant's admission state as
+// seen by the analyzer.
+type ThrottledTenant struct {
+	// Name identifies the tenant.
+	Name string
+	// Rate is the admitted rate in ops/s.
+	Rate float64
+	// Offered is the tenant's observed offered rate (including shed
+	// arrivals) over the interval.
+	Offered float64
+}
+
+// Binding reports whether the throttle is actively shedding: the tenant
+// offers more than the bucket admits. Releasing a binding throttle would
+// only re-create the pressure it sheds.
+func (t ThrottledTenant) Binding() bool { return t.Offered > t.Rate }
 
 // Analyzer turns monitoring snapshots into Analyses. It keeps a short history
 // of load and utilisation so it can estimate trends.
@@ -166,12 +196,27 @@ func (a *Analyzer) Analyze(snap monitor.Snapshot) Analysis {
 	}
 
 	// Multi-tenant snapshot: substitute the driving tenant's observations and
-	// agreement for the aggregate ones before classification.
+	// agreement for the aggregate ones before classification. Throttled
+	// tenants never drive the loop — their distress is the shed the
+	// controller itself imposed, already priced into their own SLA — unless
+	// every tenant is throttled, in which case the worst overall still wins
+	// so the analysis reflects reality.
 	if len(snap.Tenants) > 0 {
-		worst := snap.Tenants[0]
-		for _, sig := range snap.Tenants[1:] {
-			if sig.Urgency() > worst.Urgency() {
-				worst = sig
+		worst, found := tenant.Signal{}, false
+		for _, sig := range snap.Tenants {
+			if sig.Throttled {
+				continue
+			}
+			if !found || sig.Urgency() > worst.Urgency() {
+				worst, found = sig, true
+			}
+		}
+		if !found {
+			worst = snap.Tenants[0]
+			for _, sig := range snap.Tenants[1:] {
+				if sig.Urgency() > worst.Urgency() {
+					worst = sig
+				}
 			}
 		}
 		obs.WindowP95 = worst.WindowP95
@@ -187,6 +232,7 @@ func (a *Analyzer) Analyze(snap monitor.Snapshot) Analysis {
 				break
 			}
 		}
+		an.annotateAdmission(snap.Tenants)
 	}
 
 	head := agreement.Headroom(obs)
@@ -201,6 +247,39 @@ func (a *Analyzer) Analyze(snap monitor.Snapshot) Analysis {
 
 	an.Primary, an.Cause = a.classify(snap, obs, agreement, head, smoothedUtil, an.WindowTrusted)
 	return an
+}
+
+// annotateAdmission derives the admission-control view of the tenant
+// signals: who is already throttled, and which unthrottled non-gold tenant
+// is the best next throttle target. The target maximises offered load per
+// dollar of penalty — shedding the tenant that contributes the most pressure
+// at the least contractual cost — with ties broken by declaration order so
+// the choice is deterministic.
+func (an *Analysis) annotateAdmission(sigs []tenant.Signal) {
+	bestScore := 0.0
+	for _, sig := range sigs {
+		if sig.Throttled {
+			an.Throttled = append(an.Throttled, ThrottledTenant{
+				Name:    sig.Name,
+				Rate:    sig.ThrottleRate,
+				Offered: sig.OfferedOpsPerSec,
+			})
+			continue
+		}
+		if sig.Class == tenant.Gold || sig.OfferedOpsPerSec <= 0 {
+			continue
+		}
+		weight := sig.PenaltyPerMinute
+		if weight < 0.01 {
+			weight = 0.01
+		}
+		score := sig.OfferedOpsPerSec / weight
+		if score > bestScore {
+			bestScore = score
+			an.ThrottleCandidate = sig.Name
+			an.ThrottleCandidateRate = sig.OfferedOpsPerSec
+		}
+	}
 }
 
 // classify applies the condition hierarchy: availability first, then the

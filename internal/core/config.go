@@ -67,6 +67,13 @@ type Config struct {
 	EnableReplicationActions bool
 	// EnablePrediction turns on proactive scaling from the load forecast.
 	EnablePrediction bool
+	// EnableAdmissionControl allows tenant-scoped throttle / unthrottle
+	// actions: while a gold tenant is in violation the planner sheds a noisy
+	// non-gold tenant's load before it reaches for more capacity.
+	EnableAdmissionControl bool
+	// EnablePlacementActions allows class-scoped pin / unpin actions that
+	// dedicate nodes to one SLA class.
+	EnablePlacementActions bool
 
 	// PredictionHorizon is how far ahead the load predictor looks. It should
 	// be at least the node bootstrap time, so capacity arrives before it is
@@ -84,6 +91,26 @@ type Config struct {
 	// must carry before the controller trusts it enough to act on the window
 	// clause.
 	MinWindowSamples int
+
+	// ThrottleFraction is the share of a tenant's observed offered rate a
+	// throttle action admits (each further throttle of an already throttled
+	// tenant multiplies again).
+	ThrottleFraction float64
+	// MinThrottleRate is the floor (ops/s) below which the planner never
+	// throttles a tenant: admission control sheds bursts, it does not starve
+	// a tenant outright.
+	MinThrottleRate float64
+	// ThrottleCooldown is the minimum time between admission actions on the
+	// same tenant. Cooldowns are keyed per (action, tenant), so throttling
+	// one tenant never delays protecting the cluster from another.
+	ThrottleCooldown time.Duration
+	// UnthrottleHoldoff is how long the driving pressure must have been gone
+	// before a throttled tenant is released, preventing a throttle/unthrottle
+	// oscillation at the violation boundary.
+	UnthrottleHoldoff time.Duration
+	// PlacementCooldown is the minimum time between class pin / unpin
+	// actions.
+	PlacementCooldown time.Duration
 }
 
 // DefaultConfig returns the controller profile used by the experiments.
@@ -113,6 +140,11 @@ func DefaultConfig(agreement sla.SLA) Config {
 		PredictorWindow:          12,
 		NodeCapacityOpsPerSec:    5000,
 		MinWindowSamples:         8,
+		ThrottleFraction:         0.5,
+		MinThrottleRate:          50,
+		ThrottleCooldown:         60 * time.Second,
+		UnthrottleHoldoff:        90 * time.Second,
+		PlacementCooldown:        3 * time.Minute,
 	}
 }
 
@@ -174,6 +206,21 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MinWindowSamples <= 0 {
 		c.MinWindowSamples = d.MinWindowSamples
+	}
+	if c.ThrottleFraction <= 0 || c.ThrottleFraction >= 1 {
+		c.ThrottleFraction = d.ThrottleFraction
+	}
+	if c.MinThrottleRate <= 0 {
+		c.MinThrottleRate = d.MinThrottleRate
+	}
+	if c.ThrottleCooldown <= 0 {
+		c.ThrottleCooldown = d.ThrottleCooldown
+	}
+	if c.UnthrottleHoldoff <= 0 {
+		c.UnthrottleHoldoff = d.UnthrottleHoldoff
+	}
+	if c.PlacementCooldown <= 0 {
+		c.PlacementCooldown = d.PlacementCooldown
 	}
 	return c
 }

@@ -24,10 +24,15 @@ type Decision struct {
 	ReplicationFactor int
 	ReadConsistency   store.ConsistencyLevel
 	WriteConsistency  store.ConsistencyLevel
+	// PinnedClass is the SLA class holding dedicated nodes after execution
+	// ("" when none, or when the plant has no TenantActuator).
+	PinnedClass string
 }
 
 // String renders the decision compactly for logs. In a multi-tenant run the
-// line names the tenant whose penalty-weighted signal drove the decision.
+// line names the tenant whose penalty-weighted signal drove the decision; a
+// scoped action additionally names its scope and target (the Action renders
+// them), and an active class pin is shown as part of the plant state.
 func (d Decision) String() string {
 	status := "noop"
 	if d.Applied {
@@ -39,6 +44,9 @@ func (d Decision) String() string {
 		d.At.Truncate(time.Second), d.Action.String(), status,
 		d.Analysis.Snapshot.WindowP95*1000, d.Analysis.Snapshot.MeanUtilization,
 		d.ClusterSize, d.ReadConsistency, d.WriteConsistency, d.ReplicationFactor)
+	if d.PinnedClass != "" {
+		s += " pinned=" + d.PinnedClass
+	}
 	if d.Analysis.Tenant != "" {
 		s += fmt.Sprintf(" tenant=%s(%s)", d.Analysis.Tenant, d.Analysis.TenantClass)
 		if d.Analysis.GoldViolation {
@@ -147,6 +155,9 @@ func (c *Controller) Step(snap monitor.Snapshot) Decision {
 		ReadConsistency:   c.actuator.ReadConsistency(),
 		WriteConsistency:  c.actuator.WriteConsistency(),
 	}
+	if ta, ok := c.actuator.(TenantActuator); ok {
+		plant.PinnedClass = ta.PinnedClass()
+	}
 	action := c.planner.Plan(analysis, plant)
 
 	// Execute.
@@ -174,6 +185,9 @@ func (c *Controller) Step(snap monitor.Snapshot) Decision {
 	decision.ReplicationFactor = c.actuator.ReplicationFactor()
 	decision.ReadConsistency = c.actuator.ReadConsistency()
 	decision.WriteConsistency = c.actuator.WriteConsistency()
+	if ta, ok := c.actuator.(TenantActuator); ok {
+		decision.PinnedClass = ta.PinnedClass()
+	}
 	c.decisions = append(c.decisions, decision)
 	return decision
 }
@@ -227,6 +241,21 @@ func (c *Controller) execute(a Action, plant PlantState) error {
 			}
 		}
 		return firstErr
+	case ActionThrottleTenant, ActionUnthrottleTenant, ActionPinTenantClass, ActionUnpinTenantClass:
+		ta, ok := c.actuator.(TenantActuator)
+		if !ok {
+			return ErrNoTenantActuator
+		}
+		switch a.Kind {
+		case ActionThrottleTenant:
+			return ta.ThrottleTenant(a.Scope.Tenant, a.Rate)
+		case ActionUnthrottleTenant:
+			return ta.UnthrottleTenant(a.Scope.Tenant)
+		case ActionPinTenantClass:
+			return ta.PinClass(a.Scope.Class)
+		default:
+			return ta.UnpinClass()
+		}
 	default:
 		return fmt.Errorf("core: cannot execute action %v", a.Kind)
 	}

@@ -46,12 +46,24 @@ func (e Effectiveness) Harmful() bool {
 	return e.Samples >= 2 && e.MeanWindowImprovement < -0.05
 }
 
-// KnowledgeBase is the K in MAPE-K: it remembers when each action kind was
-// last applied (for cooldown enforcement) and what effect applied actions had
-// on the window (for action ranking and post-mortem analysis).
+// actionKey is the cooldown-map key: an action kind together with the scope
+// it applied to. Keying cooldowns on the pair — not the kind alone — is what
+// lets the planner throttle tenant B immediately after throttling tenant A:
+// each tenant's admission actions cool down independently, while cluster-wide
+// actions (the empty scope) behave exactly as before.
+type actionKey struct {
+	kind  ActionKind
+	scope string
+}
+
+// KnowledgeBase is the K in MAPE-K: it remembers when each (action kind,
+// scope) pair was last applied (for cooldown enforcement) and what effect
+// applied actions had on the window (for action ranking and post-mortem
+// analysis). Effectiveness is still learned per kind — what throttling does
+// to the window does not depend on which tenant was throttled.
 type KnowledgeBase struct {
-	lastApplied map[ActionKind]time.Duration
-	everApplied map[ActionKind]bool
+	lastApplied map[actionKey]time.Duration
+	everApplied map[actionKey]bool
 	effects     map[ActionKind]*metrics.MeanVariance
 	history     []EffectRecord
 
@@ -64,8 +76,8 @@ type KnowledgeBase struct {
 // NewKnowledgeBase creates an empty knowledge base.
 func NewKnowledgeBase() *KnowledgeBase {
 	return &KnowledgeBase{
-		lastApplied: make(map[ActionKind]time.Duration),
-		everApplied: make(map[ActionKind]bool),
+		lastApplied: make(map[actionKey]time.Duration),
+		everApplied: make(map[actionKey]bool),
 		effects:     make(map[ActionKind]*metrics.MeanVariance),
 	}
 }
@@ -74,8 +86,9 @@ func NewKnowledgeBase() *KnowledgeBase {
 // given pre-action window and latency estimates (seconds). settleTime is how
 // long to wait before attributing post-action measurements to the action.
 func (k *KnowledgeBase) RecordApplied(a Action, at time.Duration, windowBefore, latencyBefore float64, settleTime time.Duration) {
-	k.lastApplied[a.Kind] = at
-	k.everApplied[a.Kind] = true
+	key := actionKey{kind: a.Kind, scope: a.Scope.key()}
+	k.lastApplied[key] = at
+	k.everApplied[key] = true
 	k.pending = &EffectRecord{
 		Action:        a,
 		AppliedAt:     at,
@@ -106,17 +119,31 @@ func (k *KnowledgeBase) RecordObservation(at time.Duration, window, latency floa
 	k.history = append(k.history, rec)
 }
 
-// LastApplied returns when the action kind was last applied and whether it
-// ever was.
+// LastApplied returns when the cluster-scoped action kind was last applied
+// and whether it ever was.
 func (k *KnowledgeBase) LastApplied(kind ActionKind) (time.Duration, bool) {
-	at, ok := k.lastApplied[kind]
+	return k.LastAppliedScoped(kind, ClusterScope())
+}
+
+// LastAppliedScoped returns when the action kind was last applied to the
+// given scope and whether it ever was.
+func (k *KnowledgeBase) LastAppliedScoped(kind ActionKind, scope Scope) (time.Duration, bool) {
+	at, ok := k.lastApplied[actionKey{kind: kind, scope: scope.key()}]
 	return at, ok
 }
 
-// InCooldown reports whether the action kind was applied more recently than
-// cooldown before now.
+// InCooldown reports whether the cluster-scoped action kind was applied more
+// recently than cooldown before now.
 func (k *KnowledgeBase) InCooldown(kind ActionKind, now, cooldown time.Duration) bool {
-	at, ok := k.lastApplied[kind]
+	return k.InCooldownScoped(kind, ClusterScope(), now, cooldown)
+}
+
+// InCooldownScoped reports whether the action kind was applied to the given
+// scope more recently than cooldown before now. Different scopes never block
+// each other: throttling tenant A leaves tenant B's throttle immediately
+// available.
+func (k *KnowledgeBase) InCooldownScoped(kind ActionKind, scope Scope, now, cooldown time.Duration) bool {
+	at, ok := k.lastApplied[actionKey{kind: kind, scope: scope.key()}]
 	if !ok {
 		return false
 	}

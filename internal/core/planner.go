@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"autonosql/internal/store"
+	"autonosql/internal/tenant"
 )
 
 // PlantState is the configuration of the system at planning time, read from
@@ -13,6 +15,9 @@ type PlantState struct {
 	ReplicationFactor int
 	ReadConsistency   store.ConsistencyLevel
 	WriteConsistency  store.ConsistencyLevel
+	// PinnedClass is the SLA class currently holding dedicated nodes, or ""
+	// (always "" for plants without a TenantActuator).
+	PinnedClass string
 }
 
 // Planner turns an Analysis into at most one reconfiguration Action per
@@ -22,6 +27,15 @@ type PlantState struct {
 type Planner struct {
 	cfg Config
 	kb  *KnowledgeBase
+
+	// nonBindingSince records, per throttled tenant, when its throttle was
+	// first observed no longer binding (offered rate at or below the
+	// admitted rate). The unthrottle holdoff runs against this timestamp —
+	// the pressure must have been *gone* for the holdoff, not merely the
+	// last admission action be old — so a one-interval dip in a burst never
+	// releases the throttle. Keys are only ever looked up, never iterated,
+	// so the map cannot leak ordering into the simulation.
+	nonBindingSince map[string]time.Duration
 }
 
 // NewPlanner creates a planner using the given configuration and knowledge
@@ -30,13 +44,20 @@ func NewPlanner(cfg Config, kb *KnowledgeBase) *Planner {
 	if kb == nil {
 		kb = NewKnowledgeBase()
 	}
-	return &Planner{cfg: cfg.withDefaults(), kb: kb}
+	return &Planner{cfg: cfg.withDefaults(), kb: kb, nonBindingSince: make(map[string]time.Duration)}
 }
 
 // Plan selects the action for this control interval. It returns an
 // ActionNone action (with a reason) when no change is warranted or every
-// candidate is blocked by a cooldown or bound.
+// candidate is blocked by a cooldown or bound. Tenant protection — scoped
+// admission and placement actions — is considered before the cluster-wide
+// condition dispatch: when a gold tenant is in violation, shedding the noisy
+// neighbour is tried before paying for more capacity, and when the pressure
+// has passed, throttles are released before any other recovery.
 func (p *Planner) Plan(an Analysis, plant PlantState) Action {
+	if a, ok := p.planTenantProtection(an, plant); ok {
+		return a
+	}
 	switch an.Primary {
 	case ConditionAvailabilityLow:
 		return p.planAvailability(an, plant)
@@ -49,6 +70,147 @@ func (p *Planner) Plan(an Analysis, plant PlantState) Action {
 	default:
 		return p.planNominal(an, plant)
 	}
+}
+
+// planTenantProtection is the scoped-action branch of the planner. While a
+// gold tenant is in violation it escalates, cheapest first:
+//
+//  1. throttle the best unthrottled non-gold candidate (admission control
+//     sheds the noisy neighbour's load before it reaches the store);
+//  2. pin the gold class to dedicated nodes (placement isolates what
+//     admission alone could not);
+//  3. tighten an existing throttle another notch.
+//
+// Each step is guarded by a per-(kind, scope) cooldown, so protecting the
+// cluster from tenant B is never delayed because tenant A was throttled a
+// moment ago. On recovery — no gold violation and the driving tenant
+// comfortably inside its bounds — throttles are released one per interval
+// after a holdoff, then the class pin is lifted.
+func (p *Planner) planTenantProtection(an Analysis, plant PlantState) (Action, bool) {
+	if len(an.Snapshot.Tenants) == 0 {
+		return Action{}, false
+	}
+	now := an.At
+	// Maintain the non-binding clocks on every interval, whichever branch
+	// runs below: a binding observation must reset a tenant's clock even
+	// while gold pressure keeps the recovery loop from executing, or a
+	// stale timestamp from before an interleaved burst would let a later
+	// release bypass the holdoff entirely.
+	for _, tt := range an.Throttled {
+		if tt.Binding() {
+			delete(p.nonBindingSince, tt.Name)
+		} else if _, seen := p.nonBindingSince[tt.Name]; !seen {
+			p.nonBindingSince[tt.Name] = now
+		}
+	}
+	// Protection triggers inside the hysteresis band, not only at the hard
+	// violation: the whole controller acts before a limit is reached, and
+	// waiting for gold to actually breach would let the latency branch scale
+	// out first — the exact action admission control exists to avoid.
+	goldPressure := an.GoldViolation ||
+		(tenant.Class(an.TenantClass) == tenant.Gold && an.Headroom.MaxRatio() >= p.cfg.HighFraction)
+	if goldPressure {
+		if p.cfg.EnableAdmissionControl && an.ThrottleCandidate != "" {
+			scope := TenantScope(an.ThrottleCandidate)
+			rate := an.ThrottleCandidateRate * p.cfg.ThrottleFraction
+			if rate < p.cfg.MinThrottleRate {
+				rate = p.cfg.MinThrottleRate
+			}
+			// A floor-clamped rate at or above what the candidate offers
+			// would shed nothing: do not burn the control interval (and the
+			// per-tenant cooldown) on a throttle that cannot bind — let the
+			// escalation continue instead.
+			if rate < an.ThrottleCandidateRate &&
+				!p.kb.InCooldownScoped(ActionThrottleTenant, scope, now, p.cfg.ThrottleCooldown) &&
+				!p.kb.InCooldownScoped(ActionUnthrottleTenant, scope, now, p.cfg.ThrottleCooldown) {
+				return Action{
+					Kind:   ActionThrottleTenant,
+					Scope:  scope,
+					Rate:   rate,
+					Reason: "gold tenant at risk; shed the noisy neighbour before scaling",
+				}, true
+			}
+		}
+		if p.cfg.EnablePlacementActions && plant.PinnedClass == "" &&
+			plant.ClusterSize > plant.ReplicationFactor {
+			scope := ClassScope(string(tenant.Gold))
+			if !p.kb.InCooldownScoped(ActionPinTenantClass, scope, now, p.cfg.PlacementCooldown) &&
+				!p.kb.InCooldownScoped(ActionUnpinTenantClass, scope, now, p.cfg.PlacementCooldown) {
+				return Action{
+					Kind:   ActionPinTenantClass,
+					Scope:  scope,
+					Reason: "gold tenant still at risk; dedicate replicas to the gold class",
+				}, true
+			}
+		}
+		if p.cfg.EnableAdmissionControl {
+			// Tighten an already throttled tenant another notch, floor
+			// permitting — but only when the tightened rate would actually
+			// bind: squeezing a tenant that already offers less than the new
+			// rate sheds nothing, and returning here would pre-empt the
+			// cluster-wide action gold actually needs.
+			for _, tt := range an.Throttled {
+				rate := tt.Rate * p.cfg.ThrottleFraction
+				if rate < p.cfg.MinThrottleRate || tt.Offered <= rate {
+					continue
+				}
+				scope := TenantScope(tt.Name)
+				if p.kb.InCooldownScoped(ActionThrottleTenant, scope, now, p.cfg.ThrottleCooldown) {
+					continue
+				}
+				return Action{
+					Kind:   ActionThrottleTenant,
+					Scope:  scope,
+					Rate:   rate,
+					Reason: "gold tenant still at risk; tighten the throttle",
+				}, true
+			}
+		}
+		return Action{}, false
+	}
+
+	// Recovery: release scoped protection once the driving tenant is
+	// comfortably inside its bounds, throttles first, placement last.
+	if an.Headroom.MaxRatio() >= p.cfg.HighFraction {
+		return Action{}, false
+	}
+	if p.cfg.EnableAdmissionControl {
+		for _, tt := range an.Throttled {
+			// A binding throttle is still shedding an in-progress burst;
+			// releasing it would only re-create the pressure (and, with the
+			// throttle then in cooldown, push the planner into the scale-out
+			// it was avoiding). The holdoff runs against how long the
+			// throttle has been continuously non-binding — maintained at the
+			// top of this function — so a single-interval dip mid-burst
+			// never releases it.
+			if tt.Binding() || now-p.nonBindingSince[tt.Name] < p.cfg.UnthrottleHoldoff {
+				continue
+			}
+			scope := TenantScope(tt.Name)
+			if p.kb.InCooldownScoped(ActionThrottleTenant, scope, now, p.cfg.UnthrottleHoldoff) ||
+				p.kb.InCooldownScoped(ActionUnthrottleTenant, scope, now, p.cfg.UnthrottleHoldoff) {
+				continue
+			}
+			delete(p.nonBindingSince, tt.Name)
+			return Action{
+				Kind:   ActionUnthrottleTenant,
+				Scope:  scope,
+				Reason: "pressure passed; release the throttled tenant",
+			}, true
+		}
+	}
+	if p.cfg.EnablePlacementActions && plant.PinnedClass != "" && len(an.Throttled) == 0 {
+		scope := ClassScope(plant.PinnedClass)
+		if !p.kb.InCooldownScoped(ActionPinTenantClass, scope, now, p.cfg.PlacementCooldown) &&
+			!p.kb.InCooldownScoped(ActionUnpinTenantClass, scope, now, p.cfg.PlacementCooldown) {
+			return Action{
+				Kind:   ActionUnpinTenantClass,
+				Scope:  scope,
+				Reason: "pressure passed; return dedicated nodes to the shared pool",
+			}, true
+		}
+	}
+	return Action{}, false
 }
 
 // planAvailability reacts to failing operations: capacity is added if

@@ -67,6 +67,42 @@ func BenchmarkWindowedQuantile(b *testing.B) {
 	}
 }
 
+// BenchmarkWindowedQuantilesBatch measures the batched three-quantile query
+// the monitor issues on every snapshot: one sort amortised over p50/p95/p99
+// instead of one sort per quantile.
+func BenchmarkWindowedQuantilesBatch(b *testing.B) {
+	w := NewWindowedStat(2048)
+	for i := 0; i < 4096; i++ {
+		w.Observe(float64(i % 997))
+	}
+	qs := []float64{0.50, 0.95, 0.99}
+	var buf [3]float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Observe(float64(i % 997))
+		_ = w.Quantiles(qs, buf[:0])
+	}
+}
+
+// BenchmarkWindowedQuantilesSeparate is the pre-batching baseline for
+// comparison: the same three quantiles as three independent queries, each
+// paying its own copy and sort.
+func BenchmarkWindowedQuantilesSeparate(b *testing.B) {
+	w := NewWindowedStat(2048)
+	for i := 0; i < 4096; i++ {
+		w.Observe(float64(i % 997))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Observe(float64(i % 997))
+		_ = w.Quantile(0.50)
+		_ = w.Quantile(0.95)
+		_ = w.Quantile(0.99)
+	}
+}
+
 // BenchmarkTimeSeriesAppend measures the sampler's per-tick series append.
 func BenchmarkTimeSeriesAppend(b *testing.B) {
 	ts := NewTimeSeries("bench")

@@ -224,13 +224,45 @@ func (w *WindowedStat) Max() float64 {
 
 // Quantile returns the q-quantile of the window contents.
 func (w *WindowedStat) Quantile(q float64) float64 {
-	vs := w.values()
-	if len(vs) == 0 {
+	cp := w.sortedScratch()
+	if len(cp) == 0 {
 		return 0
 	}
+	return quantileOfSorted(cp, q)
+}
+
+// Quantiles appends the qs[i]-quantiles of the window contents to dst and
+// returns the extended slice, one result per requested quantile in order.
+// The window is copied and sorted exactly once, so a sampler that reads
+// several quantiles per report interval (p50/p95/p99) pays one O(n log n)
+// sort instead of one per quantile. Callers on a hot path pass a reused
+// buffer (sliced to [:0]) with capacity len(qs) to stay allocation-free.
+func (w *WindowedStat) Quantiles(qs []float64, dst []float64) []float64 {
+	cp := w.sortedScratch()
+	for _, q := range qs {
+		if len(cp) == 0 {
+			dst = append(dst, 0)
+			continue
+		}
+		dst = append(dst, quantileOfSorted(cp, q))
+	}
+	return dst
+}
+
+// sortedScratch copies the window contents into the reusable scratch buffer
+// and sorts it. The result is valid until the next Observe or quantile query.
+func (w *WindowedStat) sortedScratch() []float64 {
+	vs := w.values()
 	cp := append(w.scratch[:0], vs...)
 	w.scratch = cp
 	sort.Float64s(cp)
+	return cp
+}
+
+// quantileOfSorted interpolates the q-quantile over an already sorted,
+// non-empty sample slice. It is the single implementation behind Quantile and
+// Quantiles, so batched and one-shot queries agree bit for bit.
+func quantileOfSorted(cp []float64, q float64) float64 {
 	if q <= 0 {
 		return cp[0]
 	}

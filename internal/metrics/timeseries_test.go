@@ -120,6 +120,52 @@ func TestWindowedStat(t *testing.T) {
 	}
 }
 
+// TestWindowedStatQuantilesMatchQuantile pins that the batched query is
+// bit-for-bit identical to repeated one-shot queries: the monitor switched
+// the sampler's p50/p95/p99 reads to one batch, and any divergence would
+// break the golden-report fingerprints.
+func TestWindowedStatQuantilesMatchQuantile(t *testing.T) {
+	w := NewWindowedStat(64)
+	qs := []float64{0, 0.25, 0.50, 0.95, 0.99, 1}
+	check := func() {
+		t.Helper()
+		got := w.Quantiles(qs, nil)
+		if len(got) != len(qs) {
+			t.Fatalf("Quantiles returned %d values for %d quantiles", len(got), len(qs))
+		}
+		for i, q := range qs {
+			if want := w.Quantile(q); got[i] != want {
+				t.Fatalf("Quantiles[%v] = %v, Quantile = %v", q, got[i], want)
+			}
+		}
+	}
+	check() // empty window: all zeros
+	for i := 0; i < 100; i++ {
+		w.Observe(float64((i * 37) % 101))
+	}
+	check()
+}
+
+// TestWindowedStatQuantilesAllocFree pins the sampler-facing contract: a
+// batched quantile query over a warmed window with a reused result buffer
+// performs zero allocations.
+func TestWindowedStatQuantilesAllocFree(t *testing.T) {
+	w := NewWindowedStat(2048)
+	for i := 0; i < 4096; i++ {
+		w.Observe(float64(i % 997))
+	}
+	qs := []float64{0.50, 0.95, 0.99}
+	var buf [3]float64
+	w.Quantiles(qs, buf[:0]) // warm the sort scratch
+	avg := testing.AllocsPerRun(100, func() {
+		w.Observe(1)
+		_ = w.Quantiles(qs, buf[:0])
+	})
+	if avg != 0 {
+		t.Errorf("batched quantile query allocates %.1f objects per call, want 0", avg)
+	}
+}
+
 func TestWindowedStatTrend(t *testing.T) {
 	w := NewWindowedStat(10)
 	for i := 0; i < 10; i++ {

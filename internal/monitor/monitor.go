@@ -128,7 +128,15 @@ type Monitor struct {
 	probeOpsPrev   uint64
 	opsTotal       uint64
 	lastSnapshotAt time.Duration
+
+	// windowQuantiles is the reused result buffer for the batched window
+	// quantile query issued on every snapshot.
+	windowQuantiles [3]float64
 }
+
+// snapshotWindowQs are the window quantiles every snapshot reports, queried
+// in one batch so the window sample buffer is sorted once per interval.
+var snapshotWindowQs = []float64{0.50, 0.95, 0.99}
 
 var (
 	_ store.Observer = (*Monitor)(nil)
@@ -278,13 +286,14 @@ func (m *Monitor) Snapshot() Snapshot {
 	m.probeOpsPrev = m.probeOpsTotal
 	m.lastSnapshotAt = now
 
+	wq := m.windowEst.Quantiles(snapshotWindowQs, m.windowQuantiles[:0])
 	snap := Snapshot{
 		At:                now,
 		Interval:          interval,
 		WindowMean:        m.windowEst.Mean(),
-		WindowP50:         m.windowEst.Quantile(0.50),
-		WindowP95:         m.windowEst.Quantile(0.95),
-		WindowP99:         m.windowEst.Quantile(0.99),
+		WindowP50:         wq[0],
+		WindowP95:         wq[1],
+		WindowP99:         wq[2],
 		WindowSamples:     m.windowEst.Count(),
 		ReadLatencyP99:    m.readLat.Quantile(0.99),
 		WriteLatencyP99:   m.writeLat.Quantile(0.99),

@@ -205,14 +205,14 @@ func (s *Store) WriteAs(tenant TenantID, key Key, cb func(Result)) {
 		s.failOp(OpWrite, key, now, ErrStopped, cb)
 		return
 	}
-	coord, ok := s.pickCoordinator()
+	coord, ok := s.pickCoordinatorTenant(tenant)
 	if !ok {
 		s.writeFailures.Inc()
 		s.tenantWriteFailure(tenant)
 		s.failOp(OpWrite, key, now, ErrNoNodes, cb)
 		return
 	}
-	replicaIDs := s.appendReplicas(key)
+	replicaIDs := s.appendReplicasTenant(tenant, key)
 	if len(replicaIDs) == 0 {
 		s.writeFailures.Inc()
 		s.tenantWriteFailure(tenant)
@@ -231,6 +231,9 @@ func (s *Store) WriteAs(tenant TenantID, key Key, cb func(Result)) {
 	s.writes.Inc()
 	if t := s.tenant(tenant); t != nil {
 		t.writes.Inc()
+	}
+	if s.keyTenant != nil && tenant > 0 {
+		s.keyTenant[key] = tenant
 	}
 	s.writesSinceTick++
 	s.nextVersion++
@@ -487,14 +490,14 @@ func (s *Store) ReadAs(tenant TenantID, key Key, cb func(Result)) {
 		s.failOp(OpRead, key, now, ErrStopped, cb)
 		return
 	}
-	coord, ok := s.pickCoordinator()
+	coord, ok := s.pickCoordinatorTenant(tenant)
 	if !ok {
 		s.readFailures.Inc()
 		s.tenantReadFailure(tenant)
 		s.failOp(OpRead, key, now, ErrNoNodes, cb)
 		return
 	}
-	replicaIDs := s.appendReplicas(key)
+	replicaIDs := s.appendReplicasTenant(tenant, key)
 	if len(replicaIDs) == 0 {
 		s.readFailures.Inc()
 		s.tenantReadFailure(tenant)
@@ -862,7 +865,7 @@ func (s *Store) repairAll() {
 		return
 	}
 	for key, ver := range s.latestAcked {
-		for _, id := range s.appendReplicas(key) {
+		for _, id := range s.replicasForRepair(key) {
 			rep, ok := s.replicas[id]
 			if !ok {
 				continue

@@ -1,0 +1,154 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"slices"
+
+	"autonosql/internal/cluster"
+)
+
+// Placement: class-aware replica and coordinator selection. When a class is
+// pinned, the tenants of that class anchor their replica sets and
+// coordinators on a dedicated node pool while everyone else is steered onto
+// the remainder, so a premium tenant's replica applies stop queueing behind
+// a noisy neighbour's burst. With no class pinned every selection path is
+// byte-for-byte the pre-placement code path.
+
+// EnablePlacementTracking starts recording which tenant owns each written
+// key, the data a later PinClass needs to repair every key onto the same
+// biased replica set its tenant's reads will contact. Scenarios that allow
+// placement enable it up front; scenarios that never will skip the per-write
+// map insert entirely. PinClass enables it implicitly — keys written before
+// that point then repair with the shared bias until a read-repair converges
+// them.
+func (s *Store) EnablePlacementTracking() {
+	if s.keyTenant == nil {
+		s.keyTenant = make(map[Key]TenantID)
+	}
+}
+
+// PinClass dedicates the given nodes to one SLA class and marks the given
+// tenants as members of that class. The dedicated nodes are tagged on the
+// cluster (scale-in avoids them), and a rebalance is started so existing
+// data converges onto the new preference lists, exactly like a replication-
+// factor change. At most one class can be pinned at a time.
+func (s *Store) PinClass(class string, tenants []TenantID, nodes []cluster.NodeID) error {
+	if class == "" {
+		return errors.New("store: placement class is required")
+	}
+	if s.placementClass != "" {
+		return fmt.Errorf("store: class %q already pinned", s.placementClass)
+	}
+	if len(nodes) == 0 {
+		return errors.New("store: placement needs at least one dedicated node")
+	}
+	s.EnablePlacementTracking()
+	s.placementClass = class
+	s.placementNodes = append(s.placementNodes[:0], nodes...)
+	slices.Sort(s.placementNodes)
+	s.pinnedTenants = make([]bool, len(s.tenants))
+	for _, id := range tenants {
+		if id > 0 && int(id) <= len(s.pinnedTenants) {
+			s.pinnedTenants[id-1] = true
+		}
+	}
+	for _, id := range s.placementNodes {
+		if n, ok := s.cluster.Node(id); ok {
+			n.SetClass(class)
+		}
+	}
+	// Moving replica ownership streams data, the same cost model as growing
+	// the replication factor; the post-rebalance repair converges existing
+	// keys onto their new, biased preference lists.
+	s.startRebalance()
+	return nil
+}
+
+// UnpinClass releases the pinned class's nodes back into the shared pool and
+// rebalances ownership back onto the unbiased ring.
+func (s *Store) UnpinClass() error {
+	if s.placementClass == "" {
+		return errors.New("store: no class pinned")
+	}
+	for _, id := range s.placementNodes {
+		if n, ok := s.cluster.Node(id); ok {
+			n.SetClass("")
+		}
+	}
+	s.placementClass = ""
+	s.placementNodes = s.placementNodes[:0]
+	s.pinnedTenants = nil
+	s.startRebalance()
+	return nil
+}
+
+// PinnedClass returns the SLA class currently holding dedicated nodes, or "".
+func (s *Store) PinnedClass() string { return s.placementClass }
+
+// PlacementNodes returns the IDs of the dedicated nodes (sorted), or nil.
+func (s *Store) PlacementNodes() []cluster.NodeID {
+	if len(s.placementNodes) == 0 {
+		return nil
+	}
+	out := make([]cluster.NodeID, len(s.placementNodes))
+	copy(out, s.placementNodes)
+	return out
+}
+
+// tenantPinned reports whether the tagged tenant belongs to the pinned class.
+func (s *Store) tenantPinned(id TenantID) bool {
+	return id > 0 && int(id) <= len(s.pinnedTenants) && s.pinnedTenants[id-1]
+}
+
+// appendReplicasTenant resolves the preference list for one tenant's
+// operation into the store's scratch buffer. Without an active placement it
+// is exactly appendReplicas; with one, the walk is biased towards the
+// tenant's pool (dedicated for the pinned class, shared for everyone else).
+// Like appendReplicas, the result is valid until the next operation.
+func (s *Store) appendReplicasTenant(tenant TenantID, key Key) []cluster.NodeID {
+	if s.placementClass == "" {
+		return s.appendReplicas(key)
+	}
+	s.replicaScratch = s.ring.AppendReplicasBiased(
+		s.replicaScratch[:0], key, s.rf, s.placementNodes, s.tenantPinned(tenant))
+	return s.replicaScratch
+}
+
+// replicasForRepair resolves the preference list repair paths must converge a
+// key onto. Under an active placement the key's owning tenant (recorded at
+// write time) decides the bias, so anti-entropy repairs the same replica set
+// reads will contact.
+func (s *Store) replicasForRepair(key Key) []cluster.NodeID {
+	if s.placementClass == "" || s.keyTenant == nil {
+		return s.appendReplicas(key)
+	}
+	return s.appendReplicasTenant(s.keyTenant[key], key)
+}
+
+// pickCoordinatorTenant selects the coordinator for one tenant's operation.
+// Without an active placement it is exactly pickCoordinator (one rng draw);
+// with one, the draw is made over the tenant's preferred pool when that pool
+// has an available node, falling back to the full cluster otherwise — still
+// exactly one rng draw per operation, so fault-free runs replay identically.
+func (s *Store) pickCoordinatorTenant(tenant TenantID) (*cluster.Node, bool) {
+	if s.placementClass == "" {
+		return s.pickCoordinator()
+	}
+	nodes := s.cluster.AvailableNodes()
+	if len(nodes) == 0 {
+		return nil, false
+	}
+	prefer := s.tenantPinned(tenant)
+	pool := s.coordScratch[:0]
+	for _, n := range nodes {
+		if slices.Contains(s.placementNodes, n.ID()) == prefer {
+			pool = append(pool, n)
+		}
+	}
+	s.coordScratch = pool
+	if len(pool) == 0 {
+		return nodes[s.rng.Intn(len(nodes))], true
+	}
+	return pool[s.rng.Intn(len(pool))], true
+}

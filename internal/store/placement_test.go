@@ -1,0 +1,181 @@
+package store
+
+import (
+	"slices"
+	"testing"
+
+	"autonosql/internal/cluster"
+)
+
+// TestRingAppendReplicasBiased pins the biased walk: a preferred set anchors
+// the front of the preference list, the complement fills the rest, and an
+// empty set (or a set covering nothing) degrades to the plain walk.
+func TestRingAppendReplicasBiased(t *testing.T) {
+	ring := NewRing(16)
+	for id := cluster.NodeID(1); id <= 6; id++ {
+		ring.Add(id)
+	}
+	key := Key("some-key")
+	dedicated := []cluster.NodeID{2, 5}
+
+	// preferIn=true: the dedicated nodes lead the list.
+	got := ring.AppendReplicasBiased(nil, key, 3, dedicated, true)
+	if len(got) != 3 {
+		t.Fatalf("biased list %v, want 3 entries", got)
+	}
+	if !slices.Contains(dedicated, got[0]) || !slices.Contains(dedicated, got[1]) {
+		t.Errorf("pinned walk %v does not lead with the dedicated nodes %v", got, dedicated)
+	}
+	if slices.Contains(dedicated, got[2]) {
+		t.Errorf("pinned walk %v found a third dedicated node in a set of two", got)
+	}
+
+	// preferIn=false: no dedicated node appears while the shared pool can
+	// satisfy rf.
+	got = ring.AppendReplicasBiased(got[:0], key, 3, dedicated, false)
+	for _, id := range got {
+		if slices.Contains(dedicated, id) {
+			t.Errorf("shared walk %v landed on a dedicated node", got)
+		}
+	}
+
+	// Spill: rf beyond the shared pool falls back onto dedicated nodes
+	// rather than shrinking the replica set.
+	got = ring.AppendReplicasBiased(got[:0], key, 6, dedicated, false)
+	if len(got) != 6 {
+		t.Errorf("spill walk returned %d replicas, want 6", len(got))
+	}
+
+	// Empty set: bit-for-bit the plain walk.
+	plain := ring.AppendReplicasFor(nil, key, 3)
+	biased := ring.AppendReplicasBiased(nil, key, 3, nil, false)
+	for i := range plain {
+		if plain[i] != biased[i] {
+			t.Fatalf("empty-set biased walk %v != plain walk %v", biased, plain)
+		}
+	}
+}
+
+// TestStorePinClass pins the store-level placement lifecycle: pinning tags
+// nodes and steers the pinned tenant's replica sets and coordinators onto
+// the dedicated pool, unpinning restores the plain paths, and a second pin
+// is refused while one is active.
+func TestStorePinClass(t *testing.T) {
+	rig := newBenchRig(t, 5)
+	st := rig.store
+	st.RegisterTenants(2)
+
+	plainReplicas := append([]cluster.NodeID(nil), st.appendReplicasTenant(1, rig.keys[0])...)
+
+	nodes := st.cluster.AvailableNodes()
+	dedicated := []cluster.NodeID{nodes[0].ID(), nodes[1].ID(), nodes[2].ID()}
+	if err := st.PinClass("gold", []TenantID{1}, dedicated); err != nil {
+		t.Fatalf("PinClass: %v", err)
+	}
+	if err := st.PinClass("silver", []TenantID{2}, dedicated); err == nil {
+		t.Error("second PinClass accepted while one is active")
+	}
+	if st.PinnedClass() != "gold" {
+		t.Errorf("PinnedClass = %q", st.PinnedClass())
+	}
+	for _, id := range dedicated {
+		n, _ := st.cluster.Node(id)
+		if n.Class() != "gold" {
+			t.Errorf("dedicated node %v not tagged (class=%q)", id, n.Class())
+		}
+	}
+
+	// The pinned tenant's replica set is anchored on the dedicated pool.
+	reps := st.appendReplicasTenant(1, rig.keys[0])
+	for _, id := range reps {
+		if !slices.Contains(dedicated, id) {
+			t.Errorf("pinned tenant replica %v outside the dedicated pool %v", id, dedicated)
+		}
+	}
+	// The other tenant's set leads with the shared pool (2 shared nodes,
+	// rf=3: two shared then one spill).
+	reps = st.appendReplicasTenant(2, rig.keys[0])
+	if slices.Contains(dedicated, reps[0]) || slices.Contains(dedicated, reps[1]) {
+		t.Errorf("unpinned tenant set %v does not lead with the shared pool", reps)
+	}
+
+	// Coordinators are steered the same way.
+	for i := 0; i < 20; i++ {
+		if c, ok := st.pickCoordinatorTenant(1); !ok || !slices.Contains(dedicated, c.ID()) {
+			t.Fatalf("pinned tenant coordinator %v outside the dedicated pool", c.ID())
+		}
+		if c, ok := st.pickCoordinatorTenant(2); !ok || slices.Contains(dedicated, c.ID()) {
+			t.Fatalf("unpinned tenant coordinator %v inside the dedicated pool", c.ID())
+		}
+	}
+
+	if err := st.UnpinClass(); err != nil {
+		t.Fatalf("UnpinClass: %v", err)
+	}
+	if err := st.UnpinClass(); err == nil {
+		t.Error("UnpinClass accepted with nothing pinned")
+	}
+	for _, id := range dedicated {
+		n, _ := st.cluster.Node(id)
+		if n.Class() != "" {
+			t.Errorf("node %v still tagged after unpin", id)
+		}
+	}
+	after := st.appendReplicasTenant(1, rig.keys[0])
+	for i := range plainReplicas {
+		if after[i] != plainReplicas[i] {
+			t.Fatalf("replica set after unpin %v != original %v", after, plainReplicas)
+		}
+	}
+}
+
+// TestPlacementOpsAllocationFree pins that the class-aware selection paths
+// add no allocations to the operation hot path: a full write and read under
+// an active placement stays within the same bounds the plain path is held
+// to.
+func TestPlacementOpsAllocationFree(t *testing.T) {
+	rig := newBenchRig(t, 5)
+	st := rig.store
+	st.RegisterTenants(1)
+	nodes := st.cluster.AvailableNodes()
+	if err := st.PinClass("gold", []TenantID{1}, []cluster.NodeID{nodes[0].ID(), nodes[1].ID(), nodes[2].ID()}); err != nil {
+		t.Fatalf("PinClass: %v", err)
+	}
+
+	fired := 0
+	cb := func(Result) { fired++ }
+	issued := 0
+	for ; issued < 128; issued++ {
+		st.WriteAs(1, rig.keys[issued%len(rig.keys)], cb)
+		rig.settle(t, &fired, issued+1)
+	}
+
+	avg := testing.AllocsPerRun(300, func() {
+		issued++
+		st.WriteAs(1, rig.keys[issued%len(rig.keys)], cb)
+		rig.settle(t, &fired, issued)
+	})
+	if avg > maxWriteAllocs {
+		t.Errorf("pinned write path allocates %.1f objects per op, want <= %d", avg, maxWriteAllocs)
+	}
+	avg = testing.AllocsPerRun(300, func() {
+		issued++
+		st.ReadAs(1, rig.keys[issued%len(rig.keys)], cb)
+		rig.settle(t, &fired, issued)
+	})
+	if avg > maxReadAllocs {
+		t.Errorf("pinned read path allocates %.1f objects per op, want <= %d", avg, maxReadAllocs)
+	}
+
+	// The biased selection helpers themselves are allocation-free with
+	// warmed scratch buffers.
+	coord := nodes[0].ID()
+	avg = testing.AllocsPerRun(300, func() {
+		replicas := st.appendReplicasTenant(1, rig.keys[0])
+		st.partitionReplicas(coord, replicas)
+		st.pickCoordinatorTenant(1)
+	})
+	if avg != 0 {
+		t.Errorf("placement selection allocates %.1f objects per op, want 0", avg)
+	}
+}

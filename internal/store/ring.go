@@ -1,6 +1,7 @@
 package store
 
 import (
+	"slices"
 	"sort"
 	"strconv"
 
@@ -96,17 +97,7 @@ func (r *Ring) AppendReplicasFor(dst []cluster.NodeID, key Key, rf int) []cluste
 	if rf > len(r.members) {
 		rf = len(r.members)
 	}
-	h := hashString(string(key))
-	// Inlined sort.Search over the token ring: find the first token >= h.
-	lo, hi := 0, len(r.tokens)
-	for lo < hi {
-		mid := int(uint(lo+hi) >> 1)
-		if r.tokens[mid].hash < h {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
+	lo := r.searchToken(hashString(string(key)))
 	base := len(dst)
 walk:
 	for i := 0; i < len(r.tokens) && len(dst)-base < rf; i++ {
@@ -119,6 +110,65 @@ walk:
 		dst = append(dst, t.node)
 	}
 	return dst
+}
+
+// AppendReplicasBiased is the placement-aware variant of AppendReplicasFor:
+// the clockwise walk runs twice, first admitting only nodes whose membership
+// in set matches preferIn (the preferred pool), then filling any remaining
+// slots from the rest of the ring. A pinned tenant passes its class's
+// dedicated nodes with preferIn=true and gets a replica set anchored on
+// them; everyone else passes the same set with preferIn=false and is steered
+// onto the shared pool, spilling onto dedicated nodes only when the shared
+// pool cannot satisfy the replication factor. Like AppendReplicasFor it
+// allocates nothing beyond dst's capacity.
+func (r *Ring) AppendReplicasBiased(dst []cluster.NodeID, key Key, rf int, set []cluster.NodeID, preferIn bool) []cluster.NodeID {
+	if rf <= 0 || len(r.tokens) == 0 {
+		return dst
+	}
+	if rf > len(r.members) {
+		rf = len(r.members)
+	}
+	lo := r.searchToken(hashString(string(key)))
+	base := len(dst)
+preferred:
+	for i := 0; i < len(r.tokens) && len(dst)-base < rf; i++ {
+		t := r.tokens[(lo+i)%len(r.tokens)]
+		if slices.Contains(set, t.node) != preferIn {
+			continue
+		}
+		for _, existing := range dst[base:] {
+			if existing == t.node {
+				continue preferred
+			}
+		}
+		dst = append(dst, t.node)
+	}
+fill:
+	for i := 0; i < len(r.tokens) && len(dst)-base < rf; i++ {
+		t := r.tokens[(lo+i)%len(r.tokens)]
+		for _, existing := range dst[base:] {
+			if existing == t.node {
+				continue fill
+			}
+		}
+		dst = append(dst, t.node)
+	}
+	return dst
+}
+
+// searchToken returns the index of the first token with hash >= h (an
+// inlined sort.Search over the token ring).
+func (r *Ring) searchToken(h uint64) int {
+	lo, hi := 0, len(r.tokens)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if r.tokens[mid].hash < h {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
 // Primary returns the first node in the key's preference list.

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"slices"
 	"time"
 
 	"autonosql/internal/cluster"
@@ -188,6 +189,23 @@ type Store struct {
 	// tenants holds per-tenant ground-truth metric sets (index id-1) when
 	// the scenario registered tenants; nil in untagged single-tenant mode.
 	tenants []*tenantStats
+
+	// Placement (class-aware replica selection). placementClass is the SLA
+	// class currently holding dedicated nodes ("" = placement inactive and
+	// every selection path identical to the pre-placement code);
+	// placementNodes is the sorted dedicated pool; pinnedTenants marks, by
+	// id-1, the tenants whose class is pinned. keyTenant records which
+	// tenant last wrote each key — only once EnablePlacementTracking has
+	// run, so scenarios that never allow placement pay nothing — and lets
+	// repair paths converge a key onto the same biased replica set reads
+	// contact.
+	placementClass string
+	placementNodes []cluster.NodeID
+	pinnedTenants  []bool
+	keyTenant      map[Key]TenantID
+	// coordScratch backs the per-operation preferred-coordinator pool under
+	// an active placement.
+	coordScratch []*cluster.Node
 
 	// Per-operation scratch buffers. The read/write hot path resolves a
 	// preference list and partitions it into live/down replicas for every
@@ -401,14 +419,15 @@ func (s *Store) NodeJoined(id cluster.NodeID) {
 
 // streamOwnedRanges models the data a bootstrapping node streamed from its
 // peers: every key the node is now a replica for is applied at its latest
-// acknowledged version.
+// acknowledged version. Under an active placement, ownership follows the
+// biased per-tenant preference lists.
 func (s *Store) streamOwnedRanges(id cluster.NodeID) {
 	rep, ok := s.replicas[id]
 	if !ok {
 		return
 	}
 	for key, ver := range s.latestAcked {
-		for _, owner := range s.appendReplicas(key) {
+		for _, owner := range s.replicasForRepair(key) {
 			if owner == id {
 				rep.apply(key, ver)
 				break
@@ -418,9 +437,13 @@ func (s *Store) streamOwnedRanges(id cluster.NodeID) {
 }
 
 // NodeLeft implements cluster.MembershipListener. The node leaves the ring;
-// write trackers waiting on it are released so windows stay well defined.
+// write trackers waiting on it are released so windows stay well defined. A
+// departing dedicated node also leaves the placement pool.
 func (s *Store) NodeLeft(id cluster.NodeID) {
 	s.ring.Remove(id)
+	if i := slices.Index(s.placementNodes, id); i >= 0 {
+		s.placementNodes = slices.Delete(s.placementNodes, i, i+1)
+	}
 	if hints, ok := s.pendingHints[id]; ok {
 		for _, h := range hints {
 			if h.tracker != nil {

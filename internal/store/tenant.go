@@ -19,6 +19,7 @@ type tenantStats struct {
 	readFailures  metrics.Counter
 	writeFailures metrics.Counter
 	staleReads    metrics.Counter
+	shedOps       metrics.Counter
 
 	readLatency  *metrics.Histogram
 	writeLatency *metrics.Histogram
@@ -34,6 +35,12 @@ type TenantGroundTruth struct {
 	ReadFailures  uint64
 	WriteFailures uint64
 	StaleReads    uint64
+	// ShedOps counts operations rejected by admission control before they
+	// reached the store. Shed operations are also counted in ReadFailures /
+	// WriteFailures — a shed is a rejection in the tenant's ground truth —
+	// but never in the aggregate Stats, whose counters cover operations the
+	// store actually saw.
+	ShedOps uint64
 
 	ReadLatency  metrics.Snapshot
 	WriteLatency metrics.Snapshot
@@ -83,9 +90,26 @@ func (s *Store) TenantStats(id TenantID) TenantGroundTruth {
 		ReadFailures:  t.readFailures.Value(),
 		WriteFailures: t.writeFailures.Value(),
 		StaleReads:    t.staleReads.Value(),
+		ShedOps:       t.shedOps.Value(),
 		ReadLatency:   t.readLatency.Snapshot(),
 		WriteLatency:  t.writeLatency.Snapshot(),
 		Window:        t.windowHist.Snapshot(),
+	}
+}
+
+// TenantShed records an operation of the tagged tenant rejected by admission
+// control before it reached the store: the shed is counted as a rejection in
+// the tenant's ground truth. It is a no-op for the untagged aggregate.
+func (s *Store) TenantShed(id TenantID, write bool) {
+	t := s.tenant(id)
+	if t == nil {
+		return
+	}
+	t.shedOps.Inc()
+	if write {
+		t.writeFailures.Inc()
+	} else {
+		t.readFailures.Inc()
 	}
 }
 

@@ -16,6 +16,11 @@
 //     controller consumes. The analyzer acts on the worst penalty-weighted
 //     tenant signal rather than the aggregate, and scale-in is vetoed while
 //     a gold tenant is in violation.
+//   - Limiter: a deterministic token-bucket admission controller. When the
+//     planner throttles a tenant, the Runtime sheds arrivals beyond the
+//     admitted rate before they reach the store; sheds are rejected with
+//     ErrAdmissionShed, counted against the tenant's own SLA and recorded
+//     as throttle windows for the report.
 //
 // Bermbach & Tai's consistency benchmarking and the noisy-neighbour
 // observations the source paper builds on both frame differentiated

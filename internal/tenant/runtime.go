@@ -40,11 +40,23 @@ type Signal struct {
 	ReadLatencyP99  float64
 	WriteLatencyP99 float64
 	// ErrorRate is the fraction of the tenant's operations that failed in
-	// the interval.
+	// the interval. Operations shed by admission control count as failures:
+	// a throttled tenant pays its own SLA's availability clause for the
+	// protection the throttle buys everyone else.
 	ErrorRate float64
 	// OfferedOpsPerSec is the tenant's observed operation rate over the
-	// interval.
+	// interval, including shed arrivals.
 	OfferedOpsPerSec float64
+
+	// Throttled reports whether admission control is active on the tenant.
+	// The analyzer never lets a throttled tenant drive the control loop: its
+	// distress is the controller's own doing and already priced in.
+	Throttled bool
+	// ThrottleRate is the admitted rate in ops/s while throttled.
+	ThrottleRate float64
+	// ShedOpsPerSec is the rate at which the tenant's arrivals were shed by
+	// admission control over the interval.
+	ShedOpsPerSec float64
 }
 
 // observation converts the signal into the tenant's SLA observation.
@@ -102,6 +114,16 @@ type Runtime struct {
 	opsInterval  uint64
 	errsInterval uint64
 	lastSignal   Signal
+
+	// Admission control (nil clock = never installed). The limiter sits in
+	// front of inner: a shed operation is rejected synchronously, counted as
+	// a failure in the tenant's own accounting, and never reaches the store.
+	limiter Limiter
+	clock   func() time.Duration
+	onShed  func(write bool)
+
+	shedInterval uint64
+	shedTotal    uint64
 }
 
 // NewRuntime creates the runtime for one tenant. The inner target is where
@@ -144,10 +166,99 @@ func (r *Runtime) Class() ClassSpec { return r.class }
 // Tracker returns the tenant's SLA compliance tracker.
 func (r *Runtime) Tracker() *sla.Tracker { return r.tracker }
 
+// EnableAdmission installs admission-control plumbing on the runtime: clock
+// supplies the virtual time token refills run on, and onShed (optional) is
+// invoked for every shed operation so the store can count the rejection in
+// the tenant's ground truth. The limiter starts disabled — traffic flows
+// unchanged until Throttle is called.
+func (r *Runtime) EnableAdmission(clock func() time.Duration, onShed func(write bool)) error {
+	if clock == nil {
+		return errors.New("tenant: admission clock is required")
+	}
+	r.clock = clock
+	r.onShed = onShed
+	return nil
+}
+
+// Throttle activates (or re-rates) the tenant's admission limiter. It fails
+// when EnableAdmission was never called.
+func (r *Runtime) Throttle(opsPerSec float64) error {
+	if r.clock == nil {
+		return errors.New("tenant: admission control not enabled for " + r.name)
+	}
+	if opsPerSec <= 0 {
+		return errors.New("tenant: throttle rate must be positive")
+	}
+	r.limiter.SetRate(opsPerSec, r.clock())
+	return nil
+}
+
+// Unthrottle removes the tenant's admission limit.
+func (r *Runtime) Unthrottle() error {
+	if r.clock == nil {
+		return errors.New("tenant: admission control not enabled for " + r.name)
+	}
+	r.limiter.Disable(r.clock())
+	return nil
+}
+
+// Throttled returns the tenant's current admission rate and whether the
+// limiter is active.
+func (r *Runtime) Throttled() (float64, bool) {
+	return r.limiter.Rate(), r.limiter.Enabled()
+}
+
+// ShedOps returns the cumulative number of operations shed by admission
+// control.
+func (r *Runtime) ShedOps() uint64 { return r.shedTotal }
+
+// ThrottleWindows returns the tenant's throttle timeline, with a still-open
+// window closed at end.
+func (r *Runtime) ThrottleWindows(end time.Duration) []ThrottleWindow {
+	return r.limiter.Windows(end)
+}
+
+// ThrottledTime returns how long the tenant has been throttled in total.
+func (r *Runtime) ThrottledTime(end time.Duration) time.Duration {
+	return r.limiter.ThrottledTime(end)
+}
+
+// shed rejects one arrival that failed admission: the tenant's own error
+// accounting sees a failure (the SLA availability clause prices the shed),
+// the ground-truth hook records the rejection, and the caller gets an
+// immediate ErrAdmissionShed result — the operation never reaches the store.
+func (r *Runtime) shed(write bool, key store.Key, cb func(store.Result)) {
+	r.errsInterval++
+	r.shedInterval++
+	r.shedTotal++
+	if r.onShed != nil {
+		r.onShed(write)
+	}
+	if cb != nil {
+		now := r.clock()
+		kind := store.OpRead
+		if write {
+			kind = store.OpWrite
+		}
+		cb(store.Result{
+			Kind:        kind,
+			Key:         key,
+			Err:         ErrAdmissionShed,
+			IssuedAt:    now,
+			CompletedAt: now,
+		})
+	}
+}
+
 // Read implements Target: the operation is forwarded with the tenant's
-// outcome accounting wrapped around the caller's callback.
+// outcome accounting wrapped around the caller's callback. Arrivals that
+// fail admission control are shed before they reach the store.
 func (r *Runtime) Read(key store.Key, cb func(store.Result)) {
 	r.opsInterval++
+	if r.limiter.enabled && !r.limiter.Admit(r.clock()) {
+		r.shed(false, key, cb)
+		return
+	}
 	r.inner.Read(key, func(res store.Result) {
 		if res.Err != nil {
 			r.errsInterval++
@@ -163,6 +274,10 @@ func (r *Runtime) Read(key store.Key, cb func(store.Result)) {
 // Write implements Target, mirroring Read.
 func (r *Runtime) Write(key store.Key, cb func(store.Result)) {
 	r.opsInterval++
+	if r.limiter.enabled && !r.limiter.Admit(r.clock()) {
+		r.shed(true, key, cb)
+		return
+	}
 	r.inner.Write(key, func(res store.Result) {
 		if res.Err != nil {
 			r.errsInterval++
@@ -195,9 +310,12 @@ func (r *Runtime) Observe(at, interval time.Duration, windowP95 float64) Signal 
 	}
 	if interval > 0 {
 		sig.OfferedOpsPerSec = float64(r.opsInterval) / interval.Seconds()
+		sig.ShedOpsPerSec = float64(r.shedInterval) / interval.Seconds()
 	}
+	sig.ThrottleRate, sig.Throttled = r.Throttled()
 	r.opsInterval = 0
 	r.errsInterval = 0
+	r.shedInterval = 0
 	r.lastSignal = sig
 	r.tracker.Observe(sig.observation(at, interval))
 	return sig

@@ -60,6 +60,8 @@ type ConfigurationSummary struct {
 	ReplicationFactor int
 	ReadConsistency   ConsistencyLevel
 	WriteConsistency  ConsistencyLevel
+	// PinnedClass is the SLA class holding dedicated nodes, or "".
+	PinnedClass string `json:",omitempty"`
 }
 
 // FaultWindow is one injected fault as it actually struck, annotated with
@@ -102,22 +104,47 @@ func (w FaultWindow) String() string {
 	return s
 }
 
+// ThrottleWindow is one contiguous interval during which a tenant ran under
+// admission control at the given admitted rate (ops/s).
+type ThrottleWindow struct {
+	Start time.Duration
+	End   time.Duration
+	Rate  float64
+}
+
+// String renders the window compactly.
+func (w ThrottleWindow) String() string {
+	return fmt.Sprintf("%v..%v @%.0fops/s", w.Start, w.End, w.Rate)
+}
+
 // TenantReport is one tenant's slice of a multi-tenant run: its traffic,
 // its ground-truth inconsistency-window and latency distributions, its
-// compliance against its own SLA class, and the money its violations and
-// stale reads cost.
+// compliance against its own SLA class, the money its violations and stale
+// reads cost, and the admission-control / placement treatment the
+// controller applied to it.
 type TenantReport struct {
 	// Name and Class identify the tenant and its SLA class.
 	Name  string
 	Class string
 
 	// Traffic and failure counts, attributed from the store's ground truth.
+	// Operations shed by admission control count as failures.
 	Reads         uint64
 	Writes        uint64
 	FailedReads   uint64
 	FailedWrites  uint64
 	StaleReads    uint64
 	StaleReadRate float64
+
+	// ShedOps counts operations rejected by admission control before they
+	// reached the store; Throttles is the tenant's throttle timeline and
+	// ThrottledMinutes its total duration. All zero for untreated tenants.
+	ShedOps          uint64
+	Throttles        []ThrottleWindow `json:",omitempty"`
+	ThrottledMinutes float64
+	// Pinned reports whether the tenant's class held dedicated nodes when
+	// the run ended.
+	Pinned bool
 
 	// Window is the tenant's ground-truth inconsistency-window distribution
 	// (seconds) over its own writes.
@@ -138,12 +165,22 @@ type TenantReport struct {
 	CompensationCost float64
 }
 
-// String renders the tenant section compactly.
+// String renders the tenant section compactly. Admission and placement
+// treatment is appended only when present, so untreated tenants render
+// exactly as before.
 func (t TenantReport) String() string {
-	return fmt.Sprintf("%s(%s): %d reads (%d stale), %d writes, window p95=%s read p99=%s, compliance=%.2f%%, violation=%.1fmin, penalty=$%.2f",
+	s := fmt.Sprintf("%s(%s): %d reads (%d stale), %d writes, window p95=%s read p99=%s, compliance=%.2f%%, violation=%.1fmin, penalty=$%.2f",
 		t.Name, t.Class, t.Reads, t.StaleReads, t.Writes,
 		ms(t.Window.P95), ms(t.ReadLatency.P99),
 		t.ComplianceRatio*100, t.Violations.Total, t.PenaltyCost+t.CompensationCost)
+	if t.ShedOps > 0 || t.ThrottledMinutes > 0 {
+		s += fmt.Sprintf(", throttled=%.1fmin (%d windows, %d shed)",
+			t.ThrottledMinutes, len(t.Throttles), t.ShedOps)
+	}
+	if t.Pinned {
+		s += ", pinned"
+	}
+	return s
 }
 
 // Report is the outcome of one scenario run.
@@ -245,6 +282,7 @@ func (s *Scenario) buildReport() *Report {
 			ReplicationFactor: s.store.ReplicationFactor(),
 			ReadConsistency:   consistencyFromStore(s.store.ReadConsistency()),
 			WriteConsistency:  consistencyFromStore(s.store.WriteConsistency()),
+			PinnedClass:       s.store.PinnedClass(),
 		},
 		Series: make(map[string][]SeriesPoint, len(s.series)),
 	}
@@ -331,6 +369,8 @@ func buildTenantReport(s *Scenario, rt *tenant.Runtime) TenantReport {
 		FailedReads:  gt.ReadFailures,
 		FailedWrites: gt.WriteFailures,
 		StaleReads:   gt.StaleReads,
+		ShedOps:      gt.ShedOps,
+		Pinned:       s.store.PinnedClass() == string(class.Class),
 		Window: LatencySummary{
 			Mean: gt.Window.Mean, P50: gt.Window.P50, P95: gt.Window.P95,
 			P99: gt.Window.P99, Max: gt.Window.Max,
@@ -357,6 +397,10 @@ func buildTenantReport(s *Scenario, rt *tenant.Runtime) TenantReport {
 	if gt.Reads > 0 {
 		tr.StaleReadRate = float64(gt.StaleReads) / float64(gt.Reads)
 	}
+	for _, w := range rt.ThrottleWindows(s.spec.Duration) {
+		tr.Throttles = append(tr.Throttles, ThrottleWindow{Start: w.Start, End: w.End, Rate: w.Rate})
+	}
+	tr.ThrottledMinutes = rt.ThrottledTime(s.spec.Duration).Minutes()
 	return tr
 }
 
@@ -419,10 +463,14 @@ func (r *Report) String() string {
 		r.Violations.WriteLatency, r.Violations.Availability)
 	fmt.Fprintf(&b, "  cost: $%.2f (infra $%.2f over %.2f node-hours, compensation $%.2f, penalty $%.2f)\n",
 		r.Cost.Total, r.Cost.Infrastructure, r.Cost.NodeHours, r.Cost.Compensation, r.Cost.Penalty)
-	fmt.Fprintf(&b, "  configuration: nodes=%d (min=%d max=%d) rf=%d cl=%s/%s, %d reconfigurations\n",
+	pinned := ""
+	if r.FinalConfiguration.PinnedClass != "" {
+		pinned = " pinned=" + r.FinalConfiguration.PinnedClass
+	}
+	fmt.Fprintf(&b, "  configuration: nodes=%d (min=%d max=%d) rf=%d cl=%s/%s%s, %d reconfigurations\n",
 		r.FinalConfiguration.ClusterSize, r.MinClusterSize, r.MaxClusterSize,
 		r.FinalConfiguration.ReplicationFactor, r.FinalConfiguration.ReadConsistency,
-		r.FinalConfiguration.WriteConsistency, r.Reconfigurations)
+		r.FinalConfiguration.WriteConsistency, pinned, r.Reconfigurations)
 	for _, fw := range r.Faults {
 		fmt.Fprintf(&b, "  fault: %s\n", fw)
 	}

@@ -34,9 +34,12 @@ type Scenario struct {
 	injector *fault.Injector
 
 	// Multi-tenant mode: one runtime + generator per declared tenant; gen is
-	// nil and the tenant generators carry all client traffic.
+	// nil and the tenant generators carry all client traffic. tenantAct is
+	// the scoped-action surface (admission + placement) the controller and
+	// Handle execute tenant- and class-scoped actions through.
 	tenantRuntimes []*tenant.Runtime
 	tenantGens     []*workload.Generator
+	tenantAct      *tenantActuator
 
 	agreement sla.SLA
 	costs     sla.CostModel
@@ -146,10 +149,18 @@ func NewScenario(spec ScenarioSpec) (*Scenario, error) {
 		return nil, err
 	}
 
-	// Controller.
-	actuator, err := core.NewSystemActuator(st, cl)
+	// Controller. With declared tenants the actuator grows the scoped-action
+	// surface (admission control and class placement) on top of the plain
+	// cluster/store knobs; without them the controller sees exactly the
+	// pre-tenant actuator.
+	sysActuator, err := core.NewSystemActuator(st, cl)
 	if err != nil {
 		return nil, fmt.Errorf("autonosql: assembling actuator: %w", err)
+	}
+	var actuator core.Actuator = sysActuator
+	if len(spec.Tenants) > 0 {
+		s.tenantAct = &tenantActuator{SystemActuator: sysActuator, scenario: s}
+		actuator = s.tenantAct
 	}
 	switch spec.Controller.Mode {
 	case ControllerSmart:
@@ -256,6 +267,12 @@ func tenantKeyspace(t TenantSpec) int {
 func (s *Scenario) assembleTenants() error {
 	specs := s.spec.Tenants
 	s.store.RegisterTenants(len(specs))
+	if s.spec.Controller.AllowPlacement {
+		// Record key ownership from the first write, so a pin-class action
+		// can repair every key onto its tenant's biased replica set;
+		// scenarios that never allow placement skip the per-write recording.
+		s.store.EnablePlacementTracking()
+	}
 	s.tenantRuntimes = make([]*tenant.Runtime, 0, len(specs))
 	s.tenantGens = make([]*workload.Generator, 0, len(specs))
 	base := 0
@@ -277,6 +294,16 @@ func (s *Scenario) assembleTenants() error {
 		base += tenantKeyspace(ts)
 		rt, err := tenant.NewRuntime(id, ts.Name, class, s.monitor.Tagged(id))
 		if err != nil {
+			return fmt.Errorf("autonosql: tenant %q: %w", ts.Name, err)
+		}
+		// Admission plumbing is always installed (the limiter starts
+		// disabled and admits everything): throttle actions — from the
+		// controller or a Handle intervention — can then engage it mid-run,
+		// and every shed is counted as a rejection in the tenant's store
+		// ground truth.
+		if err := rt.EnableAdmission(s.engine.Now, func(write bool) {
+			s.store.TenantShed(id, write)
+		}); err != nil {
 			return fmt.Errorf("autonosql: tenant %q: %w", ts.Name, err)
 		}
 		gen, err := workload.NewGenerator(workload.Config{

@@ -189,6 +189,14 @@ type ControllerSpec struct {
 	AllowReplicationChanges bool
 	// AllowScaling lets the controller add and remove nodes.
 	AllowScaling bool
+	// Admission configures tenant-scoped admission control (throttle /
+	// unthrottle actions) for the smart controller. The zero value keeps it
+	// off and reproduces pre-admission behaviour exactly.
+	Admission AdmissionSpec
+	// AllowPlacement lets the smart controller dedicate nodes to an SLA
+	// class (pin / unpin actions) so gold replica sets stop sharing queues
+	// with best-effort traffic.
+	AllowPlacement bool
 }
 
 // ScenarioSpec is the complete description of one simulated run.
@@ -325,6 +333,9 @@ func (s ScenarioSpec) Validate() error {
 		return fmt.Errorf("autonosql: %w", err)
 	}
 	if err := validateTenants(s.Tenants); err != nil {
+		return fmt.Errorf("autonosql: %w", err)
+	}
+	if err := s.Controller.Admission.validate(); err != nil {
 		return fmt.Errorf("autonosql: %w", err)
 	}
 	return nil
@@ -467,6 +478,20 @@ func (s ScenarioSpec) controllerConfig() core.Config {
 	cfg.EnableConsistencyActions = s.Controller.AllowConsistencyChanges
 	cfg.EnableReplicationActions = s.Controller.AllowReplicationChanges
 	cfg.EnableScaling = s.Controller.AllowScaling
+	cfg.EnableAdmissionControl = s.Controller.Admission.Enabled
+	cfg.EnablePlacementActions = s.Controller.AllowPlacement
+	if s.Controller.Admission.ThrottleFraction > 0 {
+		cfg.ThrottleFraction = s.Controller.Admission.ThrottleFraction
+	}
+	if s.Controller.Admission.MinRate > 0 {
+		cfg.MinThrottleRate = s.Controller.Admission.MinRate
+	}
+	if s.Controller.Admission.Cooldown > 0 {
+		cfg.ThrottleCooldown = s.Controller.Admission.Cooldown
+	}
+	if s.Controller.Admission.Holdoff > 0 {
+		cfg.UnthrottleHoldoff = s.Controller.Admission.Holdoff
+	}
 	if s.Cluster.MinNodes > 0 {
 		cfg.MinNodes = s.Cluster.MinNodes
 	}

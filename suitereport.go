@@ -135,11 +135,12 @@ func (r *SuiteReport) FaultsTable() string {
 
 // TenantsTable renders the per-tenant comparison across variants: every
 // tenant of every multi-tenant variant with its class, ground-truth window,
-// latency, violation minutes and priced penalty. It returns an empty string
-// when no variant declared tenants.
+// latency, violation minutes, priced penalty, and the admission / placement
+// treatment the controller applied. It returns an empty string when no
+// variant declared tenants.
 func (r *SuiteReport) TenantsTable() string {
 	columns := []string{"variant", "tenant", "class", "window p95 (ms)", "read p99 (ms)",
-		"stale reads", "violation min", "compliance", "penalty"}
+		"stale reads", "violation min", "compliance", "penalty", "throttle/placement"}
 	rows := make([][]string, 0, len(r.Variants))
 	for _, v := range r.Variants {
 		for _, tr := range v.Report.Tenants {
@@ -152,6 +153,7 @@ func (r *SuiteReport) TenantsTable() string {
 				fmt.Sprintf("%.1f", tr.Violations.Total),
 				fmt.Sprintf("%.2f%%", tr.ComplianceRatio*100),
 				dollarCell(tr.PenaltyCost + tr.CompensationCost),
+				throttlePlacementCell(tr),
 			})
 		}
 	}
@@ -159,6 +161,27 @@ func (r *SuiteReport) TenantsTable() string {
 		return ""
 	}
 	return text.FormatAligned("suite comparison — tenants", columns, rows, nil)
+}
+
+// throttlePlacementCell summarises one tenant's scoped-action treatment:
+// throttled minutes with shed count, a "pinned" marker when the tenant's
+// class held dedicated nodes, or "-" for an untreated tenant.
+func throttlePlacementCell(tr TenantReport) string {
+	parts := ""
+	if tr.ThrottledMinutes > 0 || tr.ShedOps > 0 {
+		parts = fmt.Sprintf("%.1fmin/%d shed", tr.ThrottledMinutes, tr.ShedOps)
+	}
+	if tr.Pinned {
+		if parts != "" {
+			parts += "+pinned"
+		} else {
+			parts = "pinned"
+		}
+	}
+	if parts == "" {
+		return "-"
+	}
+	return parts
 }
 
 // String renders both comparison tables, plus the fault table when any
@@ -262,6 +285,7 @@ func TenantCSVHeader() []string {
 		"violation_min_window", "violation_min_read", "violation_min_write",
 		"violation_min_availability", "violation_min_total", "compliance",
 		"penalty_cost", "compensation_cost",
+		"shed_ops", "throttled_min", "pinned",
 	}
 }
 
@@ -278,6 +302,7 @@ func tenantCSVRow(variant string, tr TenantReport) []string {
 		f(tr.Violations.Window), f(tr.Violations.ReadLatency), f(tr.Violations.WriteLatency),
 		f(tr.Violations.Availability), f(tr.Violations.Total), f(tr.ComplianceRatio),
 		f(tr.PenaltyCost), f(tr.CompensationCost),
+		u(tr.ShedOps), f(tr.ThrottledMinutes), strconv.FormatBool(tr.Pinned),
 	}
 }
 
