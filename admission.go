@@ -14,9 +14,28 @@ import (
 // they reach the store — instead of scaling the whole cluster for it. The
 // zero value disables admission control and reproduces pre-admission
 // behaviour exactly.
+// AdmissionMode selects what happens to a throttled tenant's excess arrivals.
+type AdmissionMode string
+
+const (
+	// AdmissionShed rejects excess arrivals immediately: the client sees an
+	// ErrAdmissionShed failure and the tenant's availability clause prices
+	// the rejection. This is the default (and the zero value "" means shed).
+	AdmissionShed AdmissionMode = "shed"
+	// AdmissionDelay queues excess arrivals in a bounded per-tenant queue
+	// and forwards them as the token bucket refills: clients see added
+	// latency instead of failures, the SLA pressure moves from the
+	// availability clause to the latency clauses. Queue overflow still
+	// sheds.
+	AdmissionDelay AdmissionMode = "delay"
+)
+
 type AdmissionSpec struct {
 	// Enabled allows throttle / unthrottle actions.
 	Enabled bool
+	// Mode selects shed (reject excess, the default) or delay (queue
+	// excess) behaviour for throttled tenants.
+	Mode AdmissionMode
 	// ThrottleFraction is the share of a tenant's observed offered rate a
 	// throttle action admits; each further throttle multiplies again.
 	// Zero selects the default (0.5).
@@ -35,6 +54,11 @@ type AdmissionSpec struct {
 
 // validate reports whether the admission spec is well formed.
 func (a AdmissionSpec) validate() error {
+	switch a.Mode {
+	case "", AdmissionShed, AdmissionDelay:
+	default:
+		return fmt.Errorf("admission: unknown mode %q (want %q or %q)", a.Mode, AdmissionShed, AdmissionDelay)
+	}
 	if math.IsNaN(a.ThrottleFraction) || a.ThrottleFraction < 0 || a.ThrottleFraction >= 1 {
 		return fmt.Errorf("admission: ThrottleFraction %v must be within [0, 1)", a.ThrottleFraction)
 	}
@@ -49,16 +73,17 @@ func (a AdmissionSpec) validate() error {
 
 // ParseAdmissionSpec parses the -admission DSL:
 //
-//	off | on[:frac=F][:floor=R][:cooldown=D][:hold=D]
+//	off | on[:mode=shed|delay][:frac=F][:floor=R][:cooldown=D][:hold=D]
 //
-// where frac is the admitted share of the target tenant's offered rate in
-// (0, 1), floor the minimum admission rate in ops/s, and cooldown / hold the
-// per-tenant action cooldown and the release holdoff as Go durations.
-// Examples:
+// where mode selects what happens to excess arrivals (shed rejects them, the
+// default; delay queues them and charges the wait as latency), frac is the
+// admitted share of the target tenant's offered rate in (0, 1), floor the
+// minimum admission rate in ops/s, and cooldown / hold the per-tenant action
+// cooldown and the release holdoff as Go durations. Examples:
 //
 //	on
 //	on:frac=0.4:floor=100
-//	on:cooldown=2m:hold=90s
+//	on:mode=delay:cooldown=2m:hold=90s
 //
 // An empty string parses to "off". Every spec the parser accepts passes
 // ScenarioSpec validation.
@@ -83,6 +108,13 @@ func ParseAdmissionSpec(s string) (AdmissionSpec, error) {
 	for _, opt := range fields[1:] {
 		opt = strings.TrimSpace(opt)
 		switch {
+		case strings.HasPrefix(opt, "mode="):
+			switch mode := AdmissionMode(strings.ToLower(opt[5:])); mode {
+			case AdmissionShed, AdmissionDelay:
+				spec.Mode = mode
+			default:
+				return AdmissionSpec{}, fmt.Errorf("autonosql: admission mode %q must be %q or %q", opt, AdmissionShed, AdmissionDelay)
+			}
 		case strings.HasPrefix(opt, "frac="):
 			frac, err := strconv.ParseFloat(opt[5:], 64)
 			if err != nil || math.IsNaN(frac) || frac <= 0 || frac >= 1 {
@@ -108,7 +140,7 @@ func ParseAdmissionSpec(s string) (AdmissionSpec, error) {
 			}
 			spec.Holdoff = d
 		default:
-			return AdmissionSpec{}, fmt.Errorf("autonosql: unknown admission option %q (want frac=, floor=, cooldown= or hold=)", opt)
+			return AdmissionSpec{}, fmt.Errorf("autonosql: unknown admission option %q (want mode=, frac=, floor=, cooldown= or hold=)", opt)
 		}
 	}
 	return spec, nil

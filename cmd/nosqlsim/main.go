@@ -47,6 +47,8 @@ func run(args []string, out *os.File) int {
 		placement  = fs.Bool("placement", false, "allow the smart controller to dedicate nodes to an SLA class")
 		plot       = fs.String("plot", "", "comma-separated report series to plot (e.g. window_p95_ms,cluster_size)")
 		decisions  = fs.Bool("decisions", false, "print the controller decision log")
+		recordPath = fs.String("record-trace", "", "record the run's arrival stream to the given JSON-lines trace file")
+		replayPath = fs.String("replay-trace", "", "replay arrivals from the given trace file instead of generating them\n(the trace's tenants must match -tenants)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -89,16 +91,42 @@ func run(args []string, out *os.File) int {
 	}
 	spec.Controller.Admission = admissionSpec
 	spec.Controller.AllowPlacement = *placement
+	if *replayPath != "" {
+		trace, err := autonosql.ReadWorkloadTraceFile(*replayPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nosqlsim: %v\n", err)
+			return 2
+		}
+		spec.Replay = trace
+	}
 
 	scenario, err := autonosql.NewScenario(spec)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "nosqlsim: %v\n", err)
 		return 2
 	}
+	if *recordPath != "" {
+		if err := scenario.RecordTrace(); err != nil {
+			fmt.Fprintf(os.Stderr, "nosqlsim: %v\n", err)
+			return 2
+		}
+	}
 	report, err := scenario.Run()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "nosqlsim: %v\n", err)
 		return 1
+	}
+	if *recordPath != "" {
+		trace, err := scenario.RecordedTrace()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nosqlsim: %v\n", err)
+			return 1
+		}
+		if err := trace.WriteFile(*recordPath); err != nil {
+			fmt.Fprintf(os.Stderr, "nosqlsim: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(out, "recorded %d arrivals to %s\n", trace.EventCount(), *recordPath)
 	}
 
 	fmt.Fprint(out, report.String())

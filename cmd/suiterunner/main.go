@@ -1,5 +1,6 @@
 // Command suiterunner expands a scenario grid — workload pattern × controller
-// mode × cluster size × SLA tier × fault profile × tenant mix — into concrete
+// mode × cluster size × SLA tier × fault profile × tenant mix × replayed
+// trace — into concrete
 // variants with deterministic per-variant seeds, runs them concurrently
 // across a bounded worker pool and prints the aggregated comparison tables.
 // The full suite report can also be exported as CSV (one row per variant,
@@ -14,6 +15,8 @@
 //	suiterunner -controllers none,smart -faults none,crash,partition
 //	suiterunner -controllers reactive,smart -tenant-mixes gold-bronze
 //	suiterunner -tenants gold:diurnal:2000,bronze:constant:500 -tenants-csv tenants.csv
+//	suiterunner -controllers none,reactive,smart -replay-trace run.trace.jsonl
+//	suiterunner -record-trace traces/                 # one trace file per variant
 //	suiterunner -csv sweep.csv -json sweep.json       # export the results
 //	suiterunner -list                                 # print the grid and exit
 package main
@@ -23,6 +26,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
@@ -55,6 +59,8 @@ func run(args []string, out *os.File) int {
 		nodeOps     = fs.Float64("node-ops", 2000, "per-node sustainable ops/s")
 		maxNodes    = fs.Int("max-nodes", 12, "maximum cluster size reachable through scaling")
 		parallel    = fs.Int("parallelism", 0, "max concurrently running variants (0 = GOMAXPROCS)")
+		recordDir   = fs.String("record-trace", "", "directory to record every variant's arrival stream into\n(one <variant>.trace.jsonl file per variant)")
+		replayTrace = fs.String("replay-trace", "", "comma-separated trace files replayed as a grid axis; every variant on a\ntrace faces those exact recorded arrivals instead of generated ones")
 		csvPath     = fs.String("csv", "", "write the per-variant results as CSV to this file")
 		jsonPath    = fs.String("json", "", "write the full suite report as JSON to this file")
 		list        = fs.Bool("list", false, "print the expanded variants and exit without running")
@@ -89,12 +95,37 @@ func run(args []string, out *os.File) int {
 		fmt.Fprintf(os.Stderr, "suiterunner: %v\n", err)
 		return 2
 	}
+	for _, path := range splitList(*replayTrace) {
+		trace, err := autonosql.ReadWorkloadTraceFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "suiterunner: %v\n", err)
+			return 2
+		}
+		grid.Traces = append(grid.Traces, autonosql.NamedTrace{Name: traceName(path), Trace: trace})
+	}
 
-	suite, err := autonosql.NewSuite(autonosql.SuiteSpec{
+	suiteSpec := autonosql.SuiteSpec{
 		Base:        base,
 		Grid:        grid,
 		Parallelism: *parallel,
-	})
+	}
+	// With -record-trace the grid is expanded here instead of inside NewSuite,
+	// so every variant can be given a Configure hook that arms trace recording
+	// and keeps the scenario reachable for trace extraction after the run.
+	var recorded []*autonosql.Scenario
+	if *recordDir != "" {
+		expanded := autonosql.ExpandGrid(base, grid)
+		recorded = make([]*autonosql.Scenario, len(expanded))
+		for i := range expanded {
+			i := i
+			expanded[i].Configure = func(s *autonosql.Scenario) error {
+				recorded[i] = s
+				return s.RecordTrace()
+			}
+		}
+		suiteSpec = autonosql.SuiteSpec{Variants: expanded, Parallelism: *parallel}
+	}
+	suite, err := autonosql.NewSuite(suiteSpec)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "suiterunner: %v\n", err)
 		return 2
@@ -127,6 +158,26 @@ func run(args []string, out *os.File) int {
 		fmt.Fprint(out, tt)
 	}
 	fmt.Fprintf(out, "\ncompleted in %v\n", time.Since(started).Round(time.Millisecond))
+
+	if *recordDir != "" {
+		if err := os.MkdirAll(*recordDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "suiterunner: %v\n", err)
+			return 1
+		}
+		for i, v := range variants {
+			trace, err := recorded[i].RecordedTrace()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "suiterunner: variant %q: %v\n", v.Name, err)
+				return 1
+			}
+			path := filepath.Join(*recordDir, traceFileName(v.Name))
+			if err := trace.WriteFile(path); err != nil {
+				fmt.Fprintf(os.Stderr, "suiterunner: %v\n", err)
+				return 1
+			}
+		}
+		fmt.Fprintf(out, "recorded %d variant traces to %s\n", len(variants), *recordDir)
+	}
 
 	if best := report.CheapestCompliant(0); best != nil {
 		fmt.Fprintf(out, "cheapest fully compliant variant: %s ($%.2f)\n", best.Name, best.Report.Cost.Total)
@@ -195,6 +246,30 @@ func buildGrid(patterns, controllers, nodes, slaTiers, faults, tenantMixes strin
 	}
 	grid.Repeats = repeats
 	return grid, nil
+}
+
+// traceName derives the grid-axis name of a replayed trace from its file
+// name, dropping the .jsonl / .trace.jsonl suffixes.
+func traceName(path string) string {
+	name := filepath.Base(path)
+	name = strings.TrimSuffix(name, ".jsonl")
+	name = strings.TrimSuffix(name, ".trace")
+	return name
+}
+
+// traceFileName maps a variant name (which contains spaces and '=') onto a
+// filesystem-safe trace file name.
+func traceFileName(variant string) string {
+	safe := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '.', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, variant)
+	return safe + ".trace.jsonl"
 }
 
 func splitList(s string) []string {

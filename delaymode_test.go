@@ -1,0 +1,125 @@
+package autonosql_test
+
+// Scenario-level delay-mode admission tests: the same intervention schedule
+// run in shed mode and in delay mode, compared on ground truth — delay mode
+// turns rejections into queueing, so it must fail strictly less while the
+// shed-mode run prices the full excess as availability failures.
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"autonosql"
+)
+
+// runThrottledScenario runs the two-tenant scenario with bronze throttled to
+// 50 ops/s between 10s and 40s, under the given admission mode.
+func runThrottledScenario(t *testing.T, mode autonosql.AdmissionMode) *autonosql.Report {
+	t.Helper()
+	spec := twoTenantSpec(5, autonosql.ControllerNone)
+	spec.Duration = 60 * time.Second
+	spec.Controller.Admission.Mode = mode
+	scenario, err := autonosql.NewScenario(spec)
+	if err != nil {
+		t.Fatalf("NewScenario: %v", err)
+	}
+	scenario.At(10*time.Second, func(h *autonosql.Handle) {
+		if err := h.ThrottleTenant("bronze", 50); err != nil {
+			t.Errorf("ThrottleTenant: %v", err)
+		}
+	})
+	scenario.At(40*time.Second, func(h *autonosql.Handle) {
+		if err := h.UnthrottleTenant("bronze"); err != nil {
+			t.Errorf("UnthrottleTenant: %v", err)
+		}
+	})
+	rep, err := scenario.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return rep
+}
+
+// TestDelayModeVersusShedGroundTruth compares the two admission modes on the
+// same seed and intervention schedule.
+func TestDelayModeVersusShedGroundTruth(t *testing.T) {
+	shed := runThrottledScenario(t, autonosql.AdmissionShed)
+	delay := runThrottledScenario(t, autonosql.AdmissionDelay)
+
+	shedBronze := shed.Tenants[1]
+	delayBronze := delay.Tenants[1]
+
+	if shedBronze.ShedOps == 0 {
+		t.Fatal("shed-mode run shed nothing; the comparison is vacuous")
+	}
+	if shedBronze.DelayedOps != 0 || shedBronze.MaxQueueDepth != 0 {
+		t.Errorf("shed mode reported queueing: delayed=%d maxQueue=%d",
+			shedBronze.DelayedOps, shedBronze.MaxQueueDepth)
+	}
+	if delayBronze.DelayedOps == 0 {
+		t.Error("delay mode queued nothing under a throttle that shed thousands in shed mode")
+	}
+	if delayBronze.MaxQueueDepth == 0 {
+		t.Error("delay mode reported a zero max queue depth despite queueing")
+	}
+	// Delay mode turns rejections into waits: the bronze tenant must fail
+	// strictly less than in shed mode (only queue overflow still sheds).
+	if delayBronze.ShedOps >= shedBronze.ShedOps {
+		t.Errorf("delay mode shed %d ops, shed mode %d: queueing absorbed nothing",
+			delayBronze.ShedOps, shedBronze.ShedOps)
+	}
+	shedFailures := shedBronze.FailedReads + shedBronze.FailedWrites
+	delayFailures := delayBronze.FailedReads + delayBronze.FailedWrites
+	if delayFailures >= shedFailures {
+		t.Errorf("delay mode failures %d not below shed mode %d", delayFailures, shedFailures)
+	}
+	// The waits must land somewhere: queued bronze ops pay their queueing
+	// delay as client-observed write latency.
+	if delayBronze.WriteLatency.Max <= shedBronze.WriteLatency.Max {
+		t.Errorf("delay-mode max write latency %v not above shed mode %v: queueing delay not charged",
+			delayBronze.WriteLatency.Max, shedBronze.WriteLatency.Max)
+	}
+	// The report surfaces the treatment.
+	if !strings.Contains(delayBronze.String(), "delayed=") {
+		t.Errorf("delay-mode tenant line does not mention queueing: %s", delayBronze.String())
+	}
+	if strings.Contains(shedBronze.String(), "delayed=") {
+		t.Errorf("shed-mode tenant line mentions queueing: %s", shedBronze.String())
+	}
+}
+
+// TestDelayModeDeterministic pins that delay mode keeps the bit-for-bit
+// guarantee: same seed, same fingerprint.
+func TestDelayModeDeterministic(t *testing.T) {
+	a := fingerprintReport(runThrottledScenario(t, autonosql.AdmissionDelay))
+	b := fingerprintReport(runThrottledScenario(t, autonosql.AdmissionDelay))
+	if a != b {
+		t.Fatal("two delay-mode runs of the same seed produced different fingerprints")
+	}
+	if !strings.Contains(a, "delay:") {
+		t.Error("delay-mode fingerprint carries no delay line")
+	}
+}
+
+// TestParseAdmissionSpecMode covers the mode= option of the -admission DSL.
+func TestParseAdmissionSpecMode(t *testing.T) {
+	spec, err := autonosql.ParseAdmissionSpec("on:mode=delay:frac=0.4")
+	if err != nil {
+		t.Fatalf("ParseAdmissionSpec: %v", err)
+	}
+	if spec.Mode != autonosql.AdmissionDelay || spec.ThrottleFraction != 0.4 {
+		t.Errorf("mode=delay not applied: %+v", spec)
+	}
+	spec, err = autonosql.ParseAdmissionSpec("on:mode=shed")
+	if err != nil || spec.Mode != autonosql.AdmissionShed {
+		t.Errorf("mode=shed not applied: %+v, %v", spec, err)
+	}
+	spec, err = autonosql.ParseAdmissionSpec("on")
+	if err != nil || spec.Mode != "" {
+		t.Errorf("bare on selected mode %q, want default", spec.Mode)
+	}
+	if _, err := autonosql.ParseAdmissionSpec("on:mode=defer"); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}

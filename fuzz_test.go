@@ -1,6 +1,6 @@
 package autonosql_test
 
-// Native Go fuzz targets for the public spec surface. Two properties are
+// Native Go fuzz targets for the public spec surface. Three properties are
 // pinned:
 //
 //  1. validate-never-panics: ScenarioSpec.Validate (and ParseFaultPlan) must
@@ -9,12 +9,17 @@ package autonosql_test
 //     and complete a (shortened) run without error. This is the contract the
 //     suite runner relies on — NewSuite validates variants up front and
 //     treats later failures as bugs.
+//  3. parse-encode-canonical: any trace ParseWorkloadTrace accepts must
+//     re-encode to a canonical byte stream that parses back identically —
+//     the byte-identity replay goldens depend on it.
 //
 // Seed corpora live under testdata/fuzz/<FuzzName>/ in the standard format,
 // so `go test` exercises them on every ordinary test run; CI additionally
 // runs each target briefly with -fuzz.
 
 import (
+	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -188,6 +193,66 @@ func FuzzParseAdmissionSpec(f *testing.F) {
 		// A disabled spec must be the zero value: "off" carries no tuning.
 		if !spec.Enabled && spec != (autonosql.AdmissionSpec{}) {
 			t.Fatalf("ParseAdmissionSpec(%q) produced tuning on a disabled spec: %+v", s, spec)
+		}
+	})
+}
+
+func FuzzParseTrace(f *testing.F) {
+	// Valid traces (multi-tenant, anonymous, raw keys, empty), then one seed
+	// per rejection path: bad version, duplicate tenants, negative and
+	// out-of-order times, bad opcode, unknown tenant, key/raw conflicts,
+	// missing key, unknown header field, plain garbage.
+	f.Add("{\"v\":1,\"tenants\":[\"gold\",\"bronze\"]}\n{\"t\":1000,\"tn\":\"gold\",\"op\":\"r\",\"k\":17}\n{\"t\":2000,\"tn\":\"bronze\",\"op\":\"w\",\"k\":3}\n")
+	f.Add("{\"v\":1}\n{\"t\":0,\"op\":\"r\",\"k\":0}\n{\"t\":0,\"op\":\"w\",\"raw\":\"user:42\"}\n")
+	f.Add("{\"v\":1}\n")
+	f.Add("")
+	f.Add("{\"v\":2}\n")
+	f.Add("{\"v\":1,\"tenants\":[\"a\",\"a\"]}\n")
+	f.Add("{\"v\":1,\"tenants\":[\"\"]}\n")
+	f.Add("{\"v\":1}\n{\"t\":-5,\"op\":\"r\",\"k\":1}\n")
+	f.Add("{\"v\":1}\n{\"t\":2000,\"op\":\"r\",\"k\":1}\n{\"t\":1000,\"op\":\"r\",\"k\":1}\n")
+	f.Add("{\"v\":1}\n{\"t\":1,\"op\":\"x\",\"k\":1}\n")
+	f.Add("{\"v\":1}\n{\"t\":1,\"tn\":\"ghost\",\"op\":\"r\",\"k\":1}\n")
+	f.Add("{\"v\":1}\n{\"t\":1,\"op\":\"r\",\"k\":1,\"raw\":\"both\"}\n")
+	f.Add("{\"v\":1}\n{\"t\":1,\"op\":\"r\",\"k\":-1}\n")
+	f.Add("{\"v\":1}\n{\"t\":1,\"op\":\"r\"}\n")
+	f.Add("{\"v\":1,\"wat\":true}\n")
+	f.Add("not json\n")
+
+	f.Fuzz(func(t *testing.T, s string) {
+		trace, err := autonosql.ParseWorkloadTrace(strings.NewReader(s))
+		if err != nil {
+			return // rejected without panicking: fine
+		}
+		// Parser contract: an accepted trace re-encodes canonically — the
+		// encoding parses back and re-encodes to the identical bytes — and the
+		// parsed views survive the round trip.
+		var first bytes.Buffer
+		if err := trace.Encode(&first); err != nil {
+			t.Fatalf("accepted trace failed to encode: %v\ninput:\n%s", err, s)
+		}
+		again, err := autonosql.ParseWorkloadTrace(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("canonical encoding rejected on re-parse: %v\nencoding:\n%s", err, first.String())
+		}
+		var second bytes.Buffer
+		if err := again.Encode(&second); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatal("trace encoding is not canonical: encode-parse-encode changed the bytes")
+		}
+		if again.EventCount() != trace.EventCount() {
+			t.Fatalf("event count changed across the round trip: %d -> %d",
+				trace.EventCount(), again.EventCount())
+		}
+		if !reflect.DeepEqual(again.TenantNames(), trace.TenantNames()) {
+			t.Fatalf("tenant names changed across the round trip: %v -> %v",
+				trace.TenantNames(), again.TenantNames())
+		}
+		if again.Duration() != trace.Duration() {
+			t.Fatalf("duration changed across the round trip: %v -> %v",
+				trace.Duration(), again.Duration())
 		}
 	})
 }

@@ -1,0 +1,299 @@
+// Package hunt is a deterministic adversarial search harness over scenario
+// specifications: starting from a base spec it perturbs workload shape, fault
+// schedules and control settings with seed-derived mutations, scores every
+// run on a chosen badness objective, hill-climbs toward the worst case it can
+// find and then shrinks the winner back to a minimal mutation set that still
+// reproduces (a configurable fraction of) the worst score.
+//
+// Everything is deterministic: the same base spec and hunter seed walk the
+// same mutation sequence, evaluate the same candidates and emit the same
+// minimal spec, whatever the parallelism — there are no wall-clock budgets
+// and no shared random state. Found cases are persisted as golden spec +
+// trace pairs (see Case) and re-verified bit-for-bit in CI.
+package hunt
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"autonosql"
+)
+
+// Objective names a badness score the hunter maximises.
+type Objective string
+
+// Supported objectives.
+const (
+	// ObjectiveGoldViolations is the total SLA violation minutes of
+	// gold-class tenants (all tenants' — or the aggregate's — violation
+	// minutes when no gold tenant exists).
+	ObjectiveGoldViolations Objective = "gold-violations"
+	// ObjectiveShedStorm is the total number of operations shed by
+	// admission control across all tenants.
+	ObjectiveShedStorm Objective = "shed-storm"
+	// ObjectiveOscillation is the number of scaling direction changes in
+	// the cluster-size series: a controller that thrashes scores high.
+	ObjectiveOscillation Objective = "oscillation"
+)
+
+// ParseObjective validates an objective name.
+func ParseObjective(s string) (Objective, error) {
+	switch o := Objective(s); o {
+	case ObjectiveGoldViolations, ObjectiveShedStorm, ObjectiveOscillation:
+		return o, nil
+	default:
+		return "", fmt.Errorf("hunt: unknown objective %q (want %q, %q or %q)",
+			s, ObjectiveGoldViolations, ObjectiveShedStorm, ObjectiveOscillation)
+	}
+}
+
+// Score computes the objective's badness for one finished run. Higher is
+// worse (for the system; better for the hunter).
+func Score(obj Objective, rep *autonosql.Report) float64 {
+	switch obj {
+	case ObjectiveGoldViolations:
+		if len(rep.Tenants) == 0 {
+			return rep.Violations.Total
+		}
+		gold := 0.0
+		seenGold := false
+		for _, tr := range rep.Tenants {
+			if tr.Class == string(autonosql.SLAGold) {
+				gold += tr.Violations.Total
+				seenGold = true
+			}
+		}
+		if !seenGold {
+			for _, tr := range rep.Tenants {
+				gold += tr.Violations.Total
+			}
+		}
+		return gold
+	case ObjectiveShedStorm:
+		total := 0.0
+		for _, tr := range rep.Tenants {
+			total += float64(tr.ShedOps)
+		}
+		return total
+	case ObjectiveOscillation:
+		pts := rep.Series[autonosql.SeriesClusterSize]
+		changes := 0
+		prevDir := 0
+		for i := 1; i < len(pts); i++ {
+			dir := 0
+			if pts[i].Value > pts[i-1].Value {
+				dir = 1
+			} else if pts[i].Value < pts[i-1].Value {
+				dir = -1
+			}
+			if dir != 0 && prevDir != 0 && dir != prevDir {
+				changes++
+			}
+			if dir != 0 {
+				prevDir = dir
+			}
+		}
+		return float64(changes)
+	default:
+		return 0
+	}
+}
+
+// Config parameterises one hunt.
+type Config struct {
+	// Base is the scenario the search perturbs. It must validate.
+	Base autonosql.ScenarioSpec
+	// Objective is the badness score to maximise.
+	Objective Objective
+	// Seed drives the mutation stream; same base + same seed = same hunt.
+	Seed int64
+	// Rounds is the number of hill-climbing rounds (default 4).
+	Rounds int
+	// Neighbors is the number of mutated candidates per round (default 6).
+	Neighbors int
+	// Parallelism bounds concurrent candidate evaluations (default
+	// GOMAXPROCS). It affects wall-clock only, never the result.
+	Parallelism int
+	// ShrinkKeepFraction is the fraction of the worst score a shrunk spec
+	// must retain (default 0.9).
+	ShrinkKeepFraction float64
+}
+
+func (c *Config) defaults() error {
+	if _, err := ParseObjective(string(c.Objective)); err != nil {
+		return err
+	}
+	if err := c.Base.Validate(); err != nil {
+		return fmt.Errorf("hunt: base spec: %w", err)
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 4
+	}
+	if c.Neighbors <= 0 {
+		c.Neighbors = 6
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if c.ShrinkKeepFraction <= 0 || c.ShrinkKeepFraction > 1 {
+		c.ShrinkKeepFraction = 0.9
+	}
+	return nil
+}
+
+// Result is the outcome of one hunt.
+type Result struct {
+	// BaseScore is the objective on the unperturbed base spec.
+	BaseScore float64
+	// Worst is the worst spec the climb found and WorstScore its score.
+	Worst      autonosql.ScenarioSpec
+	WorstScore float64
+	// Shrunk is the minimal mutation subset's spec, ShrunkScore its score
+	// and Mutations the descriptions of the surviving mutations in
+	// application order.
+	Shrunk      autonosql.ScenarioSpec
+	ShrunkScore float64
+	Mutations   []string
+	// Evaluations counts full scenario runs the hunt spent.
+	Evaluations int
+}
+
+// hunter carries the search state.
+type hunter struct {
+	cfg   Config
+	rng   *rand.Rand
+	evals int
+}
+
+// Run executes one hunt: evaluate the base, hill-climb Rounds×Neighbors
+// mutated candidates, then greedily shrink the winner's mutation list to a
+// minimal subset that keeps ShrinkKeepFraction of the worst score.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	h := &hunter{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+
+	baseScore, err := h.eval(cfg.Base)
+	if err != nil {
+		return nil, fmt.Errorf("hunt: base run: %w", err)
+	}
+
+	cur := []Mutation(nil)
+	curScore := baseScore
+	for round := 0; round < cfg.Rounds; round++ {
+		// Mutation generation draws from the shared stream sequentially, so
+		// the candidate set is independent of evaluation order.
+		candidates := make([][]Mutation, cfg.Neighbors)
+		for i := range candidates {
+			mut := h.newMutation(applyAll(cfg.Base, cur))
+			candidates[i] = append(append([]Mutation(nil), cur...), mut)
+		}
+		scores := h.evalAll(candidates)
+		best, bestScore := -1, curScore
+		for i, sc := range scores {
+			if sc > bestScore { // strict: earliest index wins ties
+				best, bestScore = i, sc
+			}
+		}
+		if best >= 0 {
+			cur, curScore = candidates[best], bestScore
+		}
+	}
+
+	res := &Result{
+		BaseScore:  baseScore,
+		Worst:      applyAll(cfg.Base, cur),
+		WorstScore: curScore,
+	}
+
+	// Shrink: drop mutations one at a time, keeping any removal whose spec
+	// still scores at least the fixed floor. The floor is computed from the
+	// original worst score, not re-tightened per pass, so shrinking can
+	// never walk the score down a ratchet.
+	floor := curScore * cfg.ShrinkKeepFraction
+	shrunk := cur
+	shrunkScore := curScore
+	for changed := true; changed && len(shrunk) > 0; {
+		changed = false
+		for i := 0; i < len(shrunk); i++ {
+			trial := make([]Mutation, 0, len(shrunk)-1)
+			trial = append(trial, shrunk[:i]...)
+			trial = append(trial, shrunk[i+1:]...)
+			spec := applyAll(cfg.Base, trial)
+			sc, err := h.eval(spec)
+			if err != nil {
+				continue // removal made the spec invalid; keep the mutation
+			}
+			if sc >= floor {
+				shrunk, shrunkScore = trial, sc
+				changed = true
+				i--
+			}
+		}
+	}
+	res.Shrunk = applyAll(cfg.Base, shrunk)
+	res.ShrunkScore = shrunkScore
+	for _, m := range shrunk {
+		res.Mutations = append(res.Mutations, m.Desc)
+	}
+	res.Evaluations = h.evals
+	return res, nil
+}
+
+// eval runs one spec and scores it.
+func (h *hunter) eval(spec autonosql.ScenarioSpec) (float64, error) {
+	h.evals++
+	scenario, err := autonosql.NewScenario(spec)
+	if err != nil {
+		return 0, err
+	}
+	rep, err := scenario.Run()
+	if err != nil {
+		return 0, err
+	}
+	return Score(h.cfg.Objective, rep), nil
+}
+
+// evalAll scores every candidate mutation list, bounded-parallel. Invalid or
+// failing candidates score -Inf so they can never be adopted. The result
+// slice is indexed like the input, so parallelism cannot reorder anything.
+func (h *hunter) evalAll(candidates [][]Mutation) []float64 {
+	scores := make([]float64, len(candidates))
+	h.evals += len(candidates)
+	sem := make(chan struct{}, h.cfg.Parallelism)
+	var wg sync.WaitGroup
+	for i, muts := range candidates {
+		wg.Add(1)
+		go func(i int, muts []Mutation) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			scores[i] = math.Inf(-1)
+			spec := applyAll(h.cfg.Base, muts)
+			scenario, err := autonosql.NewScenario(spec)
+			if err != nil {
+				return
+			}
+			rep, err := scenario.Run()
+			if err != nil {
+				return
+			}
+			scores[i] = Score(h.cfg.Objective, rep)
+		}(i, muts)
+	}
+	wg.Wait()
+	return scores
+}
+
+// applyAll clones the base and applies the mutations in order.
+func applyAll(base autonosql.ScenarioSpec, muts []Mutation) autonosql.ScenarioSpec {
+	spec := cloneSpec(base)
+	for _, m := range muts {
+		m.Apply(&spec)
+	}
+	return spec
+}

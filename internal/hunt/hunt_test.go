@@ -1,0 +1,253 @@
+package hunt
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"autonosql"
+)
+
+// huntBase is a small two-tenant base spec: big enough for the objectives to
+// move, small enough that a full hunt stays test-sized.
+func huntBase() autonosql.ScenarioSpec {
+	spec := autonosql.DefaultScenarioSpec()
+	spec.Seed = 1
+	spec.Duration = 30 * time.Second
+	spec.Cluster.InitialNodes = 3
+	spec.Cluster.NodeOpsPerSec = 2500
+	spec.Controller.Mode = autonosql.ControllerSmart
+	spec.Controller.Admission = autonosql.AdmissionSpec{Enabled: true}
+	spec.Tenants = []autonosql.TenantSpec{
+		{Name: "gold", Class: autonosql.SLAGold, Workload: autonosql.WorkloadSpec{
+			Pattern: autonosql.LoadDiurnal, BaseOpsPerSec: 800, PeakOpsPerSec: 1400, ReadFraction: 0.6,
+		}},
+		{Name: "bronze", Class: autonosql.SLABronze, Workload: autonosql.WorkloadSpec{
+			Pattern: autonosql.LoadSpike, BaseOpsPerSec: 300, PeakOpsPerSec: 1800, ReadFraction: 0.2,
+		}},
+	}
+	return spec
+}
+
+// TestHuntDeterministic is the harness's core guarantee: the same base spec
+// and hunter seed produce the identical hunt — same worst score, same
+// minimal mutation set, same shrunk spec — whatever the parallelism. The CI
+// race job runs this under -race, so the parallel evaluator is also checked
+// for data races.
+func TestHuntDeterministic(t *testing.T) {
+	run := func(parallelism int) *Result {
+		res, err := Run(Config{
+			Base:        huntBase(),
+			Objective:   ObjectiveGoldViolations,
+			Seed:        7,
+			Rounds:      2,
+			Neighbors:   3,
+			Parallelism: parallelism,
+		})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return res
+	}
+	a := run(1)
+	b := run(4)
+
+	if a.WorstScore != b.WorstScore || a.ShrunkScore != b.ShrunkScore || a.BaseScore != b.BaseScore {
+		t.Errorf("scores diverged across parallelism: %+v vs %+v", a, b)
+	}
+	if !reflect.DeepEqual(a.Mutations, b.Mutations) {
+		t.Errorf("minimal mutation sets diverged:\n  seq: %v\n  par: %v", a.Mutations, b.Mutations)
+	}
+	if !reflect.DeepEqual(a.Shrunk, b.Shrunk) {
+		t.Error("shrunk specs diverged across parallelism")
+	}
+	if a.Evaluations != b.Evaluations {
+		t.Errorf("evaluation counts diverged: %d vs %d", a.Evaluations, b.Evaluations)
+	}
+	// The shrunk spec must actually reproduce its score when run cold.
+	scenario, err := autonosql.NewScenario(a.Shrunk)
+	if err != nil {
+		t.Fatalf("NewScenario(shrunk): %v", err)
+	}
+	rep, err := scenario.Run()
+	if err != nil {
+		t.Fatalf("Run(shrunk): %v", err)
+	}
+	if got := Score(ObjectiveGoldViolations, rep); got != a.ShrunkScore {
+		t.Errorf("cold re-run of the shrunk spec scored %v, hunt reported %v", got, a.ShrunkScore)
+	}
+}
+
+// TestHuntShrinkKeepsFloor pins the shrink contract: the shrunk score stays
+// at or above the keep fraction of the worst score, and the mutation list
+// never grows under shrinking.
+func TestHuntShrinkKeepsFloor(t *testing.T) {
+	res, err := Run(Config{
+		Base:               huntBase(),
+		Objective:          ObjectiveGoldViolations,
+		Seed:               1,
+		Rounds:             3,
+		Neighbors:          4,
+		ShrinkKeepFraction: 0.9,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.WorstScore < res.BaseScore {
+		t.Errorf("hill climb went downhill: worst %v < base %v", res.WorstScore, res.BaseScore)
+	}
+	if res.ShrunkScore < 0.9*res.WorstScore {
+		t.Errorf("shrunk score %v fell below the 0.9 floor of worst %v", res.ShrunkScore, res.WorstScore)
+	}
+}
+
+// TestParseObjective covers the objective names.
+func TestParseObjective(t *testing.T) {
+	for _, good := range []string{"gold-violations", "shed-storm", "oscillation"} {
+		if _, err := ParseObjective(good); err != nil {
+			t.Errorf("ParseObjective(%q): %v", good, err)
+		}
+	}
+	if _, err := ParseObjective("chaos"); err == nil {
+		t.Error("unknown objective accepted")
+	}
+}
+
+// TestScoreObjectives pins the scoring arithmetic on synthetic reports.
+func TestScoreObjectives(t *testing.T) {
+	rep := &autonosql.Report{
+		Violations: autonosql.Violations{Total: 5},
+		Tenants: []autonosql.TenantReport{
+			{Name: "g", Class: "gold", Violations: autonosql.Violations{Total: 2}, ShedOps: 10},
+			{Name: "b", Class: "bronze", Violations: autonosql.Violations{Total: 7}, ShedOps: 30},
+		},
+		Series: map[string][]autonosql.SeriesPoint{
+			autonosql.SeriesClusterSize: {
+				{Value: 3}, {Value: 4}, {Value: 5}, {Value: 4}, {Value: 4}, {Value: 5}, {Value: 3},
+			},
+		},
+	}
+	if got := Score(ObjectiveGoldViolations, rep); got != 2 {
+		t.Errorf("gold-violations = %v, want 2 (gold tenant only)", got)
+	}
+	if got := Score(ObjectiveShedStorm, rep); got != 40 {
+		t.Errorf("shed-storm = %v, want 40", got)
+	}
+	// up, up, down, flat, up, down -> direction changes at down(5->4),
+	// up(4->5), down(5->3) = 3.
+	if got := Score(ObjectiveOscillation, rep); got != 3 {
+		t.Errorf("oscillation = %v, want 3", got)
+	}
+	// No tenants: gold-violations falls back to the aggregate.
+	rep.Tenants = nil
+	if got := Score(ObjectiveGoldViolations, rep); got != 5 {
+		t.Errorf("tenantless gold-violations = %v, want 5", got)
+	}
+}
+
+// TestCaseSaveLoadVerify round-trips a found case through disk and the full
+// bit-for-bit verification (live re-run + trace replay).
+func TestCaseSaveLoadVerify(t *testing.T) {
+	cfg := Config{
+		Base:      huntBase(),
+		Objective: ObjectiveGoldViolations,
+		Seed:      7,
+		Rounds:    1,
+		Neighbors: 2,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	c, trace, err := NewCase("unit_case", cfg, res)
+	if err != nil {
+		t.Fatalf("NewCase: %v", err)
+	}
+	dir := t.TempDir()
+	if err := c.Save(dir, trace); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, err := LoadCases(dir)
+	if err != nil {
+		t.Fatalf("LoadCases: %v", err)
+	}
+	if len(loaded) != 1 || loaded[0].Name != "unit_case" {
+		t.Fatalf("LoadCases = %+v, want the one saved case", loaded)
+	}
+	if loaded[0].Fingerprint != c.Fingerprint || loaded[0].ScoreBits != c.ScoreBits {
+		t.Fatal("case pins did not survive the JSON round trip")
+	}
+	if err := loaded[0].Verify(dir); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	// A tampered pin must fail verification.
+	loaded[0].Fingerprint += "x"
+	if err := loaded[0].Verify(dir); err == nil {
+		t.Fatal("Verify accepted a tampered fingerprint")
+	}
+}
+
+// TestAdversarialCorpus re-verifies every committed adversarial golden under
+// testdata/adversarial bit-for-bit: live re-run matches the pinned
+// fingerprint and score bits, and replaying the committed trace reproduces
+// the fingerprint again.
+func TestAdversarialCorpus(t *testing.T) {
+	dir := filepath.Join("..", "..", "testdata", "adversarial")
+	if _, err := os.Stat(dir); os.IsNotExist(err) {
+		t.Skip("no committed adversarial corpus")
+	}
+	cases, err := LoadCases(dir)
+	if err != nil {
+		t.Fatalf("LoadCases: %v", err)
+	}
+	if len(cases) == 0 {
+		t.Fatal("adversarial corpus directory exists but holds no cases")
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			t.Parallel()
+			if err := c.Verify(dir); err != nil {
+				t.Fatal(err)
+			}
+			if c.Score <= c.BaseScore {
+				t.Errorf("case score %v does not beat its base %v: not adversarial", c.Score, c.BaseScore)
+			}
+		})
+	}
+}
+
+// TestMutationsPure pins the shrink precondition: applying a mutation twice
+// to fresh clones of the same spec yields identical specs, and applying it
+// never mutates the base.
+func TestMutationsPure(t *testing.T) {
+	base := huntBase()
+	before, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &hunter{cfg: Config{Base: base}, rng: rand.New(rand.NewSource(99))}
+	for i := 0; i < 50; i++ {
+		m := h.newMutation(base)
+		a := cloneSpec(base)
+		b := cloneSpec(base)
+		m.Apply(&a)
+		m.Apply(&b)
+		aj, _ := json.Marshal(a)
+		bj, _ := json.Marshal(b)
+		if string(aj) != string(bj) {
+			t.Fatalf("mutation %q is not deterministic", m.Desc)
+		}
+	}
+	after, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Fatal("mutations modified the base spec through aliasing")
+	}
+}

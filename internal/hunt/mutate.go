@@ -1,0 +1,217 @@
+package hunt
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"autonosql"
+)
+
+// Mutation is one reproducible perturbation of a scenario spec. Apply must be
+// a pure function of the spec it receives: the shrinker re-applies arbitrary
+// subsets of a hunt's mutation list to fresh clones of the base spec.
+type Mutation struct {
+	// Desc names the perturbation for logs and persisted cases.
+	Desc string
+	// Apply performs it.
+	Apply func(*autonosql.ScenarioSpec)
+}
+
+// cloneSpec deep-copies a spec so mutations on the clone cannot alias the
+// base's tenant or fault slices.
+func cloneSpec(s autonosql.ScenarioSpec) autonosql.ScenarioSpec {
+	out := s
+	out.Tenants = append([]autonosql.TenantSpec(nil), s.Tenants...)
+	out.Faults.Faults = append([]autonosql.FaultSpec(nil), s.Faults.Faults...)
+	return out
+}
+
+// workloadAt returns a pointer to the tenant workload at idx, or the
+// scenario's single workload for a tenantless spec (idx ignored).
+func workloadAt(s *autonosql.ScenarioSpec, idx int) *autonosql.WorkloadSpec {
+	if len(s.Tenants) == 0 {
+		return &s.Workload
+	}
+	return &s.Tenants[idx%len(s.Tenants)].Workload
+}
+
+// workloadName names the mutated workload for descriptions.
+func workloadName(s autonosql.ScenarioSpec, idx int) string {
+	if len(s.Tenants) == 0 {
+		return "workload"
+	}
+	return "tenant " + s.Tenants[idx%len(s.Tenants)].Name
+}
+
+// pick returns a deterministic element of vals.
+func pick[T any](rng *rand.Rand, vals []T) T {
+	return vals[rng.Intn(len(vals))]
+}
+
+// newMutation draws the next mutation from the hunter's stream. cur is the
+// spec the mutation will (first) land on; it is only used to pick sensible
+// targets (tenant count, duration, existing faults) — Apply itself never
+// closes over cur.
+func (h *hunter) newMutation(cur autonosql.ScenarioSpec) Mutation {
+	rng := h.rng
+	duration := cur.Duration
+	// The weights lean toward workload-shape perturbations: that is where
+	// the paper's controllers live or die.
+	switch rng.Intn(10) {
+	case 0, 1: // scale base rate
+		idx := rng.Intn(maxInt(len(cur.Tenants), 1))
+		factor := pick(rng, []float64{0.5, 0.75, 1.25, 1.5, 2.0})
+		return Mutation{
+			Desc: fmt.Sprintf("%s: base rate x%.2f", workloadName(cur, idx), factor),
+			Apply: func(s *autonosql.ScenarioSpec) {
+				workloadAt(s, idx).BaseOpsPerSec *= factor
+			},
+		}
+	case 2: // scale peak rate (burst amplitude)
+		idx := rng.Intn(maxInt(len(cur.Tenants), 1))
+		factor := pick(rng, []float64{0.5, 1.25, 1.5, 2.0})
+		return Mutation{
+			Desc: fmt.Sprintf("%s: peak rate x%.2f", workloadName(cur, idx), factor),
+			Apply: func(s *autonosql.ScenarioSpec) {
+				w := workloadAt(s, idx)
+				if w.PeakOpsPerSec <= 0 {
+					w.PeakOpsPerSec = w.BaseOpsPerSec
+				}
+				w.PeakOpsPerSec *= factor
+			},
+		}
+	case 3: // move the burst
+		idx := rng.Intn(maxInt(len(cur.Tenants), 1))
+		frac := pick(rng, []float64{0.1, 0.25, 0.4, 0.6, 0.75})
+		at := time.Duration(float64(duration) * frac)
+		return Mutation{
+			Desc: fmt.Sprintf("%s: peak start -> %v", workloadName(cur, idx), at),
+			Apply: func(s *autonosql.ScenarioSpec) {
+				workloadAt(s, idx).PeakStart = at
+			},
+		}
+	case 4: // stretch or squeeze the burst
+		idx := rng.Intn(maxInt(len(cur.Tenants), 1))
+		frac := pick(rng, []float64{0.05, 0.1, 0.2, 0.3})
+		d := time.Duration(float64(duration) * frac)
+		return Mutation{
+			Desc: fmt.Sprintf("%s: peak duration -> %v", workloadName(cur, idx), d),
+			Apply: func(s *autonosql.ScenarioSpec) {
+				workloadAt(s, idx).PeakDuration = d
+			},
+		}
+	case 5: // change the read/write mix
+		idx := rng.Intn(maxInt(len(cur.Tenants), 1))
+		frac := pick(rng, []float64{0, 0.2, 0.5, 0.8, 1})
+		return Mutation{
+			Desc: fmt.Sprintf("%s: read fraction -> %.1f", workloadName(cur, idx), frac),
+			Apply: func(s *autonosql.ScenarioSpec) {
+				workloadAt(s, idx).ReadFraction = frac
+			},
+		}
+	case 6: // change the load shape
+		idx := rng.Intn(maxInt(len(cur.Tenants), 1))
+		pattern := pick(rng, []autonosql.LoadPattern{
+			autonosql.LoadConstant, autonosql.LoadStep, autonosql.LoadDiurnal,
+			autonosql.LoadSpike, autonosql.LoadDiurnalSpike,
+		})
+		return Mutation{
+			Desc: fmt.Sprintf("%s: pattern -> %s", workloadName(cur, idx), pattern),
+			Apply: func(s *autonosql.ScenarioSpec) {
+				workloadAt(s, idx).Pattern = pattern
+			},
+		}
+	case 7: // inject or move a fault
+		if n := len(cur.Faults.Faults); n > 0 && rng.Intn(2) == 0 {
+			idx := rng.Intn(n)
+			shift := time.Duration(float64(duration) * pick(rng, []float64{-0.1, -0.05, 0.05, 0.1}))
+			return Mutation{
+				Desc: fmt.Sprintf("fault %d: shift %v", idx, shift),
+				Apply: func(s *autonosql.ScenarioSpec) {
+					if idx >= len(s.Faults.Faults) {
+						return
+					}
+					at := s.Faults.Faults[idx].At + shift
+					if at < 0 {
+						at = 0
+					}
+					if max := duration - time.Second; at > max && max > 0 {
+						at = max
+					}
+					s.Faults.Faults[idx].At = at
+				},
+			}
+		}
+		at := time.Duration(float64(duration) * pick(rng, []float64{0.2, 0.4, 0.6}))
+		dur := time.Duration(float64(duration) * pick(rng, []float64{0.1, 0.2, 0.3}))
+		var fault autonosql.FaultSpec
+		var desc string
+		switch rng.Intn(4) {
+		case 0:
+			fault, desc = autonosql.CrashFault(at, dur, 1), fmt.Sprintf("add crash @%v for %v", at, dur)
+		case 1:
+			sev := pick(rng, []float64{0.5, 0.8})
+			fault, desc = autonosql.SlowNodeFault(at, dur, 1, sev), fmt.Sprintf("add slow node @%v for %v sev=%.1f", at, dur, sev)
+		case 2:
+			fault, desc = autonosql.PartitionFault(at, dur, 1), fmt.Sprintf("add partition @%v heal %v", at, dur)
+		default:
+			level := pick(rng, []float64{0.5, 1.0})
+			fault, desc = autonosql.LatencyStormFault(at, dur, level), fmt.Sprintf("add latency storm @%v for %v level=%.1f", at, dur, level)
+		}
+		return Mutation{
+			Desc: desc,
+			Apply: func(s *autonosql.ScenarioSpec) {
+				s.Faults.Faults = append(s.Faults.Faults, fault)
+			},
+		}
+	case 8: // admission settings
+		if rng.Intn(2) == 0 {
+			frac := pick(rng, []float64{0.25, 0.5, 0.75})
+			return Mutation{
+				Desc: fmt.Sprintf("admission: frac -> %.2f", frac),
+				Apply: func(s *autonosql.ScenarioSpec) {
+					s.Controller.Admission.ThrottleFraction = frac
+				},
+			}
+		}
+		floor := pick(rng, []float64{25, 50, 100, 200})
+		return Mutation{
+			Desc: fmt.Sprintf("admission: floor -> %.0f", floor),
+			Apply: func(s *autonosql.ScenarioSpec) {
+				s.Controller.Admission.MinRate = floor
+			},
+		}
+	default: // starve or fatten the cluster
+		if rng.Intn(2) == 0 {
+			delta := pick(rng, []int{-1, 1})
+			return Mutation{
+				Desc: fmt.Sprintf("cluster: initial nodes %+d", delta),
+				Apply: func(s *autonosql.ScenarioSpec) {
+					n := s.Cluster.InitialNodes + delta
+					if min := maxInt(s.Cluster.MinNodes, 1); n < min {
+						n = min
+					}
+					if s.Cluster.MaxNodes > 0 && n > s.Cluster.MaxNodes {
+						n = s.Cluster.MaxNodes
+					}
+					s.Cluster.InitialNodes = n
+				},
+			}
+		}
+		factor := pick(rng, []float64{0.75, 0.9, 1.1})
+		return Mutation{
+			Desc: fmt.Sprintf("cluster: node capacity x%.2f", factor),
+			Apply: func(s *autonosql.ScenarioSpec) {
+				s.Cluster.NodeOpsPerSec *= factor
+			},
+		}
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

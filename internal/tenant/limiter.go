@@ -2,6 +2,7 @@ package tenant
 
 import (
 	"errors"
+	"math"
 	"time"
 )
 
@@ -124,6 +125,33 @@ func (l *Limiter) Admit(now time.Duration) bool {
 		return true
 	}
 	return false
+}
+
+// NextTokenWait returns how long after now the bucket will next hold a full
+// token, without consuming anything. It returns 0 when a token is already
+// available (or the limiter is disabled). Delay-mode admission uses this to
+// schedule its queue drain instead of polling.
+func (l *Limiter) NextTokenWait(now time.Duration) time.Duration {
+	if !l.enabled {
+		return 0
+	}
+	tokens := l.tokens
+	if now > l.last {
+		tokens += (now - l.last).Seconds() * l.rate
+		if tokens > l.burst {
+			tokens = l.burst
+		}
+	}
+	if tokens >= 1 {
+		return 0
+	}
+	// rate is > 0 whenever the limiter is enabled. Round up so the drain
+	// never fires a hair before the token exists.
+	wait := time.Duration(math.Ceil((1 - tokens) / l.rate * float64(time.Second)))
+	if wait < time.Nanosecond {
+		wait = time.Nanosecond
+	}
+	return wait
 }
 
 // Windows returns the throttle windows recorded so far, with a still-open

@@ -57,6 +57,9 @@ type Signal struct {
 	// ShedOpsPerSec is the rate at which the tenant's arrivals were shed by
 	// admission control over the interval.
 	ShedOpsPerSec float64
+	// QueueDepth is the number of arrivals waiting in the delay-mode
+	// admission queue at sampling time (always zero in shed mode).
+	QueueDepth int
 }
 
 // observation converts the signal into the tenant's SLA observation.
@@ -124,6 +127,33 @@ type Runtime struct {
 
 	shedInterval uint64
 	shedTotal    uint64
+
+	// Delay-mode admission (nil after = shed mode). Arrivals that fail
+	// admission queue here instead of being rejected; a drain scheduled via
+	// after forwards them as tokens refill, folding the queueing delay into
+	// each operation's observed latency. Overflow past delayQueueCap falls
+	// back to shedding.
+	delayMode     bool
+	after         func(time.Duration, func())
+	queue         []delayedOp
+	drainArmed    bool
+	delayedTotal  uint64
+	maxQueueDepth int
+}
+
+// delayQueueCap bounds the delay-mode admission queue: a tenant whose burst
+// outruns its admitted rate by more than this many operations sheds the
+// overflow, so a sustained overload cannot buffer unboundedly.
+const delayQueueCap = 4096
+
+// delayedOp is one arrival waiting in the delay-mode admission queue.
+type delayedOp struct {
+	write bool
+	key   store.Key
+	cb    func(store.Result)
+	// at is the arrival's original virtual time; the queueing delay
+	// (forward time minus at) is added to the operation's observed latency.
+	at time.Duration
 }
 
 // NewRuntime creates the runtime for one tenant. The inner target is where
@@ -180,6 +210,23 @@ func (r *Runtime) EnableAdmission(clock func() time.Duration, onShed func(write 
 	return nil
 }
 
+// EnableDelayMode switches the runtime's admission control from shedding to
+// queueing: arrivals that fail admission wait in a bounded queue and are
+// forwarded as tokens refill, with the queueing delay folded into their
+// observed latency. after schedules a callback on the simulation's event loop
+// (typically sim.Engine.After); EnableAdmission must have been called first.
+func (r *Runtime) EnableDelayMode(after func(time.Duration, func())) error {
+	if r.clock == nil {
+		return errors.New("tenant: admission control not enabled for " + r.name)
+	}
+	if after == nil {
+		return errors.New("tenant: delay-mode scheduler is required")
+	}
+	r.delayMode = true
+	r.after = after
+	return nil
+}
+
 // Throttle activates (or re-rates) the tenant's admission limiter. It fails
 // when EnableAdmission was never called.
 func (r *Runtime) Throttle(opsPerSec float64) error {
@@ -193,12 +240,14 @@ func (r *Runtime) Throttle(opsPerSec float64) error {
 	return nil
 }
 
-// Unthrottle removes the tenant's admission limit.
+// Unthrottle removes the tenant's admission limit. In delay mode any queued
+// arrivals are released immediately: the limiter that held them back is gone.
 func (r *Runtime) Unthrottle() error {
 	if r.clock == nil {
 		return errors.New("tenant: admission control not enabled for " + r.name)
 	}
 	r.limiter.Disable(r.clock())
+	r.flushQueue()
 	return nil
 }
 
@@ -211,6 +260,17 @@ func (r *Runtime) Throttled() (float64, bool) {
 // ShedOps returns the cumulative number of operations shed by admission
 // control.
 func (r *Runtime) ShedOps() uint64 { return r.shedTotal }
+
+// DelayedOps returns the cumulative number of operations queued by delay-mode
+// admission control (always zero in shed mode).
+func (r *Runtime) DelayedOps() uint64 { return r.delayedTotal }
+
+// MaxQueueDepth returns the deepest the delay-mode admission queue got.
+func (r *Runtime) MaxQueueDepth() int { return r.maxQueueDepth }
+
+// QueueDepth returns the number of arrivals currently waiting in the
+// delay-mode admission queue.
+func (r *Runtime) QueueDepth() int { return len(r.queue) }
 
 // ThrottleWindows returns the tenant's throttle timeline, with a still-open
 // window closed at end.
@@ -250,44 +310,122 @@ func (r *Runtime) shed(write bool, key store.Key, cb func(store.Result)) {
 	}
 }
 
-// Read implements Target: the operation is forwarded with the tenant's
-// outcome accounting wrapped around the caller's callback. Arrivals that
-// fail admission control are shed before they reach the store.
-func (r *Runtime) Read(key store.Key, cb func(store.Result)) {
-	r.opsInterval++
-	if r.limiter.enabled && !r.limiter.Admit(r.clock()) {
-		r.shed(false, key, cb)
-		return
-	}
-	r.inner.Read(key, func(res store.Result) {
+// forward sends one admitted operation to the inner target with the tenant's
+// outcome accounting wrapped around the caller's callback. queued is the time
+// the operation spent in the delay-mode admission queue (zero for directly
+// admitted arrivals); it is added to the client-observed latency, because the
+// client has been waiting since the original arrival.
+func (r *Runtime) forward(write bool, key store.Key, cb func(store.Result), queued time.Duration) {
+	handler := func(res store.Result) {
+		res.Latency += queued
 		if res.Err != nil {
 			r.errsInterval++
+		} else if write {
+			r.writeLat.Observe(res.Latency.Seconds())
 		} else {
 			r.readLat.Observe(res.Latency.Seconds())
 		}
 		if cb != nil {
 			cb(res)
 		}
-	})
+	}
+	if write {
+		r.inner.Write(key, handler)
+	} else {
+		r.inner.Read(key, handler)
+	}
+}
+
+// enqueue places one arrival that failed admission into the delay queue and
+// arms the drain. It reports false when the queue is full, in which case the
+// caller sheds the arrival instead.
+func (r *Runtime) enqueue(write bool, key store.Key, cb func(store.Result)) bool {
+	if len(r.queue) >= delayQueueCap {
+		return false
+	}
+	r.queue = append(r.queue, delayedOp{write: write, key: key, cb: cb, at: r.clock()})
+	r.delayedTotal++
+	if len(r.queue) > r.maxQueueDepth {
+		r.maxQueueDepth = len(r.queue)
+	}
+	r.armDrain()
+	return true
+}
+
+// armDrain schedules the next queue drain for when the limiter will next hold
+// a full token. At most one drain is in flight at a time.
+func (r *Runtime) armDrain() {
+	if r.drainArmed || len(r.queue) == 0 {
+		return
+	}
+	wait := r.limiter.NextTokenWait(r.clock())
+	if wait < time.Nanosecond {
+		wait = time.Nanosecond
+	}
+	r.drainArmed = true
+	r.after(wait, r.drain)
+}
+
+// drain forwards queued arrivals for as long as the limiter admits them, then
+// re-arms itself for the next token if any are still waiting.
+func (r *Runtime) drain() {
+	r.drainArmed = false
+	now := r.clock()
+	for len(r.queue) > 0 {
+		if r.limiter.enabled && !r.limiter.Admit(now) {
+			r.armDrain()
+			return
+		}
+		op := r.queue[0]
+		r.queue[0] = delayedOp{}
+		r.queue = r.queue[1:]
+		r.forward(op.write, op.key, op.cb, now-op.at)
+	}
+	r.queue = nil
+}
+
+// flushQueue forwards everything still waiting in the delay queue, charging
+// each operation the queueing delay it accrued so far.
+func (r *Runtime) flushQueue() {
+	if len(r.queue) == 0 {
+		return
+	}
+	now := r.clock()
+	queue := r.queue
+	r.queue = nil
+	for i, op := range queue {
+		queue[i] = delayedOp{}
+		r.forward(op.write, op.key, op.cb, now-op.at)
+	}
+}
+
+// Read implements Target: the operation is forwarded with the tenant's
+// outcome accounting wrapped around the caller's callback. Arrivals that
+// fail admission control are queued (delay mode) or shed before they reach
+// the store.
+func (r *Runtime) Read(key store.Key, cb func(store.Result)) {
+	r.opsInterval++
+	if r.limiter.enabled && !r.limiter.Admit(r.clock()) {
+		if r.delayMode && r.enqueue(false, key, cb) {
+			return
+		}
+		r.shed(false, key, cb)
+		return
+	}
+	r.forward(false, key, cb, 0)
 }
 
 // Write implements Target, mirroring Read.
 func (r *Runtime) Write(key store.Key, cb func(store.Result)) {
 	r.opsInterval++
 	if r.limiter.enabled && !r.limiter.Admit(r.clock()) {
+		if r.delayMode && r.enqueue(true, key, cb) {
+			return
+		}
 		r.shed(true, key, cb)
 		return
 	}
-	r.inner.Write(key, func(res store.Result) {
-		if res.Err != nil {
-			r.errsInterval++
-		} else {
-			r.writeLat.Observe(res.Latency.Seconds())
-		}
-		if cb != nil {
-			cb(res)
-		}
-	})
+	r.forward(true, key, cb, 0)
 }
 
 // Observe folds one sampling interval into the tenant's SLA tracker and
@@ -313,6 +451,7 @@ func (r *Runtime) Observe(at, interval time.Duration, windowP95 float64) Signal 
 		sig.ShedOpsPerSec = float64(r.shedInterval) / interval.Seconds()
 	}
 	sig.ThrottleRate, sig.Throttled = r.Throttled()
+	sig.QueueDepth = len(r.queue)
 	r.opsInterval = 0
 	r.errsInterval = 0
 	r.shedInterval = 0

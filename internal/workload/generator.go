@@ -149,6 +149,13 @@ func NewGenerator(cfg Config, engine *sim.Engine, target Target, rnd *sim.RandSo
 	return g, nil
 }
 
+// Intercept replaces the generator's target with wrap(target). Trace
+// recording uses it to splice a recorder between the generator and the system
+// under test. It must be called before Start.
+func (g *Generator) Intercept(wrap func(Target) Target) {
+	g.target = wrap(g.target)
+}
+
 // Start schedules the first arrival.
 func (g *Generator) Start() {
 	name := g.cfg.ArrivalStream

@@ -168,6 +168,22 @@ var (
 	keyTable     []store.Key
 )
 
+// KeyIndex reports the index i of a key in the canonical "key-<i>" namespace
+// every built-in chooser draws from. Keys outside the namespace (including
+// non-canonical spellings like "key-007") report ok=false; trace recording
+// falls back to carrying such keys verbatim.
+func KeyIndex(k store.Key) (int, bool) {
+	s := string(k)
+	if len(s) < 5 || s[:4] != "key-" {
+		return 0, false
+	}
+	i, err := strconv.Atoi(s[4:])
+	if err != nil || i < 0 || keyName(i) != k {
+		return 0, false
+	}
+	return i, true
+}
+
 // keyName returns the canonical name of key i. Key choosers call it once per
 // operation, so the common indices are served from a shared immutable table
 // instead of allocating a fresh string per operation.

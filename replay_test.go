@@ -1,0 +1,186 @@
+package autonosql_test
+
+// Trace record/replay tests. The load-bearing guarantee is byte-identity:
+// recording is a pass-through (same fingerprint as an unrecorded run, pinned
+// by the committed golden), the recorded trace itself is a golden file, and
+// replaying it reproduces the live run's fingerprint bit-for-bit. On top of
+// that, the suite's Traces axis must stay deterministic under parallelism.
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"autonosql"
+)
+
+// recordRun runs spec with trace recording armed and returns the report and
+// the captured trace.
+func recordRun(t *testing.T, spec autonosql.ScenarioSpec) (*autonosql.Report, *autonosql.WorkloadTrace) {
+	t.Helper()
+	scenario, err := autonosql.NewScenario(spec)
+	if err != nil {
+		t.Fatalf("NewScenario: %v", err)
+	}
+	if err := scenario.RecordTrace(); err != nil {
+		t.Fatalf("RecordTrace: %v", err)
+	}
+	rep, err := scenario.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	trace, err := scenario.RecordedTrace()
+	if err != nil {
+		t.Fatalf("RecordedTrace: %v", err)
+	}
+	return rep, trace
+}
+
+func encodeTrace(t *testing.T, trace *autonosql.WorkloadTrace) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := trace.Encode(&buf); err != nil {
+		t.Fatalf("encoding trace: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestReplayByteIdentity is the tentpole guarantee of trace replay, checked
+// against the two-tenant golden scenario:
+//
+//  1. recording does not perturb the run — the recorded run's fingerprint is
+//     byte-identical to the committed golden, which was pinned long before
+//     recording existed;
+//  2. the recorded trace matches its committed golden file byte-for-byte;
+//  3. replaying the committed trace reproduces the live fingerprint
+//     byte-for-byte, even though the replayed run never touches the arrival
+//     or key random streams;
+//  4. re-recording the replayed run reproduces the trace itself.
+func TestReplayByteIdentity(t *testing.T) {
+	spec := twoTenantSpec(4711, autonosql.ControllerNone)
+	liveRep, trace := recordRun(t, spec)
+	liveFP := fingerprintReport(liveRep)
+
+	if trace.EventCount() == 0 {
+		t.Fatal("recorded trace is empty")
+	}
+	if got := trace.TenantNames(); len(got) != 2 || got[0] != "gold" || got[1] != "bronze" {
+		t.Fatalf("recorded trace tenants = %v, want [gold bronze]", got)
+	}
+
+	// (1) Recording is a pass-through: same fingerprint as the committed
+	// golden of the unrecorded run.
+	goldenPath := filepath.Join("testdata", "golden_scenario_twotenants_seed4711.txt")
+	if !*updateGolden {
+		want, err := os.ReadFile(goldenPath)
+		if err != nil {
+			t.Fatalf("reading %s: %v", goldenPath, err)
+		}
+		if string(want) != liveFP {
+			t.Fatalf("recording perturbed the run: fingerprint diverged from %s", goldenPath)
+		}
+	}
+
+	// (2) The trace itself is a golden file.
+	encoded := encodeTrace(t, trace)
+	tracePath := filepath.Join("testdata", "golden_trace_twotenants_seed4711.jsonl")
+	if *updateGolden {
+		if err := os.WriteFile(tracePath, encoded, 0o644); err != nil {
+			t.Fatalf("writing %s: %v", tracePath, err)
+		}
+		t.Logf("updated %s", tracePath)
+	} else {
+		want, err := os.ReadFile(tracePath)
+		if err != nil {
+			t.Fatalf("reading trace golden (run with -update-golden to create): %v", err)
+		}
+		if !bytes.Equal(want, encoded) {
+			t.Fatalf("recorded trace diverged from %s", tracePath)
+		}
+	}
+
+	// (3) Replaying the trace — parsed back from its canonical bytes, the
+	// way a committed file would be loaded — reproduces the fingerprint.
+	parsed, err := autonosql.ParseWorkloadTrace(bytes.NewReader(encoded))
+	if err != nil {
+		t.Fatalf("ParseWorkloadTrace: %v", err)
+	}
+	replaySpec := twoTenantSpec(4711, autonosql.ControllerNone)
+	replaySpec.Replay = parsed
+	replayRep, replayTrace := recordRun(t, replaySpec)
+	if got := fingerprintReport(replayRep); got != liveFP {
+		t.Fatal("replayed run's fingerprint differs from the live run: replay is not byte-identical")
+	}
+
+	// (4) Re-recording the replay reproduces the trace.
+	if !bytes.Equal(encodeTrace(t, replayTrace), encoded) {
+		t.Fatal("re-recorded trace differs from the trace being replayed")
+	}
+}
+
+// TestReplayValidation pins the spec-level guard rails: a replay trace must
+// declare exactly the spec's tenants, in order.
+func TestReplayValidation(t *testing.T) {
+	_, trace := recordRun(t, twoTenantSpec(4711, autonosql.ControllerNone))
+
+	spec := twoTenantSpec(4711, autonosql.ControllerNone)
+	spec.Tenants[0].Name = "platinum"
+	spec.Replay = trace
+	if _, err := autonosql.NewScenario(spec); err == nil {
+		t.Fatal("NewScenario accepted a replay trace whose tenants do not match the spec")
+	}
+
+	spec = twoTenantSpec(4711, autonosql.ControllerNone)
+	spec.Tenants = spec.Tenants[:1]
+	spec.Replay = trace
+	if _, err := autonosql.NewScenario(spec); err == nil {
+		t.Fatal("NewScenario accepted a two-tenant trace for a one-tenant spec")
+	}
+}
+
+// TestSuiteTracesAxis pins the Traces grid axis: the same recorded arrivals
+// run against every controller variant, variant names carry the trace
+// component, and the expansion stays bit-for-bit deterministic whatever the
+// parallelism.
+func TestSuiteTracesAxis(t *testing.T) {
+	base := twoTenantSpec(4711, autonosql.ControllerNone)
+	_, trace := recordRun(t, base)
+
+	suiteSpec := autonosql.SuiteSpec{
+		Base: base,
+		Grid: autonosql.Grid{
+			Controllers: []autonosql.ControllerMode{autonosql.ControllerNone, autonosql.ControllerReactive},
+			Traces:      []autonosql.NamedTrace{{Name: "rec4711", Trace: trace}},
+		},
+	}
+	fingerprint := func(parallelism int) string {
+		suiteSpec.Parallelism = parallelism
+		suite, err := autonosql.NewSuite(suiteSpec)
+		if err != nil {
+			t.Fatalf("NewSuite: %v", err)
+		}
+		rep, err := suite.Run()
+		if err != nil {
+			t.Fatalf("suite.Run: %v", err)
+		}
+		if len(rep.Variants) != 2 {
+			t.Fatalf("suite ran %d variants, want 2", len(rep.Variants))
+		}
+		var b strings.Builder
+		for _, v := range rep.Variants {
+			if !strings.Contains(v.Name, "trace=rec4711") {
+				t.Fatalf("variant %q does not carry the trace axis component", v.Name)
+			}
+			fmt.Fprintf(&b, "== variant %s\n%s", v.Name, fingerprintReport(v.Report))
+		}
+		return b.String()
+	}
+	sequential := fingerprint(1)
+	concurrent := fingerprint(2)
+	if sequential != concurrent {
+		t.Fatal("Traces-axis suite diverged between sequential and concurrent execution")
+	}
+}

@@ -146,6 +146,14 @@ type TenantReport struct {
 	// the run ended.
 	Pinned bool
 
+	// DelayedOps counts operations queued by delay-mode admission control
+	// instead of being shed; MaxQueueDepth is the deepest the queue got and
+	// QueueDepth its depth when the run ended (operations still waiting).
+	// All zero unless the admission spec ran with mode=delay.
+	DelayedOps    uint64 `json:",omitempty"`
+	MaxQueueDepth int    `json:",omitempty"`
+	QueueDepth    int    `json:",omitempty"`
+
 	// Window is the tenant's ground-truth inconsistency-window distribution
 	// (seconds) over its own writes.
 	Window LatencySummary
@@ -176,6 +184,9 @@ func (t TenantReport) String() string {
 	if t.ShedOps > 0 || t.ThrottledMinutes > 0 {
 		s += fmt.Sprintf(", throttled=%.1fmin (%d windows, %d shed)",
 			t.ThrottledMinutes, len(t.Throttles), t.ShedOps)
+	}
+	if t.DelayedOps > 0 {
+		s += fmt.Sprintf(", delayed=%d (max queue %d)", t.DelayedOps, t.MaxQueueDepth)
 	}
 	if t.Pinned {
 		s += ", pinned"
@@ -401,6 +412,9 @@ func buildTenantReport(s *Scenario, rt *tenant.Runtime) TenantReport {
 		tr.Throttles = append(tr.Throttles, ThrottleWindow{Start: w.Start, End: w.End, Rate: w.Rate})
 	}
 	tr.ThrottledMinutes = rt.ThrottledTime(s.spec.Duration).Minutes()
+	tr.DelayedOps = rt.DelayedOps()
+	tr.MaxQueueDepth = rt.MaxQueueDepth()
+	tr.QueueDepth = rt.QueueDepth()
 	return tr
 }
 

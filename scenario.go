@@ -41,6 +41,16 @@ type Scenario struct {
 	tenantGens     []*workload.Generator
 	tenantAct      *tenantActuator
 
+	// Replay mode (spec.Replay != nil): trace sources take the generators'
+	// place — source for the anonymous workload, tenantSources aligned with
+	// tenantRuntimes — and issue the recorded arrivals at their exact times.
+	source        *workload.TraceSource
+	tenantSources []*workload.TraceSource
+
+	// recorder, when armed via RecordTrace, captures the arrival stream of
+	// whichever drivers (generators or trace sources) the scenario runs.
+	recorder *workload.TraceRecorder
+
 	agreement sla.SLA
 	costs     sla.CostModel
 	tracker   *sla.Tracker
@@ -131,20 +141,28 @@ func NewScenario(spec ScenarioSpec) (*Scenario, error) {
 	// With declared tenants, each tenant gets its own generator, runtime and
 	// disjoint key-space slice instead of the single anonymous workload.
 	if len(spec.Tenants) == 0 {
-		keys, err := s.keyChooser()
-		if err != nil {
-			return nil, err
+		if spec.Replay != nil {
+			src, err := workload.NewTraceSource(engine, mon, spec.Replay.eventsFor(""))
+			if err != nil {
+				return nil, fmt.Errorf("autonosql: assembling replay: %w", err)
+			}
+			s.source = src
+		} else {
+			keys, err := s.keyChooser()
+			if err != nil {
+				return nil, err
+			}
+			gen, err := workload.NewGenerator(workload.Config{
+				Profile: spec.loadProfile(),
+				Mix:     workload.Mix{ReadFraction: spec.Workload.ReadFraction},
+				Keys:    keys,
+				Until:   spec.Duration,
+			}, engine, mon, rnd)
+			if err != nil {
+				return nil, fmt.Errorf("autonosql: assembling workload: %w", err)
+			}
+			s.gen = gen
 		}
-		gen, err := workload.NewGenerator(workload.Config{
-			Profile: spec.loadProfile(),
-			Mix:     workload.Mix{ReadFraction: spec.Workload.ReadFraction},
-			Keys:    keys,
-			Until:   spec.Duration,
-		}, engine, mon, rnd)
-		if err != nil {
-			return nil, fmt.Errorf("autonosql: assembling workload: %w", err)
-		}
-		s.gen = gen
 	} else if err := s.assembleTenants(); err != nil {
 		return nil, err
 	}
@@ -282,16 +300,6 @@ func (s *Scenario) assembleTenants() error {
 		if err != nil {
 			return fmt.Errorf("autonosql: tenant %q: %w", ts.Name, err)
 		}
-		keys, err := s.keyChooserFor(ts.Workload.Keys, ts.Workload.Keyspace,
-			"tenant-"+ts.Name+"-keys")
-		if err != nil {
-			return fmt.Errorf("autonosql: tenant %q: %w", ts.Name, err)
-		}
-		// Confine the chooser to the tenant's window even at base 0: the
-		// "latest" distribution appends without bound and would otherwise
-		// grow into the next tenant's slice.
-		workload.Slice(keys, base, tenantKeyspace(ts))
-		base += tenantKeyspace(ts)
 		rt, err := tenant.NewRuntime(id, ts.Name, class, s.monitor.Tagged(id))
 		if err != nil {
 			return fmt.Errorf("autonosql: tenant %q: %w", ts.Name, err)
@@ -306,6 +314,37 @@ func (s *Scenario) assembleTenants() error {
 		}); err != nil {
 			return fmt.Errorf("autonosql: tenant %q: %w", ts.Name, err)
 		}
+		if s.spec.Controller.Admission.Mode == AdmissionDelay {
+			// Delay mode queues a throttled tenant's excess arrivals on the
+			// event loop instead of shedding them.
+			if err := rt.EnableDelayMode(func(d time.Duration, fn func()) {
+				s.engine.After(d, func(time.Duration) { fn() })
+			}); err != nil {
+				return fmt.Errorf("autonosql: tenant %q: %w", ts.Name, err)
+			}
+		}
+		s.tenantRuntimes = append(s.tenantRuntimes, rt)
+		if s.spec.Replay != nil {
+			// Replay: the tenant's recorded arrivals drive the runtime
+			// directly; key choosers and arrival streams stay unbuilt (the
+			// trace already carries the keys).
+			src, err := workload.NewTraceSource(s.engine, rt, s.spec.Replay.eventsFor(ts.Name))
+			if err != nil {
+				return fmt.Errorf("autonosql: tenant %q replay: %w", ts.Name, err)
+			}
+			s.tenantSources = append(s.tenantSources, src)
+			continue
+		}
+		keys, err := s.keyChooserFor(ts.Workload.Keys, ts.Workload.Keyspace,
+			"tenant-"+ts.Name+"-keys")
+		if err != nil {
+			return fmt.Errorf("autonosql: tenant %q: %w", ts.Name, err)
+		}
+		// Confine the chooser to the tenant's window even at base 0: the
+		// "latest" distribution appends without bound and would otherwise
+		// grow into the next tenant's slice.
+		workload.Slice(keys, base, tenantKeyspace(ts))
+		base += tenantKeyspace(ts)
 		gen, err := workload.NewGenerator(workload.Config{
 			Profile:       loadProfileFor(ts.Workload, s.spec.Duration),
 			Mix:           workload.Mix{ReadFraction: ts.Workload.ReadFraction},
@@ -316,7 +355,6 @@ func (s *Scenario) assembleTenants() error {
 		if err != nil {
 			return fmt.Errorf("autonosql: tenant %q workload: %w", ts.Name, err)
 		}
-		s.tenantRuntimes = append(s.tenantRuntimes, rt)
 		s.tenantGens = append(s.tenantGens, gen)
 	}
 	return nil
@@ -324,6 +362,58 @@ func (s *Scenario) assembleTenants() error {
 
 // Spec returns the spec the scenario was built from.
 func (s *Scenario) Spec() ScenarioSpec { return s.spec }
+
+// RecordTrace arms arrival recording on a scenario that has not run yet:
+// every workload driver's target is wrapped with a pass-through recorder, so
+// the run captures its complete arrival stream without perturbing it (the
+// recorder draws no randomness and schedules no events). Retrieve the trace
+// with RecordedTrace after Run. Replayed scenarios can be recorded too; the
+// re-recorded trace equals the one being replayed.
+func (s *Scenario) RecordTrace() error {
+	if s.ran {
+		return errors.New("autonosql: cannot record a scenario that has already run")
+	}
+	if s.recorder != nil {
+		return errors.New("autonosql: trace recording is already armed")
+	}
+	names := make([]string, len(s.spec.Tenants))
+	for i, ts := range s.spec.Tenants {
+		names[i] = ts.Name
+	}
+	rec, err := workload.NewTraceRecorder(s.engine.Now, names)
+	if err != nil {
+		return fmt.Errorf("autonosql: %w", err)
+	}
+	wrap := func(name string) func(workload.Target) workload.Target {
+		return func(inner workload.Target) workload.Target { return rec.Wrap(name, inner) }
+	}
+	if s.gen != nil {
+		s.gen.Intercept(wrap(""))
+	}
+	if s.source != nil {
+		s.source.Intercept(wrap(""))
+	}
+	for i, g := range s.tenantGens {
+		g.Intercept(wrap(s.spec.Tenants[i].Name))
+	}
+	for i, src := range s.tenantSources {
+		src.Intercept(wrap(s.spec.Tenants[i].Name))
+	}
+	s.recorder = rec
+	return nil
+}
+
+// RecordedTrace returns the arrival stream captured by a run that was armed
+// with RecordTrace before Run.
+func (s *Scenario) RecordedTrace() (*WorkloadTrace, error) {
+	if s.recorder == nil {
+		return nil, errors.New("autonosql: RecordTrace was not called before the run")
+	}
+	if !s.ran {
+		return nil, errors.New("autonosql: the scenario has not run yet")
+	}
+	return &WorkloadTrace{trace: s.recorder.Trace()}, nil
+}
 
 // At registers an intervention to run at the given virtual time during Run.
 // The callback receives a Handle bound to the live system. Interventions
@@ -369,8 +459,14 @@ func (s *Scenario) Run() (*Report, error) {
 	if s.gen != nil {
 		s.gen.Start()
 	}
+	if s.source != nil {
+		s.source.Start()
+	}
 	for _, g := range s.tenantGens {
 		g.Start()
+	}
+	for _, src := range s.tenantSources {
+		src.Start()
 	}
 	if err := s.engine.Run(s.spec.Duration); err != nil {
 		return nil, fmt.Errorf("autonosql: running simulation: %w", err)
@@ -378,8 +474,14 @@ func (s *Scenario) Run() (*Report, error) {
 	if s.gen != nil {
 		s.gen.Stop()
 	}
+	if s.source != nil {
+		s.source.Stop()
+	}
 	for _, g := range s.tenantGens {
 		g.Stop()
+	}
+	for _, src := range s.tenantSources {
+		src.Stop()
 	}
 	s.sampler.Stop()
 	if s.tenant != nil {

@@ -228,6 +228,15 @@ type ScenarioSpec struct {
 	// its own generator over a disjoint key-space slice under its own SLA
 	// class — and the report gains per-tenant sections.
 	Tenants []TenantSpec
+
+	// Replay, when non-nil, replaces every workload generator with an exact
+	// replay of the recorded arrival stream: each operation is issued at its
+	// recorded virtual time, to its recorded tenant and key, regardless of
+	// the Workload / tenant rate parameters (which then only describe where
+	// the trace came from). The trace's tenant names must match Tenants.
+	// Replay is excluded from JSON because a trace is workload data, not
+	// configuration; persist it next to the spec with WorkloadTrace.WriteFile.
+	Replay *WorkloadTrace `json:"-"`
 }
 
 // DefaultScenarioSpec returns a ready-to-run scenario: a three-node cluster,
@@ -337,6 +346,11 @@ func (s ScenarioSpec) Validate() error {
 	}
 	if err := s.Controller.Admission.validate(); err != nil {
 		return fmt.Errorf("autonosql: %w", err)
+	}
+	if s.Replay != nil {
+		if err := s.Replay.matches(s.Tenants); err != nil {
+			return fmt.Errorf("autonosql: replay: %w", err)
+		}
 	}
 	return nil
 }

@@ -58,8 +58,8 @@ func LookupSLATier(name string) (SLATier, bool) {
 // Grid is the axis grid of a suite. Each non-empty axis multiplies the
 // number of variants; an empty axis keeps the base spec's value. The
 // expansion order is fixed (pattern, controller, cluster size, SLA tier,
-// fault profile, tenant mix, seed offset), so a given grid always produces
-// the same variants in the same order.
+// fault profile, tenant mix, trace, seed offset), so a given grid always
+// produces the same variants in the same order.
 type Grid struct {
 	// Patterns are the workload load shapes to sweep over.
 	Patterns []LoadPattern
@@ -77,6 +77,11 @@ type Grid struct {
 	// gold+bronze pair), so controllers can be compared under identical
 	// multi-tenant pressure.
 	TenantMixes []TenantMix
+	// Traces are recorded arrival streams to sweep over: each variant on a
+	// trace replays those exact arrivals instead of generating fresh ones, so
+	// every controller variant faces byte-identical client traffic. A trace's
+	// tenant population must match the variant's tenant declarations.
+	Traces []NamedTrace
 	// Repeats runs every cell with that many different derived seeds
 	// (0 and 1 both mean one run per cell).
 	Repeats int
@@ -85,7 +90,7 @@ type Grid struct {
 // Size returns the number of variants the grid expands to over a base spec.
 func (g Grid) Size() int {
 	n := 1
-	for _, axis := range []int{len(g.Patterns), len(g.Controllers), len(g.ClusterSizes), len(g.SLATiers), len(g.Faults), len(g.TenantMixes)} {
+	for _, axis := range []int{len(g.Patterns), len(g.Controllers), len(g.ClusterSizes), len(g.SLATiers), len(g.Faults), len(g.TenantMixes), len(g.Traces)} {
 		if axis > 0 {
 			n *= axis
 		}
@@ -139,6 +144,10 @@ func ExpandGrid(base ScenarioSpec, grid Grid) []Variant {
 	if len(mixes) == 0 {
 		mixes = []TenantMix{{Tenants: base.Tenants}}
 	}
+	traces := grid.Traces
+	if len(traces) == 0 {
+		traces = []NamedTrace{{Trace: base.Replay}}
+	}
 	repeats := grid.Repeats
 	if repeats < 1 {
 		repeats = 1
@@ -151,36 +160,41 @@ func ExpandGrid(base ScenarioSpec, grid Grid) []Variant {
 				for _, tier := range tiers {
 					for _, fp := range faults {
 						for _, mix := range mixes {
-							for rep := 0; rep < repeats; rep++ {
-								name := gridVariantName(grid, pattern, controller, size, tier, fp, mix, rep)
-								spec := base
-								if name == "base" {
-									// Degenerate grid with no swept axis: keep the
-									// base spec (and its seed) verbatim, so a suite
-									// of one reproduces a direct NewScenario run.
+							for _, nt := range traces {
+								for rep := 0; rep < repeats; rep++ {
+									name := gridVariantName(grid, pattern, controller, size, tier, fp, mix, nt, rep)
+									spec := base
+									if name == "base" {
+										// Degenerate grid with no swept axis: keep the
+										// base spec (and its seed) verbatim, so a suite
+										// of one reproduces a direct NewScenario run.
+										variants = append(variants, Variant{Name: name, Spec: spec})
+										continue
+									}
+									if len(grid.Patterns) > 0 {
+										spec.Workload.Pattern = pattern
+									}
+									if len(grid.Controllers) > 0 {
+										spec.Controller.Mode = controller
+									}
+									if len(grid.ClusterSizes) > 0 {
+										spec.Cluster.InitialNodes = size
+									}
+									if len(grid.SLATiers) > 0 {
+										spec.SLA = tier.SLA
+									}
+									if len(grid.Faults) > 0 {
+										spec.Faults = fp.Plan
+									}
+									if len(grid.TenantMixes) > 0 {
+										spec.Tenants = mix.Tenants
+									}
+									if len(grid.Traces) > 0 {
+										spec.Replay = nt.Trace
+									}
+									spec.Seed = sim.DeriveSeed(base.Seed, name)
 									variants = append(variants, Variant{Name: name, Spec: spec})
-									continue
 								}
-								if len(grid.Patterns) > 0 {
-									spec.Workload.Pattern = pattern
-								}
-								if len(grid.Controllers) > 0 {
-									spec.Controller.Mode = controller
-								}
-								if len(grid.ClusterSizes) > 0 {
-									spec.Cluster.InitialNodes = size
-								}
-								if len(grid.SLATiers) > 0 {
-									spec.SLA = tier.SLA
-								}
-								if len(grid.Faults) > 0 {
-									spec.Faults = fp.Plan
-								}
-								if len(grid.TenantMixes) > 0 {
-									spec.Tenants = mix.Tenants
-								}
-								spec.Seed = sim.DeriveSeed(base.Seed, name)
-								variants = append(variants, Variant{Name: name, Spec: spec})
 							}
 						}
 					}
@@ -193,7 +207,7 @@ func ExpandGrid(base ScenarioSpec, grid Grid) []Variant {
 
 // gridVariantName builds the canonical variant name from the swept axis
 // values; axes the grid does not sweep contribute no component.
-func gridVariantName(grid Grid, pattern LoadPattern, controller ControllerMode, size int, tier SLATier, fp FaultProfile, mix TenantMix, rep int) string {
+func gridVariantName(grid Grid, pattern LoadPattern, controller ControllerMode, size int, tier SLATier, fp FaultProfile, mix TenantMix, nt NamedTrace, rep int) string {
 	var parts []string
 	if len(grid.Patterns) > 0 {
 		parts = append(parts, "pattern="+string(patternOrConstant(pattern)))
@@ -212,6 +226,9 @@ func gridVariantName(grid Grid, pattern LoadPattern, controller ControllerMode, 
 	}
 	if len(grid.TenantMixes) > 0 {
 		parts = append(parts, "tenants="+mix.Name)
+	}
+	if len(grid.Traces) > 0 {
+		parts = append(parts, "trace="+nt.Name)
 	}
 	if grid.Repeats > 1 {
 		parts = append(parts, fmt.Sprintf("rep=%d", rep))
@@ -257,7 +274,7 @@ func NewSuite(spec SuiteSpec) (*Suite, error) {
 	if len(spec.Grid.Patterns) == 0 && len(spec.Grid.Controllers) == 0 &&
 		len(spec.Grid.ClusterSizes) == 0 && len(spec.Grid.SLATiers) == 0 &&
 		len(spec.Grid.Faults) == 0 && len(spec.Grid.TenantMixes) == 0 &&
-		spec.Grid.Repeats <= 1 {
+		len(spec.Grid.Traces) == 0 && spec.Grid.Repeats <= 1 {
 		// A grid with no swept axis expands to the bare base spec; drop it
 		// when explicit variants are given, so SuiteSpec{Variants: ...} does
 		// not smuggle in an extra run of the base.
