@@ -94,6 +94,7 @@ func runBenchJSON(dir string) (string, error) {
 		return "", fmt.Errorf("scenario benchmark: %w", benchErr)
 	}
 	nsPerOp := float64(scenarioRes.T.Nanoseconds()) / float64(scenarioRes.N)
+	plainOpsPerSec := float64(simulatedOps) / (nsPerOp / 1e9)
 	out.Benchmarks = append(out.Benchmarks, benchResult{
 		Name:        "scenario_quick",
 		Iterations:  scenarioRes.N,
@@ -102,7 +103,49 @@ func runBenchJSON(dir string) (string, error) {
 		BytesPerOp:  scenarioRes.AllocedBytesPerOp(),
 		Extra: map[string]float64{
 			"simulated_ops":         float64(simulatedOps),
-			"simulated_ops_per_sec": float64(simulatedOps) / (nsPerOp / 1e9),
+			"simulated_ops_per_sec": plainOpsPerSec,
+			"shards":                1,
+		},
+	})
+
+	// The same scenario on the sharded engine: workload drivers run on their
+	// own lanes across cores. Results are bit-identical to scenario_quick
+	// (pinned by TestShardEquivalence); the point records how much wall-clock
+	// the lockstep engine buys — or costs — on this machine's core count.
+	shardedRes := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			spec := quickScenarioSpec(int64(i + 1))
+			spec.Shards = 4
+			scenario, err := autonosql.NewScenario(spec)
+			if err != nil {
+				benchErr = err
+				b.FailNow()
+			}
+			rep, err := scenario.Run()
+			if err != nil {
+				benchErr = err
+				b.FailNow()
+			}
+			simulatedOps = rep.Reads + rep.Writes
+		}
+	})
+	if benchErr != nil {
+		return "", fmt.Errorf("sharded scenario benchmark: %w", benchErr)
+	}
+	shardedNsPerOp := float64(shardedRes.T.Nanoseconds()) / float64(shardedRes.N)
+	shardedOpsPerSec := float64(simulatedOps) / (shardedNsPerOp / 1e9)
+	out.Benchmarks = append(out.Benchmarks, benchResult{
+		Name:        "scenario_quick_shards4",
+		Iterations:  shardedRes.N,
+		NsPerOp:     shardedNsPerOp,
+		AllocsPerOp: shardedRes.AllocsPerOp(),
+		BytesPerOp:  shardedRes.AllocedBytesPerOp(),
+		Extra: map[string]float64{
+			"simulated_ops":         float64(simulatedOps),
+			"simulated_ops_per_sec": shardedOpsPerSec,
+			"shards":                4,
+			"speedup_vs_plain":      shardedOpsPerSec / plainOpsPerSec,
 		},
 	})
 
@@ -130,7 +173,10 @@ func runBenchJSON(dir string) (string, error) {
 		Scenarios:       suiteRep.Len(),
 		ElapsedMs:       float64(suiteRep.Elapsed.Microseconds()) / 1000,
 		ScenariosPerSec: suiteRep.ScenariosPerSecond(),
-		Parallelism:     runtime.GOMAXPROCS(0),
+		// The workers the run actually used — the requested bound resolved
+		// against GOMAXPROCS and clamped to the variant count — not the
+		// machine-wide GOMAXPROCS the earlier schema versions recorded.
+		Parallelism: suiteRep.Parallelism,
 	}
 
 	// Never clobber an earlier trajectory point recorded on the same day: a

@@ -49,6 +49,8 @@ func run(args []string, out *os.File) int {
 		decisions  = fs.Bool("decisions", false, "print the controller decision log")
 		recordPath = fs.String("record-trace", "", "record the run's arrival stream to the given JSON-lines trace file")
 		replayPath = fs.String("replay-trace", "", "replay arrivals from the given trace file instead of generating them\n(the trace's tenants must match -tenants)")
+		shards     = fs.Int("shards", 1, "simulation shards: >= 2 runs the workload drivers on their own\nlockstep lanes across cores; results are identical for any value")
+		epoch      = fs.Duration("epoch", 0, "lockstep epoch for -shards >= 2 (0 = default); results are invariant")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -91,6 +93,8 @@ func run(args []string, out *os.File) int {
 	}
 	spec.Controller.Admission = admissionSpec
 	spec.Controller.AllowPlacement = *placement
+	spec.Shards = *shards
+	spec.Epoch = *epoch
 	if *replayPath != "" {
 		trace, err := autonosql.ReadWorkloadTraceFile(*replayPath)
 		if err != nil {

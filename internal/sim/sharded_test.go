@@ -1,0 +1,308 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// shardedDigest runs a synthetic producer/consumer topology — one home lane
+// plus producers producer lanes each mailing ops at exponential-ish virtual
+// times — and folds the home lane's delivery order into a digest string.
+// Identical digests mean identical firing order, bit for bit.
+func shardedDigest(t *testing.T, epoch time.Duration, workers, producers int, until time.Duration) string {
+	t.Helper()
+	se, err := NewShardedEngine(epoch, workers)
+	if err != nil {
+		t.Fatalf("NewShardedEngine: %v", err)
+	}
+	home, err := se.NewLane(0)
+	if err != nil {
+		t.Fatalf("NewLane(home): %v", err)
+	}
+	digest := ""
+	deliver := func(arg any, now time.Duration) {
+		digest += fmt.Sprintf("%d@%d;", arg.(int), now)
+	}
+	for p := 0; p < producers; p++ {
+		lane, err := se.NewLane(1)
+		if err != nil {
+			t.Fatalf("NewLane(producer %d): %v", p, err)
+		}
+		// Deterministic, lane-dependent arrival pattern with deliberate
+		// cross-lane virtual-time collisions (gcd of strides > 0 hits shared
+		// multiples), so the (at, lane, seq) tie-break is actually exercised.
+		stride := time.Duration(p+1) * 100 * time.Microsecond
+		id := p * 1_000_000
+		var tick Handler
+		tick = func(now time.Duration) {
+			lane.Send(home, deliver, id)
+			id++
+			// Occasionally mail a deliberately future-dated op.
+			if id%7 == 0 {
+				lane.SendAt(home, now+3*stride, deliver, id)
+				id++
+			}
+			if next := now + stride; next <= until {
+				lane.Engine().AfterAt(next, tick)
+			}
+		}
+		lane.Engine().AfterAt(0, tick)
+	}
+	// Home-local traffic colliding with mailed times.
+	count := 0
+	var local Handler
+	local = func(now time.Duration) {
+		digest += fmt.Sprintf("local@%d;", now)
+		count++
+		if next := now + 250*time.Microsecond; next <= until {
+			home.Engine().AfterAt(next, local)
+		}
+	}
+	home.Engine().AfterAt(0, local)
+
+	if err := se.Run(until); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if count == 0 {
+		t.Fatal("home lane processed no local events")
+	}
+	return digest
+}
+
+// TestShardedWorkerInvariance pins the core determinism claim: the firing
+// order on every lane is identical whatever the worker count.
+func TestShardedWorkerInvariance(t *testing.T) {
+	const until = 50 * time.Millisecond
+	want := shardedDigest(t, time.Millisecond, 1, 3, until)
+	for _, workers := range []int{2, 4, 8} {
+		got := shardedDigest(t, time.Millisecond, workers, 3, until)
+		if got != want {
+			t.Fatalf("digest diverged at workers=%d", workers)
+		}
+	}
+}
+
+// TestShardedEpochInvariance pins that the lockstep window length only
+// decides when mail is drained, never the firing order.
+func TestShardedEpochInvariance(t *testing.T) {
+	const until = 50 * time.Millisecond
+	want := shardedDigest(t, time.Millisecond, 2, 3, until)
+	for _, epoch := range []time.Duration{250 * time.Microsecond, 5 * time.Millisecond, 50 * time.Millisecond, 70 * time.Millisecond} {
+		got := shardedDigest(t, epoch, 2, 3, until)
+		if got != want {
+			t.Fatalf("digest diverged at epoch=%v", epoch)
+		}
+	}
+}
+
+// TestShardedTieOrder pins the cross-lane tie-break exactly: at equal virtual
+// time, the receiver's own events fire before lane 1's, lane 1's before lane
+// 2's, and each lane's in its own send order.
+func TestShardedTieOrder(t *testing.T) {
+	se, err := NewShardedEngine(time.Millisecond, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	home, _ := se.NewLane(0)
+	a, _ := se.NewLane(1)
+	b, _ := se.NewLane(1)
+	var got []string
+	deliver := func(arg any, _ time.Duration) { got = append(got, arg.(string)) }
+	at := 500 * time.Microsecond
+	// b schedules its sends before a in wall-clock terms (lane creation order
+	// does not matter — only lane id does).
+	b.Engine().AfterAt(0, func(time.Duration) {
+		b.SendAt(home, at, deliver, "b0")
+		b.SendAt(home, at, deliver, "b1")
+	})
+	a.Engine().AfterAt(0, func(time.Duration) {
+		a.SendAt(home, at, deliver, "a0")
+		a.SendAt(home, at, deliver, "a1")
+	})
+	home.Engine().AfterArgAt(at, deliver, "home0")
+	if err := se.Run(2 * time.Millisecond); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []string{"home0", "a0", "a1", "b0", "b1"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("tie order = %v, want %v", got, want)
+	}
+}
+
+// TestShardedDeterminismViolation pins that an illegal topology — a lane
+// mailing into a peer that runs at the same lead — fails loudly with
+// ErrDeterminism instead of silently reordering.
+func TestShardedDeterminismViolation(t *testing.T) {
+	se, err := NewShardedEngine(time.Millisecond, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := se.NewLane(0)
+	b, _ := se.NewLane(0)
+	deliver := func(any, time.Duration) {}
+	// a mails b mid-window; by the barrier b's clock has already passed it.
+	a.Engine().AfterAt(500*time.Microsecond, func(time.Duration) {
+		a.Send(b, deliver, nil)
+	})
+	if err := se.Run(10 * time.Millisecond); !errors.Is(err, ErrDeterminism) {
+		t.Fatalf("Run = %v, want ErrDeterminism", err)
+	}
+}
+
+// TestShardedRunOnce pins the single-shot contract.
+func TestShardedRunOnce(t *testing.T) {
+	se, err := NewShardedEngine(time.Millisecond, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se.NewLane(0)
+	if err := se.Run(time.Millisecond); err != nil {
+		t.Fatalf("first Run: %v", err)
+	}
+	if err := se.Run(2 * time.Millisecond); !errors.Is(err, ErrRunning) {
+		t.Fatalf("second Run = %v, want ErrRunning", err)
+	}
+	if _, err := se.NewLane(0); err == nil {
+		t.Fatal("NewLane after Run succeeded")
+	}
+}
+
+// TestShardedSingleLaneMatchesEngine pins that a one-lane sharded engine is
+// bit-for-bit the plain engine: lane 0 keeps seq base 0, so the same event
+// program produces the same (at, seq) schedule.
+func TestShardedSingleLaneMatchesEngine(t *testing.T) {
+	program := func(e *Engine) *string {
+		out := new(string)
+		var tick Handler
+		tick = func(now time.Duration) {
+			*out += fmt.Sprintf("%d;", now)
+			if now < 10*time.Millisecond {
+				e.After(700*time.Microsecond, tick)
+			}
+		}
+		e.AfterAt(0, tick)
+		return out
+	}
+
+	plain := NewEngine()
+	wantOut := program(plain)
+	if err := plain.Run(20 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+
+	se, err := NewShardedEngine(time.Millisecond, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lane, _ := se.NewLane(0)
+	gotOut := program(lane.Engine())
+	if err := se.Run(20 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if *gotOut != *wantOut {
+		t.Fatalf("single-lane sharded run diverged from plain engine:\n got %q\nwant %q", *gotOut, *wantOut)
+	}
+	if lane.Engine().Now() != plain.Now() {
+		t.Fatalf("final clocks differ: %v vs %v", lane.Engine().Now(), plain.Now())
+	}
+}
+
+// shardedSteadyState builds a producer/consumer engine whose per-epoch mail
+// volume is constant and runs it for the given number of epochs.
+func shardedSteadyState(epochs int) {
+	const epoch = time.Millisecond
+	se, _ := NewShardedEngine(epoch, 1)
+	home, _ := se.NewLane(0)
+	lane, _ := se.NewLane(1)
+	sink := 0
+	deliver := func(arg any, _ time.Duration) { sink += arg.(int) }
+	until := time.Duration(epochs) * epoch
+	var tick Handler
+	tick = func(now time.Duration) {
+		for i := 0; i < 20; i++ {
+			lane.Send(home, deliver, i)
+		}
+		if now < until {
+			lane.Engine().After(200*time.Microsecond, tick)
+		}
+	}
+	lane.Engine().AfterAt(0, tick)
+	if err := se.Run(until); err != nil {
+		panic(err)
+	}
+}
+
+// TestShardedSteadyStateAllocs pins that the sharded path stops allocating
+// once warm: mailboxes and the event pool are reused, so doubling the number
+// of epochs must not add allocations beyond noise. Run at workers=1 so the
+// measurement sees no goroutine machinery.
+func TestShardedSteadyStateAllocs(t *testing.T) {
+	measure := func(epochs int) uint64 {
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		shardedSteadyState(epochs)
+		runtime.ReadMemStats(&m1)
+		return m1.Mallocs - m0.Mallocs
+	}
+	measure(50) // warm up any lazy runtime state
+	short := measure(200)
+	long := measure(400)
+	// 200 extra epochs carry ~20k messages; any per-message or per-epoch
+	// allocation regression shows up thousands of times over this slack.
+	if long > short+500 {
+		t.Fatalf("sharded steady state allocates: %d mallocs for 200 epochs vs %d for 400", short, long)
+	}
+}
+
+// BenchmarkShardedEngine measures a decomposable synthetic load — P producer
+// lanes each burning scheduling work and mailing a fraction of it home — at
+// several worker counts. On a multi-CPU machine sim-ops/s scales with
+// workers; on one CPU the worker variants only pin that the lockstep overhead
+// is small.
+func BenchmarkShardedEngine(b *testing.B) {
+	const (
+		producers = 4
+		epoch     = time.Millisecond
+		until     = 100 * time.Millisecond
+		stride    = 2 * time.Microsecond
+	)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			var events uint64
+			for i := 0; i < b.N; i++ {
+				se, _ := NewShardedEngine(epoch, workers)
+				home, _ := se.NewLane(0)
+				sink := time.Duration(0)
+				deliver := func(arg any, now time.Duration) { sink += now - arg.(time.Duration) }
+				for p := 0; p < producers; p++ {
+					lane, _ := se.NewLane(1)
+					n := 0
+					var tick Handler
+					tick = func(now time.Duration) {
+						n++
+						if n%50 == 0 {
+							lane.Send(home, deliver, now)
+						}
+						if now < until {
+							lane.Engine().After(stride, tick)
+						}
+					}
+					lane.Engine().AfterAt(0, tick)
+				}
+				if err := se.Run(until); err != nil {
+					b.Fatal(err)
+				}
+				events = 0
+				for _, l := range se.lanes {
+					events += l.eng.processed
+				}
+			}
+			b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+		})
+	}
+}

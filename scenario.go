@@ -66,6 +66,11 @@ type Scenario struct {
 
 	hooks []hook
 	ran   bool
+
+	// Sharded mode (spec.Shards >= 2): the lockstep engine, the home lane
+	// (whose Engine is s.engine) and one source lane per workload driver,
+	// bridged back onto the home lane at Run. Nil in plain mode.
+	sharded *shardedRun
 }
 
 type hook struct {
@@ -85,7 +90,22 @@ func NewScenario(spec ScenarioSpec) (*Scenario, error) {
 		spec.Controller.ControlInterval = 10 * time.Second
 	}
 
-	engine := sim.NewEngine()
+	// Shards >= 2 swaps the single event heap for the lockstep sharded
+	// engine; everything below schedules on the home lane's engine and
+	// cannot tell the difference. Workload drivers get their own lanes via
+	// driverEngine.
+	var engine *sim.Engine
+	var sharded *shardedRun
+	if spec.Shards >= 2 {
+		sr, err := newShardedRun(spec)
+		if err != nil {
+			return nil, err
+		}
+		sharded = sr
+		engine = sr.home.Engine()
+	} else {
+		engine = sim.NewEngine()
+	}
 	rnd := sim.NewRandSource(spec.Seed)
 	cl := cluster.New(spec.clusterConfig(), engine, rnd)
 
@@ -115,6 +135,7 @@ func NewScenario(spec ScenarioSpec) (*Scenario, error) {
 		series:    make(map[string]*metrics.TimeSeries),
 		maxNodes:  cl.Size(),
 		minNodes:  cl.Size(),
+		sharded:   sharded,
 	}
 
 	// Fault injection. The injector is assembled only when the plan is
@@ -141,8 +162,12 @@ func NewScenario(spec ScenarioSpec) (*Scenario, error) {
 	// With declared tenants, each tenant gets its own generator, runtime and
 	// disjoint key-space slice instead of the single anonymous workload.
 	if len(spec.Tenants) == 0 {
+		deng, err := s.driverEngine()
+		if err != nil {
+			return nil, err
+		}
 		if spec.Replay != nil {
-			src, err := workload.NewTraceSource(engine, mon, spec.Replay.eventsFor(""))
+			src, err := workload.NewTraceSource(deng, mon, spec.Replay.eventsFor(""))
 			if err != nil {
 				return nil, fmt.Errorf("autonosql: assembling replay: %w", err)
 			}
@@ -157,7 +182,7 @@ func NewScenario(spec ScenarioSpec) (*Scenario, error) {
 				Mix:     workload.Mix{ReadFraction: spec.Workload.ReadFraction},
 				Keys:    keys,
 				Until:   spec.Duration,
-			}, engine, mon, rnd)
+			}, deng, mon, rnd)
 			if err != nil {
 				return nil, fmt.Errorf("autonosql: assembling workload: %w", err)
 			}
@@ -324,11 +349,15 @@ func (s *Scenario) assembleTenants() error {
 			}
 		}
 		s.tenantRuntimes = append(s.tenantRuntimes, rt)
+		deng, err := s.driverEngine()
+		if err != nil {
+			return err
+		}
 		if s.spec.Replay != nil {
 			// Replay: the tenant's recorded arrivals drive the runtime
 			// directly; key choosers and arrival streams stay unbuilt (the
 			// trace already carries the keys).
-			src, err := workload.NewTraceSource(s.engine, rt, s.spec.Replay.eventsFor(ts.Name))
+			src, err := workload.NewTraceSource(deng, rt, s.spec.Replay.eventsFor(ts.Name))
 			if err != nil {
 				return fmt.Errorf("autonosql: tenant %q replay: %w", ts.Name, err)
 			}
@@ -351,7 +380,7 @@ func (s *Scenario) assembleTenants() error {
 			Keys:          keys,
 			Until:         s.spec.Duration,
 			ArrivalStream: "tenant-" + ts.Name + "-arrivals",
-		}, s.engine, rt, s.rnd)
+		}, deng, rt, s.rnd)
 		if err != nil {
 			return fmt.Errorf("autonosql: tenant %q workload: %w", ts.Name, err)
 		}
@@ -456,6 +485,15 @@ func (s *Scenario) Run() (*Report, error) {
 		}
 	}
 
+	// Sharded mode: bridge each workload driver onto its source lane. This
+	// must come after any RecordTrace wrap (the recorder belongs on the home
+	// side of the bridge) and before the drivers start.
+	if s.sharded != nil {
+		if err := s.sharded.splice(s); err != nil {
+			return nil, err
+		}
+	}
+
 	if s.gen != nil {
 		s.gen.Start()
 	}
@@ -468,8 +506,22 @@ func (s *Scenario) Run() (*Report, error) {
 	for _, src := range s.tenantSources {
 		src.Start()
 	}
-	if err := s.engine.Run(s.spec.Duration); err != nil {
-		return nil, fmt.Errorf("autonosql: running simulation: %w", err)
+	// Sharded mode: claim each driver's first-arrival sequence number on the
+	// home engine, in driver order — the same consecutive positions the
+	// Starts above would have allocated on a single engine.
+	if s.sharded != nil {
+		for _, b := range s.sharded.bridges {
+			b.seed()
+		}
+	}
+	var runErr error
+	if s.sharded != nil {
+		runErr = s.sharded.se.Run(s.spec.Duration)
+	} else {
+		runErr = s.engine.Run(s.spec.Duration)
+	}
+	if runErr != nil {
+		return nil, fmt.Errorf("autonosql: running simulation: %w", runErr)
 	}
 	if s.gen != nil {
 		s.gen.Stop()

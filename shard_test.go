@@ -1,0 +1,269 @@
+package autonosql_test
+
+// Shard-equivalence tests: the whole value of the sharded engine rests on
+// Shards being a pure performance knob. Every committed golden — plain,
+// MAPE-controlled, crash+restart, partition+heal, two-tenant, throttled, and
+// trace replay — must produce a bit-for-bit identical Report.Fingerprint()
+// for shards ∈ {1, 2, 4}, and the fingerprint must be invariant under the
+// lockstep epoch length. The golden .txt files double as the shards=1
+// byte-identity oracle: shards <= 1 takes the classic single-heap path, so
+// comparing sharded runs against the files proves both halves at once.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"autonosql"
+)
+
+// shardGoldenCases enumerates every committed golden scenario as (spec
+// builder, golden file) pairs. Builders return fresh specs so each run can
+// set its own Shards/Epoch.
+func shardGoldenCases(t *testing.T) []struct {
+	name   string
+	golden string
+	spec   func() autonosql.ScenarioSpec
+} {
+	t.Helper()
+	replayTrace := readGoldenTrace(t)
+	return []struct {
+		name   string
+		golden string
+		spec   func() autonosql.ScenarioSpec
+	}{
+		{"none", "scenario_none_seed42", func() autonosql.ScenarioSpec {
+			return goldenSpec(42, autonosql.ControllerNone)
+		}},
+		{"smart", "scenario_smart_seed1234", func() autonosql.ScenarioSpec {
+			spec := goldenSpec(1234, autonosql.ControllerSmart)
+			spec.Duration = 2 * time.Minute
+			return spec
+		}},
+		{"crash", "scenario_crash_seed4242", func() autonosql.ScenarioSpec {
+			spec := goldenFaultSpec(4242)
+			spec.Faults = autonosql.FaultPlan{Faults: []autonosql.FaultSpec{
+				autonosql.CrashFault(20*time.Second, 30*time.Second, 1),
+			}}
+			return spec
+		}},
+		{"partition", "scenario_partition_seed7777", func() autonosql.ScenarioSpec {
+			spec := goldenFaultSpec(7777)
+			spec.Faults = autonosql.FaultPlan{Faults: []autonosql.FaultSpec{
+				autonosql.PartitionFault(20*time.Second, 40*time.Second, 2),
+			}}
+			return spec
+		}},
+		{"twotenants", "scenario_twotenants_seed4711", func() autonosql.ScenarioSpec {
+			return twoTenantSpec(4711, autonosql.ControllerNone)
+		}},
+		{"throttle", "scenario_throttle_seed2026", func() autonosql.ScenarioSpec {
+			return throttledSpec(2026)
+		}},
+		{"replay", "scenario_twotenants_seed4711", func() autonosql.ScenarioSpec {
+			spec := twoTenantSpec(4711, autonosql.ControllerNone)
+			spec.Replay = replayTrace
+			return spec
+		}},
+	}
+}
+
+// readGoldenTrace loads the committed two-tenant arrival trace.
+func readGoldenTrace(t *testing.T) *autonosql.WorkloadTrace {
+	t.Helper()
+	trace, err := autonosql.ReadWorkloadTraceFile(filepath.Join("testdata", "golden_trace_twotenants_seed4711.jsonl"))
+	if err != nil {
+		t.Fatalf("reading golden trace: %v", err)
+	}
+	return trace
+}
+
+// readGoldenFile loads a committed golden fingerprint.
+func readGoldenFile(t *testing.T, name string) string {
+	t.Helper()
+	want, err := os.ReadFile(filepath.Join("testdata", "golden_"+name+".txt"))
+	if err != nil {
+		t.Fatalf("reading golden file: %v", err)
+	}
+	return string(want)
+}
+
+// TestShardEquivalence is the tentpole guarantee: for every committed golden
+// scenario, the report fingerprint at shards ∈ {1, 2, 4} is byte-identical
+// to the golden file produced by the classic single-heap engine.
+func TestShardEquivalence(t *testing.T) {
+	for _, c := range shardGoldenCases(t) {
+		t.Run(c.name, func(t *testing.T) {
+			want := readGoldenFile(t, c.golden)
+			for _, shards := range []int{1, 2, 4} {
+				spec := c.spec()
+				spec.Shards = shards
+				got := fingerprintReport(runGoldenScenario(t, spec))
+				if got != want {
+					t.Errorf("shards=%d fingerprint diverged from golden_%s.txt", shards, c.golden)
+				}
+			}
+		})
+	}
+}
+
+// TestShardEpochInvariance pins that the lockstep epoch length is pure
+// buffering, not semantics: wildly different windows produce byte-identical
+// fingerprints, so the barrier protocol — never timing luck — determines
+// event order.
+func TestShardEpochInvariance(t *testing.T) {
+	cases := []struct {
+		name   string
+		golden string
+		spec   func() autonosql.ScenarioSpec
+	}{
+		{"none", "scenario_none_seed42", func() autonosql.ScenarioSpec {
+			return goldenSpec(42, autonosql.ControllerNone)
+		}},
+		{"twotenants", "scenario_twotenants_seed4711", func() autonosql.ScenarioSpec {
+			return twoTenantSpec(4711, autonosql.ControllerNone)
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			want := readGoldenFile(t, c.golden)
+			for _, epoch := range []time.Duration{time.Millisecond, 10 * time.Millisecond, 100 * time.Millisecond} {
+				spec := c.spec()
+				spec.Shards = 2
+				spec.Epoch = epoch
+				got := fingerprintReport(runGoldenScenario(t, spec))
+				if got != want {
+					t.Errorf("epoch=%v fingerprint diverged from golden_%s.txt", epoch, c.golden)
+				}
+			}
+		})
+	}
+}
+
+// TestShardRecordTrace pins that recording is shard-transparent: a sharded
+// run records byte-for-byte the trace the single-heap run recorded (the
+// committed golden trace), because the recorder sits on the home side of the
+// lane bridge and stamps arrivals at their true delivery times.
+func TestShardRecordTrace(t *testing.T) {
+	spec := twoTenantSpec(4711, autonosql.ControllerNone)
+	spec.Shards = 4
+	_, trace := recordRun(t, spec)
+	want, err := os.ReadFile(filepath.Join("testdata", "golden_trace_twotenants_seed4711.jsonl"))
+	if err != nil {
+		t.Fatalf("reading golden trace: %v", err)
+	}
+	if !bytes.Equal(encodeTrace(t, trace), want) {
+		t.Fatal("sharded run recorded a different trace than the committed golden")
+	}
+}
+
+// scenarioRunMallocs builds the scenario for spec and returns the number of
+// heap allocations its Run performed (construction excluded).
+func scenarioRunMallocs(t *testing.T, spec autonosql.ScenarioSpec) uint64 {
+	t.Helper()
+	scenario, err := autonosql.NewScenario(spec)
+	if err != nil {
+		t.Fatalf("NewScenario: %v", err)
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	if _, err := scenario.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	runtime.ReadMemStats(&after)
+	return after.Mallocs - before.Mallocs
+}
+
+// TestShardScenarioAllocBound pins the sharded path's steady-state allocation
+// behaviour at scenario level: tick records are recycled across the barrier,
+// cross-lane boxes keep their capacity and drained messages reuse pooled
+// events, so doubling the simulated duration at shards=4 must not cost more
+// extra allocations than the plain engine's own growth allows for, within a
+// small fixed slack for lane bootstrap and high-water marks.
+func TestShardScenarioAllocBound(t *testing.T) {
+	specFor := func(shards int, d time.Duration) autonosql.ScenarioSpec {
+		spec := goldenSpec(42, autonosql.ControllerNone)
+		spec.Duration = d
+		spec.Shards = shards
+		return spec
+	}
+	plainGrowth := scenarioRunMallocs(t, specFor(0, time.Minute)) -
+		scenarioRunMallocs(t, specFor(0, 30*time.Second))
+	shardedGrowth := scenarioRunMallocs(t, specFor(4, time.Minute)) -
+		scenarioRunMallocs(t, specFor(4, 30*time.Second))
+	t.Logf("allocation growth for +30s simulated: plain=%d sharded=%d", plainGrowth, shardedGrowth)
+	if shardedGrowth > 2*plainGrowth+20_000 {
+		t.Fatalf("sharded steady state allocates too much: +30s costs %d allocs vs %d plain",
+			shardedGrowth, plainGrowth)
+	}
+}
+
+// TestShardSpecValidation pins the spec guard rails.
+func TestShardSpecValidation(t *testing.T) {
+	spec := goldenSpec(1, autonosql.ControllerNone)
+	spec.Shards = -1
+	if _, err := autonosql.NewScenario(spec); err == nil {
+		t.Fatal("NewScenario accepted negative Shards")
+	}
+	spec = goldenSpec(1, autonosql.ControllerNone)
+	spec.Epoch = -time.Second
+	if _, err := autonosql.NewScenario(spec); err == nil {
+		t.Fatal("NewScenario accepted negative Epoch")
+	}
+}
+
+// TestSuiteShardsAxis pins the Shards grid axis: variants carry the
+// shards=N name component and the expansion is bit-for-bit deterministic
+// whatever the suite parallelism, even with sharded scenarios running
+// inside concurrent workers.
+func TestSuiteShardsAxis(t *testing.T) {
+	base := twoTenantSpec(4711, autonosql.ControllerNone)
+	base.Duration = 45 * time.Second
+	suiteSpec := autonosql.SuiteSpec{
+		Base: base,
+		Grid: autonosql.Grid{
+			Shards: []int{1, 4},
+		},
+	}
+	fingerprint := func(parallelism int) string {
+		suiteSpec.Parallelism = parallelism
+		suite, err := autonosql.NewSuite(suiteSpec)
+		if err != nil {
+			t.Fatalf("NewSuite: %v", err)
+		}
+		rep, err := suite.Run()
+		if err != nil {
+			t.Fatalf("suite.Run: %v", err)
+		}
+		if len(rep.Variants) != 2 {
+			t.Fatalf("suite ran %d variants, want 2", len(rep.Variants))
+		}
+		if rep.Parallelism != parallelism {
+			t.Fatalf("SuiteReport.Parallelism = %d, want %d", rep.Parallelism, parallelism)
+		}
+		out := ""
+		for i, v := range rep.Variants {
+			out += "== variant " + v.Name + "\n" + fingerprintReport(v.Report)
+			wantComponent := []string{"shards=1", "shards=4"}[i]
+			if !strings.Contains(v.Name, wantComponent) {
+				t.Fatalf("variant %q does not carry the %s component", v.Name, wantComponent)
+			}
+		}
+		// Shards is a pure performance knob: both variants must simulate the
+		// identical system.
+		if fingerprintReport(rep.Variants[0].Report) != fingerprintReport(rep.Variants[1].Report) {
+			t.Fatal("shards=1 and shards=4 variants produced different fingerprints")
+		}
+		return out
+	}
+	sequential := fingerprint(1)
+	concurrent := fingerprint(2)
+	if sequential != concurrent {
+		t.Fatal("Shards-axis suite diverged between sequential and concurrent execution")
+	}
+}

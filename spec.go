@@ -237,6 +237,20 @@ type ScenarioSpec struct {
 	// Replay is excluded from JSON because a trace is workload data, not
 	// configuration; persist it next to the spec with WorkloadTrace.WriteFile.
 	Replay *WorkloadTrace `json:"-"`
+
+	// Shards selects the simulation engine layout. 0 or 1 runs the classic
+	// single-heap engine, bit-for-bit identical to every published golden;
+	// N >= 2 runs the sharded engine — up to N worker threads driving one
+	// home lane (store, cluster, monitor, control loop, faults) plus one
+	// source lane per workload driver in deterministic lockstep epochs.
+	// Reports and fingerprints are identical for every shard count; only
+	// wall-clock speed changes.
+	Shards int `json:",omitempty"`
+	// Epoch is the lockstep window length of the sharded engine; zero means
+	// 10ms. It is ignored unless Shards >= 2, and results are invariant
+	// under its value — it only trades barrier overhead against mailbox
+	// buffering.
+	Epoch time.Duration `json:",omitempty"`
 }
 
 // DefaultScenarioSpec returns a ready-to-run scenario: a three-node cluster,
@@ -351,6 +365,12 @@ func (s ScenarioSpec) Validate() error {
 		if err := s.Replay.matches(s.Tenants); err != nil {
 			return fmt.Errorf("autonosql: replay: %w", err)
 		}
+	}
+	if s.Shards < 0 {
+		return errors.New("autonosql: Shards must be non-negative")
+	}
+	if s.Epoch < 0 {
+		return errors.New("autonosql: Epoch must be non-negative")
 	}
 	return nil
 }

@@ -205,10 +205,13 @@ func TestSuiteConcurrentMatchesSequential(t *testing.T) {
 		t.Fatalf("concurrent run: %v", err)
 	}
 
-	// Elapsed is wall-clock metadata and legitimately differs between runs;
-	// everything else must be identical whatever the parallelism.
+	// Elapsed and Parallelism are run metadata and legitimately differ
+	// between runs; everything else must be identical whatever the
+	// parallelism.
 	seqReport.Elapsed = 0
 	conReport.Elapsed = 0
+	seqReport.Parallelism = 0
+	conReport.Parallelism = 0
 	if !reflect.DeepEqual(seqReport, conReport) {
 		t.Fatal("concurrent suite report differs from sequential report")
 	}
@@ -219,6 +222,7 @@ func TestSuiteConcurrentMatchesSequential(t *testing.T) {
 		t.Fatalf("second concurrent run: %v", err)
 	}
 	conAgain.Elapsed = 0
+	conAgain.Parallelism = 0
 	if !reflect.DeepEqual(conReport, conAgain) {
 		t.Fatal("re-running the same suite produced a different report")
 	}
@@ -321,12 +325,17 @@ func TestSuiteReportJSONRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatalf("ReadSuiteReportJSON: %v", err)
 	}
-	// Elapsed is wall-clock measurement metadata and deliberately excluded
-	// from the export, so exports of identical suites stay byte-identical.
+	// Elapsed and Parallelism are measurement metadata and deliberately
+	// excluded from the export, so exports of identical suites stay
+	// byte-identical.
 	if restored.Elapsed != 0 {
 		t.Errorf("restored report has Elapsed=%v, want it excluded from JSON", restored.Elapsed)
 	}
+	if restored.Parallelism != 0 {
+		t.Errorf("restored report has Parallelism=%v, want it excluded from JSON", restored.Parallelism)
+	}
 	report.Elapsed = 0
+	report.Parallelism = 0
 	if !reflect.DeepEqual(report, restored) {
 		t.Fatal("JSON round trip changed the suite report")
 	}

@@ -30,6 +30,10 @@ type SuiteReport struct {
 	// metadata, not simulation output, so it is excluded from the JSON export
 	// to keep exports of identical suites byte-identical.
 	Elapsed time.Duration `json:"-"`
+	// Parallelism is the number of workers the run actually used: the
+	// requested bound resolved against GOMAXPROCS and clamped to the variant
+	// count. Like Elapsed it is measurement metadata, excluded from JSON.
+	Parallelism int `json:"-"`
 }
 
 // ScenariosPerSecond returns the suite's wall-clock throughput in scenarios
