@@ -18,6 +18,7 @@
 //	suiterunner -controllers none,reactive,smart -replay-trace run.trace.jsonl
 //	suiterunner -record-trace traces/                 # one trace file per variant
 //	suiterunner -csv sweep.csv -json sweep.json       # export the results
+//	suiterunner -stream-agg -spill-dir results/       # O(parallelism) memory
 //	suiterunner -list                                 # print the grid and exit
 package main
 
@@ -64,6 +65,8 @@ func run(args []string, out *os.File) int {
 		replayTrace = fs.String("replay-trace", "", "comma-separated trace files replayed as a grid axis; every variant on a\ntrace faces those exact recorded arrivals instead of generated ones")
 		csvPath     = fs.String("csv", "", "write the per-variant results as CSV to this file")
 		jsonPath    = fs.String("json", "", "write the full suite report as JSON to this file")
+		streamAgg   = fs.Bool("stream-agg", false, "aggregate results one variant at a time, retaining O(parallelism)\nreports instead of the whole grid; exports stream straight to their files")
+		spillDir    = fs.String("spill-dir", "", "write each variant's full result to its own JSON file in this\ndirectory as it completes (implies -stream-agg)")
 		list        = fs.Bool("list", false, "print the expanded variants and exit without running")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -140,27 +143,106 @@ func run(args []string, out *os.File) int {
 		return 0
 	}
 
+	// Trace file names must be collision-free before anything runs: two
+	// variant names that sanitize to the same file would silently overwrite
+	// each other's traces.
+	if *recordDir != "" {
+		if err := detectTraceCollisions(variants); err != nil {
+			fmt.Fprintf(os.Stderr, "suiterunner: %v\n", err)
+			return 2
+		}
+	}
+
 	fmt.Fprintf(out, "autonosql suite: %d variants, %v simulated each\n\n", len(variants), *duration)
 	started := time.Now()
-	report, err := suite.Run()
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "suiterunner: %v\n", err)
-		return 1
+
+	// Two execution paths with identical output bytes: the default holds the
+	// whole SuiteReport in memory; -stream-agg folds each result into a
+	// SuiteAggregator as it completes, writing the exports incrementally and
+	// retaining O(parallelism) reports. Either way a mid-suite failure keeps
+	// the completed variants: tables and exports cover the completed prefix
+	// and the failure is reported alongside.
+	type suiteTables interface {
+		ComparisonTable() string
+		CostTable() string
+		FaultsTable() string
+		TenantsTable() string
 	}
-	fmt.Fprint(out, report.ComparisonTable())
+	var (
+		tables    suiteTables
+		cheapest  *autonosql.VariantResult
+		failures  []error
+		completed int
+		runErr    error
+	)
+	if *streamAgg || *spillDir != "" {
+		opts := autonosql.SuiteAggregatorOptions{SpillDir: *spillDir}
+		var files []*os.File
+		open := func(path string) *os.File {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "suiterunner: %v\n", err)
+				return nil
+			}
+			files = append(files, f)
+			return f
+		}
+		if *csvPath != "" {
+			if opts.CSV = open(*csvPath); opts.CSV == nil {
+				return 1
+			}
+		}
+		if *jsonPath != "" {
+			if opts.JSON = open(*jsonPath); opts.JSON == nil {
+				return 1
+			}
+		}
+		if *tenantsCSV != "" {
+			if opts.TenantsCSV = open(*tenantsCSV); opts.TenantsCSV == nil {
+				return 1
+			}
+		}
+		agg := autonosql.NewSuiteAggregator(opts)
+		_, runErr = suite.RunStream(agg.Consume())
+		if err := agg.Close(); err != nil && runErr == nil {
+			runErr = err
+		}
+		for _, f := range files {
+			if err := f.Close(); err != nil && runErr == nil {
+				runErr = err
+			}
+		}
+		tables = agg
+		cheapest = agg.CheapestCompliant()
+		failures = agg.Failures()
+		completed = agg.Added() - len(failures)
+	} else {
+		var report *autonosql.SuiteReport
+		report, runErr = suite.Run()
+		tables = report
+		cheapest = report.CheapestCompliant(0)
+		for _, v := range report.Variants {
+			if v.Err != nil {
+				failures = append(failures, v.Err)
+			}
+		}
+		completed = report.Len() - len(failures)
+	}
+
+	fmt.Fprint(out, tables.ComparisonTable())
 	fmt.Fprintln(out)
-	fmt.Fprint(out, report.CostTable())
-	if ft := report.FaultsTable(); ft != "" {
+	fmt.Fprint(out, tables.CostTable())
+	if ft := tables.FaultsTable(); ft != "" {
 		fmt.Fprintln(out)
 		fmt.Fprint(out, ft)
 	}
-	if tt := report.TenantsTable(); tt != "" {
+	if tt := tables.TenantsTable(); tt != "" {
 		fmt.Fprintln(out)
 		fmt.Fprint(out, tt)
 	}
 	fmt.Fprintf(out, "\ncompleted in %v\n", time.Since(started).Round(time.Millisecond))
 
-	if *recordDir != "" {
+	if *recordDir != "" && runErr == nil {
 		if err := os.MkdirAll(*recordDir, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "suiterunner: %v\n", err)
 			return 1
@@ -180,30 +262,55 @@ func run(args []string, out *os.File) int {
 		fmt.Fprintf(out, "recorded %d variant traces to %s\n", len(variants), *recordDir)
 	}
 
-	if best := report.CheapestCompliant(0); best != nil {
-		fmt.Fprintf(out, "cheapest fully compliant variant: %s ($%.2f)\n", best.Name, best.Report.Cost.Total)
+	if cheapest != nil {
+		fmt.Fprintf(out, "cheapest fully compliant variant: %s ($%.2f)\n", cheapest.Name, cheapest.Report.Cost.Total)
 	}
 
-	if *csvPath != "" {
-		if err := writeFile(*csvPath, report.WriteCSV); err != nil {
-			fmt.Fprintf(os.Stderr, "suiterunner: %v\n", err)
-			return 1
+	if !*streamAgg && *spillDir == "" {
+		report := tables.(*autonosql.SuiteReport)
+		if *csvPath != "" {
+			if err := writeFile(*csvPath, report.WriteCSV); err != nil {
+				fmt.Fprintf(os.Stderr, "suiterunner: %v\n", err)
+				return 1
+			}
+			fmt.Fprintf(out, "wrote CSV results to %s\n", *csvPath)
 		}
-		fmt.Fprintf(out, "wrote CSV results to %s\n", *csvPath)
+		if *jsonPath != "" {
+			if err := writeFile(*jsonPath, report.WriteJSON); err != nil {
+				fmt.Fprintf(os.Stderr, "suiterunner: %v\n", err)
+				return 1
+			}
+			fmt.Fprintf(out, "wrote JSON report to %s\n", *jsonPath)
+		}
+		if *tenantsCSV != "" {
+			if err := writeFile(*tenantsCSV, report.WriteTenantsCSV); err != nil {
+				fmt.Fprintf(os.Stderr, "suiterunner: %v\n", err)
+				return 1
+			}
+			fmt.Fprintf(out, "wrote per-tenant CSV results to %s\n", *tenantsCSV)
+		}
+	} else {
+		if *csvPath != "" {
+			fmt.Fprintf(out, "wrote CSV results to %s\n", *csvPath)
+		}
+		if *jsonPath != "" {
+			fmt.Fprintf(out, "wrote JSON report to %s\n", *jsonPath)
+		}
+		if *tenantsCSV != "" {
+			fmt.Fprintf(out, "wrote per-tenant CSV results to %s\n", *tenantsCSV)
+		}
+		if *spillDir != "" {
+			fmt.Fprintf(out, "spilled per-variant results to %s\n", *spillDir)
+		}
 	}
-	if *jsonPath != "" {
-		if err := writeFile(*jsonPath, report.WriteJSON); err != nil {
-			fmt.Fprintf(os.Stderr, "suiterunner: %v\n", err)
-			return 1
+
+	if runErr != nil {
+		for _, e := range failures {
+			fmt.Fprintf(os.Stderr, "suiterunner: %v\n", e)
 		}
-		fmt.Fprintf(out, "wrote JSON report to %s\n", *jsonPath)
-	}
-	if *tenantsCSV != "" {
-		if err := writeFile(*tenantsCSV, report.WriteTenantsCSV); err != nil {
-			fmt.Fprintf(os.Stderr, "suiterunner: %v\n", err)
-			return 1
-		}
-		fmt.Fprintf(out, "wrote per-tenant CSV results to %s\n", *tenantsCSV)
+		fmt.Fprintf(os.Stderr, "suiterunner: %v (results above cover the %d completed variants)\n",
+			runErr, completed)
+		return 1
 	}
 	return 0
 }
@@ -263,6 +370,22 @@ func traceName(path string) string {
 	name = strings.TrimSuffix(name, ".jsonl")
 	name = strings.TrimSuffix(name, ".trace")
 	return name
+}
+
+// detectTraceCollisions errors when two variant names sanitize to the same
+// trace file name, so -record-trace refuses to run rather than silently
+// overwriting one variant's trace with another's.
+func detectTraceCollisions(variants []autonosql.Variant) error {
+	byFile := make(map[string]string, len(variants))
+	for _, v := range variants {
+		name := traceFileName(v.Name)
+		if prev, dup := byFile[name]; dup {
+			return fmt.Errorf("variants %q and %q both record to %s; rename the variants or shrink the grid",
+				prev, v.Name, name)
+		}
+		byFile[name] = v.Name
+	}
+	return nil
 }
 
 // traceFileName maps a variant name (which contains spaces and '=') onto a

@@ -1,0 +1,18 @@
+// Package serve hosts simulation scenarios and suites as jobs behind an
+// HTTP/JSON API — the engine room of the nosqlsimd daemon.
+//
+// A job wraps one scenario or one suite grid. Clients submit a job (POST
+// /api/jobs), drive its lifecycle (start, pause, resume, cancel), poll its
+// status, stream metric windows as the simulation closes them (GET
+// /api/jobs/{id}/stream, JSON lines), and fetch the aggregated results once
+// the job finishes (report JSON/CSV, rendered tables, and the run-metadata
+// envelope that the determinism-stable report exports deliberately omit).
+//
+// The daemon rides entirely on public autonosql surfaces: Scenario.OnSample
+// observes windows on the simulation goroutine (so pausing a job blocks the
+// hook and freezes virtual time — no sampling drift), Suite.RunStream feeds
+// a SuiteAggregator (so million-variant grids never hold more than
+// Parallelism reports in memory), and cancellation returns an error from the
+// hook, halting the engine at the current event. None of this perturbs the
+// simulation: a job's report is byte-identical to the same spec run offline.
+package serve

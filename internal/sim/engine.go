@@ -71,6 +71,10 @@ type Engine struct {
 	// After/AfterAt return here after firing, so a steady-state simulation
 	// schedules millions of events with a handful of allocations.
 	free *Event
+	// halted stops the current Run after the in-flight event completes. It is
+	// only ever set from a handler firing on this engine (same goroutine), so
+	// it needs no synchronisation.
+	halted bool
 }
 
 // NewEngine returns an engine whose clock starts at virtual time zero.
@@ -251,6 +255,16 @@ func (e *Engine) Step() bool {
 	return false
 }
 
+// Halt stops the engine's current (or next) Run after the in-flight event
+// completes, leaving the clock wherever it was. It must only be called from a
+// handler firing on this engine — the same goroutine Run is looping on. A
+// halted run is abandoned, not resumable: the engine makes no promise about
+// the events still queued.
+func (e *Engine) Halt() { e.halted = true }
+
+// Halted reports whether Halt has been called.
+func (e *Engine) Halted() bool { return e.halted }
+
 // Run processes events until the virtual clock reaches until or the event
 // queue drains, whichever comes first. The clock is advanced to until even if
 // the queue drains earlier, so repeated Run calls observe monotonic time.
@@ -264,7 +278,7 @@ func (e *Engine) Run(until time.Duration) error {
 	e.running = true
 	defer func() { e.running = false }()
 
-	for len(e.queue) > 0 {
+	for len(e.queue) > 0 && !e.halted {
 		next := e.queue[0]
 		if next.canceled {
 			e.discard(e.queue.pop())
@@ -275,7 +289,7 @@ func (e *Engine) Run(until time.Duration) error {
 		}
 		e.fire(e.queue.pop())
 	}
-	if e.now < until {
+	if e.now < until && !e.halted {
 		e.now = until
 	}
 	return nil

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -185,6 +186,10 @@ type ShardedEngine struct {
 	round uint64
 	front time.Duration
 	ran   bool
+	// halted stops Run at the next barrier. It is set from a handler firing
+	// on one of the lanes — a lane-worker goroutine running concurrently with
+	// the coordinator — hence the atomic.
+	halted atomic.Bool
 }
 
 // NewShardedEngine creates a sharded engine with the given lockstep epoch
@@ -260,7 +265,7 @@ func (se *ShardedEngine) Run(until time.Duration) error {
 	if err := se.step(pool, se.front, until); err != nil {
 		return err
 	}
-	for se.front < until {
+	for se.front < until && !se.halted.Load() {
 		t := se.front - se.front%se.epoch + se.epoch
 		if t > until {
 			t = until
@@ -272,6 +277,12 @@ func (se *ShardedEngine) Run(until time.Duration) error {
 	}
 	return nil
 }
+
+// Halt stops Run at the next epoch barrier: the current round's lanes finish
+// their windows, the mailboxes drain, and Run returns. Call it from a handler
+// firing on one of the lanes (pair it with that lane's Engine.Halt to also
+// cut the lane's own window short). A halted run is abandoned, not resumable.
+func (se *ShardedEngine) Halt() { se.halted.Store(true) }
 
 // step runs one lockstep round: every lane advances to front + lead×epoch
 // (capped at until), then the mailboxes are drained at the barrier.

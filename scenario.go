@@ -67,6 +67,11 @@ type Scenario struct {
 	hooks []hook
 	ran   bool
 
+	// sampleHook, when set via OnSample, observes every closed sampling
+	// window; abortErr records the error that halted an aborted run.
+	sampleHook func(SampleWindow) error
+	abortErr   error
+
 	// Sharded mode (spec.Shards >= 2): the lockstep engine, the home lane
 	// (whose Engine is s.engine) and one source lane per workload driver,
 	// bridged back onto the home lane at Run. Nil in plain mode.
@@ -444,6 +449,40 @@ func (s *Scenario) RecordedTrace() (*WorkloadTrace, error) {
 	return &WorkloadTrace{trace: s.recorder.Trace()}, nil
 }
 
+// SampleWindow is one closed sampling window of a running scenario: the
+// virtual time the sampler fired at and the value every time series recorded
+// for that window, keyed by series name (the Series* constants, plus
+// tenant/<name>/<series> streams for multi-tenant runs).
+type SampleWindow struct {
+	// At is the virtual time of the sample.
+	At time.Duration
+	// Values maps each series name to the value sampled for this window.
+	Values map[string]float64
+}
+
+// OnSample registers fn to observe every sampling window as it closes, after
+// the window's SLA accounting and control step have run. It powers streaming
+// surfaces (the nosqlsimd daemon) without touching the simulation: fn runs on
+// the simulation goroutine and must treat the scenario as read-only; blocking
+// inside it freezes virtual time (which is how the daemon implements pause).
+// Returning a non-nil error halts the run — Run then returns that error — so
+// an observer can also cancel. Register before Run; a nil fn clears the hook.
+func (s *Scenario) OnSample(fn func(SampleWindow) error) {
+	s.sampleHook = fn
+}
+
+// abort records the first abort reason and halts the engines so Run unwinds
+// at the next event (plain mode) or epoch barrier (sharded mode).
+func (s *Scenario) abort(err error) {
+	if s.abortErr == nil {
+		s.abortErr = err
+	}
+	s.engine.Halt()
+	if s.sharded != nil {
+		s.sharded.se.Halt()
+	}
+}
+
 // At registers an intervention to run at the given virtual time during Run.
 // The callback receives a Handle bound to the live system. Interventions
 // registered after Run has been called are ignored.
@@ -519,6 +558,9 @@ func (s *Scenario) Run() (*Report, error) {
 		runErr = s.sharded.se.Run(s.spec.Duration)
 	} else {
 		runErr = s.engine.Run(s.spec.Duration)
+	}
+	if s.abortErr != nil {
+		return nil, fmt.Errorf("autonosql: run aborted: %w", s.abortErr)
 	}
 	if runErr != nil {
 		return nil, fmt.Errorf("autonosql: running simulation: %w", runErr)
@@ -606,14 +648,28 @@ func (s *Scenario) onSample(now time.Duration) {
 	}
 
 	// Drive the configured controller at its own interval.
-	if now-s.lastControl < s.spec.Controller.ControlInterval && s.lastControl != 0 {
-		return
+	if now-s.lastControl >= s.spec.Controller.ControlInterval || s.lastControl == 0 {
+		s.lastControl = now
+		switch {
+		case s.smart != nil:
+			s.smart.Step(snap)
+		case s.reactive != nil:
+			s.reactive.Step(snap)
+		}
 	}
-	s.lastControl = now
-	switch {
-	case s.smart != nil:
-		s.smart.Step(snap)
-	case s.reactive != nil:
-		s.reactive.Step(snap)
+
+	// Hand the closed window to the registered observer last, once the
+	// window's bookkeeping and control are done. The map is built per window
+	// only when a hook is installed, so unobserved runs pay nothing.
+	if s.sampleHook != nil {
+		w := SampleWindow{At: now, Values: make(map[string]float64, len(s.series))}
+		for name, ts := range s.series {
+			if p, ok := ts.Last(); ok {
+				w.Values[name] = p.Value
+			}
+		}
+		if err := s.sampleHook(w); err != nil {
+			s.abort(err)
+		}
 	}
 }

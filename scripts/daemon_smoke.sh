@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Daemon smoke: boot nosqlsimd, drive one scenario end to end over the HTTP
+# API — submit, stream at least one metrics window, fetch the aggregated
+# report and the run-metadata envelope — then shut the daemon down cleanly.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR="${1:-127.0.0.1:7071}"
+BASE="http://$ADDR"
+BIN="$(mktemp -d)/nosqlsimd"
+
+go build -o "$BIN" ./cmd/nosqlsimd
+"$BIN" -addr "$ADDR" &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true' EXIT
+
+for _ in $(seq 1 50); do
+  curl -sf "$BASE/healthz" >/dev/null && break
+  sleep 0.1
+done
+curl -sf "$BASE/healthz" >/dev/null || { echo "daemon never became healthy"; exit 1; }
+
+# 20 simulated seconds, sampled every 5 — four metric windows.
+JOB=$(curl -sf "$BASE/api/jobs" \
+  -d '{"autostart":true,"name":"smoke","scenario":{"Duration":20000000000,"SampleInterval":5000000000}}' \
+  | sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
+[ -n "$JOB" ] || { echo "submission returned no job id"; exit 1; }
+
+# The stream replays retained windows and follows the run to completion.
+WINDOWS=$(curl -sfN "$BASE/api/jobs/$JOB/stream" | wc -l)
+[ "$WINDOWS" -ge 1 ] || { echo "stream delivered no metric windows"; exit 1; }
+
+STATE=""
+for _ in $(seq 1 100); do
+  STATE=$(curl -sf "$BASE/api/jobs/$JOB" | sed -n 's/.*"state": "\([a-z]*\)".*/\1/p')
+  [ "$STATE" = "done" ] && break
+  sleep 0.1
+done
+[ "$STATE" = "done" ] || { echo "job ended in state '$STATE', want done"; exit 1; }
+
+curl -sf "$BASE/api/jobs/$JOB/report" | grep -q '"Spec"' \
+  || { echo "report fetch failed"; exit 1; }
+curl -sf "$BASE/api/jobs/$JOB/meta" | grep -q '"scenarios_per_second"' \
+  || { echo "meta envelope fetch failed"; exit 1; }
+
+curl -sf -X POST "$BASE/api/shutdown" >/dev/null
+wait "$PID"
+trap - EXIT
+echo "daemon smoke OK: job $JOB streamed $WINDOWS windows"

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"autonosql/internal/sim"
@@ -344,8 +343,43 @@ func (s *Suite) Variants() []Variant {
 // report is identical whatever the parallelism; results are ordered by
 // variant index, not completion order. A failing variant aborts the suite:
 // in-flight variants finish, unstarted ones are skipped, and Run returns the
-// first failure by variant index.
+// first failure by variant index — alongside the partial SuiteReport holding
+// every variant that was attempted (completed reports plus the failed
+// variants with VariantResult.Err set), so a long run that dies near the end
+// is recoverable rather than a total loss.
 func (s *Suite) Run() (*SuiteReport, error) {
+	var results []VariantResult
+	meta, err := s.run(func(v VariantResult) error {
+		results = append(results, v)
+		return nil
+	}, false)
+	report := &SuiteReport{Variants: results, Elapsed: meta.Elapsed, Parallelism: meta.Parallelism}
+	return report, err
+}
+
+// RunStream executes the suite like Run but hands each VariantResult to
+// consume as soon as it is available instead of accumulating a SuiteReport:
+// results arrive in variant-index order (not completion order), on a single
+// goroutine, completed and failed variants alike. The claim window is bounded
+// by the resolved parallelism, so at most Parallelism reports are retained at
+// any moment however many variants the suite has — the path million-variant
+// grids aggregate through (pair it with a SuiteAggregator). A non-nil error
+// from consume aborts the suite like a variant failure. The returned RunMeta
+// is the run's wall-clock envelope; the error aggregates the first variant
+// failure (or consume error) exactly as Run does.
+func (s *Suite) RunStream(consume func(VariantResult) error) (RunMeta, error) {
+	return s.run(consume, true)
+}
+
+// run is the shared suite runner. Workers claim variant indices in order and
+// a reorder buffer delivers results to consume in that same order, under one
+// lock, so the consumer needs no synchronisation. With windowed set, a worker
+// may only claim index i once i < delivered+workers — bounding
+// claimed-but-undelivered results (the reports held in memory) to the worker
+// count; without it, claims run ahead freely and delivery order is still by
+// index. On the first variant failure (or consume error) claiming stops:
+// in-flight variants finish and are delivered, unclaimed ones are skipped.
+func (s *Suite) run(consume func(VariantResult) error, windowed bool) (RunMeta, error) {
 	n := len(s.variants)
 	workers := s.spec.Parallelism
 	if workers <= 0 {
@@ -356,39 +390,96 @@ func (s *Suite) Run() (*SuiteReport, error) {
 	}
 
 	started := time.Now()
-	results := make([]VariantResult, n)
-	errs := make([]error, n)
-	var next atomic.Int64
-	next.Store(-1)
-	var failed atomic.Bool
+	var (
+		mu         sync.Mutex
+		cond       = sync.NewCond(&mu)
+		nextClaim  int
+		delivered  int
+		buf        = make(map[int]*VariantResult, workers)
+		aborted    bool
+		firstErr   error // earliest-index variant failure
+		firstIdx   = n
+		consumeErr error
+		attempted  int
+		failures   int
+	)
+	// flush delivers buffered results in index order. Caller holds mu.
+	flush := func() {
+		for {
+			res, ok := buf[delivered]
+			if !ok {
+				return
+			}
+			delete(buf, delivered)
+			delivered++
+			attempted++
+			if res.Err != nil {
+				failures++
+			}
+			if consume != nil && consumeErr == nil {
+				if err := consume(*res); err != nil {
+					consumeErr = fmt.Errorf("autonosql: suite result consumer: %w", err)
+					aborted = true
+				}
+			}
+		}
+	}
+
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
-				i := int(next.Add(1))
-				if i >= n || failed.Load() {
+				mu.Lock()
+				for windowed && nextClaim >= delivered+workers && nextClaim < n && !aborted {
+					cond.Wait()
+				}
+				if aborted || nextClaim >= n {
+					mu.Unlock()
 					return
 				}
+				i := nextClaim
+				nextClaim++
+				mu.Unlock()
+
 				v := s.variants[i]
 				report, err := runVariant(v)
+				res := &VariantResult{Name: v.Name, Spec: v.Spec, Report: report}
 				if err != nil {
-					errs[i] = fmt.Errorf("autonosql: suite variant %q: %w", v.Name, err)
-					failed.Store(true)
-					continue
+					res.Err = fmt.Errorf("autonosql: suite variant %q: %w", v.Name, err)
 				}
-				results[i] = VariantResult{Name: v.Name, Spec: v.Spec, Report: report}
+
+				mu.Lock()
+				buf[i] = res
+				if err != nil {
+					aborted = true
+					if i < firstIdx {
+						firstIdx = i
+						firstErr = res.Err
+					}
+				}
+				flush()
+				cond.Broadcast()
+				mu.Unlock()
 			}
 		}()
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+
+	meta := RunMeta{
+		Elapsed:     time.Since(started),
+		Parallelism: workers,
+		Variants:    attempted,
+		Failed:      failures,
 	}
-	return &SuiteReport{Variants: results, Elapsed: time.Since(started), Parallelism: workers}, nil
+	switch {
+	case consumeErr != nil:
+		return meta, consumeErr
+	case firstErr != nil:
+		return meta, firstErr
+	}
+	return meta, nil
 }
 
 // runVariant assembles, configures and runs one variant's scenario.

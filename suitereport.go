@@ -11,20 +11,31 @@ import (
 	"autonosql/internal/text"
 )
 
-// VariantResult pairs one suite variant with the report its run produced.
+// VariantResult pairs one suite variant with the report its run produced, or
+// with the error that kept it from producing one.
 type VariantResult struct {
 	// Name is the variant name.
 	Name string
 	// Spec is the exact scenario specification the run used.
 	Spec ScenarioSpec
-	// Report is the run's outcome.
+	// Report is the run's outcome. It is nil when the variant failed.
 	Report *Report
+	// Err is the variant's failure; Report is nil exactly when Err is
+	// non-nil. It is excluded from JSON (errors do not round-trip); exports
+	// of a partial suite carry failed variants with a null Report, and the
+	// aggregate error returned by Run names them.
+	Err error `json:"-"`
 }
 
 // SuiteReport is the aggregated outcome of one suite run: every variant's
 // report in execution order, plus comparison tables and CSV/JSON export.
+// A partial report (from a run that failed mid-suite) additionally carries
+// the failed variants with Err set; every table and export below skips them.
 type SuiteReport struct {
-	// Variants are the per-variant results, ordered by variant index.
+	// Variants are the per-variant results, ordered by variant index. After
+	// a failed run the list holds every variant that was attempted —
+	// completed ones with their reports, failed ones with Err — and omits
+	// variants the abort skipped entirely.
 	Variants []VariantResult
 	// Elapsed is the wall-clock time the suite run took. It is measurement
 	// metadata, not simulation output, so it is excluded from the JSON export
@@ -36,13 +47,51 @@ type SuiteReport struct {
 	Parallelism int `json:"-"`
 }
 
-// ScenariosPerSecond returns the suite's wall-clock throughput in scenarios
-// per second (zero when the elapsed time was not recorded).
-func (r *SuiteReport) ScenariosPerSecond() float64 {
-	if r.Elapsed <= 0 {
+// RunMeta is the wall-clock measurement metadata of one suite run: how long
+// it took, how many workers it used, and what it attempted. It is kept out of
+// the determinism-sensitive report bytes — two identical suites export
+// byte-identical CSV/JSON however fast they ran — so callers that care about
+// it (the nosqlsimd daemon persists one envelope per job) store it alongside
+// the export rather than inside it.
+type RunMeta struct {
+	// Elapsed is the wall-clock time the run took.
+	Elapsed time.Duration
+	// Parallelism is the number of workers actually used: the requested
+	// bound resolved against GOMAXPROCS and clamped to the variant count.
+	Parallelism int
+	// Variants is the number of variants attempted (completed plus failed).
+	Variants int
+	// Failed is the number of attempted variants that returned an error.
+	Failed int `json:",omitempty"`
+}
+
+// ScenariosPerSecond returns the run's wall-clock throughput in scenarios per
+// second (zero when the elapsed time was not recorded).
+func (m RunMeta) ScenariosPerSecond() float64 {
+	if m.Elapsed <= 0 {
 		return 0
 	}
-	return float64(len(r.Variants)) / r.Elapsed.Seconds()
+	return float64(m.Variants) / m.Elapsed.Seconds()
+}
+
+// RunMeta returns the report's run metadata as a standalone envelope, for
+// callers that persist it next to the determinism-sensitive export.
+func (r *SuiteReport) RunMeta() RunMeta {
+	m := RunMeta{Elapsed: r.Elapsed, Parallelism: r.Parallelism, Variants: len(r.Variants)}
+	for i := range r.Variants {
+		if r.Variants[i].Err != nil {
+			m.Failed++
+		}
+	}
+	return m
+}
+
+// ScenariosPerSecond returns the suite's wall-clock throughput in scenarios
+// per second (zero when the elapsed time was not recorded — in particular
+// after a WriteJSON/ReadSuiteReportJSON round trip, which drops Elapsed; see
+// WriteJSON).
+func (r *SuiteReport) ScenariosPerSecond() float64 {
+	return r.RunMeta().ScenariosPerSecond()
 }
 
 // Len returns the number of variant results.
@@ -58,83 +107,143 @@ func (r *SuiteReport) Find(name string) *VariantResult {
 	return nil
 }
 
-// Reports returns the per-variant reports keyed by variant name.
+// Reports returns the per-variant reports keyed by variant name. Failed
+// variants (nil report) are omitted.
 func (r *SuiteReport) Reports() map[string]*Report {
 	out := make(map[string]*Report, len(r.Variants))
 	for _, v := range r.Variants {
-		out[v.Name] = v.Report
+		if v.Report != nil {
+			out[v.Name] = v.Report
+		}
 	}
 	return out
+}
+
+// Table titles and column headers, shared between the in-memory SuiteReport
+// renderers and the streaming SuiteAggregator so both produce byte-identical
+// tables from the same rows.
+var (
+	suiteComparisonTitle   = "suite comparison — SLA outcomes"
+	suiteComparisonColumns = []string{"variant", "window p50 (ms)", "window p95 (ms)", "window p99 (ms)",
+		"read p99 (ms)", "write p99 (ms)", "stale reads", "violation min", "compliance"}
+	suiteCostTitle   = "suite comparison — cost"
+	suiteCostColumns = []string{"variant", "node-hours", "infrastructure", "compensation", "penalty",
+		"total cost", "reconfigs", "nodes (min..max)"}
+	suiteFaultsTitle   = "suite comparison — fault windows"
+	suiteFaultsColumns = []string{"variant", "fault", "active", "nodes", "window p95 mean (ms)",
+		"window p95 peak (ms)", "samples in violation"}
+	suiteTenantsTitle   = "suite comparison — tenants"
+	suiteTenantsColumns = []string{"variant", "tenant", "class", "window p95 (ms)", "read p99 (ms)",
+		"stale reads", "violation min", "compliance", "penalty", "throttle/placement"}
+)
+
+// comparisonRow renders one variant's SLA-outcome table row.
+func comparisonRow(name string, rep *Report) []string {
+	return []string{
+		name,
+		msCell(rep.Window.P50), msCell(rep.Window.P95), msCell(rep.Window.P99),
+		msCell(rep.ReadLatency.P99), msCell(rep.WriteLatency.P99),
+		strconv.FormatUint(rep.StaleReads, 10),
+		fmt.Sprintf("%.1f", rep.Violations.Total),
+		fmt.Sprintf("%.2f%%", rep.ComplianceRatio*100),
+	}
+}
+
+// costRow renders one variant's cost table row.
+func costRow(name string, rep *Report) []string {
+	return []string{
+		name,
+		fmt.Sprintf("%.2f", rep.Cost.NodeHours),
+		dollarCell(rep.Cost.Infrastructure), dollarCell(rep.Cost.Compensation),
+		dollarCell(rep.Cost.Penalty), dollarCell(rep.Cost.Total),
+		strconv.Itoa(rep.Reconfigurations),
+		fmt.Sprintf("%d..%d", rep.MinClusterSize, rep.MaxClusterSize),
+	}
+}
+
+// faultRowsFor renders one variant's fault-window table rows (nil when the
+// variant injected no faults).
+func faultRowsFor(name string, rep *Report) [][]string {
+	var rows [][]string
+	for _, fw := range rep.Faults {
+		nodes := "-"
+		if len(fw.Nodes) > 0 {
+			nodes = fmt.Sprint(fw.Nodes)
+		}
+		rows = append(rows, []string{
+			name,
+			fw.Kind,
+			fmt.Sprintf("%v..%v", fw.Start, fw.End),
+			nodes,
+			msCell(fw.WindowP95Mean), msCell(fw.WindowP95Peak),
+			fmt.Sprintf("%.0f%%", fw.SLAViolationFraction*100),
+		})
+	}
+	return rows
+}
+
+// tenantRowsFor renders one variant's tenant table rows (nil for
+// single-tenant variants).
+func tenantRowsFor(name string, rep *Report) [][]string {
+	var rows [][]string
+	for _, tr := range rep.Tenants {
+		rows = append(rows, []string{
+			name,
+			tr.Name,
+			tr.Class,
+			msCell(tr.Window.P95), msCell(tr.ReadLatency.P99),
+			strconv.FormatUint(tr.StaleReads, 10),
+			fmt.Sprintf("%.1f", tr.Violations.Total),
+			fmt.Sprintf("%.2f%%", tr.ComplianceRatio*100),
+			dollarCell(tr.PenaltyCost + tr.CompensationCost),
+			throttlePlacementCell(tr),
+		})
+	}
+	return rows
 }
 
 // ComparisonTable renders the SLA-facing comparison across variants: the
 // ground-truth inconsistency-window percentiles, client latency, stale
 // reads, violation minutes and compliance.
 func (r *SuiteReport) ComparisonTable() string {
-	columns := []string{"variant", "window p50 (ms)", "window p95 (ms)", "window p99 (ms)",
-		"read p99 (ms)", "write p99 (ms)", "stale reads", "violation min", "compliance"}
 	rows := make([][]string, 0, len(r.Variants))
 	for _, v := range r.Variants {
-		rep := v.Report
-		rows = append(rows, []string{
-			v.Name,
-			msCell(rep.Window.P50), msCell(rep.Window.P95), msCell(rep.Window.P99),
-			msCell(rep.ReadLatency.P99), msCell(rep.WriteLatency.P99),
-			strconv.FormatUint(rep.StaleReads, 10),
-			fmt.Sprintf("%.1f", rep.Violations.Total),
-			fmt.Sprintf("%.2f%%", rep.ComplianceRatio*100),
-		})
+		if v.Report == nil {
+			continue
+		}
+		rows = append(rows, comparisonRow(v.Name, v.Report))
 	}
-	return text.FormatAligned("suite comparison — SLA outcomes", columns, rows, nil)
+	return text.FormatAligned(suiteComparisonTitle, suiteComparisonColumns, rows, nil)
 }
 
 // CostTable renders the cost-facing comparison across variants: node-hours,
 // the cost components, reconfiguration counts and cluster-size extremes.
 func (r *SuiteReport) CostTable() string {
-	columns := []string{"variant", "node-hours", "infrastructure", "compensation", "penalty",
-		"total cost", "reconfigs", "nodes (min..max)"}
 	rows := make([][]string, 0, len(r.Variants))
 	for _, v := range r.Variants {
-		rep := v.Report
-		rows = append(rows, []string{
-			v.Name,
-			fmt.Sprintf("%.2f", rep.Cost.NodeHours),
-			dollarCell(rep.Cost.Infrastructure), dollarCell(rep.Cost.Compensation),
-			dollarCell(rep.Cost.Penalty), dollarCell(rep.Cost.Total),
-			strconv.Itoa(rep.Reconfigurations),
-			fmt.Sprintf("%d..%d", rep.MinClusterSize, rep.MaxClusterSize),
-		})
+		if v.Report == nil {
+			continue
+		}
+		rows = append(rows, costRow(v.Name, v.Report))
 	}
-	return text.FormatAligned("suite comparison — cost", columns, rows, nil)
+	return text.FormatAligned(suiteCostTitle, suiteCostColumns, rows, nil)
 }
 
 // FaultsTable renders the fault timeline across variants: every injected
 // fault window with the inconsistency-window behaviour observed while it was
 // active. It returns an empty string when no variant injected faults.
 func (r *SuiteReport) FaultsTable() string {
-	columns := []string{"variant", "fault", "active", "nodes", "window p95 mean (ms)",
-		"window p95 peak (ms)", "samples in violation"}
 	rows := make([][]string, 0, len(r.Variants))
 	for _, v := range r.Variants {
-		for _, fw := range v.Report.Faults {
-			nodes := "-"
-			if len(fw.Nodes) > 0 {
-				nodes = fmt.Sprint(fw.Nodes)
-			}
-			rows = append(rows, []string{
-				v.Name,
-				fw.Kind,
-				fmt.Sprintf("%v..%v", fw.Start, fw.End),
-				nodes,
-				msCell(fw.WindowP95Mean), msCell(fw.WindowP95Peak),
-				fmt.Sprintf("%.0f%%", fw.SLAViolationFraction*100),
-			})
+		if v.Report == nil {
+			continue
 		}
+		rows = append(rows, faultRowsFor(v.Name, v.Report)...)
 	}
 	if len(rows) == 0 {
 		return ""
 	}
-	return text.FormatAligned("suite comparison — fault windows", columns, rows, nil)
+	return text.FormatAligned(suiteFaultsTitle, suiteFaultsColumns, rows, nil)
 }
 
 // TenantsTable renders the per-tenant comparison across variants: every
@@ -143,28 +252,17 @@ func (r *SuiteReport) FaultsTable() string {
 // treatment the controller applied. It returns an empty string when no
 // variant declared tenants.
 func (r *SuiteReport) TenantsTable() string {
-	columns := []string{"variant", "tenant", "class", "window p95 (ms)", "read p99 (ms)",
-		"stale reads", "violation min", "compliance", "penalty", "throttle/placement"}
 	rows := make([][]string, 0, len(r.Variants))
 	for _, v := range r.Variants {
-		for _, tr := range v.Report.Tenants {
-			rows = append(rows, []string{
-				v.Name,
-				tr.Name,
-				tr.Class,
-				msCell(tr.Window.P95), msCell(tr.ReadLatency.P99),
-				strconv.FormatUint(tr.StaleReads, 10),
-				fmt.Sprintf("%.1f", tr.Violations.Total),
-				fmt.Sprintf("%.2f%%", tr.ComplianceRatio*100),
-				dollarCell(tr.PenaltyCost + tr.CompensationCost),
-				throttlePlacementCell(tr),
-			})
+		if v.Report == nil {
+			continue
 		}
+		rows = append(rows, tenantRowsFor(v.Name, v.Report)...)
 	}
 	if len(rows) == 0 {
 		return ""
 	}
-	return text.FormatAligned("suite comparison — tenants", columns, rows, nil)
+	return text.FormatAligned(suiteTenantsTitle, suiteTenantsColumns, rows, nil)
 }
 
 // throttlePlacementCell summarises one tenant's scoped-action treatment:
@@ -210,6 +308,9 @@ func (r *SuiteReport) CheapestCompliant(maxViolationMinutes float64) *VariantRes
 	var best *VariantResult
 	for i := range r.Variants {
 		v := &r.Variants[i]
+		if v.Report == nil {
+			continue
+		}
 		if v.Report.Violations.Total > maxViolationMinutes {
 			continue
 		}
@@ -269,6 +370,9 @@ func (r *SuiteReport) WriteCSV(w io.Writer) error {
 		return fmt.Errorf("autonosql: writing suite CSV header: %w", err)
 	}
 	for i := range r.Variants {
+		if r.Variants[i].Report == nil {
+			continue
+		}
 		if err := cw.Write(r.Variants[i].csvRow()); err != nil {
 			return fmt.Errorf("autonosql: writing suite CSV row %q: %w", r.Variants[i].Name, err)
 		}
@@ -320,6 +424,9 @@ func (r *SuiteReport) WriteTenantsCSV(w io.Writer) error {
 	}
 	for i := range r.Variants {
 		v := &r.Variants[i]
+		if v.Report == nil {
+			continue
+		}
 		for _, tr := range v.Report.Tenants {
 			if err := cw.Write(tenantCSVRow(v.Name, tr)); err != nil {
 				return fmt.Errorf("autonosql: writing tenant CSV row %q/%q: %w", v.Name, tr.Name, err)
@@ -331,7 +438,13 @@ func (r *SuiteReport) WriteTenantsCSV(w io.Writer) error {
 }
 
 // WriteJSON writes the complete suite report — specs, reports and series —
-// as indented JSON. ReadSuiteReportJSON restores it losslessly.
+// as indented JSON. ReadSuiteReportJSON restores the simulation outcome
+// losslessly; the wall-clock run metadata (Elapsed, Parallelism) is
+// deliberately NOT part of the export — identical suites must export
+// byte-identical bytes however fast they happened to run — so
+// ScenariosPerSecond reads zero after a round trip. Callers that need the
+// metadata persist the RunMeta envelope alongside the export (the nosqlsimd
+// daemon stores one per job).
 func (r *SuiteReport) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -341,7 +454,9 @@ func (r *SuiteReport) WriteJSON(w io.Writer) error {
 	return nil
 }
 
-// ReadSuiteReportJSON reads a suite report written by WriteJSON.
+// ReadSuiteReportJSON reads a suite report written by WriteJSON. The
+// restored report carries no run metadata (see WriteJSON); pair it with a
+// persisted RunMeta envelope when Elapsed/Parallelism matter.
 func ReadSuiteReportJSON(rd io.Reader) (*SuiteReport, error) {
 	var r SuiteReport
 	if err := json.NewDecoder(rd).Decode(&r); err != nil {
