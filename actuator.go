@@ -83,13 +83,15 @@ func (a *tenantActuator) PinClass(class string) error {
 	if len(ids) == 0 {
 		return fmt.Errorf("autonosql: no tenant of class %q", class)
 	}
-	// Only fully-up nodes are eligible: a draining node would leave the
-	// placement pool silently one node short once its decommission finishes
-	// (its departure listener has already fired), and a joining node cannot
-	// serve yet.
+	// Only fully-up, still-shared nodes are eligible: a draining node would
+	// leave the placement pool silently one node short once its decommission
+	// finishes (its departure listener has already fired), a joining node
+	// cannot serve yet, and a node another class already holds must not be
+	// displaced — pinning a second class carves its pool out of the shared
+	// remainder.
 	var up []*cluster.Node
 	for _, n := range a.scenario.cluster.AvailableNodes() {
-		if n.State() == cluster.NodeUp {
+		if n.State() == cluster.NodeUp && n.Class() == "" {
 			up = append(up, n)
 		}
 	}

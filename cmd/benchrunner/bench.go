@@ -55,7 +55,26 @@ func quickScenarioSpec(seed int64) autonosql.ScenarioSpec {
 	spec.Duration = 30 * time.Second
 	spec.Workload.BaseOpsPerSec = 2000
 	spec.Controller.Mode = autonosql.ControllerNone
+	// Self-profiling reads counters the engine maintains anyway, so the
+	// report's pool/heap/lockstep figures ride along at no measured cost.
+	spec.Observe = &autonosql.ObserveSpec{Profile: true}
 	return spec
+}
+
+// profileExtras folds a report's engine self-profile into a benchmark's
+// extra columns.
+func profileExtras(extra map[string]float64, p *autonosql.ProfileReport) {
+	if p == nil {
+		return
+	}
+	if lookups := p.PoolHits + p.PoolMisses; lookups > 0 {
+		extra["pool_hit_rate"] = float64(p.PoolHits) / float64(lookups)
+	}
+	extra["heap_peak"] = float64(p.HeapPeak)
+	if p.Rounds > 0 {
+		extra["lockstep_rounds"] = float64(p.Rounds)
+		extra["mail_drained"] = float64(p.MailDrained)
+	}
 }
 
 // runBenchJSON measures the quick-scale benchmarks and writes
@@ -73,6 +92,7 @@ func runBenchJSON(dir string) (string, error) {
 	// Whole-scenario benchmark: the default quick-scale scenario without a
 	// controller, the same shape BenchmarkScenarioThroughput pins in CI.
 	var simulatedOps uint64
+	var lastProfile *autonosql.ProfileReport
 	var benchErr error
 	scenarioRes := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
@@ -88,6 +108,7 @@ func runBenchJSON(dir string) (string, error) {
 				b.FailNow()
 			}
 			simulatedOps = rep.Reads + rep.Writes
+			lastProfile = rep.Profile
 		}
 	})
 	if benchErr != nil {
@@ -95,17 +116,19 @@ func runBenchJSON(dir string) (string, error) {
 	}
 	nsPerOp := float64(scenarioRes.T.Nanoseconds()) / float64(scenarioRes.N)
 	plainOpsPerSec := float64(simulatedOps) / (nsPerOp / 1e9)
+	plainExtra := map[string]float64{
+		"simulated_ops":         float64(simulatedOps),
+		"simulated_ops_per_sec": plainOpsPerSec,
+		"shards":                1,
+	}
+	profileExtras(plainExtra, lastProfile)
 	out.Benchmarks = append(out.Benchmarks, benchResult{
 		Name:        "scenario_quick",
 		Iterations:  scenarioRes.N,
 		NsPerOp:     nsPerOp,
 		AllocsPerOp: scenarioRes.AllocsPerOp(),
 		BytesPerOp:  scenarioRes.AllocedBytesPerOp(),
-		Extra: map[string]float64{
-			"simulated_ops":         float64(simulatedOps),
-			"simulated_ops_per_sec": plainOpsPerSec,
-			"shards":                1,
-		},
+		Extra:       plainExtra,
 	})
 
 	// The same scenario on the sharded engine: workload drivers run on their
@@ -128,6 +151,7 @@ func runBenchJSON(dir string) (string, error) {
 				b.FailNow()
 			}
 			simulatedOps = rep.Reads + rep.Writes
+			lastProfile = rep.Profile
 		}
 	})
 	if benchErr != nil {
@@ -135,18 +159,20 @@ func runBenchJSON(dir string) (string, error) {
 	}
 	shardedNsPerOp := float64(shardedRes.T.Nanoseconds()) / float64(shardedRes.N)
 	shardedOpsPerSec := float64(simulatedOps) / (shardedNsPerOp / 1e9)
+	shardedExtra := map[string]float64{
+		"simulated_ops":         float64(simulatedOps),
+		"simulated_ops_per_sec": shardedOpsPerSec,
+		"shards":                4,
+		"speedup_vs_plain":      shardedOpsPerSec / plainOpsPerSec,
+	}
+	profileExtras(shardedExtra, lastProfile)
 	out.Benchmarks = append(out.Benchmarks, benchResult{
 		Name:        "scenario_quick_shards4",
 		Iterations:  shardedRes.N,
 		NsPerOp:     shardedNsPerOp,
 		AllocsPerOp: shardedRes.AllocsPerOp(),
 		BytesPerOp:  shardedRes.AllocedBytesPerOp(),
-		Extra: map[string]float64{
-			"simulated_ops":         float64(simulatedOps),
-			"simulated_ops_per_sec": shardedOpsPerSec,
-			"shards":                4,
-			"speedup_vs_plain":      shardedOpsPerSec / plainOpsPerSec,
-		},
+		Extra:       shardedExtra,
 	})
 
 	// Quick-suite throughput: a small grid run through the concurrent suite

@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -20,6 +21,19 @@ import (
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+// writeTo streams one export into a freshly created file.
+func writeTo(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func run(args []string, out *os.File) int {
@@ -51,6 +65,12 @@ func run(args []string, out *os.File) int {
 		replayPath = fs.String("replay-trace", "", "replay arrivals from the given trace file instead of generating them\n(the trace's tenants must match -tenants)")
 		shards     = fs.Int("shards", 1, "simulation shards: >= 2 runs the workload drivers on their own\nlockstep lanes across cores; results are identical for any value")
 		epoch      = fs.Duration("epoch", 0, "lockstep epoch for -shards >= 2 (0 = default); results are invariant")
+		scaleTrace = fs.Float64("scale-trace", 1, "multiply every replayed arrival time by this factor (with -replay-trace;\n1.0 replays the trace bit-for-bit)")
+		traceOps   = fs.String("trace-ops", "", "write sampled op-trace spans (JSON lines) to the given file")
+		traceEvery = fs.Int("trace-every", 1, "with -trace-ops, sample every Nth operation")
+		chromePath = fs.String("trace-chrome", "", "write the sampled spans as a Chrome trace_event file\n(load in chrome://tracing or Perfetto)")
+		audit      = fs.Bool("audit", false, "print the MAPE decision audit trail (smart controller)")
+		profile    = fs.Bool("profile", false, "print the engine's self-profiling counters")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -101,7 +121,25 @@ func run(args []string, out *os.File) int {
 			fmt.Fprintf(os.Stderr, "nosqlsim: %v\n", err)
 			return 2
 		}
+		if *scaleTrace != 1 {
+			trace, err = trace.Scale(*scaleTrace)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "nosqlsim: %v\n", err)
+				return 2
+			}
+		}
 		spec.Replay = trace
+	} else if *scaleTrace != 1 {
+		fmt.Fprintln(os.Stderr, "nosqlsim: -scale-trace needs -replay-trace")
+		return 2
+	}
+	if *traceOps != "" || *chromePath != "" || *audit || *profile {
+		spec.Observe = &autonosql.ObserveSpec{
+			TraceOps:    *traceOps != "" || *chromePath != "",
+			SampleEvery: *traceEvery,
+			Audit:       *audit,
+			Profile:     *profile,
+		}
 	}
 
 	scenario, err := autonosql.NewScenario(spec)
@@ -133,7 +171,28 @@ func run(args []string, out *os.File) int {
 		fmt.Fprintf(out, "recorded %d arrivals to %s\n", trace.EventCount(), *recordPath)
 	}
 
+	if *traceOps != "" {
+		if err := writeTo(*traceOps, scenario.WriteSpans); err != nil {
+			fmt.Fprintf(os.Stderr, "nosqlsim: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(out, "wrote %d op-trace spans to %s\n", report.Spans.Sampled, *traceOps)
+	}
+	if *chromePath != "" {
+		if err := writeTo(*chromePath, scenario.WriteChromeTrace); err != nil {
+			fmt.Fprintf(os.Stderr, "nosqlsim: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(out, "wrote chrome trace to %s\n", *chromePath)
+	}
+
 	fmt.Fprint(out, report.String())
+	if *audit && len(report.Audit) > 0 {
+		fmt.Fprintln(out, "\naudit trail:")
+		for _, e := range report.Audit {
+			fmt.Fprintf(out, "  %s\n", e)
+		}
+	}
 	if *decisions && len(report.Decisions) > 0 {
 		fmt.Fprintln(out, "\ncontroller decisions:")
 		for _, d := range report.Decisions {

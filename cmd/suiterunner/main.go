@@ -67,6 +67,10 @@ func run(args []string, out *os.File) int {
 		jsonPath    = fs.String("json", "", "write the full suite report as JSON to this file")
 		streamAgg   = fs.Bool("stream-agg", false, "aggregate results one variant at a time, retaining O(parallelism)\nreports instead of the whole grid; exports stream straight to their files")
 		spillDir    = fs.String("spill-dir", "", "write each variant's full result to its own JSON file in this\ndirectory as it completes (implies -stream-agg)")
+		audit       = fs.Bool("audit", false, "record each variant's MAPE decision audit trail into its report\n(carried by the -json export)")
+		traceDir    = fs.String("trace-ops", "", "directory to write each variant's sampled op-trace spans into\n(one <variant>.spans.jsonl file per variant)")
+		traceEvery  = fs.Int("trace-every", 1, "with -trace-ops, sample every Nth operation")
+		profile     = fs.Bool("profile", false, "record each variant's engine self-profiling counters into its report")
 		list        = fs.Bool("list", false, "print the expanded variants and exit without running")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -93,6 +97,14 @@ func run(args []string, out *os.File) int {
 	}
 	base.Controller.Admission = admissionSpec
 	base.Controller.AllowPlacement = *placement
+	if *audit || *traceDir != "" || *profile {
+		base.Observe = &autonosql.ObserveSpec{
+			TraceOps:    *traceDir != "",
+			SampleEvery: *traceEvery,
+			Audit:       *audit,
+			Profile:     *profile,
+		}
+	}
 
 	grid, err := buildGrid(*patterns, *controllers, *nodes, *slaTiers, *faultAxis, *mixAxis, *shardAxis, *duration, *repeats)
 	if err != nil {
@@ -113,18 +125,23 @@ func run(args []string, out *os.File) int {
 		Grid:        grid,
 		Parallelism: *parallel,
 	}
-	// With -record-trace the grid is expanded here instead of inside NewSuite,
-	// so every variant can be given a Configure hook that arms trace recording
-	// and keeps the scenario reachable for trace extraction after the run.
-	var recorded []*autonosql.Scenario
-	if *recordDir != "" {
+	// With -record-trace or -trace-ops the grid is expanded here instead of
+	// inside NewSuite, so every variant can be given a Configure hook that
+	// arms trace recording and keeps the scenario reachable for trace / span
+	// extraction after the run.
+	var held []*autonosql.Scenario
+	if *recordDir != "" || *traceDir != "" {
 		expanded := autonosql.ExpandGrid(base, grid)
-		recorded = make([]*autonosql.Scenario, len(expanded))
+		held = make([]*autonosql.Scenario, len(expanded))
+		record := *recordDir != ""
 		for i := range expanded {
 			i := i
 			expanded[i].Configure = func(s *autonosql.Scenario) error {
-				recorded[i] = s
-				return s.RecordTrace()
+				held[i] = s
+				if record {
+					return s.RecordTrace()
+				}
+				return nil
 			}
 		}
 		suiteSpec = autonosql.SuiteSpec{Variants: expanded, Parallelism: *parallel}
@@ -143,10 +160,10 @@ func run(args []string, out *os.File) int {
 		return 0
 	}
 
-	// Trace file names must be collision-free before anything runs: two
-	// variant names that sanitize to the same file would silently overwrite
-	// each other's traces.
-	if *recordDir != "" {
+	// Trace and span file names must be collision-free before anything runs:
+	// two variant names that sanitize to the same file would silently
+	// overwrite each other's output.
+	if *recordDir != "" || *traceDir != "" {
 		if err := detectTraceCollisions(variants); err != nil {
 			fmt.Fprintf(os.Stderr, "suiterunner: %v\n", err)
 			return 2
@@ -248,7 +265,7 @@ func run(args []string, out *os.File) int {
 			return 1
 		}
 		for i, v := range variants {
-			trace, err := recorded[i].RecordedTrace()
+			trace, err := held[i].RecordedTrace()
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "suiterunner: variant %q: %v\n", v.Name, err)
 				return 1
@@ -260,6 +277,20 @@ func run(args []string, out *os.File) int {
 			}
 		}
 		fmt.Fprintf(out, "recorded %d variant traces to %s\n", len(variants), *recordDir)
+	}
+	if *traceDir != "" && runErr == nil {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "suiterunner: %v\n", err)
+			return 1
+		}
+		for i, v := range variants {
+			path := filepath.Join(*traceDir, spanFileName(v.Name))
+			if err := writeFile(path, held[i].WriteSpans); err != nil {
+				fmt.Fprintf(os.Stderr, "suiterunner: variant %q: %v\n", v.Name, err)
+				return 1
+			}
+		}
+		fmt.Fprintf(out, "wrote %d variant span files to %s\n", len(variants), *traceDir)
 	}
 
 	if cheapest != nil {
@@ -391,7 +422,16 @@ func detectTraceCollisions(variants []autonosql.Variant) error {
 // traceFileName maps a variant name (which contains spaces and '=') onto a
 // filesystem-safe trace file name.
 func traceFileName(variant string) string {
-	safe := strings.Map(func(r rune) rune {
+	return safeFileName(variant) + ".trace.jsonl"
+}
+
+// spanFileName is traceFileName's sibling for -trace-ops span exports.
+func spanFileName(variant string) string {
+	return safeFileName(variant) + ".spans.jsonl"
+}
+
+func safeFileName(variant string) string {
+	return strings.Map(func(r rune) rune {
 		switch {
 		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
 			r == '-', r == '.', r == '_':
@@ -400,7 +440,6 @@ func traceFileName(variant string) string {
 			return '_'
 		}
 	}, variant)
-	return safe + ".trace.jsonl"
 }
 
 func splitList(s string) []string {

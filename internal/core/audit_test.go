@@ -1,0 +1,118 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"autonosql/internal/store"
+)
+
+// TestControllerAuditTrail pins the audit trail's causal content: an audited
+// step records the analysis verdict, the planning branch, the cooldown
+// consults behind the decision and the final action outcome — and an
+// unaudited controller records nothing.
+func TestControllerAuditTrail(t *testing.T) {
+	act := newFakeActuator()
+	c, err := New(DefaultConfig(testSLA()), act)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	c.EnableAudit()
+
+	// Interval 1: window far beyond the SLA with idle resources → the window
+	// branch tightens write consistency.
+	d := c.Step(makeSnapshot(snapshotOpts{
+		at: 10 * time.Second, windowP95: 0.5, readP99: 0.005, writeP99: 0.005, meanUtil: 0.2,
+	}))
+	if d.Action.Kind != ActionTightenWriteConsistency {
+		t.Fatalf("step 1 action %v, want tighten-write-cl", d.Action.Kind)
+	}
+	// Interval 2: same pressure, but the consistency cooldown now blocks the
+	// tighten — the consult must appear in the trail as active.
+	c.Step(makeSnapshot(snapshotOpts{
+		at: 20 * time.Second, windowP95: 0.5, readP99: 0.005, writeP99: 0.005, meanUtil: 0.2,
+		writeCL: store.Two,
+	}))
+
+	trail := c.Audit()
+	if len(trail) != 2 {
+		t.Fatalf("audit trail has %d records, want 2", len(trail))
+	}
+	first := trail[0]
+	if first.Branch != "window" || first.Condition != "window-high" {
+		t.Errorf("record 1 branch=%q condition=%q, want window/window-high", first.Branch, first.Condition)
+	}
+	if first.Action == "" || !first.Applied {
+		t.Errorf("record 1 action=%q applied=%v, want applied tighten", first.Action, first.Applied)
+	}
+	if first.WindowP95 != 0.5 {
+		t.Errorf("record 1 window_p95 = %v, want 0.5", first.WindowP95)
+	}
+	found := false
+	for _, cd := range first.Cooldowns {
+		if cd.Kind == ActionTightenWriteConsistency.String() && !cd.Active {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("record 1 cooldown consults %+v missing inactive tighten-write-cl", first.Cooldowns)
+	}
+	second := trail[1]
+	blocked := false
+	for _, cd := range second.Cooldowns {
+		if cd.Kind == ActionTightenWriteConsistency.String() && cd.Active {
+			blocked = true
+		}
+	}
+	if !blocked {
+		t.Errorf("record 2 cooldown consults %+v do not show the active tighten cooldown", second.Cooldowns)
+	}
+
+	// An unaudited controller records nothing and plans identically.
+	plain, err := New(DefaultConfig(testSLA()), newFakeActuator())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	p := plain.Step(makeSnapshot(snapshotOpts{
+		at: 10 * time.Second, windowP95: 0.5, readP99: 0.005, writeP99: 0.005, meanUtil: 0.2,
+	}))
+	if p.Action.Kind != ActionTightenWriteConsistency {
+		t.Errorf("unaudited action %v differs from audited %v", p.Action.Kind, d.Action.Kind)
+	}
+	if plain.Audit() != nil {
+		t.Error("unaudited controller produced an audit trail")
+	}
+}
+
+// TestAuditRecordsVeto pins that a rejected candidate lands in the trail: a
+// gold violation vetoes scale-in on the cost-recovery branch.
+func TestAuditRecordsVeto(t *testing.T) {
+	act := newFakeActuator()
+	act.size = 6
+	c, err := New(DefaultConfig(testSLA()), act)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	c.EnableAudit()
+
+	an := Analysis{
+		At:            10 * time.Second,
+		Primary:       ConditionOverProvisioned,
+		GoldViolation: true,
+	}
+	plant := PlantState{ClusterSize: 6, ReplicationFactor: 3, ReadConsistency: store.One, WriteConsistency: store.One}
+	rec := &AuditRecord{}
+	c.planner.trace = rec
+	c.planner.Plan(an, plant)
+	c.planner.trace = nil
+
+	found := false
+	for _, v := range rec.Vetoes {
+		if v.Kind == ActionRemoveNode.String() && v.Reason != "" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("vetoes %+v missing the gold-violation scale-in veto", rec.Vetoes)
+	}
+}

@@ -80,6 +80,12 @@ type Controller struct {
 	failed    int
 	ticker    *sim.Ticker
 	stopped   bool
+
+	// audit, when enabled, records one AuditRecord per Step with the causal
+	// inputs behind the decision (driving signal, cooldown consults, vetoes,
+	// planning branch). Off by default; enabling it changes no decision.
+	audit    bool
+	auditLog []AuditRecord
 }
 
 // New creates a controller driving the given actuator. Call Attach to run it
@@ -158,7 +164,19 @@ func (c *Controller) Step(snap monitor.Snapshot) Decision {
 	if ta, ok := c.actuator.(TenantActuator); ok {
 		plant.PinnedClass = ta.PinnedClass()
 	}
+	var rec *AuditRecord
+	if c.audit {
+		rec = &AuditRecord{
+			At:        snap.At,
+			Condition: analysis.Primary.String(),
+			Cause:     analysis.Cause.String(),
+			Tenant:    analysis.Tenant,
+			WindowP95: analysis.Snapshot.WindowP95,
+		}
+		c.planner.trace = rec
+	}
 	action := c.planner.Plan(analysis, plant)
+	c.planner.trace = nil
 
 	// Execute.
 	decision := Decision{At: snap.At, Analysis: analysis, Action: action}
@@ -189,6 +207,14 @@ func (c *Controller) Step(snap monitor.Snapshot) Decision {
 		decision.PinnedClass = ta.PinnedClass()
 	}
 	c.decisions = append(c.decisions, decision)
+	if rec != nil {
+		rec.Action = action.String()
+		rec.Applied = decision.Applied
+		if decision.Err != nil {
+			rec.Err = decision.Err.Error()
+		}
+		c.auditLog = append(c.auditLog, *rec)
+	}
 	return decision
 }
 

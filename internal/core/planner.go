@@ -28,6 +28,11 @@ type Planner struct {
 	cfg Config
 	kb  *KnowledgeBase
 
+	// trace, when non-nil, is the audit record of the interval currently
+	// being planned; the cooldown/veto/branch helpers in audit.go append to
+	// it. Nil keeps planning untouched.
+	trace *AuditRecord
+
 	// nonBindingSince records, per throttled tenant, when its throttle was
 	// first observed no longer binding (offered rate at or below the
 	// admitted rate). The unthrottle holdoff runs against this timestamp —
@@ -56,18 +61,24 @@ func NewPlanner(cfg Config, kb *KnowledgeBase) *Planner {
 // has passed, throttles are released before any other recovery.
 func (p *Planner) Plan(an Analysis, plant PlantState) Action {
 	if a, ok := p.planTenantProtection(an, plant); ok {
+		p.noteBranch("tenant-protection")
 		return a
 	}
 	switch an.Primary {
 	case ConditionAvailabilityLow:
+		p.noteBranch("availability")
 		return p.planAvailability(an, plant)
 	case ConditionWindowHigh:
+		p.noteBranch("window")
 		return p.planWindow(an, plant)
 	case ConditionLatencyHigh:
+		p.noteBranch("latency")
 		return p.planLatency(an, plant)
 	case ConditionOverProvisioned:
+		p.noteBranch("cost-recovery")
 		return p.planCostRecovery(an, plant)
 	default:
+		p.noteBranch("nominal")
 		return p.planNominal(an, plant)
 	}
 }
@@ -121,8 +132,8 @@ func (p *Planner) planTenantProtection(an Analysis, plant PlantState) (Action, b
 			// per-tenant cooldown) on a throttle that cannot bind — let the
 			// escalation continue instead.
 			if rate < an.ThrottleCandidateRate &&
-				!p.kb.InCooldownScoped(ActionThrottleTenant, scope, now, p.cfg.ThrottleCooldown) &&
-				!p.kb.InCooldownScoped(ActionUnthrottleTenant, scope, now, p.cfg.ThrottleCooldown) {
+				!p.inCooldownScoped(ActionThrottleTenant, scope, now, p.cfg.ThrottleCooldown) &&
+				!p.inCooldownScoped(ActionUnthrottleTenant, scope, now, p.cfg.ThrottleCooldown) {
 				return Action{
 					Kind:   ActionThrottleTenant,
 					Scope:  scope,
@@ -134,8 +145,8 @@ func (p *Planner) planTenantProtection(an Analysis, plant PlantState) (Action, b
 		if p.cfg.EnablePlacementActions && plant.PinnedClass == "" &&
 			plant.ClusterSize > plant.ReplicationFactor {
 			scope := ClassScope(string(tenant.Gold))
-			if !p.kb.InCooldownScoped(ActionPinTenantClass, scope, now, p.cfg.PlacementCooldown) &&
-				!p.kb.InCooldownScoped(ActionUnpinTenantClass, scope, now, p.cfg.PlacementCooldown) {
+			if !p.inCooldownScoped(ActionPinTenantClass, scope, now, p.cfg.PlacementCooldown) &&
+				!p.inCooldownScoped(ActionUnpinTenantClass, scope, now, p.cfg.PlacementCooldown) {
 				return Action{
 					Kind:   ActionPinTenantClass,
 					Scope:  scope,
@@ -155,7 +166,7 @@ func (p *Planner) planTenantProtection(an Analysis, plant PlantState) (Action, b
 					continue
 				}
 				scope := TenantScope(tt.Name)
-				if p.kb.InCooldownScoped(ActionThrottleTenant, scope, now, p.cfg.ThrottleCooldown) {
+				if p.inCooldownScoped(ActionThrottleTenant, scope, now, p.cfg.ThrottleCooldown) {
 					continue
 				}
 				return Action{
@@ -187,8 +198,8 @@ func (p *Planner) planTenantProtection(an Analysis, plant PlantState) (Action, b
 				continue
 			}
 			scope := TenantScope(tt.Name)
-			if p.kb.InCooldownScoped(ActionThrottleTenant, scope, now, p.cfg.UnthrottleHoldoff) ||
-				p.kb.InCooldownScoped(ActionUnthrottleTenant, scope, now, p.cfg.UnthrottleHoldoff) {
+			if p.inCooldownScoped(ActionThrottleTenant, scope, now, p.cfg.UnthrottleHoldoff) ||
+				p.inCooldownScoped(ActionUnthrottleTenant, scope, now, p.cfg.UnthrottleHoldoff) {
 				continue
 			}
 			delete(p.nonBindingSince, tt.Name)
@@ -201,8 +212,8 @@ func (p *Planner) planTenantProtection(an Analysis, plant PlantState) (Action, b
 	}
 	if p.cfg.EnablePlacementActions && plant.PinnedClass != "" && len(an.Throttled) == 0 {
 		scope := ClassScope(plant.PinnedClass)
-		if !p.kb.InCooldownScoped(ActionPinTenantClass, scope, now, p.cfg.PlacementCooldown) &&
-			!p.kb.InCooldownScoped(ActionUnpinTenantClass, scope, now, p.cfg.PlacementCooldown) {
+		if !p.inCooldownScoped(ActionPinTenantClass, scope, now, p.cfg.PlacementCooldown) &&
+			!p.inCooldownScoped(ActionUnpinTenantClass, scope, now, p.cfg.PlacementCooldown) {
 			return Action{
 				Kind:   ActionUnpinTenantClass,
 				Scope:  scope,
@@ -347,10 +358,15 @@ func (p *Planner) planNominal(an Analysis, plant PlantState) Action {
 
 // candidate wraps the common bound / enable / cooldown / harmfulness checks.
 func (p *Planner) candidate(kind ActionKind, an Analysis, enabled bool, cooldownOK bool, reason string) (Action, bool) {
-	if !enabled || !cooldownOK {
+	if !enabled {
+		p.noteVeto(kind, ClusterScope(), "action kind disabled by configuration")
+		return Action{}, false
+	}
+	if !cooldownOK {
 		return Action{}, false
 	}
 	if p.kb.Effectiveness(kind).Harmful() {
+		p.noteVeto(kind, ClusterScope(), "knowledge base rates the action harmful")
 		return Action{}, false
 	}
 	return Action{Kind: kind, Reason: reason}, true
@@ -360,7 +376,7 @@ func (p *Planner) tryAddNode(an Analysis, plant PlantState, reason string) (Acti
 	if plant.ClusterSize >= p.cfg.MaxNodes {
 		return Action{}, false
 	}
-	cooldownOK := !p.kb.InCooldown(ActionAddNode, an.At, p.cfg.ScaleOutCooldown)
+	cooldownOK := !p.inCooldown(ActionAddNode, an.At, p.cfg.ScaleOutCooldown)
 	a, ok := p.candidate(ActionAddNode, an, p.cfg.EnableScaling, cooldownOK, reason)
 	if !ok {
 		return a, false
@@ -392,12 +408,13 @@ func (p *Planner) tryRemoveNode(an Analysis, plant PlantState, reason string) (A
 	// cluster while the premium class is already breaching its SLA trades
 	// the most expensive violation minutes for the cheapest node-hours.
 	if an.GoldViolation {
+		p.noteVeto(ActionRemoveNode, ClusterScope(), "gold tenant in violation vetoes scale-in")
 		return Action{}, false
 	}
 	// Removing a node shortly after adding one is the oscillation the paper
 	// warns about; the scale-in cooldown also applies to recent scale-outs.
-	cooldownOK := !p.kb.InCooldown(ActionRemoveNode, an.At, p.cfg.ScaleInCooldown) &&
-		!p.kb.InCooldown(ActionAddNode, an.At, p.cfg.ScaleInCooldown)
+	cooldownOK := !p.inCooldown(ActionRemoveNode, an.At, p.cfg.ScaleInCooldown) &&
+		!p.inCooldown(ActionAddNode, an.At, p.cfg.ScaleInCooldown)
 	return p.candidate(ActionRemoveNode, an, p.cfg.EnableScaling, cooldownOK, reason)
 }
 
@@ -409,9 +426,10 @@ func (p *Planner) tryTightenWrite(an Analysis, plant PlantState, reason string) 
 	// Tightening trades write latency for consistency; refuse when write
 	// latency is itself near the SLA.
 	if an.Headroom.WriteLatency > p.cfg.HighFraction {
+		p.noteVeto(ActionTightenWriteConsistency, ClusterScope(), "write latency too close to SLA to tighten")
 		return Action{}, false
 	}
-	cooldownOK := !p.kb.InCooldown(ActionTightenWriteConsistency, an.At, p.cfg.ConsistencyCooldown)
+	cooldownOK := !p.inCooldown(ActionTightenWriteConsistency, an.At, p.cfg.ConsistencyCooldown)
 	return p.candidate(ActionTightenWriteConsistency, an, p.cfg.EnableConsistencyActions, cooldownOK, reason)
 }
 
@@ -420,8 +438,8 @@ func (p *Planner) tryRelaxWrite(an Analysis, plant PlantState, reason string) (A
 	if err != nil || next < p.cfg.MinWriteConsistency {
 		return Action{}, false
 	}
-	cooldownOK := !p.kb.InCooldown(ActionRelaxWriteConsistency, an.At, p.cfg.ConsistencyCooldown) &&
-		!p.kb.InCooldown(ActionTightenWriteConsistency, an.At, p.cfg.ConsistencyCooldown)
+	cooldownOK := !p.inCooldown(ActionRelaxWriteConsistency, an.At, p.cfg.ConsistencyCooldown) &&
+		!p.inCooldown(ActionTightenWriteConsistency, an.At, p.cfg.ConsistencyCooldown)
 	return p.candidate(ActionRelaxWriteConsistency, an, p.cfg.EnableConsistencyActions, cooldownOK, reason)
 }
 
@@ -430,9 +448,10 @@ func (p *Planner) tryTightenRead(an Analysis, plant PlantState, reason string) (
 		return Action{}, false
 	}
 	if an.Headroom.ReadLatency > p.cfg.HighFraction {
+		p.noteVeto(ActionTightenReadConsistency, ClusterScope(), "read latency too close to SLA to tighten")
 		return Action{}, false
 	}
-	cooldownOK := !p.kb.InCooldown(ActionTightenReadConsistency, an.At, p.cfg.ConsistencyCooldown)
+	cooldownOK := !p.inCooldown(ActionTightenReadConsistency, an.At, p.cfg.ConsistencyCooldown)
 	return p.candidate(ActionTightenReadConsistency, an, p.cfg.EnableConsistencyActions, cooldownOK, reason)
 }
 
@@ -453,14 +472,15 @@ func (p *Planner) PlanReplication(an Analysis, plant PlantState, raise bool) (Ac
 		}
 		// Raising RF under congestion is the paper's canonical wrong action.
 		if an.Cause == CauseNetworkCongestion {
+			p.noteVeto(ActionIncreaseReplication, ClusterScope(), "network congestion vetoes raising replication")
 			return Action{}, false
 		}
-		cooldownOK := !p.kb.InCooldown(ActionIncreaseReplication, an.At, p.cfg.ReplicationCooldown)
+		cooldownOK := !p.inCooldown(ActionIncreaseReplication, an.At, p.cfg.ReplicationCooldown)
 		return p.candidate(ActionIncreaseReplication, an, true, cooldownOK, "raise replication factor")
 	}
 	if plant.ReplicationFactor <= p.cfg.MinReplication {
 		return Action{}, false
 	}
-	cooldownOK := !p.kb.InCooldown(ActionDecreaseReplication, an.At, p.cfg.ReplicationCooldown)
+	cooldownOK := !p.inCooldown(ActionDecreaseReplication, an.At, p.cfg.ReplicationCooldown)
 	return p.candidate(ActionDecreaseReplication, an, true, cooldownOK, "lower replication factor")
 }

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteJSONL writes one JSON object per trace, in sampling order. Struct
+// field order is fixed, so the output is byte-identical across runs that
+// produced identical traces.
+func WriteJSONL(w io.Writer, traces []*OpTrace) error {
+	enc := json.NewEncoder(w)
+	for _, tr := range traces {
+		if err := enc.Encode(tr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chromeEvent is one entry of the Chrome trace_event JSON array format
+// (chrome://tracing, Perfetto). Timestamps are microseconds.
+type chromeEvent struct {
+	Name  string     `json:"name"`
+	Ph    string     `json:"ph"`
+	Ts    float64    `json:"ts"`
+	Dur   float64    `json:"dur,omitempty"`
+	Pid   int        `json:"pid"`
+	Tid   uint64     `json:"tid"`
+	Scope string     `json:"s,omitempty"`
+	Args  chromeArgs `json:"args,omitempty"`
+}
+
+type chromeArgs struct {
+	Tenant string `json:"tenant,omitempty"`
+	Key    string `json:"key,omitempty"`
+	Node   int    `json:"node,omitempty"`
+	Err    string `json:"err,omitempty"`
+	Note   string `json:"note,omitempty"`
+}
+
+func micros(ns int64) float64 { return float64(ns) / 1e3 }
+
+// WriteChromeTrace writes the traces in Chrome trace_event format: one
+// complete ("X") event spanning each op, with each span phase as an instant
+// ("i") event on the same track. Each op gets its own tid so fan-outs render
+// as separate rows in a flamegraph viewer.
+func WriteChromeTrace(w io.Writer, traces []*OpTrace) error {
+	if _, err := io.WriteString(w, "["); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	first := true
+	emit := func(ev chromeEvent) error {
+		if !first {
+			if _, err := io.WriteString(w, ","); err != nil {
+				return err
+			}
+		}
+		first = false
+		// json.Encoder appends a newline after every value, which doubles as
+		// the separator formatting inside the array.
+		return enc.Encode(ev)
+	}
+	for _, tr := range traces {
+		kind := "read"
+		if tr.Write {
+			kind = "write"
+		}
+		end := tr.End
+		if !tr.Done && len(tr.Events) > 0 {
+			end = tr.Events[len(tr.Events)-1].At
+		}
+		if end < tr.Start {
+			end = tr.Start
+		}
+		if err := emit(chromeEvent{
+			Name: fmt.Sprintf("%s %s", kind, tr.Key),
+			Ph:   "X",
+			Ts:   micros(int64(tr.Start)),
+			Dur:  micros(int64(end - tr.Start)),
+			Pid:  1,
+			Tid:  tr.ID,
+			Args: chromeArgs{Tenant: tr.Tenant, Key: tr.Key, Err: tr.Err},
+		}); err != nil {
+			return err
+		}
+		for _, ev := range tr.Events {
+			if err := emit(chromeEvent{
+				Name:  ev.Phase,
+				Ph:    "i",
+				Ts:    micros(int64(ev.At)),
+				Pid:   1,
+				Tid:   tr.ID,
+				Scope: "t",
+				Args:  chromeArgs{Node: ev.Node, Note: ev.Note},
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := io.WriteString(w, "]\n")
+	return err
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"autonosql"
+	"autonosql/internal/obs"
 )
 
 // State is a job's lifecycle state.
@@ -43,6 +44,18 @@ type MetricWindow struct {
 	AtSeconds float64 `json:"at_s"`
 	// Series maps every sampled series name to its value in this window.
 	Series map[string]float64 `json:"series"`
+}
+
+// SpanRecord is one finished op trace on the daemon's span stream. Spans
+// carry a job-wide sequence number, like metric windows, so a client can
+// resume from where it left off.
+type SpanRecord struct {
+	Job     string `json:"job"`
+	Variant string `json:"variant,omitempty"`
+	Seq     int    `json:"seq"`
+	// Span is the op trace in its canonical JSON form (the same bytes
+	// Scenario.WriteSpans emits per line).
+	Span json.RawMessage `json:"span"`
 }
 
 // MetaEnvelope is the run-metadata record the daemon keeps per job. The
@@ -113,6 +126,11 @@ type Job struct {
 	windows  []MetricWindow
 	firstSeq int
 	nextSeq  int
+	// Retained span stream, mirroring the window ring. Empty unless the
+	// job's spec enables Observe.TraceOps.
+	spans        []SpanRecord
+	firstSpanSeq int
+	nextSpanSeq  int
 	// notify is closed and replaced whenever windows or state change;
 	// streamers wait on the channel they saw instead of holding the lock.
 	notify chan struct{}
@@ -121,6 +139,7 @@ type Job struct {
 	// workers, read by handlers only after the state turns terminal (the
 	// state transition under mu orders the accesses).
 	meta       autonosql.RunMeta
+	report     *autonosql.Report // kindScenario only
 	reportJSON bytes.Buffer
 	csv        bytes.Buffer
 	tenantsCSV bytes.Buffer
@@ -256,6 +275,28 @@ func (j *Job) observe(variant string) func(autonosql.SampleWindow) error {
 	}
 }
 
+// publishSpan returns the OnSpan sink for one variant: the finished trace is
+// marshalled once and appended to the span ring. It runs on a simulation
+// goroutine, so the span stream follows the run live.
+func (j *Job) publishSpan(variant string) func(*obs.OpTrace) {
+	return func(tr *obs.OpTrace) {
+		raw, err := json.Marshal(tr)
+		if err != nil {
+			return
+		}
+		j.mu.Lock()
+		j.spans = append(j.spans, SpanRecord{Job: j.id, Variant: variant, Seq: j.nextSpanSeq, Span: raw})
+		j.nextSpanSeq++
+		if j.retain > 0 && len(j.spans) > j.retain {
+			drop := len(j.spans) - j.retain
+			j.spans = append(j.spans[:0], j.spans[drop:]...)
+			j.firstSpanSeq += drop
+		}
+		j.wakeLocked()
+		j.mu.Unlock()
+	}
+}
+
 // run executes the job to completion. It owns the result buffers until the
 // terminal state transition publishes them.
 func (j *Job) run() {
@@ -289,6 +330,7 @@ func (j *Job) runScenario() error {
 		return err
 	}
 	sc.OnSample(j.observe(""))
+	sc.OnSpan(j.publishSpan("")) // no-op unless Observe.TraceOps is set
 	started := time.Now()
 	rep, err := sc.Run()
 	j.meta = autonosql.RunMeta{Elapsed: time.Since(started), Parallelism: 1, Variants: 1}
@@ -296,6 +338,7 @@ func (j *Job) runScenario() error {
 		j.meta.Failed = 1
 		return err
 	}
+	j.report = rep
 	enc := json.NewEncoder(&j.reportJSON)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(rep); err != nil {
@@ -399,4 +442,50 @@ func (j *Job) snapshotFrom(from int) (batch []MetricWindow, next int, terminal b
 		batch = append(batch, j.windows[i])
 	}
 	return batch, from + len(batch), j.state.Terminal(), j.notify
+}
+
+// snapshotSpansFrom is snapshotFrom over the span ring.
+func (j *Job) snapshotSpansFrom(from int) (batch []SpanRecord, next int, terminal bool, wait <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if from < j.firstSpanSeq {
+		from = j.firstSpanSeq
+	}
+	for i := from - j.firstSpanSeq; i < len(j.spans); i++ {
+		batch = append(batch, j.spans[i])
+	}
+	return batch, from + len(batch), j.state.Terminal(), j.notify
+}
+
+// audit exposes a finished scenario job's MAPE audit trail.
+func (j *Job) audit() (trail []autonosql.AuditEntry, ok bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.state.Terminal() || j.report == nil {
+		return nil, false
+	}
+	return j.report.Audit, true
+}
+
+// jobMetrics is one job's counters for the /metrics surface.
+type jobMetrics struct {
+	id       string
+	kind     string
+	state    State
+	variants int
+	windows  int
+	spans    int
+}
+
+func (j *Job) metrics() jobMetrics {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return jobMetrics{
+		id:       j.id,
+		kind:     j.kind,
+		state:    j.state,
+		variants: j.variants,
+		windows:  j.nextSeq,
+		spans:    j.nextSpanSeq,
+	}
 }

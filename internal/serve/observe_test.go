@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"autonosql"
+)
+
+// TestDaemonObservabilitySurfaces pins the daemon's observability API: a job
+// submitted with Observe enabled streams its op-trace spans, serves its MAPE
+// audit trail once finished, and shows up on the Prometheus /metrics page
+// with non-zero span and window counters.
+func TestDaemonObservabilitySurfaces(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	ts := newTestDaemon(t)
+	spec := smallSpec()
+	spec.Controller.Mode = autonosql.ControllerSmart
+	spec.Observe = &autonosql.ObserveSpec{TraceOps: true, SampleEvery: 500, Audit: true, Profile: true}
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatalf("marshal spec: %v", err)
+	}
+
+	st := submit(t, ts, JobRequest{Name: "observed", Scenario: raw, Autostart: true})
+
+	// The audit trail is a results surface: conflict until terminal.
+	if resp, _ := get(t, ts.URL+"/api/jobs/"+st.ID+"/audit"); resp.StatusCode == http.StatusOK {
+		// The tiny run may already be done; only a non-conflict non-OK is wrong.
+	} else if resp.StatusCode != http.StatusConflict {
+		t.Errorf("audit before terminal: status %d, want 200 or 409", resp.StatusCode)
+	}
+
+	// Stream the spans to completion: JSON lines, sequenced from zero, each
+	// carrying the op trace in its canonical form.
+	resp, err := http.Get(ts.URL + "/api/jobs/" + st.ID + "/spans")
+	if err != nil {
+		t.Fatalf("GET spans: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("spans Content-Type = %q, want application/x-ndjson", ct)
+	}
+	var spans []SpanRecord
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var rec SpanRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("decoding span line %q: %v", sc.Text(), err)
+		}
+		spans = append(spans, rec)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("reading span stream: %v", err)
+	}
+	if len(spans) == 0 {
+		t.Fatal("span stream produced no spans")
+	}
+	for i, rec := range spans {
+		if rec.Seq != i {
+			t.Fatalf("span %d has sequence %d", i, rec.Seq)
+		}
+		var span struct {
+			ID     uint64 `json:"id"`
+			Events []any  `json:"events"`
+		}
+		if err := json.Unmarshal(rec.Span, &span); err != nil {
+			t.Fatalf("decoding span payload %d: %v", i, err)
+		}
+		if span.ID == 0 || len(span.Events) == 0 {
+			t.Fatalf("span %d has id=%d with %d events, want a populated trace", i, span.ID, len(span.Events))
+		}
+	}
+
+	waitState(t, ts, st.ID, StateDone)
+
+	// The audit trail names the control decisions and their causal inputs.
+	respA, body := get(t, ts.URL+"/api/jobs/"+st.ID+"/audit")
+	if respA.StatusCode != http.StatusOK {
+		t.Fatalf("audit after terminal: status %d, body %s", respA.StatusCode, body)
+	}
+	var auditResp struct {
+		Job   string                 `json:"job"`
+		Audit []autonosql.AuditEntry `json:"audit"`
+	}
+	if err := json.Unmarshal(body, &auditResp); err != nil {
+		t.Fatalf("decoding audit response: %v", err)
+	}
+	if len(auditResp.Audit) == 0 {
+		t.Fatal("audit trail is empty for a smart-controller run")
+	}
+	for _, e := range auditResp.Audit {
+		if e.Condition == "" || e.Action == "" {
+			t.Fatalf("audit entry %+v missing condition or action", e)
+		}
+	}
+
+	// The report carries the observability sections.
+	_, repBody := get(t, ts.URL+"/api/jobs/"+st.ID+"/report")
+	var rep autonosql.Report
+	if err := json.Unmarshal(repBody, &rep); err != nil {
+		t.Fatalf("decoding report: %v", err)
+	}
+	if rep.Spans == nil || rep.Spans.Sampled == 0 {
+		t.Errorf("report Spans = %+v, want sampled > 0", rep.Spans)
+	}
+	if rep.Profile == nil || rep.Profile.Events == 0 {
+		t.Errorf("report Profile = %+v, want events > 0", rep.Profile)
+	}
+	if len(rep.Audit) != len(auditResp.Audit) {
+		t.Errorf("report audit has %d entries, endpoint served %d", len(rep.Audit), len(auditResp.Audit))
+	}
+
+	// The Prometheus page counts the job and its published spans/windows.
+	respM, metrics := get(t, ts.URL+"/metrics")
+	if respM.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", respM.StatusCode)
+	}
+	if ct := respM.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics Content-Type = %q, want text/plain exposition", ct)
+	}
+	page := string(metrics)
+	for _, want := range []string{
+		`autonosql_jobs{state="done"} 1`,
+		`autonosql_job_info{job="` + st.ID + `",kind="scenario",state="done"} 1`,
+		`autonosql_job_windows_total{job="` + st.ID + `"}`,
+		`autonosql_job_spans_total{job="` + st.ID + `"}`,
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("/metrics missing %q\npage:\n%s", want, page)
+		}
+	}
+	var spanCount int
+	for _, line := range strings.Split(page, "\n") {
+		if strings.HasPrefix(line, `autonosql_job_spans_total{job="`+st.ID+`"}`) {
+			if _, err := fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%d", &spanCount); err != nil {
+				t.Fatalf("parsing span counter from %q: %v", line, err)
+			}
+		}
+	}
+	if spanCount != len(spans) {
+		t.Errorf("/metrics reports %d spans, stream delivered %d", spanCount, len(spans))
+	}
+}

@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 
 	"autonosql"
@@ -50,7 +52,10 @@ func NewServer(opts Options) *Server {
 	s.mux.HandleFunc("POST /api/jobs/{id}/pause", s.handleLifecycle((*Job).Pause))
 	s.mux.HandleFunc("POST /api/jobs/{id}/resume", s.handleLifecycle((*Job).Resume))
 	s.mux.HandleFunc("POST /api/jobs/{id}/cancel", s.handleLifecycle((*Job).Cancel))
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /api/jobs/{id}/stream", s.handleStream)
+	s.mux.HandleFunc("GET /api/jobs/{id}/spans", s.handleSpans)
+	s.mux.HandleFunc("GET /api/jobs/{id}/audit", s.handleAudit)
 	s.mux.HandleFunc("GET /api/jobs/{id}/report", s.handleReport)
 	s.mux.HandleFunc("GET /api/jobs/{id}/report.csv", s.handleReportCSV)
 	s.mux.HandleFunc("GET /api/jobs/{id}/tenants.csv", s.handleTenantsCSV)
@@ -183,6 +188,7 @@ func (s *Server) buildJob(req *JobRequest) (*Job, error) {
 			name := variants[i].Name
 			variants[i].Configure = func(sc *autonosql.Scenario) error {
 				sc.OnSample(j.observe(name))
+				sc.OnSpan(j.publishSpan(name)) // no-op unless Observe.TraceOps
 				return nil
 			}
 		}
@@ -301,6 +307,130 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		case <-wait:
 		}
 	}
+}
+
+// handleSpans replays the retained op-trace spans from the requested
+// sequence (?from=N, default oldest retained) as JSON lines, then follows
+// the live run until the job finishes or the client disconnects. Jobs
+// submitted without Observe.TraceOps stream nothing and close at the
+// terminal state.
+func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	from := 0
+	if q := r.URL.Query().Get("from"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad from sequence %q", q))
+			return
+		}
+		from = n
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		flusher.Flush()
+	}
+	enc := json.NewEncoder(w)
+	next := from
+	for {
+		batch, n, terminal, wait := j.snapshotSpansFrom(next)
+		next = n
+		for _, rec := range batch {
+			if err := enc.Encode(rec); err != nil {
+				return // client gone
+			}
+		}
+		if len(batch) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		if terminal {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-wait:
+		}
+	}
+}
+
+// handleAudit serves a finished scenario job's MAPE decision audit trail.
+// The trail is part of the report (Observe.Audit), so it follows the same
+// results-only-after-terminal contract.
+func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	if j.kind != kindScenario {
+		httpError(w, http.StatusNotFound, fmt.Errorf("job %s is a %s job; the audit trail is a scenario surface", j.id, j.kind))
+		return
+	}
+	trail, ok := j.audit()
+	if !ok {
+		httpError(w, http.StatusConflict, fmt.Errorf("job %s is %s; the audit trail is available once it finishes", j.id, j.Status().State))
+		return
+	}
+	if trail == nil {
+		trail = []autonosql.AuditEntry{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"job": j.id, "audit": trail})
+}
+
+// handleMetrics serves a Prometheus text exposition of the daemon's state:
+// job counts by state, plus per-job window, span and variant counters in
+// submission order. Everything here is cheap to collect, so the endpoint is
+// safe to scrape frequently.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+
+	byState := map[State]int{}
+	snaps := make([]jobMetrics, 0, len(jobs))
+	for _, j := range jobs {
+		m := j.metrics()
+		byState[m.state]++
+		snaps = append(snaps, m)
+	}
+
+	var b strings.Builder
+	b.WriteString("# HELP autonosql_jobs Number of jobs in each lifecycle state.\n")
+	b.WriteString("# TYPE autonosql_jobs gauge\n")
+	for _, st := range []State{StatePending, StateRunning, StatePaused, StateDone, StateFailed, StateCanceled} {
+		fmt.Fprintf(&b, "autonosql_jobs{state=%q} %d\n", st, byState[st])
+	}
+	b.WriteString("# HELP autonosql_job_info Per-job kind and state (value is always 1).\n")
+	b.WriteString("# TYPE autonosql_job_info gauge\n")
+	for _, m := range snaps {
+		fmt.Fprintf(&b, "autonosql_job_info{job=%q,kind=%q,state=%q} 1\n", m.id, m.kind, m.state)
+	}
+	b.WriteString("# HELP autonosql_job_windows_total Metric windows published by each job.\n")
+	b.WriteString("# TYPE autonosql_job_windows_total counter\n")
+	for _, m := range snaps {
+		fmt.Fprintf(&b, "autonosql_job_windows_total{job=%q} %d\n", m.id, m.windows)
+	}
+	b.WriteString("# HELP autonosql_job_spans_total Op-trace spans published by each job.\n")
+	b.WriteString("# TYPE autonosql_job_spans_total counter\n")
+	for _, m := range snaps {
+		fmt.Fprintf(&b, "autonosql_job_spans_total{job=%q} %d\n", m.id, m.spans)
+	}
+	b.WriteString("# HELP autonosql_job_variants Scenario variants each job runs.\n")
+	b.WriteString("# TYPE autonosql_job_variants gauge\n")
+	for _, m := range snaps {
+		fmt.Fprintf(&b, "autonosql_job_variants{job=%q} %d\n", m.id, m.variants)
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = io.WriteString(w, b.String())
 }
 
 // finished fetches a job and its results, enforcing the

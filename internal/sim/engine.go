@@ -75,6 +75,42 @@ type Engine struct {
 	// only ever set from a handler firing on this engine (same goroutine), so
 	// it needs no synchronisation.
 	halted bool
+	// Self-profiling counters: free-list effectiveness of the pooled schedule
+	// paths and the high-water mark of the pending-event heap. All of them
+	// are pure functions of the simulated computation, so they are safe to
+	// surface in determinism-sensitive reports.
+	poolHits   uint64
+	poolMisses uint64
+	heapPeak   int
+}
+
+// Profile is a snapshot of the engine's self-profiling counters.
+type Profile struct {
+	// Processed counts events that have fired (excluding cancelled ones).
+	Processed uint64 `json:"processed"`
+	// PoolHits counts pooled schedules served from the free list;
+	// PoolMisses counts those that had to allocate a fresh event.
+	PoolHits   uint64 `json:"pool_hits"`
+	PoolMisses uint64 `json:"pool_misses"`
+	// HeapPeak is the maximum number of simultaneously pending events.
+	HeapPeak int `json:"heap_peak"`
+}
+
+// Profile returns the engine's self-profiling counters.
+func (e *Engine) Profile() Profile {
+	return Profile{
+		Processed:  e.processed,
+		PoolHits:   e.poolHits,
+		PoolMisses: e.poolMisses,
+		HeapPeak:   e.heapPeak,
+	}
+}
+
+// notePush tracks the pending-heap high-water mark; call after queue.push.
+func (e *Engine) notePush() {
+	if len(e.queue) > e.heapPeak {
+		e.heapPeak = len(e.queue)
+	}
 }
 
 // NewEngine returns an engine whose clock starts at virtual time zero.
@@ -116,6 +152,7 @@ func (e *Engine) ScheduleAt(at time.Duration, handler Handler) (*Event, error) {
 	e.seq++
 	ev := &Event{at: at, seq: e.seq, handler: handler}
 	e.queue.push(ev)
+	e.notePush()
 	return ev, nil
 }
 
@@ -154,8 +191,10 @@ func (e *Engine) AfterAt(at time.Duration, handler Handler) {
 		e.free = ev.next
 		ev.next = nil
 		ev.canceled = false
+		e.poolHits++
 	} else {
 		ev = &Event{}
+		e.poolMisses++
 	}
 	e.seq++
 	ev.at = at
@@ -163,6 +202,7 @@ func (e *Engine) AfterAt(at time.Duration, handler Handler) {
 	ev.handler = handler
 	ev.pooled = true
 	e.queue.push(ev)
+	e.notePush()
 }
 
 // AfterArg schedules h(arg) to run after delay. Like After it is
@@ -189,8 +229,10 @@ func (e *Engine) AfterArgAt(at time.Duration, h ArgHandler, arg any) {
 		e.free = ev.next
 		ev.next = nil
 		ev.canceled = false
+		e.poolHits++
 	} else {
 		ev = &Event{}
+		e.poolMisses++
 	}
 	e.seq++
 	ev.at = at
@@ -199,6 +241,7 @@ func (e *Engine) AfterArgAt(at time.Duration, h ArgHandler, arg any) {
 	ev.arg = arg
 	ev.pooled = true
 	e.queue.push(ev)
+	e.notePush()
 }
 
 // release returns a pooled event to the free list. The handler and argument

@@ -53,6 +53,12 @@ type Lane struct {
 	id     int
 	lead   int
 	target time.Duration
+	// sent counts cross-lane messages this lane mailed (Send/SendAt/Handoff).
+	sent uint64
+	// busy accumulates the wall-clock time the lane's worker spent running
+	// this lane's windows. Written only by the lane's worker between
+	// barriers, read by the coordinator after the join — no races.
+	busy time.Duration
 }
 
 // Engine returns the lane's event engine. All scheduling inside the lane
@@ -92,6 +98,7 @@ func (l *Lane) SendAt(dst *Lane, at time.Duration, h ArgHandler, arg any) {
 		panic(fmt.Errorf("%w: at=%v now=%v", ErrPastEvent, at, l.eng.now))
 	}
 	l.eng.seq++
+	l.sent++
 	box := &l.se.mail[l.id*len(l.se.lanes)+dst.id]
 	*box = append(*box, mailMsg{at: at, seq: l.eng.seq, h: h, arg: arg})
 }
@@ -111,6 +118,7 @@ func (l *Lane) Handoff(dst *Lane, at time.Duration, h ArgHandler, arg any) {
 	if at < l.eng.now {
 		panic(fmt.Errorf("%w: at=%v now=%v", ErrPastEvent, at, l.eng.now))
 	}
+	l.sent++
 	box := &l.se.mail[l.id*len(l.se.lanes)+dst.id]
 	*box = append(*box, mailMsg{at: at, h: h, arg: arg, handoff: true})
 }
@@ -149,8 +157,10 @@ func (e *Engine) pushMail(at time.Duration, seq uint64, h ArgHandler, arg any) {
 		e.free = ev.next
 		ev.next = nil
 		ev.canceled = false
+		e.poolHits++
 	} else {
 		ev = &Event{}
+		e.poolMisses++
 	}
 	ev.at = at
 	ev.seq = seq
@@ -158,6 +168,7 @@ func (e *Engine) pushMail(at time.Duration, seq uint64, h ArgHandler, arg any) {
 	ev.arg = arg
 	ev.pooled = true
 	e.queue.push(ev)
+	e.notePush()
 }
 
 // ShardedEngine drives N per-lane event heaps in deterministic lockstep
@@ -190,6 +201,68 @@ type ShardedEngine struct {
 	// on one of the lanes — a lane-worker goroutine running concurrently with
 	// the coordinator — hence the atomic.
 	halted atomic.Bool
+
+	// Self-profiling: drained counts mailbox messages moved at barriers
+	// (deterministic); stepWall and drainWall accumulate the coordinator's
+	// wall-clock time inside the parallel lane phase and the barrier drain
+	// (wall-clock, so reported only through performance tooling, never in
+	// determinism-sensitive outputs).
+	drained   uint64
+	stepWall  time.Duration
+	drainWall time.Duration
+}
+
+// LaneProfile is one lane's self-profiling snapshot. All fields except Busy
+// are pure functions of the simulated computation.
+type LaneProfile struct {
+	Lane int `json:"lane"`
+	Lead int `json:"lead"`
+	// Engine counters of the lane's own event heap.
+	Profile
+	// MailSent counts cross-lane messages this lane mailed.
+	MailSent uint64 `json:"mail_sent"`
+	// Busy is the wall-clock time the lane's worker spent executing this
+	// lane. Not deterministic; excluded from report surfaces.
+	Busy time.Duration `json:"-"`
+}
+
+// ShardedProfile is the sharded engine's self-profiling snapshot.
+type ShardedProfile struct {
+	// Rounds is the number of lockstep rounds run (including bootstrap).
+	Rounds uint64 `json:"rounds"`
+	// MailDrained counts cross-lane messages moved at barriers.
+	MailDrained uint64 `json:"mail_drained"`
+	// Lanes holds one entry per lane, in lane order.
+	Lanes []LaneProfile `json:"lanes"`
+	// StepWall and DrainWall are the coordinator's cumulative wall-clock
+	// time spent in the parallel lane phase and the barrier drains. With
+	// Lanes[i].Busy they give per-lane occupancy (Busy/StepWall) and
+	// barrier-stall time (StepWall-Busy). Not deterministic; excluded from
+	// report surfaces.
+	StepWall  time.Duration `json:"-"`
+	DrainWall time.Duration `json:"-"`
+}
+
+// Profile returns the sharded engine's self-profiling counters. Call it
+// after Run; it reads lane state the workers wrote before the final barrier.
+func (se *ShardedEngine) Profile() ShardedProfile {
+	p := ShardedProfile{
+		Rounds:      se.round,
+		MailDrained: se.drained,
+		StepWall:    se.stepWall,
+		DrainWall:   se.drainWall,
+		Lanes:       make([]LaneProfile, len(se.lanes)),
+	}
+	for i, l := range se.lanes {
+		p.Lanes[i] = LaneProfile{
+			Lane:     l.id,
+			Lead:     l.lead,
+			Profile:  l.eng.Profile(),
+			MailSent: l.sent,
+			Busy:     l.busy,
+		}
+	}
+	return p
 }
 
 // NewShardedEngine creates a sharded engine with the given lockstep epoch
@@ -298,16 +371,24 @@ func (se *ShardedEngine) step(pool *lanePool, front, until time.Duration) error 
 		}
 		l.target = t
 	}
+	stepStart := time.Now()
 	if pool == nil {
 		for _, l := range se.lanes {
-			if err := l.eng.Run(l.target); err != nil {
+			laneStart := time.Now()
+			err := l.eng.Run(l.target)
+			l.busy += time.Since(laneStart)
+			if err != nil {
 				return err
 			}
 		}
 	} else if err := pool.step(); err != nil {
 		return err
 	}
-	return se.drain()
+	se.stepWall += time.Since(stepStart)
+	drainStart := time.Now()
+	err := se.drain()
+	se.drainWall += time.Since(drainStart)
+	return err
 }
 
 // drain moves every mailed message into its receiver's heap. The drain order
@@ -331,6 +412,7 @@ func (se *ShardedEngine) drain() error {
 				} else {
 					dst.eng.pushMail(m.at, m.seq, m.h, m.arg)
 				}
+				se.drained++
 				m.h, m.arg = nil, nil
 			}
 			*box = msgs[:0]
@@ -373,7 +455,10 @@ func newLanePool(lanes []*Lane, n int) *lanePool {
 func (w *laneWorker) loop() {
 	for range w.start {
 		for _, l := range w.lanes {
-			if err := l.eng.Run(l.target); err != nil {
+			laneStart := time.Now()
+			err := l.eng.Run(l.target)
+			l.busy += time.Since(laneStart)
+			if err != nil {
 				w.err = err
 				break
 			}

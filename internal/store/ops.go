@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"autonosql/internal/cluster"
+	"autonosql/internal/obs"
 )
 
 // The read and write paths are fully event-driven: every hop (client ->
@@ -43,6 +44,9 @@ type writeState struct {
 	// common replication factors.
 	fanout    []writeFanout
 	fanoutBuf [8]writeFanout
+	// trace is the sampled span tree for this write, nil for unsampled
+	// operations (and always nil with tracing off).
+	trace *obs.OpTrace
 
 	required int
 	// possible is the number of replicas that can still acknowledge (live
@@ -89,6 +93,7 @@ func writeApplyEvent(arg any, applied time.Duration) {
 	if rep, ok := w.store.replicas[f.id]; ok {
 		rep.apply(w.key, w.ver)
 	}
+	w.trace.Add(applied, "replica-apply", int(f.id))
 	w.tracker.applied(applied)
 }
 
@@ -98,6 +103,7 @@ func writeClientAckEvent(arg any, at time.Duration) {
 	if cur, ok := s.latestAcked[w.key]; !ok || w.ver > cur {
 		s.latestAcked[w.key] = w.ver
 	}
+	w.trace.Add(at, "client-ack", 0)
 	w.tracker.setAck(at)
 	latency := at - w.issuedAt
 	s.writeLatency.ObserveDuration(latency)
@@ -125,9 +131,11 @@ func (w *writeState) onAck(at time.Duration) {
 	if at > w.lastAckAt {
 		w.lastAckAt = at
 	}
+	w.trace.Add(at, "ack", 0)
 	if !w.clientAcked && w.acked >= w.required {
 		w.clientAcked = true
 		w.ackDecidedAt = at
+		w.trace.Add(at, "quorum", 0)
 		w.store.completeWrite(w, at)
 	}
 	if w.acked >= w.possible {
@@ -147,6 +155,7 @@ func (w *writeState) onReplicaLost() {
 		w.failed = true
 		w.store.writeFailures.Inc()
 		w.store.tenantWriteFailure(w.tenant)
+		w.store.finishTrace(w.trace, w.store.engine.Now(), ErrUnavailable)
 		w.store.failOp(OpWrite, w.key, w.issuedAt, ErrUnavailable, w.cb)
 		return
 	}
@@ -164,7 +173,7 @@ func (w *writeState) emitObservation() {
 		return
 	}
 	w.observed = true
-	obs := WriteObservation{
+	ob := WriteObservation{
 		IssuedAt:  w.issuedAt,
 		AckedAt:   w.ackDecidedAt,
 		LastAckAt: w.lastAckAt,
@@ -172,7 +181,7 @@ func (w *writeState) emitObservation() {
 		Acked:     w.acked,
 	}
 	for _, o := range w.store.observers {
-		o.ObserveWrite(obs)
+		o.ObserveWrite(ob)
 	}
 }
 
@@ -205,10 +214,12 @@ func (s *Store) WriteAs(tenant TenantID, key Key, cb func(Result)) {
 		s.failOp(OpWrite, key, now, ErrStopped, cb)
 		return
 	}
+	tr := s.beginTrace(true, key, now)
 	coord, ok := s.pickCoordinatorTenant(tenant)
 	if !ok {
 		s.writeFailures.Inc()
 		s.tenantWriteFailure(tenant)
+		s.finishTrace(tr, now, ErrNoNodes)
 		s.failOp(OpWrite, key, now, ErrNoNodes, cb)
 		return
 	}
@@ -216,6 +227,7 @@ func (s *Store) WriteAs(tenant TenantID, key Key, cb func(Result)) {
 	if len(replicaIDs) == 0 {
 		s.writeFailures.Inc()
 		s.tenantWriteFailure(tenant)
+		s.finishTrace(tr, now, ErrNoNodes)
 		s.failOp(OpWrite, key, now, ErrNoNodes, cb)
 		return
 	}
@@ -224,6 +236,7 @@ func (s *Store) WriteAs(tenant TenantID, key Key, cb func(Result)) {
 	if len(live) < required {
 		s.writeFailures.Inc()
 		s.tenantWriteFailure(tenant)
+		s.finishTrace(tr, now, ErrUnavailable)
 		s.failOp(OpWrite, key, now, ErrUnavailable, cb)
 		return
 	}
@@ -251,12 +264,15 @@ func (s *Store) WriteAs(tenant TenantID, key Key, cb func(Result)) {
 		possible: len(live),
 		replicas: len(replicaIDs),
 	}
+	state.trace = tr
+	tr.Add(now, "dispatch", int(coord.ID()))
 	state.tracker = writeTracker{
 		store:     s,
 		key:       key,
 		ver:       ver,
 		tenant:    tenant,
 		remaining: len(replicaIDs),
+		trace:     tr,
 	}
 	// live points into the per-operation scratch buffer, which the next
 	// operation overwrites; keep a copy in the state's inline buffer.
@@ -281,10 +297,13 @@ func (s *Store) coordinateWrite(w *writeState, arrival time.Duration) {
 		w.failed = true
 		s.writeFailures.Inc()
 		s.tenantWriteFailure(w.tenant)
+		w.trace.AddNote(arrival, "coordinate", int(w.coord.ID()), "reject")
+		s.finishTrace(w.trace, arrival, ErrUnavailable)
 		s.failOp(OpWrite, w.key, w.issuedAt, ErrUnavailable, w.cb)
 		return
 	}
 	coordDone := arrival + coordDelay
+	w.trace.Add(coordDone, "coordinate", int(w.coord.ID()))
 	net := s.cluster.Network()
 
 	// Bind one fan-out slot per live replica before scheduling anything, so
@@ -322,12 +341,14 @@ func (s *Store) applyOnReplica(f *writeFanout, arrive time.Duration) {
 	if !ok || !node.Available() || !s.cluster.Network().Reachable(w.coord.ID(), id) {
 		// Down, removed, or a partition opened between dispatch and arrival:
 		// the mutation cannot be delivered and becomes a hint.
+		w.trace.AddNote(arrive, "replica-hint", int(id), "unreachable")
 		s.queueHint(id, w.key, w.ver, &w.tracker, w.coord.ID())
 		w.onReplicaLost()
 		return
 	}
 	applyDelay, accepted := node.Enqueue(arrive, cluster.ReplicationApply)
 	if !accepted {
+		w.trace.AddNote(arrive, "replica-hint", int(id), "overload")
 		s.queueHint(id, w.key, w.ver, &w.tracker, w.coord.ID())
 		w.onReplicaLost()
 		return
@@ -335,10 +356,12 @@ func (s *Store) applyOnReplica(f *writeFanout, arrive time.Duration) {
 	applyAt := arrive + applyDelay
 	if applyAt-w.issuedAt > s.cfg.MutationDropTimeout {
 		s.droppedMutations.Inc()
+		w.trace.AddNote(arrive, "replica-hint", int(id), "drop-timeout")
 		s.queueHint(id, w.key, w.ver, &w.tracker, w.coord.ID())
 		w.onReplicaLost()
 		return
 	}
+	w.trace.Add(arrive, "replica-arrive", int(id))
 	s.engine.AfterArg(delayUntil(s.engine.Now(), applyAt), writeApplyEvent, f)
 	ackAt := applyAt + s.cluster.Network().NodeToNode()
 	s.engine.AfterArg(delayUntil(s.engine.Now(), ackAt), writeAckEvent, w)
@@ -361,6 +384,9 @@ type readState struct {
 	// replica, so the read fan-out schedules no per-replica closures.
 	fanout    []readFanout
 	fanoutBuf [8]readFanout
+	// trace is the sampled span tree for this read, nil for unsampled
+	// operations (and always nil with tracing off).
+	trace *obs.OpTrace
 
 	required  int
 	possible  int
@@ -411,7 +437,11 @@ func readClientDoneEvent(arg any, at time.Duration) {
 	stale := r.freshest < latest
 	if stale {
 		s.staleReads.Inc()
+		r.trace.AddNote(at, "client-done", 0, "stale")
+	} else {
+		r.trace.Add(at, "client-done", 0)
 	}
+	s.finishTrace(r.trace, at, nil)
 	if s.cfg.ReadRepair && (r.divergent || stale) {
 		s.scheduleReadRepair(r.key, r.contacted)
 	}
@@ -446,6 +476,7 @@ func (r *readState) onResponse(id cluster.NodeID, v version, at time.Duration) {
 	if at > r.lastSeenAt {
 		r.lastSeenAt = at
 	}
+	r.trace.Add(at, "replica-respond", int(id))
 	if v != r.freshest && r.responses > 1 {
 		r.divergent = true
 	}
@@ -454,6 +485,7 @@ func (r *readState) onResponse(id cluster.NodeID, v version, at time.Duration) {
 	}
 	if r.responses >= r.required {
 		r.done = true
+		r.trace.Add(at, "quorum", 0)
 		r.store.completeRead(r, at)
 	}
 }
@@ -468,6 +500,7 @@ func (r *readState) onReplicaLost() {
 		r.done = true
 		r.store.readFailures.Inc()
 		r.store.tenantReadFailure(r.tenant)
+		r.store.finishTrace(r.trace, r.store.engine.Now(), ErrUnavailable)
 		r.store.failOp(OpRead, r.key, r.issuedAt, ErrUnavailable, r.cb)
 	}
 }
@@ -490,10 +523,12 @@ func (s *Store) ReadAs(tenant TenantID, key Key, cb func(Result)) {
 		s.failOp(OpRead, key, now, ErrStopped, cb)
 		return
 	}
+	tr := s.beginTrace(false, key, now)
 	coord, ok := s.pickCoordinatorTenant(tenant)
 	if !ok {
 		s.readFailures.Inc()
 		s.tenantReadFailure(tenant)
+		s.finishTrace(tr, now, ErrNoNodes)
 		s.failOp(OpRead, key, now, ErrNoNodes, cb)
 		return
 	}
@@ -501,6 +536,7 @@ func (s *Store) ReadAs(tenant TenantID, key Key, cb func(Result)) {
 	if len(replicaIDs) == 0 {
 		s.readFailures.Inc()
 		s.tenantReadFailure(tenant)
+		s.finishTrace(tr, now, ErrNoNodes)
 		s.failOp(OpRead, key, now, ErrNoNodes, cb)
 		return
 	}
@@ -509,6 +545,7 @@ func (s *Store) ReadAs(tenant TenantID, key Key, cb func(Result)) {
 	if len(live) < required {
 		s.readFailures.Inc()
 		s.tenantReadFailure(tenant)
+		s.finishTrace(tr, now, ErrUnavailable)
 		s.failOp(OpRead, key, now, ErrUnavailable, cb)
 		return
 	}
@@ -527,6 +564,8 @@ func (s *Store) ReadAs(tenant TenantID, key Key, cb func(Result)) {
 		required: required,
 		possible: required,
 	}
+	state.trace = tr
+	tr.Add(now, "dispatch", int(coord.ID()))
 	// Contact exactly `required` live replicas in preference order, as a
 	// token-aware driver would. The scratch buffer is copied into the state's
 	// inline array because it is overwritten by the next operation.
@@ -544,10 +583,13 @@ func (s *Store) coordinateRead(r *readState, arrival time.Duration) {
 		r.done = true
 		s.readFailures.Inc()
 		s.tenantReadFailure(r.tenant)
+		r.trace.AddNote(arrival, "coordinate", int(r.coord.ID()), "reject")
+		s.finishTrace(r.trace, arrival, ErrUnavailable)
 		s.failOp(OpRead, r.key, r.issuedAt, ErrUnavailable, r.cb)
 		return
 	}
 	coordDone := arrival + coordDelay
+	r.trace.Add(coordDone, "coordinate", int(r.coord.ID()))
 	net := s.cluster.Network()
 
 	r.fanout = r.fanoutBuf[:0]
@@ -577,17 +619,47 @@ func (s *Store) readOnReplica(f *readFanout, arrive time.Duration) {
 	r, id := f.r, f.id
 	node, ok := s.cluster.Node(id)
 	if !ok || !node.Available() || !s.cluster.Network().Reachable(r.coord.ID(), id) {
+		r.trace.AddNote(arrive, "replica-lost", int(id), "unreachable")
 		r.onReplicaLost()
 		return
 	}
 	delay, accepted := node.Enqueue(arrive, cluster.ForegroundOp)
 	if !accepted {
+		r.trace.AddNote(arrive, "replica-lost", int(id), "overload")
 		r.onReplicaLost()
 		return
 	}
 	processAt := arrive + delay
+	r.trace.Add(arrive, "replica-arrive", int(id))
 	respondAt := processAt + s.cluster.Network().NodeToNode()
 	s.engine.AfterArg(delayUntil(s.engine.Now(), respondAt), readRespondEvent, f)
+}
+
+// beginTrace fronts one operation past the tracer's sampler: a trace staged
+// by an upstream layer (the tenant runtime, which already counted the op) is
+// adopted, otherwise the sampler decides. Returns nil — and does no work —
+// for unsampled operations or when tracing is off.
+func (s *Store) beginTrace(write bool, key Key, now time.Duration) *obs.OpTrace {
+	if s.tracer == nil {
+		return nil
+	}
+	if tr, fronted := s.tracer.Handoff(); fronted {
+		return tr
+	}
+	return s.tracer.Begin("", write, string(key), now)
+}
+
+// finishTrace closes a sampled span tree on a completion or failure path.
+// Nil-safe on both the trace and the tracer, and idempotent per trace.
+func (s *Store) finishTrace(tr *obs.OpTrace, at time.Duration, err error) {
+	if tr == nil || s.tracer == nil {
+		return
+	}
+	msg := ""
+	if err != nil {
+		msg = err.Error()
+	}
+	s.tracer.Finish(tr, at, msg)
 }
 
 // failOp delivers a failure result after a minimal client round trip.
@@ -983,6 +1055,10 @@ func (t *writeTracker) record() {
 	window := t.lastApply - t.ackAt
 	if window < 0 {
 		window = 0
+	}
+	if t.trace != nil {
+		t.trace.Add(t.lastApply, "sla-account", 0)
+		t.store.finishTrace(t.trace, t.lastApply, nil)
 	}
 	t.store.windowHist.ObserveDuration(window)
 	t.store.recentWindow.Observe(window.Seconds())

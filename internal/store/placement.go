@@ -12,8 +12,16 @@ import (
 // pinned, the tenants of that class anchor their replica sets and
 // coordinators on a dedicated node pool while everyone else is steered onto
 // the remainder, so a premium tenant's replica applies stop queueing behind
-// a noisy neighbour's burst. With no class pinned every selection path is
-// byte-for-byte the pre-placement code path.
+// a noisy neighbour's burst. Several classes can hold dedicated pools at the
+// same time — each class's tenants bias onto their own pool, and unpinned
+// tenants bias away from the union of all dedicated nodes. With no class
+// pinned every selection path is byte-for-byte the pre-placement code path.
+
+// classPlacement is one pinned class and its dedicated node pool (sorted).
+type classPlacement struct {
+	class string
+	nodes []cluster.NodeID
+}
 
 // EnablePlacementTracking starts recording which tenant owns each written
 // key, the data a later PinClass needs to repair every key onto the same
@@ -32,28 +40,40 @@ func (s *Store) EnablePlacementTracking() {
 // tenants as members of that class. The dedicated nodes are tagged on the
 // cluster (scale-in avoids them), and a rebalance is started so existing
 // data converges onto the new preference lists, exactly like a replication-
-// factor change. At most one class can be pinned at a time.
+// factor change. Pinning a second class while one is active adds a second
+// dedicated pool rather than displacing the first; re-pinning an
+// already-pinned class or dedicating a node two classes claim is an error.
 func (s *Store) PinClass(class string, tenants []TenantID, nodes []cluster.NodeID) error {
 	if class == "" {
 		return errors.New("store: placement class is required")
 	}
-	if s.placementClass != "" {
-		return fmt.Errorf("store: class %q already pinned", s.placementClass)
+	if s.ClassPinned(class) {
+		return fmt.Errorf("store: class %q already pinned", class)
 	}
 	if len(nodes) == 0 {
 		return errors.New("store: placement needs at least one dedicated node")
 	}
-	s.EnablePlacementTracking()
-	s.placementClass = class
-	s.placementNodes = append(s.placementNodes[:0], nodes...)
-	slices.Sort(s.placementNodes)
-	s.pinnedTenants = make([]bool, len(s.tenants))
-	for _, id := range tenants {
-		if id > 0 && int(id) <= len(s.pinnedTenants) {
-			s.pinnedTenants[id-1] = true
+	for _, id := range nodes {
+		if slices.Contains(s.dedicated, id) {
+			return fmt.Errorf("store: node %v is already dedicated to class %q", id, s.nodeClass(id))
 		}
 	}
-	for _, id := range s.placementNodes {
+	s.EnablePlacementTracking()
+	p := classPlacement{class: class, nodes: append([]cluster.NodeID(nil), nodes...)}
+	slices.Sort(p.nodes)
+	s.placements = append(s.placements, p)
+	s.rebuildDedicated()
+	if len(s.tenantPool) < len(s.tenants) {
+		grown := make([]int, len(s.tenants))
+		copy(grown, s.tenantPool)
+		s.tenantPool = grown
+	}
+	for _, id := range tenants {
+		if id > 0 && int(id) <= len(s.tenantPool) {
+			s.tenantPool[id-1] = len(s.placements)
+		}
+	}
+	for _, id := range p.nodes {
 		if n, ok := s.cluster.Node(id); ok {
 			n.SetClass(class)
 		}
@@ -65,53 +85,108 @@ func (s *Store) PinClass(class string, tenants []TenantID, nodes []cluster.NodeI
 	return nil
 }
 
-// UnpinClass releases the pinned class's nodes back into the shared pool and
-// rebalances ownership back onto the unbiased ring.
+// UnpinClass releases the most recently pinned class's nodes back into the
+// shared pool and rebalances ownership accordingly. With several classes
+// pinned the older placements stay active.
 func (s *Store) UnpinClass() error {
-	if s.placementClass == "" {
+	if len(s.placements) == 0 {
 		return errors.New("store: no class pinned")
 	}
-	for _, id := range s.placementNodes {
+	last := len(s.placements) - 1
+	for _, id := range s.placements[last].nodes {
 		if n, ok := s.cluster.Node(id); ok {
 			n.SetClass("")
 		}
 	}
-	s.placementClass = ""
-	s.placementNodes = s.placementNodes[:0]
-	s.pinnedTenants = nil
+	s.placements = s.placements[:last]
+	s.rebuildDedicated()
+	for i, p := range s.tenantPool {
+		if p == last+1 {
+			s.tenantPool[i] = 0
+		}
+	}
+	if len(s.placements) == 0 {
+		s.tenantPool = nil
+	}
 	s.startRebalance()
 	return nil
 }
 
-// PinnedClass returns the SLA class currently holding dedicated nodes, or "".
-func (s *Store) PinnedClass() string { return s.placementClass }
+// rebuildDedicated recomputes the sorted union of every dedicated pool.
+func (s *Store) rebuildDedicated() {
+	s.dedicated = s.dedicated[:0]
+	for _, p := range s.placements {
+		s.dedicated = append(s.dedicated, p.nodes...)
+	}
+	slices.Sort(s.dedicated)
+	s.dedicated = slices.Compact(s.dedicated)
+}
 
-// PlacementNodes returns the IDs of the dedicated nodes (sorted), or nil.
+// nodeClass returns the class a node is dedicated to, or "".
+func (s *Store) nodeClass(id cluster.NodeID) string {
+	for _, p := range s.placements {
+		if slices.Contains(p.nodes, id) {
+			return p.class
+		}
+	}
+	return ""
+}
+
+// PinnedClass returns the most recently pinned SLA class, or "".
+func (s *Store) PinnedClass() string {
+	if len(s.placements) == 0 {
+		return ""
+	}
+	return s.placements[len(s.placements)-1].class
+}
+
+// ClassPinned reports whether the given class currently holds dedicated
+// nodes.
+func (s *Store) ClassPinned(class string) bool {
+	for _, p := range s.placements {
+		if p.class == class {
+			return true
+		}
+	}
+	return false
+}
+
+// PlacementNodes returns the IDs of all dedicated nodes (sorted), or nil.
 func (s *Store) PlacementNodes() []cluster.NodeID {
-	if len(s.placementNodes) == 0 {
+	if len(s.dedicated) == 0 {
 		return nil
 	}
-	out := make([]cluster.NodeID, len(s.placementNodes))
-	copy(out, s.placementNodes)
+	out := make([]cluster.NodeID, len(s.dedicated))
+	copy(out, s.dedicated)
 	return out
 }
 
-// tenantPinned reports whether the tagged tenant belongs to the pinned class.
-func (s *Store) tenantPinned(id TenantID) bool {
-	return id > 0 && int(id) <= len(s.pinnedTenants) && s.pinnedTenants[id-1]
+// tenantPoolNodes returns the dedicated pool of the tagged tenant's pinned
+// class, or nil when the tenant's class holds no dedicated nodes.
+func (s *Store) tenantPoolNodes(id TenantID) []cluster.NodeID {
+	if id > 0 && int(id) <= len(s.tenantPool) {
+		if p := s.tenantPool[id-1]; p > 0 && p <= len(s.placements) {
+			return s.placements[p-1].nodes
+		}
+	}
+	return nil
 }
 
 // appendReplicasTenant resolves the preference list for one tenant's
 // operation into the store's scratch buffer. Without an active placement it
 // is exactly appendReplicas; with one, the walk is biased towards the
-// tenant's pool (dedicated for the pinned class, shared for everyone else).
-// Like appendReplicas, the result is valid until the next operation.
+// tenant's pool (its class's dedicated nodes, or the shared remainder for
+// unpinned tenants). Like appendReplicas, the result is valid until the next
+// operation.
 func (s *Store) appendReplicasTenant(tenant TenantID, key Key) []cluster.NodeID {
-	if s.placementClass == "" {
+	if len(s.placements) == 0 {
 		return s.appendReplicas(key)
 	}
-	s.replicaScratch = s.ring.AppendReplicasBiased(
-		s.replicaScratch[:0], key, s.rf, s.placementNodes, s.tenantPinned(tenant))
+	if pool := s.tenantPoolNodes(tenant); pool != nil {
+		s.replicaScratch = s.ring.AppendReplicasBiased(s.replicaScratch[:0], key, s.rf, pool, true)
+	} else {
+		s.replicaScratch = s.ring.AppendReplicasBiased(s.replicaScratch[:0], key, s.rf, s.dedicated, false)
+	}
 	return s.replicaScratch
 }
 
@@ -120,7 +195,7 @@ func (s *Store) appendReplicasTenant(tenant TenantID, key Key) []cluster.NodeID 
 // write time) decides the bias, so anti-entropy repairs the same replica set
 // reads will contact.
 func (s *Store) replicasForRepair(key Key) []cluster.NodeID {
-	if s.placementClass == "" || s.keyTenant == nil {
+	if len(s.placements) == 0 || s.keyTenant == nil {
 		return s.appendReplicas(key)
 	}
 	return s.appendReplicasTenant(s.keyTenant[key], key)
@@ -132,18 +207,25 @@ func (s *Store) replicasForRepair(key Key) []cluster.NodeID {
 // has an available node, falling back to the full cluster otherwise — still
 // exactly one rng draw per operation, so fault-free runs replay identically.
 func (s *Store) pickCoordinatorTenant(tenant TenantID) (*cluster.Node, bool) {
-	if s.placementClass == "" {
+	if len(s.placements) == 0 {
 		return s.pickCoordinator()
 	}
 	nodes := s.cluster.AvailableNodes()
 	if len(nodes) == 0 {
 		return nil, false
 	}
-	prefer := s.tenantPinned(tenant)
 	pool := s.coordScratch[:0]
-	for _, n := range nodes {
-		if slices.Contains(s.placementNodes, n.ID()) == prefer {
-			pool = append(pool, n)
+	if preferred := s.tenantPoolNodes(tenant); preferred != nil {
+		for _, n := range nodes {
+			if slices.Contains(preferred, n.ID()) {
+				pool = append(pool, n)
+			}
+		}
+	} else {
+		for _, n := range nodes {
+			if !slices.Contains(s.dedicated, n.ID()) {
+				pool = append(pool, n)
+			}
 		}
 	}
 	s.coordScratch = pool

@@ -59,7 +59,8 @@ func TestRingAppendReplicasBiased(t *testing.T) {
 // TestStorePinClass pins the store-level placement lifecycle: pinning tags
 // nodes and steers the pinned tenant's replica sets and coordinators onto
 // the dedicated pool, unpinning restores the plain paths, and a second pin
-// is refused while one is active.
+// claiming already-dedicated nodes (or re-pinning the same class) is
+// refused.
 func TestStorePinClass(t *testing.T) {
 	rig := newBenchRig(t, 5)
 	st := rig.store
@@ -73,7 +74,10 @@ func TestStorePinClass(t *testing.T) {
 		t.Fatalf("PinClass: %v", err)
 	}
 	if err := st.PinClass("silver", []TenantID{2}, dedicated); err == nil {
-		t.Error("second PinClass accepted while one is active")
+		t.Error("PinClass accepted nodes already dedicated to another class")
+	}
+	if err := st.PinClass("gold", []TenantID{1}, []cluster.NodeID{nodes[3].ID()}); err == nil {
+		t.Error("PinClass accepted an already-pinned class")
 	}
 	if st.PinnedClass() != "gold" {
 		t.Errorf("PinnedClass = %q", st.PinnedClass())
@@ -177,5 +181,106 @@ func TestPlacementOpsAllocationFree(t *testing.T) {
 	})
 	if avg != 0 {
 		t.Errorf("placement selection allocates %.1f objects per op, want 0", avg)
+	}
+}
+
+// TestStoreMultiPinClass pins the multi-class placement semantics: pinning a
+// second class adds a second dedicated pool instead of displacing the first,
+// each class's tenants are steered onto their own pool, unpinned tenants are
+// steered away from the union, and unpinning peels placements back one at a
+// time (most recent first) without disturbing the older ones.
+func TestStoreMultiPinClass(t *testing.T) {
+	rig := newBenchRig(t, 7)
+	st := rig.store
+	st.RegisterTenants(3)
+
+	nodes := st.cluster.AvailableNodes()
+	goldPool := []cluster.NodeID{nodes[0].ID(), nodes[1].ID()}
+	silverPool := []cluster.NodeID{nodes[2].ID(), nodes[3].ID()}
+
+	if err := st.PinClass("gold", []TenantID{1}, goldPool); err != nil {
+		t.Fatalf("PinClass(gold): %v", err)
+	}
+	if err := st.PinClass("silver", []TenantID{2}, silverPool); err != nil {
+		t.Fatalf("PinClass(silver) displaced or refused while gold active: %v", err)
+	}
+	if !st.ClassPinned("gold") || !st.ClassPinned("silver") {
+		t.Fatalf("ClassPinned gold=%v silver=%v, want both true",
+			st.ClassPinned("gold"), st.ClassPinned("silver"))
+	}
+	for _, id := range goldPool {
+		n, _ := st.cluster.Node(id)
+		if n.Class() != "gold" {
+			t.Errorf("gold node %v lost its tag after the second pin (class=%q)", id, n.Class())
+		}
+	}
+	union := st.PlacementNodes()
+	for _, id := range append(append([]cluster.NodeID(nil), goldPool...), silverPool...) {
+		if !slices.Contains(union, id) {
+			t.Errorf("dedicated union %v is missing node %v", union, id)
+		}
+	}
+
+	// Each pinned tenant's replica set leads with its own class's pool; the
+	// unpinned tenant's set leads with the shared remainder.
+	key := rig.keys[0]
+	reps := st.appendReplicasTenant(1, key)
+	if !slices.Contains(goldPool, reps[0]) || !slices.Contains(goldPool, reps[1]) {
+		t.Errorf("gold tenant replicas %v do not lead with the gold pool %v", reps, goldPool)
+	}
+	reps = st.appendReplicasTenant(2, key)
+	if !slices.Contains(silverPool, reps[0]) || !slices.Contains(silverPool, reps[1]) {
+		t.Errorf("silver tenant replicas %v do not lead with the silver pool %v", reps, silverPool)
+	}
+	reps = st.appendReplicasTenant(3, key)
+	for _, id := range reps {
+		if slices.Contains(union, id) {
+			t.Errorf("unpinned tenant replicas %v landed on dedicated node %v", reps, id)
+		}
+	}
+
+	// Coordinators are steered the same way.
+	for i := 0; i < 20; i++ {
+		if c, ok := st.pickCoordinatorTenant(1); !ok || !slices.Contains(goldPool, c.ID()) {
+			t.Fatalf("gold tenant coordinator %v outside the gold pool", c.ID())
+		}
+		if c, ok := st.pickCoordinatorTenant(2); !ok || !slices.Contains(silverPool, c.ID()) {
+			t.Fatalf("silver tenant coordinator %v outside the silver pool", c.ID())
+		}
+		if c, ok := st.pickCoordinatorTenant(3); !ok || slices.Contains(union, c.ID()) {
+			t.Fatalf("unpinned tenant coordinator %v inside a dedicated pool", c.ID())
+		}
+	}
+
+	// Unpinning peels the most recent placement; the older one stays intact.
+	if err := st.UnpinClass(); err != nil {
+		t.Fatalf("UnpinClass: %v", err)
+	}
+	if st.ClassPinned("silver") {
+		t.Error("silver still pinned after unpin")
+	}
+	if !st.ClassPinned("gold") {
+		t.Error("gold placement lost when silver was unpinned")
+	}
+	reps = st.appendReplicasTenant(1, key)
+	if !slices.Contains(goldPool, reps[0]) || !slices.Contains(goldPool, reps[1]) {
+		t.Errorf("gold tenant replicas %v no longer biased after silver unpin", reps)
+	}
+	// The former silver tenant is unpinned now and biases away from gold.
+	reps = st.appendReplicasTenant(2, key)
+	if slices.Contains(goldPool, reps[0]) {
+		t.Errorf("former silver tenant replicas %v lead with the gold pool", reps)
+	}
+	if err := st.UnpinClass(); err != nil {
+		t.Fatalf("UnpinClass(gold): %v", err)
+	}
+	if err := st.UnpinClass(); err == nil {
+		t.Error("UnpinClass accepted with nothing pinned")
+	}
+	for _, id := range union {
+		n, _ := st.cluster.Node(id)
+		if n.Class() != "" {
+			t.Errorf("node %v still tagged after both unpins", id)
+		}
 	}
 }

@@ -9,6 +9,7 @@ import (
 
 	"autonosql/internal/cluster"
 	"autonosql/internal/metrics"
+	"autonosql/internal/obs"
 	"autonosql/internal/sim"
 )
 
@@ -190,22 +191,26 @@ type Store struct {
 	// the scenario registered tenants; nil in untagged single-tenant mode.
 	tenants []*tenantStats
 
-	// Placement (class-aware replica selection). placementClass is the SLA
-	// class currently holding dedicated nodes ("" = placement inactive and
-	// every selection path identical to the pre-placement code);
-	// placementNodes is the sorted dedicated pool; pinnedTenants marks, by
-	// id-1, the tenants whose class is pinned. keyTenant records which
-	// tenant last wrote each key — only once EnablePlacementTracking has
-	// run, so scenarios that never allow placement pay nothing — and lets
-	// repair paths converge a key onto the same biased replica set reads
-	// contact.
-	placementClass string
-	placementNodes []cluster.NodeID
-	pinnedTenants  []bool
-	keyTenant      map[Key]TenantID
+	// Placement (class-aware replica selection). placements holds one entry
+	// per pinned class, in pin order (empty = placement inactive and every
+	// selection path identical to the pre-placement code); dedicated is the
+	// sorted union of every class's pool; tenantPool maps, by id-1, each
+	// tagged tenant to its class's placements index + 1 (0 = unpinned).
+	// keyTenant records which tenant last wrote each key — only once
+	// EnablePlacementTracking has run, so scenarios that never allow
+	// placement pay nothing — and lets repair paths converge a key onto the
+	// same biased replica set reads contact.
+	placements []classPlacement
+	dedicated  []cluster.NodeID
+	tenantPool []int
+	keyTenant  map[Key]TenantID
 	// coordScratch backs the per-operation preferred-coordinator pool under
 	// an active placement.
 	coordScratch []*cluster.Node
+
+	// tracer, when set, records sampled per-operation span trees. Nil (the
+	// default) keeps every tracing branch off the hot path.
+	tracer *obs.Tracer
 
 	// Per-operation scratch buffers. The read/write hot path resolves a
 	// preference list and partitions it into live/down replicas for every
@@ -267,6 +272,9 @@ type writeTracker struct {
 	lastApply time.Duration
 	resolved  bool
 	recorded  bool
+	// trace closes the write's sampled span tree at the SLA-accounting
+	// terminal; nil for unsampled writes.
+	trace *obs.OpTrace
 }
 
 // New creates a store on top of the given cluster and registers for
@@ -336,6 +344,11 @@ func (s *Store) Close() {
 		s.hintTicker.Stop()
 	}
 }
+
+// SetTracer attaches (or, with nil, detaches) an operation tracer. Sampled
+// operations record a span tree from dispatch to SLA accounting; unsampled
+// operations pay one counter increment and the disabled path is untouched.
+func (s *Store) SetTracer(t *obs.Tracer) { s.tracer = t }
 
 // Subscribe registers an observer for coordinator-level write observations.
 func (s *Store) Subscribe(o Observer) {
@@ -441,8 +454,13 @@ func (s *Store) streamOwnedRanges(id cluster.NodeID) {
 // departing dedicated node also leaves the placement pool.
 func (s *Store) NodeLeft(id cluster.NodeID) {
 	s.ring.Remove(id)
-	if i := slices.Index(s.placementNodes, id); i >= 0 {
-		s.placementNodes = slices.Delete(s.placementNodes, i, i+1)
+	if slices.Contains(s.dedicated, id) {
+		for pi := range s.placements {
+			if i := slices.Index(s.placements[pi].nodes, id); i >= 0 {
+				s.placements[pi].nodes = slices.Delete(s.placements[pi].nodes, i, i+1)
+			}
+		}
+		s.rebuildDedicated()
 	}
 	if hints, ok := s.pendingHints[id]; ok {
 		for _, h := range hints {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"autonosql/internal/metrics"
+	"autonosql/internal/obs"
 	"autonosql/internal/sla"
 	"autonosql/internal/store"
 )
@@ -139,6 +140,15 @@ type Runtime struct {
 	drainArmed    bool
 	delayedTotal  uint64
 	maxQueueDepth int
+
+	// tracer, when set, fronts the store's operation tracer: every arrival
+	// passes the sampler here (with the tenant's name attached) so
+	// admission-control outcomes — shed, delay-queue wait, release — appear
+	// in the span tree, and the sampling decision is staged for the store to
+	// adopt instead of re-sampling. traceClock supplies the virtual time for
+	// runtime-side spans.
+	tracer     *obs.Tracer
+	traceClock func() time.Duration
 }
 
 // delayQueueCap bounds the delay-mode admission queue: a tenant whose burst
@@ -154,6 +164,8 @@ type delayedOp struct {
 	// at is the arrival's original virtual time; the queueing delay
 	// (forward time minus at) is added to the operation's observed latency.
 	at time.Duration
+	// trace is the arrival's sampled span tree, nil when unsampled.
+	trace *obs.OpTrace
 }
 
 // NewRuntime creates the runtime for one tenant. The inner target is where
@@ -227,6 +239,31 @@ func (r *Runtime) EnableDelayMode(after func(time.Duration, func())) error {
 	return nil
 }
 
+// SetTracer attaches the store's operation tracer to the runtime so sampling
+// happens at arrival — before admission control — and the tenant's name rides
+// on each sampled trace. clock supplies the virtual time for runtime-side
+// spans and is required with a non-nil tracer.
+func (r *Runtime) SetTracer(t *obs.Tracer, clock func() time.Duration) error {
+	if t != nil && clock == nil {
+		return errors.New("tenant: tracer clock is required")
+	}
+	r.tracer = t
+	r.traceClock = clock
+	return nil
+}
+
+// beginTrace offers one arrival to the sampler. Nil when unsampled or when
+// tracing is off.
+func (r *Runtime) beginTrace(write bool, key store.Key) *obs.OpTrace {
+	if r.tracer == nil {
+		return nil
+	}
+	now := r.traceClock()
+	tr := r.tracer.Begin(r.name, write, string(key), now)
+	tr.Add(now, "arrival", 0)
+	return tr
+}
+
 // Throttle activates (or re-rates) the tenant's admission limiter. It fails
 // when EnableAdmission was never called.
 func (r *Runtime) Throttle(opsPerSec float64) error {
@@ -287,10 +324,15 @@ func (r *Runtime) ThrottledTime(end time.Duration) time.Duration {
 // accounting sees a failure (the SLA availability clause prices the shed),
 // the ground-truth hook records the rejection, and the caller gets an
 // immediate ErrAdmissionShed result — the operation never reaches the store.
-func (r *Runtime) shed(write bool, key store.Key, cb func(store.Result)) {
+func (r *Runtime) shed(write bool, key store.Key, cb func(store.Result), tr *obs.OpTrace) {
 	r.errsInterval++
 	r.shedInterval++
 	r.shedTotal++
+	if tr != nil {
+		at := r.traceClock()
+		tr.AddNote(at, "shed", 0, "admission")
+		r.tracer.Finish(tr, at, ErrAdmissionShed.Error())
+	}
 	if r.onShed != nil {
 		r.onShed(write)
 	}
@@ -315,7 +357,7 @@ func (r *Runtime) shed(write bool, key store.Key, cb func(store.Result)) {
 // the operation spent in the delay-mode admission queue (zero for directly
 // admitted arrivals); it is added to the client-observed latency, because the
 // client has been waiting since the original arrival.
-func (r *Runtime) forward(write bool, key store.Key, cb func(store.Result), queued time.Duration) {
+func (r *Runtime) forward(write bool, key store.Key, cb func(store.Result), queued time.Duration, tr *obs.OpTrace) {
 	handler := func(res store.Result) {
 		res.Latency += queued
 		if res.Err != nil {
@@ -329,6 +371,19 @@ func (r *Runtime) forward(write bool, key store.Key, cb func(store.Result), queu
 			cb(res)
 		}
 	}
+	// The sampling decision made at arrival is staged — trace or nil — so
+	// the store adopts it instead of running its own sampler; the inner call
+	// chain is synchronous down to the store, which consumes the stage.
+	if r.tracer != nil {
+		if tr != nil {
+			if queued > 0 {
+				tr.Add(r.traceClock(), "delay-release", 0)
+			} else {
+				tr.Add(r.traceClock(), "admit", 0)
+			}
+		}
+		r.tracer.Stage(tr)
+	}
 	if write {
 		r.inner.Write(key, handler)
 	} else {
@@ -339,11 +394,14 @@ func (r *Runtime) forward(write bool, key store.Key, cb func(store.Result), queu
 // enqueue places one arrival that failed admission into the delay queue and
 // arms the drain. It reports false when the queue is full, in which case the
 // caller sheds the arrival instead.
-func (r *Runtime) enqueue(write bool, key store.Key, cb func(store.Result)) bool {
+func (r *Runtime) enqueue(write bool, key store.Key, cb func(store.Result), tr *obs.OpTrace) bool {
 	if len(r.queue) >= delayQueueCap {
 		return false
 	}
-	r.queue = append(r.queue, delayedOp{write: write, key: key, cb: cb, at: r.clock()})
+	if tr != nil {
+		tr.Add(r.clock(), "delay-enqueue", 0)
+	}
+	r.queue = append(r.queue, delayedOp{write: write, key: key, cb: cb, at: r.clock(), trace: tr})
 	r.delayedTotal++
 	if len(r.queue) > r.maxQueueDepth {
 		r.maxQueueDepth = len(r.queue)
@@ -379,7 +437,7 @@ func (r *Runtime) drain() {
 		op := r.queue[0]
 		r.queue[0] = delayedOp{}
 		r.queue = r.queue[1:]
-		r.forward(op.write, op.key, op.cb, now-op.at)
+		r.forward(op.write, op.key, op.cb, now-op.at, op.trace)
 	}
 	r.queue = nil
 }
@@ -395,7 +453,7 @@ func (r *Runtime) flushQueue() {
 	r.queue = nil
 	for i, op := range queue {
 		queue[i] = delayedOp{}
-		r.forward(op.write, op.key, op.cb, now-op.at)
+		r.forward(op.write, op.key, op.cb, now-op.at, op.trace)
 	}
 }
 
@@ -405,27 +463,29 @@ func (r *Runtime) flushQueue() {
 // the store.
 func (r *Runtime) Read(key store.Key, cb func(store.Result)) {
 	r.opsInterval++
+	tr := r.beginTrace(false, key)
 	if r.limiter.enabled && !r.limiter.Admit(r.clock()) {
-		if r.delayMode && r.enqueue(false, key, cb) {
+		if r.delayMode && r.enqueue(false, key, cb, tr) {
 			return
 		}
-		r.shed(false, key, cb)
+		r.shed(false, key, cb, tr)
 		return
 	}
-	r.forward(false, key, cb, 0)
+	r.forward(false, key, cb, 0, tr)
 }
 
 // Write implements Target, mirroring Read.
 func (r *Runtime) Write(key store.Key, cb func(store.Result)) {
 	r.opsInterval++
+	tr := r.beginTrace(true, key)
 	if r.limiter.enabled && !r.limiter.Admit(r.clock()) {
-		if r.delayMode && r.enqueue(true, key, cb) {
+		if r.delayMode && r.enqueue(true, key, cb, tr) {
 			return
 		}
-		r.shed(true, key, cb)
+		r.shed(true, key, cb, tr)
 		return
 	}
-	r.forward(true, key, cb, 0)
+	r.forward(true, key, cb, 0, tr)
 }
 
 // Observe folds one sampling interval into the tenant's SLA tracker and

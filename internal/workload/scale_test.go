@@ -1,0 +1,71 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// TestTraceScale pins the scaling semantics: factor 1 is a bit-for-bit copy
+// (byte-identical on the wire), other factors multiply arrival times with
+// monotone rounding so the scaled trace always validates, and non-positive or
+// non-finite factors are rejected.
+func TestTraceScale(t *testing.T) {
+	src := &Trace{
+		Tenants: []string{"gold", "bronze"},
+		Events: []TraceEvent{
+			{At: 0, Tenant: "gold", Write: true, Key: 1},
+			{At: 10 * time.Millisecond, Tenant: "bronze", Key: 2},
+			{At: 10 * time.Millisecond, Tenant: "gold", Key: 3},
+			{At: 25 * time.Millisecond, Tenant: "bronze", Write: true, Key: 4},
+		},
+	}
+
+	same, err := src.Scale(1)
+	if err != nil {
+		t.Fatalf("Scale(1): %v", err)
+	}
+	var a, b bytes.Buffer
+	if err := EncodeTrace(src, &a); err != nil {
+		t.Fatalf("encode original: %v", err)
+	}
+	if err := EncodeTrace(same, &b); err != nil {
+		t.Fatalf("encode scaled: %v", err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("Scale(1) is not byte-identical on the wire")
+	}
+	// The copy must not alias the original.
+	same.Events[0].At = time.Second
+	if src.Events[0].At != 0 {
+		t.Error("Scale(1) aliases the original event slice")
+	}
+
+	half, err := src.Scale(0.5)
+	if err != nil {
+		t.Fatalf("Scale(0.5): %v", err)
+	}
+	if err := half.Validate(); err != nil {
+		t.Fatalf("scaled trace does not validate: %v", err)
+	}
+	if got := half.Events[3].At; got != 12500*time.Microsecond {
+		t.Errorf("event 3 scaled to %v, want 12.5ms", got)
+	}
+	if half.Duration() != src.Duration()/2 {
+		t.Errorf("half-scaled duration %v, want %v", half.Duration(), src.Duration()/2)
+	}
+
+	double, err := src.Scale(2)
+	if err != nil {
+		t.Fatalf("Scale(2): %v", err)
+	}
+	if double.Duration() != 50*time.Millisecond {
+		t.Errorf("double-scaled duration %v, want 50ms", double.Duration())
+	}
+
+	for _, bad := range []float64{0, -1} {
+		if _, err := src.Scale(bad); err == nil {
+			t.Errorf("Scale(%v) accepted", bad)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"time"
 
 	"autonosql/internal/sim"
@@ -108,6 +109,35 @@ func (t *Trace) Duration() time.Duration {
 		return 0
 	}
 	return t.Events[len(t.Events)-1].At
+}
+
+// Scale returns a copy of the trace with every arrival time multiplied by
+// factor: factor > 1 stretches the trace (lower arrival rate), factor < 1
+// compresses it (higher rate). A factor of exactly 1 returns a bit-for-bit
+// copy, so a 1.0-scaled replay stays byte-identical to the original. Scaled
+// times are rounded to whole nanoseconds and clamped monotone, so the result
+// always validates.
+func (t *Trace) Scale(factor float64) (*Trace, error) {
+	if math.IsNaN(factor) || math.IsInf(factor, 0) || factor <= 0 {
+		return nil, fmt.Errorf("workload: scale factor %v out of range (want finite > 0)", factor)
+	}
+	out := &Trace{
+		Tenants: append([]string(nil), t.Tenants...),
+		Events:  append([]TraceEvent(nil), t.Events...),
+	}
+	if factor == 1 {
+		return out, nil
+	}
+	var last time.Duration
+	for i := range out.Events {
+		at := time.Duration(math.Round(float64(out.Events[i].At) * factor))
+		if at < last {
+			at = last
+		}
+		out.Events[i].At = at
+		last = at
+	}
+	return out, nil
 }
 
 // --- JSON-lines wire format --------------------------------------------------

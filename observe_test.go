@@ -1,0 +1,155 @@
+package autonosql_test
+
+// Observability tests: the deterministic tracing/audit/profiling layer must
+// be (a) invisible — enabling it cannot perturb the simulation, so the
+// committed golden fingerprints still hold bit-for-bit — and (b) itself
+// deterministic — span and audit exports are byte-identical whatever the
+// shard count, because spans are stamped in virtual time on the home lane.
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"autonosql"
+)
+
+// observedSpec arms every observability surface on top of a golden spec.
+func observedSpec(spec autonosql.ScenarioSpec) autonosql.ScenarioSpec {
+	spec.Observe = &autonosql.ObserveSpec{
+		TraceOps:    true,
+		SampleEvery: 50,
+		Audit:       true,
+		Profile:     true,
+	}
+	return spec
+}
+
+// observedRun runs spec and returns the report plus the JSONL span export.
+func observedRun(t *testing.T, spec autonosql.ScenarioSpec) (*autonosql.Report, []byte, []byte) {
+	t.Helper()
+	scenario, err := autonosql.NewScenario(spec)
+	if err != nil {
+		t.Fatalf("NewScenario: %v", err)
+	}
+	rep, err := scenario.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var spans, chrome bytes.Buffer
+	if err := scenario.WriteSpans(&spans); err != nil {
+		t.Fatalf("WriteSpans: %v", err)
+	}
+	if err := scenario.WriteChromeTrace(&chrome); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	return rep, spans.Bytes(), chrome.Bytes()
+}
+
+// TestShardObservabilityInvariance pins that observation is shard-transparent:
+// the span export, the Chrome trace and the MAPE audit trail of a smart-
+// controller run are byte-identical for shards ∈ {1, 2, 4}. Spans are stamped
+// in virtual time on the op's home lane and decisions run on the control
+// lane, so the lockstep schedule cannot leak into either export.
+func TestShardObservabilityInvariance(t *testing.T) {
+	base := func() autonosql.ScenarioSpec {
+		spec := observedSpec(goldenSpec(1234, autonosql.ControllerSmart))
+		spec.Duration = 90 * time.Second
+		return spec
+	}
+	var wantSpans, wantChrome, wantAudit []byte
+	for _, shards := range []int{1, 2, 4} {
+		spec := base()
+		spec.Shards = shards
+		rep, spans, chrome := observedRun(t, spec)
+		audit, err := json.Marshal(rep.Audit)
+		if err != nil {
+			t.Fatalf("marshal audit: %v", err)
+		}
+		if rep.Spans == nil || rep.Spans.Sampled == 0 {
+			t.Fatalf("shards=%d: report Spans = %+v, want sampled > 0", shards, rep.Spans)
+		}
+		if len(rep.Audit) == 0 {
+			t.Fatalf("shards=%d: smart run produced no audit entries", shards)
+		}
+		if shards == 1 {
+			wantSpans, wantChrome, wantAudit = spans, chrome, audit
+			continue
+		}
+		if !bytes.Equal(spans, wantSpans) {
+			t.Errorf("shards=%d span export diverged from shards=1", shards)
+		}
+		if !bytes.Equal(chrome, wantChrome) {
+			t.Errorf("shards=%d chrome trace diverged from shards=1", shards)
+		}
+		if !bytes.Equal(audit, wantAudit) {
+			t.Errorf("shards=%d audit trail diverged from shards=1", shards)
+		}
+	}
+}
+
+// TestObserveZeroEffect pins a zero observer effect: running the committed
+// golden scenarios with every observability surface armed must reproduce the
+// committed fingerprints bit-for-bit, because tracing only annotates ops the
+// simulation was executing anyway and never schedules events of its own.
+func TestObserveZeroEffect(t *testing.T) {
+	cases := []struct {
+		name   string
+		golden string
+		spec   autonosql.ScenarioSpec
+	}{
+		{"none", "scenario_none_seed42", goldenSpec(42, autonosql.ControllerNone)},
+		{"twotenants", "scenario_twotenants_seed4711", twoTenantSpec(4711, autonosql.ControllerNone)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			want := readGoldenFile(t, c.golden)
+			rep, spans, _ := observedRun(t, observedSpec(c.spec))
+			if got := fingerprintReport(rep); got != want {
+				t.Errorf("observed run's fingerprint diverged from golden_%s.txt", c.golden)
+			}
+			if len(spans) == 0 {
+				t.Error("observed run exported no spans")
+			}
+		})
+	}
+}
+
+// TestObserveDisabledReportOmitsSections pins the wire format: a report from
+// a run without Observe carries no Audit/Spans/Profile JSON keys, so every
+// pre-observability consumer sees byte-identical documents.
+func TestObserveDisabledReportOmitsSections(t *testing.T) {
+	rep := runGoldenScenario(t, goldenSpec(42, autonosql.ControllerNone))
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatalf("marshal report: %v", err)
+	}
+	for _, key := range []string{`"Audit"`, `"Spans"`, `"Profile"`} {
+		if strings.Contains(string(raw), key) {
+			t.Errorf("Observe-disabled report JSON contains %s", key)
+		}
+	}
+}
+
+// TestObserveMaxTraces pins the retention cap: with MaxTraces set the tracer
+// keeps the newest N sampled traces, counts the evicted rest as Dropped, and
+// the export carries exactly N lines.
+func TestObserveMaxTraces(t *testing.T) {
+	spec := goldenSpec(42, autonosql.ControllerNone)
+	spec.Observe = &autonosql.ObserveSpec{TraceOps: true, SampleEvery: 10, MaxTraces: 25}
+	rep, spans, _ := observedRun(t, spec)
+	if rep.Spans == nil {
+		t.Fatal("report has no span stats")
+	}
+	if rep.Spans.Sampled <= 25 {
+		t.Fatalf("Sampled = %d, want more elections than the cap retains", rep.Spans.Sampled)
+	}
+	if got, want := rep.Spans.Dropped, rep.Spans.Sampled-25; got != want {
+		t.Fatalf("Dropped = %d, want Sampled-MaxTraces = %d", got, want)
+	}
+	if lines := bytes.Count(spans, []byte{'\n'}); lines != 25 {
+		t.Fatalf("span export has %d lines, want 25", lines)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"autonosql/internal/core"
 	"autonosql/internal/fault"
 	"autonosql/internal/sla"
 	"autonosql/internal/tenant"
@@ -194,6 +195,131 @@ func (t TenantReport) String() string {
 	return s
 }
 
+// AuditCooldown is one knowledge-base cooldown consult made while planning a
+// control decision.
+type AuditCooldown struct {
+	// Kind is the action kind whose cooldown was consulted.
+	Kind string
+	// Scope is the consult's scope ("tenant:x", "class:gold"; empty for
+	// cluster-wide).
+	Scope string `json:",omitempty"`
+	// Active reports whether the cooldown blocked the candidate.
+	Active bool
+}
+
+// AuditVeto is one candidate action the planner considered and rejected.
+type AuditVeto struct {
+	Kind   string
+	Scope  string `json:",omitempty"`
+	Reason string
+}
+
+// AuditEntry is the causal account of one control interval: what the
+// controller saw, which cooldowns and vetoes shaped the plan, which branch
+// produced the action and how the actuation went. Recorded only when
+// Observe.Audit is set; auditing changes no decision.
+type AuditEntry struct {
+	// At is the interval's virtual time.
+	At time.Duration
+	// Branch is the planning branch that produced the action.
+	Branch string
+	// Condition and Cause echo the analysis verdict.
+	Condition string
+	Cause     string `json:",omitempty"`
+	// Tenant names the tenant whose penalty-weighted signal drove the
+	// analysis, and WindowP95 is the driving window observation in seconds.
+	Tenant    string `json:",omitempty"`
+	WindowP95 float64
+	// Cooldowns and Vetoes list the consults and rejections, in plan order.
+	Cooldowns []AuditCooldown `json:",omitempty"`
+	Vetoes    []AuditVeto     `json:",omitempty"`
+	// Action, Applied and Err mirror the decision's outcome.
+	Action  string
+	Applied bool
+	Err     string `json:",omitempty"`
+}
+
+// String renders the entry compactly for logs.
+func (e AuditEntry) String() string {
+	status := "noop"
+	if e.Applied {
+		status = "applied"
+	} else if e.Err != "" {
+		status = "failed: " + e.Err
+	}
+	s := fmt.Sprintf("[%8s] %-14s %-20s %-9s window=%.0fms cooldowns=%d vetoes=%d",
+		e.At.Truncate(time.Second), e.Branch, e.Action, status,
+		e.WindowP95*1000, len(e.Cooldowns), len(e.Vetoes))
+	if e.Tenant != "" {
+		s += " tenant=" + e.Tenant
+	}
+	for _, v := range e.Vetoes {
+		s += fmt.Sprintf(" [veto %s: %s]", v.Kind, v.Reason)
+	}
+	return s
+}
+
+// SpanStats summarises the op tracer's sampling outcome.
+type SpanStats struct {
+	// Seen is how many operations were offered to the sampler, Sampled how
+	// many were elected, and Dropped how many sampled traces the retention
+	// cap evicted.
+	Seen    uint64
+	Sampled uint64
+	Dropped uint64
+}
+
+// LaneProfile is one engine lane's self-profiling counters (sharded runs
+// only). Every field is a pure function of the simulated computation.
+type LaneProfile struct {
+	// Lane is the lane index; Lead is its scheduling lead in events.
+	Lane int
+	Lead int
+	// Events counts events fired on this lane's heap.
+	Events uint64
+	// PoolHits and PoolMisses measure the pooled-event free list.
+	PoolHits   uint64
+	PoolMisses uint64
+	// HeapPeak is the lane's pending-event high-water mark.
+	HeapPeak int
+	// MailSent counts cross-lane messages this lane mailed.
+	MailSent uint64
+}
+
+// ProfileReport is the engine's deterministic self-profiling section,
+// populated only when Observe.Profile is set. Wall-clock quantities (lane
+// occupancy, barrier stall) are deliberately absent — they vary run to run —
+// and live in the benchrunner's measurements instead.
+type ProfileReport struct {
+	// Events counts fired events across all lanes; PoolHits/PoolMisses
+	// measure the pooled-event free list, and HeapPeak is the largest
+	// pending-event heap any lane reached.
+	Events     uint64
+	PoolHits   uint64
+	PoolMisses uint64
+	HeapPeak   int
+	// Rounds and MailDrained describe the sharded engine's lockstep barriers
+	// (zero for single-heap runs); Lanes holds the per-lane breakdown.
+	Rounds      uint64        `json:",omitempty"`
+	MailDrained uint64        `json:",omitempty"`
+	Lanes       []LaneProfile `json:",omitempty"`
+}
+
+// String renders the profile compactly.
+func (p ProfileReport) String() string {
+	total := p.PoolHits + p.PoolMisses
+	hitRate := 0.0
+	if total > 0 {
+		hitRate = float64(p.PoolHits) / float64(total)
+	}
+	s := fmt.Sprintf("%d events, pool hit %.1f%%, heap peak %d", p.Events, hitRate*100, p.HeapPeak)
+	if p.Rounds > 0 {
+		s += fmt.Sprintf(", %d lockstep rounds, %d mail drained over %d lanes",
+			p.Rounds, p.MailDrained, len(p.Lanes))
+	}
+	return s
+}
+
 // Report is the outcome of one scenario run.
 type Report struct {
 	// Spec echoes the scenario specification the run used.
@@ -250,6 +376,16 @@ type Report struct {
 	// Tenants holds the per-tenant sections of a multi-tenant run, in
 	// declaration order (empty for single-tenant runs).
 	Tenants []TenantReport `json:",omitempty"`
+
+	// Audit is the MAPE decision audit trail (nil unless Observe.Audit).
+	Audit []AuditEntry `json:",omitempty"`
+	// Spans summarises op-trace sampling (nil unless Observe.TraceOps); the
+	// traces themselves export through Scenario.WriteSpans and the daemon's
+	// streaming endpoints, not the report.
+	Spans *SpanStats `json:",omitempty"`
+	// Profile is the engine self-profiling section (nil unless
+	// Observe.Profile).
+	Profile *ProfileReport `json:",omitempty"`
 
 	// Series are the sampled time series, keyed by the Series* constants.
 	Series map[string][]SeriesPoint
@@ -360,7 +496,88 @@ func (s *Scenario) buildReport() *Report {
 	for _, rt := range s.tenantRuntimes {
 		r.Tenants = append(r.Tenants, buildTenantReport(s, rt))
 	}
+
+	// Observability sections. Populated only on request, so an unobserved
+	// run's report stays byte-identical to pre-observability output.
+	if ob := s.spec.Observe; ob != nil {
+		if s.tracer != nil {
+			r.Spans = &SpanStats{
+				Seen:    s.tracer.Seen(),
+				Sampled: s.tracer.Sampled(),
+				Dropped: s.tracer.Dropped(),
+			}
+		}
+		if ob.Audit && s.smart != nil {
+			r.Audit = auditEntries(s.smart.Audit())
+		}
+		if ob.Profile {
+			r.Profile = s.profileReport()
+		}
+	}
 	return r
+}
+
+// auditEntries mirrors the controller's audit trail into report types.
+func auditEntries(trail []core.AuditRecord) []AuditEntry {
+	if len(trail) == 0 {
+		return nil
+	}
+	out := make([]AuditEntry, len(trail))
+	for i, rec := range trail {
+		e := AuditEntry{
+			At:        rec.At,
+			Branch:    rec.Branch,
+			Condition: rec.Condition,
+			Cause:     rec.Cause,
+			Tenant:    rec.Tenant,
+			WindowP95: rec.WindowP95,
+			Action:    rec.Action,
+			Applied:   rec.Applied,
+			Err:       rec.Err,
+		}
+		for _, cd := range rec.Cooldowns {
+			e.Cooldowns = append(e.Cooldowns, AuditCooldown(cd))
+		}
+		for _, v := range rec.Vetoes {
+			e.Vetoes = append(e.Vetoes, AuditVeto(v))
+		}
+		out[i] = e
+	}
+	return out
+}
+
+// profileReport snapshots the run's engine counters, aggregating lanes in a
+// sharded run.
+func (s *Scenario) profileReport() *ProfileReport {
+	if s.sharded != nil {
+		sp := s.sharded.se.Profile()
+		pr := &ProfileReport{Rounds: sp.Rounds, MailDrained: sp.MailDrained}
+		for _, l := range sp.Lanes {
+			pr.Events += l.Processed
+			pr.PoolHits += l.PoolHits
+			pr.PoolMisses += l.PoolMisses
+			if l.HeapPeak > pr.HeapPeak {
+				pr.HeapPeak = l.HeapPeak
+			}
+			pr.Lanes = append(pr.Lanes, LaneProfile{
+				Lane:       l.Lane,
+				Lead:       l.Lead,
+				Events:     l.Processed,
+				PoolHits:   l.PoolHits,
+				PoolMisses: l.PoolMisses,
+				HeapPeak:   l.HeapPeak,
+				MailSent:   l.MailSent,
+			})
+		}
+		return pr
+	}
+	p := s.engine.Profile()
+	return &ProfileReport{
+		Events:     p.Processed,
+		PoolHits:   p.PoolHits,
+		PoolMisses: p.PoolMisses,
+		HeapPeak:   p.HeapPeak,
+	}
 }
 
 // buildTenantReport assembles one tenant's section: store-attributed ground
@@ -381,7 +598,7 @@ func buildTenantReport(s *Scenario, rt *tenant.Runtime) TenantReport {
 		FailedWrites: gt.WriteFailures,
 		StaleReads:   gt.StaleReads,
 		ShedOps:      gt.ShedOps,
-		Pinned:       s.store.PinnedClass() == string(class.Class),
+		Pinned:       s.store.ClassPinned(string(class.Class)),
 		Window: LatencySummary{
 			Mean: gt.Window.Mean, P50: gt.Window.P50, P95: gt.Window.P95,
 			P99: gt.Window.P99, Max: gt.Window.Max,
@@ -490,6 +707,16 @@ func (r *Report) String() string {
 	}
 	for _, tr := range r.Tenants {
 		fmt.Fprintf(&b, "  tenant %s\n", tr)
+	}
+	if r.Spans != nil {
+		fmt.Fprintf(&b, "  spans: %d sampled of %d ops (%d evicted)\n",
+			r.Spans.Sampled, r.Spans.Seen, r.Spans.Dropped)
+	}
+	if len(r.Audit) > 0 {
+		fmt.Fprintf(&b, "  audit: %d control intervals recorded\n", len(r.Audit))
+	}
+	if r.Profile != nil {
+		fmt.Fprintf(&b, "  profile: %s\n", r.Profile)
 	}
 	return b.String()
 }

@@ -3,6 +3,7 @@ package autonosql
 import (
 	"errors"
 	"fmt"
+	"io"
 	"time"
 
 	"autonosql/internal/baseline"
@@ -11,6 +12,7 @@ import (
 	"autonosql/internal/fault"
 	"autonosql/internal/metrics"
 	"autonosql/internal/monitor"
+	"autonosql/internal/obs"
 	"autonosql/internal/sim"
 	"autonosql/internal/sla"
 	"autonosql/internal/store"
@@ -71,6 +73,11 @@ type Scenario struct {
 	// window; abortErr records the error that halted an aborted run.
 	sampleHook func(SampleWindow) error
 	abortErr   error
+
+	// tracer is the op-trace sampler, non-nil only when Observe.TraceOps is
+	// set. It lives on the home lane: store and tenant-runtime hooks all fire
+	// there, so no locking guards it.
+	tracer *obs.Tracer
 
 	// Sharded mode (spec.Shards >= 2): the lockstep engine, the home lane
 	// (whose Engine is s.engine) and one source lane per workload driver,
@@ -225,6 +232,26 @@ func NewScenario(spec ScenarioSpec) (*Scenario, error) {
 		s.reactive = ra
 	case ControllerNone, "":
 		// Static configuration: nothing to assemble.
+	}
+
+	// Observability. The tracer fronts admission in the tenant runtimes (so a
+	// shed or delayed op still gets its span) and falls through to the store
+	// for anonymous traffic; the audit trail rides on the smart controller.
+	// All hooks fire on the home lane, so spans and audit records come out
+	// identical for every shard count.
+	if ob := spec.Observe; ob != nil {
+		if ob.TraceOps {
+			s.tracer = obs.NewTracer(ob.SampleEvery, ob.MaxTraces)
+			st.SetTracer(s.tracer)
+			for _, rt := range s.tenantRuntimes {
+				if err := rt.SetTracer(s.tracer, engine.Now); err != nil {
+					return nil, fmt.Errorf("autonosql: arming tracer: %w", err)
+				}
+			}
+		}
+		if ob.Audit && s.smart != nil {
+			s.smart.EnableAudit()
+		}
 	}
 
 	for _, name := range []string{
@@ -447,6 +474,42 @@ func (s *Scenario) RecordedTrace() (*WorkloadTrace, error) {
 		return nil, errors.New("autonosql: the scenario has not run yet")
 	}
 	return &WorkloadTrace{trace: s.recorder.Trace()}, nil
+}
+
+// WriteSpans writes the retained op traces as JSON lines, one span tree per
+// sampled operation, in sampling order. Virtual timestamps and counter ids
+// only: the bytes are identical for every shard count and every rerun of the
+// same spec. It errors unless the scenario was built with Observe.TraceOps.
+func (s *Scenario) WriteSpans(w io.Writer) error {
+	if s.tracer == nil {
+		return errors.New("autonosql: op tracing is not enabled (set Observe.TraceOps)")
+	}
+	if err := obs.WriteJSONL(w, s.tracer.Traces()); err != nil {
+		return fmt.Errorf("autonosql: writing spans: %w", err)
+	}
+	return nil
+}
+
+// WriteChromeTrace writes the retained op traces in Chrome trace_event JSON
+// (load it in chrome://tracing or Perfetto). Deterministic like WriteSpans.
+func (s *Scenario) WriteChromeTrace(w io.Writer) error {
+	if s.tracer == nil {
+		return errors.New("autonosql: op tracing is not enabled (set Observe.TraceOps)")
+	}
+	if err := obs.WriteChromeTrace(w, s.tracer.Traces()); err != nil {
+		return fmt.Errorf("autonosql: writing chrome trace: %w", err)
+	}
+	return nil
+}
+
+// OnSpan registers fn to observe every op trace as it finishes (op completed,
+// failed or shed). It powers streaming surfaces: fn runs on the simulation
+// goroutine and must not retain the trace beyond the call without copying.
+// Register before Run; it is a no-op unless Observe.TraceOps is set.
+func (s *Scenario) OnSpan(fn func(*obs.OpTrace)) {
+	if s.tracer != nil {
+		s.tracer.SetSink(fn)
+	}
 }
 
 // SampleWindow is one closed sampling window of a running scenario: the

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Daemon smoke: boot nosqlsimd, drive one scenario end to end over the HTTP
 # API — submit, stream at least one metrics window, fetch the aggregated
-# report and the run-metadata envelope — then shut the daemon down cleanly.
+# report and the run-metadata envelope — then submit an Observe-enabled job,
+# stream its op-trace spans, fetch its audit trail, scrape /metrics, and
+# shut the daemon down cleanly.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -38,12 +40,43 @@ for _ in $(seq 1 100); do
 done
 [ "$STATE" = "done" ] || { echo "job ended in state '$STATE', want done"; exit 1; }
 
-curl -sf "$BASE/api/jobs/$JOB/report" | grep -q '"Spec"' \
+# Buffer responses before grepping: `curl | grep -q` under pipefail is a
+# flake — grep exits at the first match, curl dies on the broken pipe.
+curl -sf "$BASE/api/jobs/$JOB/report" | grep '"Spec"' >/dev/null \
   || { echo "report fetch failed"; exit 1; }
-curl -sf "$BASE/api/jobs/$JOB/meta" | grep -q '"scenarios_per_second"' \
+curl -sf "$BASE/api/jobs/$JOB/meta" | grep '"scenarios_per_second"' >/dev/null \
   || { echo "meta envelope fetch failed"; exit 1; }
+
+# Observability surfaces: a smart-controller job with tracing, audit and
+# profiling armed must stream spans, serve its audit trail once done, and
+# show up on the Prometheus page with a non-zero span counter.
+OBS=$(curl -sf "$BASE/api/jobs" \
+  -d '{"autostart":true,"name":"smoke-obs","scenario":{"Duration":20000000000,"SampleInterval":5000000000,"Controller":{"Mode":"smart"},"Observe":{"TraceOps":true,"SampleEvery":200,"Audit":true,"Profile":true}}}' \
+  | sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
+[ -n "$OBS" ] || { echo "observed-job submission returned no job id"; exit 1; }
+
+SPANS=$(curl -sfN "$BASE/api/jobs/$OBS/spans" | wc -l)
+[ "$SPANS" -ge 1 ] || { echo "span stream delivered no spans"; exit 1; }
+
+STATE=""
+for _ in $(seq 1 100); do
+  STATE=$(curl -sf "$BASE/api/jobs/$OBS" | sed -n 's/.*"state": "\([a-z]*\)".*/\1/p')
+  [ "$STATE" = "done" ] && break
+  sleep 0.1
+done
+[ "$STATE" = "done" ] || { echo "observed job ended in state '$STATE', want done"; exit 1; }
+
+curl -sf "$BASE/api/jobs/$OBS/audit" | grep '"audit"' >/dev/null \
+  || { echo "audit trail fetch failed"; exit 1; }
+
+METRICS=$(curl -sf "$BASE/metrics")
+echo "$METRICS" | grep -q '^autonosql_jobs{state="done"} 2$' \
+  || { echo "/metrics does not count both finished jobs"; echo "$METRICS"; exit 1; }
+OBS_SPANS=$(echo "$METRICS" | sed -n "s/^autonosql_job_spans_total{job=\"$OBS\"} \([0-9]*\)$/\1/p")
+[ -n "$OBS_SPANS" ] && [ "$OBS_SPANS" -ge 1 ] \
+  || { echo "/metrics span counter empty for $OBS"; echo "$METRICS"; exit 1; }
 
 curl -sf -X POST "$BASE/api/shutdown" >/dev/null
 wait "$PID"
 trap - EXIT
-echo "daemon smoke OK: job $JOB streamed $WINDOWS windows"
+echo "daemon smoke OK: job $JOB streamed $WINDOWS windows; job $OBS streamed $SPANS spans ($OBS_SPANS on /metrics)"

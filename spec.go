@@ -199,6 +199,32 @@ type ControllerSpec struct {
 	AllowPlacement bool
 }
 
+// ObserveSpec configures the deterministic observability layer. Everything
+// here is strictly opt-in: the zero value (and a nil pointer on the spec)
+// runs the exact pre-observability code paths, byte-identical reports and
+// fingerprints included.
+type ObserveSpec struct {
+	// TraceOps enables sampled causal op tracing: every sampled operation
+	// records its span tree — arrival, admission, coordination, per-replica
+	// fan-out, acks, quorum, SLA accounting — stamped with virtual time only,
+	// so exports are byte-identical across shard counts and repeated runs.
+	TraceOps bool
+	// SampleEvery traces every Nth operation (values < 1 mean 1 — trace
+	// everything). The first operation is always sampled.
+	SampleEvery int `json:",omitempty"`
+	// MaxTraces bounds the retained traces; the oldest are evicted beyond it
+	// (0 = unbounded).
+	MaxTraces int `json:",omitempty"`
+	// Audit records one MAPE audit record per control decision: the driving
+	// tenant signal, every cooldown consulted, every vetoed candidate and the
+	// planning branch taken. Surfaces as Report.Audit.
+	Audit bool
+	// Profile surfaces the engine's deterministic self-profiling counters
+	// (event pool hit rate, heap high-water mark, lockstep rounds, cross-lane
+	// mail) as Report.Profile.
+	Profile bool
+}
+
 // ScenarioSpec is the complete description of one simulated run.
 type ScenarioSpec struct {
 	// Seed drives every random stream in the simulation; runs with the same
@@ -237,6 +263,12 @@ type ScenarioSpec struct {
 	// Replay is excluded from JSON because a trace is workload data, not
 	// configuration; persist it next to the spec with WorkloadTrace.WriteFile.
 	Replay *WorkloadTrace `json:"-"`
+
+	// Observe, when non-nil, enables the observability layer: sampled causal
+	// op traces, the MAPE audit trail and engine self-profiling. Nil (the
+	// default) keeps every hot path on its pre-observability budget and every
+	// report byte-identical to an unobserved run.
+	Observe *ObserveSpec `json:",omitempty"`
 
 	// Shards selects the simulation engine layout. 0 or 1 runs the classic
 	// single-heap engine, bit-for-bit identical to every published golden;
@@ -364,6 +396,14 @@ func (s ScenarioSpec) Validate() error {
 	if s.Replay != nil {
 		if err := s.Replay.matches(s.Tenants); err != nil {
 			return fmt.Errorf("autonosql: replay: %w", err)
+		}
+	}
+	if s.Observe != nil {
+		if s.Observe.SampleEvery < 0 {
+			return errors.New("autonosql: Observe.SampleEvery must be non-negative")
+		}
+		if s.Observe.MaxTraces < 0 {
+			return errors.New("autonosql: Observe.MaxTraces must be non-negative")
 		}
 	}
 	if s.Shards < 0 {

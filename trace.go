@@ -82,6 +82,20 @@ func (t *WorkloadTrace) TenantNames() []string {
 // EventCount returns the number of recorded arrivals.
 func (t *WorkloadTrace) EventCount() int { return len(t.trace.Events) }
 
+// Scale returns a copy of the trace with every arrival time multiplied by
+// factor: factor > 1 stretches the trace (lower arrival rate), factor < 1
+// compresses it. A factor of exactly 1 returns a bit-for-bit copy whose
+// replay is byte-identical to the original's; other factors round scaled
+// times to whole nanoseconds, clamped monotone, so the result always
+// validates.
+func (t *WorkloadTrace) Scale(factor float64) (*WorkloadTrace, error) {
+	scaled, err := t.trace.Scale(factor)
+	if err != nil {
+		return nil, fmt.Errorf("autonosql: %w", err)
+	}
+	return &WorkloadTrace{trace: scaled}, nil
+}
+
 // Duration returns the virtual time of the last recorded arrival.
 func (t *WorkloadTrace) Duration() time.Duration { return t.trace.Duration() }
 
