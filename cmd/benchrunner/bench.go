@@ -78,8 +78,12 @@ func profileExtras(extra map[string]float64, p *autonosql.ProfileReport) {
 }
 
 // runBenchJSON measures the quick-scale benchmarks and writes
-// BENCH_<date>.json into dir. It returns the path written.
-func runBenchJSON(dir string) (string, error) {
+// BENCH_<date>.json into dir. cpus lists extra GOMAXPROCS values to re-run
+// the sharded benchmark under, each recorded as its own trajectory entry — on
+// a many-core host that is where the lockstep engine's scaling shows; on a
+// small host it records, honestly, that there is nothing to scale onto. It
+// returns the path written.
+func runBenchJSON(dir string, cpus []int) (string, error) {
 	out := benchFile{
 		Schema:    benchSchema,
 		Date:      time.Now().Format("2006-01-02"),
@@ -131,49 +135,70 @@ func runBenchJSON(dir string) (string, error) {
 		Extra:       plainExtra,
 	})
 
-	// The same scenario on the sharded engine: workload drivers run on their
-	// own lanes across cores. Results are bit-identical to scenario_quick
-	// (pinned by TestShardEquivalence); the point records how much wall-clock
-	// the lockstep engine buys — or costs — on this machine's core count.
-	shardedRes := testing.Benchmark(func(b *testing.B) {
-		b.ReportAllocs()
-		for i := 0; i < b.N; i++ {
-			spec := quickScenarioSpec(int64(i + 1))
-			spec.Shards = 4
-			scenario, err := autonosql.NewScenario(spec)
-			if err != nil {
-				benchErr = err
-				b.FailNow()
+	// The same scenario on the sharded engine: workload drivers and the
+	// store's entropy streams run on their own lanes across cores. Results
+	// are bit-identical to scenario_quick (pinned by TestShardEquivalence);
+	// the point records how much wall-clock the lockstep engine buys — or
+	// costs — on this machine's core count.
+	benchSharded := func(name string) error {
+		shardedRes := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				spec := quickScenarioSpec(int64(i + 1))
+				spec.Shards = 4
+				scenario, err := autonosql.NewScenario(spec)
+				if err != nil {
+					benchErr = err
+					b.FailNow()
+				}
+				rep, err := scenario.Run()
+				if err != nil {
+					benchErr = err
+					b.FailNow()
+				}
+				simulatedOps = rep.Reads + rep.Writes
+				lastProfile = rep.Profile
 			}
-			rep, err := scenario.Run()
-			if err != nil {
-				benchErr = err
-				b.FailNow()
-			}
-			simulatedOps = rep.Reads + rep.Writes
-			lastProfile = rep.Profile
+		})
+		if benchErr != nil {
+			return fmt.Errorf("sharded scenario benchmark (%s): %w", name, benchErr)
 		}
-	})
-	if benchErr != nil {
-		return "", fmt.Errorf("sharded scenario benchmark: %w", benchErr)
+		shardedNsPerOp := float64(shardedRes.T.Nanoseconds()) / float64(shardedRes.N)
+		shardedOpsPerSec := float64(simulatedOps) / (shardedNsPerOp / 1e9)
+		shardedExtra := map[string]float64{
+			"simulated_ops":         float64(simulatedOps),
+			"simulated_ops_per_sec": shardedOpsPerSec,
+			"shards":                4,
+			"speedup_vs_plain":      shardedOpsPerSec / plainOpsPerSec,
+			"gomaxprocs":            float64(runtime.GOMAXPROCS(0)),
+		}
+		profileExtras(shardedExtra, lastProfile)
+		out.Benchmarks = append(out.Benchmarks, benchResult{
+			Name:        name,
+			Iterations:  shardedRes.N,
+			NsPerOp:     shardedNsPerOp,
+			AllocsPerOp: shardedRes.AllocsPerOp(),
+			BytesPerOp:  shardedRes.AllocedBytesPerOp(),
+			Extra:       shardedExtra,
+		})
+		return nil
 	}
-	shardedNsPerOp := float64(shardedRes.T.Nanoseconds()) / float64(shardedRes.N)
-	shardedOpsPerSec := float64(simulatedOps) / (shardedNsPerOp / 1e9)
-	shardedExtra := map[string]float64{
-		"simulated_ops":         float64(simulatedOps),
-		"simulated_ops_per_sec": shardedOpsPerSec,
-		"shards":                4,
-		"speedup_vs_plain":      shardedOpsPerSec / plainOpsPerSec,
+	if err := benchSharded("scenario_quick_shards4"); err != nil {
+		return "", err
 	}
-	profileExtras(shardedExtra, lastProfile)
-	out.Benchmarks = append(out.Benchmarks, benchResult{
-		Name:        "scenario_quick_shards4",
-		Iterations:  shardedRes.N,
-		NsPerOp:     shardedNsPerOp,
-		AllocsPerOp: shardedRes.AllocsPerOp(),
-		BytesPerOp:  shardedRes.AllocedBytesPerOp(),
-		Extra:       shardedExtra,
-	})
+	// The -cpus sweep re-measures the sharded benchmark pinned to each
+	// requested GOMAXPROCS, so one BENCH file can hold the 1-CPU overhead and
+	// the multi-core speedup side by side. The plain baseline above is NOT
+	// re-measured per value: speedup_vs_plain in these entries compares
+	// against the ambient-GOMAXPROCS plain run.
+	for _, n := range cpus {
+		prev := runtime.GOMAXPROCS(n)
+		err := benchSharded(fmt.Sprintf("scenario_quick_shards4_cpu%d", n))
+		runtime.GOMAXPROCS(prev)
+		if err != nil {
+			return "", err
+		}
+	}
 
 	// Quick-suite throughput: a small grid run through the concurrent suite
 	// runner, measuring scenarios per wall-clock second.

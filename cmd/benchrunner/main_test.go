@@ -1,0 +1,24 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestParseCPUList pins the -cpus flag grammar: a comma-separated list of
+// positive integers, whitespace-tolerant, empty means no sweep, and anything
+// else is rejected rather than silently skipped.
+func TestParseCPUList(t *testing.T) {
+	got, err := parseCPUList(" 1, 2,4 ")
+	if err != nil || !reflect.DeepEqual(got, []int{1, 2, 4}) {
+		t.Fatalf("parseCPUList = %v, %v; want [1 2 4]", got, err)
+	}
+	if got, err := parseCPUList(""); err != nil || got != nil {
+		t.Fatalf("empty list = %v, %v; want nil, nil", got, err)
+	}
+	for _, bad := range []string{"0", "-1", "two", "1,,2", "1;2"} {
+		if _, err := parseCPUList(bad); err == nil {
+			t.Errorf("parseCPUList(%q) accepted", bad)
+		}
+	}
+}

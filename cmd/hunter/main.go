@@ -1,7 +1,8 @@
 // Command hunter searches for adversarial scenarios: it perturbs a base
 // scenario with deterministic seed-derived mutations, hill-climbs toward the
 // configuration that maximises a badness objective (gold-tenant SLA violation
-// minutes, admission shed storms, or cluster-size oscillation) and shrinks the
+// minutes, admission shed storms, cluster-size oscillation, or total priced
+// cost) and shrinks the
 // winner to a minimal reproducing spec. Findings can be persisted as golden
 // spec + trace pairs and re-verified bit-for-bit with -check.
 //
@@ -37,7 +38,7 @@ func run(args []string, out *os.File) int {
 	var (
 		check       = fs.String("check", "", "verify every committed case in the given directory and exit")
 		shards      = fs.Int("shards", 1, "simulation shards per evaluation; a pure performance knob that\nnever affects scores or verification results")
-		objective   = fs.String("objective", "gold-violations", "badness objective: gold-violations, shed-storm, oscillation")
+		objective   = fs.String("objective", "gold-violations", "badness objective: gold-violations, shed-storm, oscillation, cost-blowup")
 		seed        = fs.Int64("seed", 1, "hunter seed driving the mutation stream")
 		rounds      = fs.Int("rounds", 4, "hill-climbing rounds")
 		neighbors   = fs.Int("neighbors", 6, "mutated candidates per round")

@@ -46,6 +46,15 @@ func (e Effectiveness) Harmful() bool {
 	return e.Samples >= 2 && e.MeanWindowImprovement < -0.05
 }
 
+// Ineffective reports whether the action has, across at least two
+// observations, failed to buy any window improvement on average. Weaker than
+// Harmful — the action did not make things worse, it just did nothing — it is
+// the signal the planner uses to deprioritise a target, never to rule one
+// out entirely.
+func (e Effectiveness) Ineffective() bool {
+	return e.Samples >= 2 && e.MeanWindowImprovement <= 0
+}
+
 // actionKey is the cooldown-map key: an action kind together with the scope
 // it applied to. Keying cooldowns on the pair — not the kind alone — is what
 // lets the planner throttle tenant B immediately after throttling tenant A:
@@ -59,13 +68,19 @@ type actionKey struct {
 // KnowledgeBase is the K in MAPE-K: it remembers when each (action kind,
 // scope) pair was last applied (for cooldown enforcement) and what effect
 // applied actions had on the window (for action ranking and post-mortem
-// analysis). Effectiveness is still learned per kind — what throttling does
-// to the window does not depend on which tenant was throttled.
+// analysis). Effectiveness is learned per kind — what tightening consistency
+// does to the window does not depend on who triggered it — except for tenant
+// throttles, which are additionally learned per tenant: whether shedding one
+// particular neighbour's load actually moves the window depends entirely on
+// how much pressure that neighbour was contributing.
 type KnowledgeBase struct {
 	lastApplied map[actionKey]time.Duration
 	everApplied map[actionKey]bool
 	effects     map[ActionKind]*metrics.MeanVariance
-	history     []EffectRecord
+	// tenantThrottle tracks, per throttled tenant, the window improvement
+	// observed after each of that tenant's throttles settled.
+	tenantThrottle map[string]*metrics.MeanVariance
+	history        []EffectRecord
 
 	// pending is the most recently applied action still waiting for its
 	// "after" observation.
@@ -76,9 +91,10 @@ type KnowledgeBase struct {
 // NewKnowledgeBase creates an empty knowledge base.
 func NewKnowledgeBase() *KnowledgeBase {
 	return &KnowledgeBase{
-		lastApplied: make(map[actionKey]time.Duration),
-		everApplied: make(map[actionKey]bool),
-		effects:     make(map[ActionKind]*metrics.MeanVariance),
+		lastApplied:    make(map[actionKey]time.Duration),
+		everApplied:    make(map[actionKey]bool),
+		effects:        make(map[ActionKind]*metrics.MeanVariance),
+		tenantThrottle: make(map[string]*metrics.MeanVariance),
 	}
 }
 
@@ -116,6 +132,14 @@ func (k *KnowledgeBase) RecordObservation(at time.Duration, window, latency floa
 		k.effects[rec.Action.Kind] = mv
 	}
 	mv.Update(rec.WindowImprovement())
+	if rec.Action.Kind == ActionThrottleTenant && rec.Action.Scope.Tenant != "" {
+		tmv, ok := k.tenantThrottle[rec.Action.Scope.Tenant]
+		if !ok {
+			tmv = &metrics.MeanVariance{}
+			k.tenantThrottle[rec.Action.Scope.Tenant] = tmv
+		}
+		tmv.Update(rec.WindowImprovement())
+	}
 	k.history = append(k.history, rec)
 }
 
@@ -153,6 +177,22 @@ func (k *KnowledgeBase) InCooldownScoped(kind ActionKind, scope Scope, now, cool
 // Effectiveness returns what has been learned about an action kind.
 func (k *KnowledgeBase) Effectiveness(kind ActionKind) Effectiveness {
 	mv, ok := k.effects[kind]
+	if !ok {
+		return Effectiveness{}
+	}
+	return Effectiveness{
+		Samples:               mv.Count(),
+		MeanWindowImprovement: mv.Mean(),
+		StdDev:                mv.StdDev(),
+	}
+}
+
+// ThrottleEffectiveness returns what has been learned about throttling one
+// specific tenant: the window improvement observed after each of that
+// tenant's throttles settled. A tenant never throttled (or whose throttles
+// never settled) reports zero samples.
+func (k *KnowledgeBase) ThrottleEffectiveness(tenantName string) Effectiveness {
+	mv, ok := k.tenantThrottle[tenantName]
 	if !ok {
 		return Effectiveness{}
 	}

@@ -100,6 +100,48 @@ func TestKnowledgeUnknownActionEffectiveness(t *testing.T) {
 	}
 }
 
+func TestKnowledgeTenantThrottleEffectiveness(t *testing.T) {
+	kb := NewKnowledgeBase()
+	// Two bronze throttles that bought nothing: the window never moved.
+	for i := 0; i < 2; i++ {
+		at := time.Duration(i+1) * 10 * time.Minute
+		kb.RecordApplied(Action{Kind: ActionThrottleTenant, Scope: TenantScope("bronze"), Rate: 500},
+			at, 0.200, 0.01, time.Minute)
+		kb.RecordObservation(at+2*time.Minute, 0.200, 0.01)
+	}
+	// One silver throttle that halved the window.
+	kb.RecordApplied(Action{Kind: ActionThrottleTenant, Scope: TenantScope("silver"), Rate: 300},
+		40*time.Minute, 0.200, 0.01, time.Minute)
+	kb.RecordObservation(42*time.Minute, 0.100, 0.01)
+
+	bronze := kb.ThrottleEffectiveness("bronze")
+	if bronze.Samples != 2 || !bronze.Ineffective() {
+		t.Fatalf("two do-nothing throttles should read ineffective, got %+v", bronze)
+	}
+	if bronze.Harmful() {
+		t.Fatalf("do-nothing throttles are not harmful, got %+v", bronze)
+	}
+	silver := kb.ThrottleEffectiveness("silver")
+	if silver.Samples != 1 || silver.Ineffective() {
+		t.Fatalf("a working throttle should not read ineffective, got %+v", silver)
+	}
+	if eff := kb.ThrottleEffectiveness("gold"); eff.Samples != 0 || eff.Ineffective() {
+		t.Fatalf("never-throttled tenant should report empty effectiveness, got %+v", eff)
+	}
+	// The per-kind aggregate still sees all three observations.
+	if eff := kb.Effectiveness(ActionThrottleTenant); eff.Samples != 3 {
+		t.Fatalf("per-kind throttle effectiveness lost samples: %+v", eff)
+	}
+	// A single useless observation is not enough to deprioritise a tenant.
+	kb2 := NewKnowledgeBase()
+	kb2.RecordApplied(Action{Kind: ActionThrottleTenant, Scope: TenantScope("b"), Rate: 500},
+		time.Minute, 0.2, 0.01, time.Second)
+	kb2.RecordObservation(2*time.Minute, 0.2, 0.01)
+	if kb2.ThrottleEffectiveness("b").Ineffective() {
+		t.Fatal("one observation should not mark a tenant's throttles ineffective")
+	}
+}
+
 func TestKnowledgeHistoryIsCopy(t *testing.T) {
 	kb := NewKnowledgeBase()
 	kb.RecordApplied(Action{Kind: ActionAddNode}, time.Minute, 0.2, 0.01, time.Second)

@@ -122,8 +122,9 @@ func (p *Planner) planTenantProtection(an Analysis, plant PlantState) (Action, b
 		(tenant.Class(an.TenantClass) == tenant.Gold && an.Headroom.MaxRatio() >= p.cfg.HighFraction)
 	if goldPressure {
 		if p.cfg.EnableAdmissionControl && an.ThrottleCandidate != "" {
-			scope := TenantScope(an.ThrottleCandidate)
-			rate := an.ThrottleCandidateRate * p.cfg.ThrottleFraction
+			name, offered := p.pickThrottleTarget(an)
+			scope := TenantScope(name)
+			rate := offered * p.cfg.ThrottleFraction
 			if rate < p.cfg.MinThrottleRate {
 				rate = p.cfg.MinThrottleRate
 			}
@@ -131,7 +132,7 @@ func (p *Planner) planTenantProtection(an Analysis, plant PlantState) (Action, b
 			// would shed nothing: do not burn the control interval (and the
 			// per-tenant cooldown) on a throttle that cannot bind — let the
 			// escalation continue instead.
-			if rate < an.ThrottleCandidateRate &&
+			if rate < offered &&
 				!p.inCooldownScoped(ActionThrottleTenant, scope, now, p.cfg.ThrottleCooldown) &&
 				!p.inCooldownScoped(ActionUnthrottleTenant, scope, now, p.cfg.ThrottleCooldown) {
 				return Action{
@@ -222,6 +223,38 @@ func (p *Planner) planTenantProtection(an Analysis, plant PlantState) (Action, b
 		}
 	}
 	return Action{}, false
+}
+
+// pickThrottleTarget chooses the tenant to throttle from the analyzer's
+// pressure-ranked candidates, consulting the knowledge base's per-tenant
+// throttle history: a candidate whose past throttles demonstrably bought no
+// window improvement is passed over — but only when an alternative exists.
+// When every candidate's history is equally useless (or there is only one
+// candidate), the raw pressure ranking decides exactly as before, so learning
+// can deprioritise a target but never paralyse the protection branch.
+func (p *Planner) pickThrottleTarget(an Analysis) (name string, offered float64) {
+	name, offered = an.ThrottleCandidate, an.ThrottleCandidateRate
+	if len(an.ThrottleCandidates) < 2 {
+		return name, offered
+	}
+	chosen := -1
+	for i, cand := range an.ThrottleCandidates {
+		if p.kb.ThrottleEffectiveness(cand.Name).Ineffective() {
+			continue
+		}
+		chosen = i
+		break
+	}
+	if chosen <= 0 {
+		// Either the top candidate's history is fine (chosen == 0) or every
+		// candidate's is bad (chosen == -1): the pressure ranking stands.
+		return name, offered
+	}
+	for _, cand := range an.ThrottleCandidates[:chosen] {
+		p.noteVeto(ActionThrottleTenant, TenantScope(cand.Name),
+			"knowledge base rates this tenant's throttles ineffective")
+	}
+	return an.ThrottleCandidates[chosen].Name, an.ThrottleCandidates[chosen].Rate
 }
 
 // planAvailability reacts to failing operations: capacity is added if

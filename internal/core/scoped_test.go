@@ -355,3 +355,109 @@ func TestControllerRejectsScopedActionsWithoutTenantActuator(t *testing.T) {
 		t.Errorf("execute returned %v, want ErrNoTenantActuator", err)
 	}
 }
+
+// TestAnalyzerRanksThrottleCandidates pins the ranked candidate list: every
+// eligible (unthrottled, non-gold, offering) tenant appears best-first by
+// offered load per penalty dollar, the legacy ThrottleCandidate fields mirror
+// the top entry, and throttled or gold tenants never appear.
+func TestAnalyzerRanksThrottleCandidates(t *testing.T) {
+	gold := tenantSignal("gold", tenant.Gold, 0.30)
+	gold.OfferedOpsPerSec = 5000 // gold never becomes a target, however loud
+	bronze := tenantSignal("bronze", tenant.Bronze, 0.10)
+	bronze.OfferedOpsPerSec = 1000
+	silver := tenantSignal("silver", tenant.Silver, 0.10)
+	silver.OfferedOpsPerSec = 900
+	capped := tenantSignal("capped", tenant.Bronze, 0.10)
+	capped.OfferedOpsPerSec = 400
+	capped.Throttled = true
+	capped.ThrottleRate = 300
+
+	var an Analysis
+	an.annotateAdmission([]tenant.Signal{gold, silver, bronze, capped})
+
+	if len(an.ThrottleCandidates) != 2 {
+		t.Fatalf("candidates = %+v, want exactly bronze and silver", an.ThrottleCandidates)
+	}
+	// Bronze: 1000 ops/s at the bronze penalty; silver: 900 ops/s at the
+	// (pricier) silver penalty — bronze must rank first.
+	if an.ThrottleCandidates[0].Name != "bronze" || an.ThrottleCandidates[1].Name != "silver" {
+		t.Fatalf("ranking = %+v, want [bronze silver]", an.ThrottleCandidates)
+	}
+	if an.ThrottleCandidate != "bronze" || an.ThrottleCandidateRate != 1000 {
+		t.Fatalf("legacy candidate fields = %q/%v, want bronze/1000",
+			an.ThrottleCandidate, an.ThrottleCandidateRate)
+	}
+	if len(an.Throttled) != 1 || an.Throttled[0].Name != "capped" {
+		t.Fatalf("throttled list = %+v, want [capped]", an.Throttled)
+	}
+}
+
+// ineffectiveThrottleHistory feeds the knowledge base two settled throttles
+// of the tenant that bought no window improvement at all.
+func ineffectiveThrottleHistory(kb *KnowledgeBase, name string) {
+	for i := 0; i < 2; i++ {
+		at := time.Duration(i+1) * time.Hour
+		kb.RecordApplied(Action{Kind: ActionThrottleTenant, Scope: TenantScope(name), Rate: 500},
+			at, 0.200, 0.01, time.Minute)
+		kb.RecordObservation(at+2*time.Minute, 0.200, 0.01)
+	}
+}
+
+// TestPlannerPrefersEffectiveThrottleTarget pins the learned-throttle
+// preference: when the pressure-ranked best candidate's past throttles
+// demonstrably did nothing, the planner throttles the next candidate instead
+// — and surfaces the passed-over tenant as an audit veto. With no
+// alternative, or with every alternative equally discredited, the pressure
+// ranking stands exactly as before.
+func TestPlannerPrefersEffectiveThrottleTarget(t *testing.T) {
+	cfg := DefaultConfig(testSLA())
+	cfg.EnableAdmissionControl = true
+	plant := PlantState{ClusterSize: 4, ReplicationFactor: 3, ReadConsistency: 1, WriteConsistency: 1}
+	twoCandidates := func() Analysis {
+		an := protectionAnalysis(30 * time.Hour)
+		an.ThrottleCandidates = []ThrottleTarget{{Name: "bronze", Rate: 1000}, {Name: "silver", Rate: 600}}
+		return an
+	}
+
+	// Bronze's throttles never moved the window: silver is next in line.
+	kb := NewKnowledgeBase()
+	ineffectiveThrottleHistory(kb, "bronze")
+	p := NewPlanner(cfg, kb)
+	p.trace = &AuditRecord{}
+	a := p.Plan(twoCandidates(), plant)
+	if a.Kind != ActionThrottleTenant || a.Scope.Tenant != "silver" {
+		t.Fatalf("planned %v, want throttle-tenant[silver] past the ineffective bronze", a)
+	}
+	if want := 600 * cfg.ThrottleFraction; a.Rate != want {
+		t.Errorf("throttle rate = %v, want %v (derived from silver's offered rate)", a.Rate, want)
+	}
+	found := false
+	for _, v := range p.trace.Vetoes {
+		if v.Kind == ActionThrottleTenant.String() && v.Scope == TenantScope("bronze").String() {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("passing over bronze left no audit veto: %+v", p.trace.Vetoes)
+	}
+
+	// Every candidate discredited: fall back to the raw pressure ranking.
+	kb2 := NewKnowledgeBase()
+	ineffectiveThrottleHistory(kb2, "bronze")
+	ineffectiveThrottleHistory(kb2, "silver")
+	p2 := NewPlanner(cfg, kb2)
+	if a := p2.Plan(twoCandidates(), plant); a.Kind != ActionThrottleTenant || a.Scope.Tenant != "bronze" {
+		t.Fatalf("with all candidates ineffective planned %v, want throttle-tenant[bronze]", a)
+	}
+
+	// A single candidate is throttled regardless of its history: skipping it
+	// would abandon the cheapest protection step with nothing to replace it.
+	kb3 := NewKnowledgeBase()
+	ineffectiveThrottleHistory(kb3, "bronze")
+	p3 := NewPlanner(cfg, kb3)
+	an := protectionAnalysis(30 * time.Hour)
+	an.ThrottleCandidates = []ThrottleTarget{{Name: "bronze", Rate: 1000}}
+	if a := p3.Plan(an, plant); a.Kind != ActionThrottleTenant || a.Scope.Tenant != "bronze" {
+		t.Fatalf("single ineffective candidate planned %v, want throttle-tenant[bronze]", a)
+	}
+}

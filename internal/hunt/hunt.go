@@ -37,16 +37,20 @@ const (
 	// ObjectiveOscillation is the number of scaling direction changes in
 	// the cluster-size series: a controller that thrashes scores high.
 	ObjectiveOscillation Objective = "oscillation"
+	// ObjectiveCostBlowup is the run's total priced cost — infrastructure
+	// plus SLA penalties plus stale-read compensation. It hunts for inputs
+	// that make the controller spend the most money.
+	ObjectiveCostBlowup Objective = "cost-blowup"
 )
 
 // ParseObjective validates an objective name.
 func ParseObjective(s string) (Objective, error) {
 	switch o := Objective(s); o {
-	case ObjectiveGoldViolations, ObjectiveShedStorm, ObjectiveOscillation:
+	case ObjectiveGoldViolations, ObjectiveShedStorm, ObjectiveOscillation, ObjectiveCostBlowup:
 		return o, nil
 	default:
-		return "", fmt.Errorf("hunt: unknown objective %q (want %q, %q or %q)",
-			s, ObjectiveGoldViolations, ObjectiveShedStorm, ObjectiveOscillation)
+		return "", fmt.Errorf("hunt: unknown objective %q (want %q, %q, %q or %q)",
+			s, ObjectiveGoldViolations, ObjectiveShedStorm, ObjectiveOscillation, ObjectiveCostBlowup)
 	}
 }
 
@@ -97,6 +101,8 @@ func Score(obj Objective, rep *autonosql.Report) float64 {
 			}
 		}
 		return float64(changes)
+	case ObjectiveCostBlowup:
+		return rep.Cost.Total
 	default:
 		return 0
 	}
@@ -184,6 +190,11 @@ func Run(cfg Config) (*Result, error) {
 
 	cur := []Mutation(nil)
 	curScore := baseScore
+	// elite is the best candidate the climb rejected in the previous round:
+	// genetic material for one crossover candidate per round. Like the
+	// mutation stream it is a deterministic function of base + seed, so the
+	// crossover step keeps the whole hunt reproducible.
+	var elite []Mutation
 	for round := 0; round < cfg.Rounds; round++ {
 		// Mutation generation draws from the shared stream sequentially, so
 		// the candidate set is independent of evaluation order.
@@ -192,11 +203,22 @@ func Run(cfg Config) (*Result, error) {
 			mut := h.newMutation(applyAll(cfg.Base, cur))
 			candidates[i] = append(append([]Mutation(nil), cur...), mut)
 		}
+		if len(elite) > 0 {
+			candidates = append(candidates, crossover(h.rng, cur, elite))
+		}
 		scores := h.evalAll(candidates)
 		best, bestScore := -1, curScore
 		for i, sc := range scores {
 			if sc > bestScore { // strict: earliest index wins ties
 				best, bestScore = i, sc
+			}
+		}
+		// The best rejected candidate becomes the next round's elite mate.
+		elite = nil
+		eliteScore := math.Inf(-1)
+		for i, sc := range scores {
+			if i != best && sc > eliteScore {
+				elite, eliteScore = candidates[i], sc
 			}
 		}
 		if best >= 0 {

@@ -107,7 +107,7 @@ func TestHuntShrinkKeepsFloor(t *testing.T) {
 
 // TestParseObjective covers the objective names.
 func TestParseObjective(t *testing.T) {
-	for _, good := range []string{"gold-violations", "shed-storm", "oscillation"} {
+	for _, good := range []string{"gold-violations", "shed-storm", "oscillation", "cost-blowup"} {
 		if _, err := ParseObjective(good); err != nil {
 			t.Errorf("ParseObjective(%q): %v", good, err)
 		}
@@ -121,6 +121,7 @@ func TestParseObjective(t *testing.T) {
 func TestScoreObjectives(t *testing.T) {
 	rep := &autonosql.Report{
 		Violations: autonosql.Violations{Total: 5},
+		Cost:       autonosql.CostSummary{Total: 123.5},
 		Tenants: []autonosql.TenantReport{
 			{Name: "g", Class: "gold", Violations: autonosql.Violations{Total: 2}, ShedOps: 10},
 			{Name: "b", Class: "bronze", Violations: autonosql.Violations{Total: 7}, ShedOps: 30},
@@ -141,6 +142,9 @@ func TestScoreObjectives(t *testing.T) {
 	// up(4->5), down(5->3) = 3.
 	if got := Score(ObjectiveOscillation, rep); got != 3 {
 		t.Errorf("oscillation = %v, want 3", got)
+	}
+	if got := Score(ObjectiveCostBlowup, rep); got != 123.5 {
+		t.Errorf("cost-blowup = %v, want 123.5", got)
 	}
 	// No tenants: gold-violations falls back to the aggregate.
 	rep.Tenants = nil
@@ -218,6 +222,76 @@ func TestAdversarialCorpus(t *testing.T) {
 				t.Errorf("case score %v does not beat its base %v: not adversarial", c.Score, c.BaseScore)
 			}
 		})
+	}
+}
+
+// TestCrossoverSplice pins the recombination shape: a child is a prefix of
+// parent a followed by a suffix of parent b, cut points drawn from the shared
+// stream — so a given rng state always yields the same child, and the child's
+// mutations are the parents' own (pure, hence replayable) closures.
+func TestCrossoverSplice(t *testing.T) {
+	mut := func(name string) Mutation {
+		return Mutation{Desc: name, Apply: func(*autonosql.ScenarioSpec) {}}
+	}
+	a := []Mutation{mut("a0"), mut("a1"), mut("a2")}
+	b := []Mutation{mut("b0"), mut("b1")}
+	for seed := int64(0); seed < 20; seed++ {
+		first := crossover(rand.New(rand.NewSource(seed)), a, b)
+		again := crossover(rand.New(rand.NewSource(seed)), a, b)
+		if len(first) != len(again) {
+			t.Fatalf("seed %d: crossover not deterministic", seed)
+		}
+		boundary := -1
+		for i, m := range first {
+			if m.Desc != again[i].Desc {
+				t.Fatalf("seed %d: crossover not deterministic at %d", seed, i)
+			}
+			fromB := m.Desc[0] == 'b'
+			if fromB && boundary < 0 {
+				boundary = i
+			}
+			if !fromB && boundary >= 0 {
+				t.Fatalf("seed %d: parent-a mutation %q after the splice point", seed, m.Desc)
+			}
+		}
+		if len(first) > len(a)+len(b) {
+			t.Fatalf("seed %d: child longer than both parents combined", seed)
+		}
+	}
+}
+
+// TestHuntCrossoverDeterministic runs a hunt long enough for the crossover
+// path (elite from round one, recombined candidate in round two) to engage and
+// pins that it stays deterministic across parallelism like the rest of the
+// search.
+func TestHuntCrossoverDeterministic(t *testing.T) {
+	run := func(parallelism int) *Result {
+		res, err := Run(Config{
+			Base:        huntBase(),
+			Objective:   ObjectiveCostBlowup,
+			Seed:        3,
+			Rounds:      3,
+			Neighbors:   3,
+			Parallelism: parallelism,
+		})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return res
+	}
+	a := run(1)
+	b := run(4)
+	if a.WorstScore != b.WorstScore || a.Evaluations != b.Evaluations {
+		t.Errorf("crossover hunt diverged across parallelism: %+v vs %+v", a, b)
+	}
+	if !reflect.DeepEqual(a.Mutations, b.Mutations) {
+		t.Errorf("minimal mutation sets diverged:\n  seq: %v\n  par: %v", a.Mutations, b.Mutations)
+	}
+	// Rounds 2 and 3 each add one crossover candidate on top of the
+	// Neighbors mutants (round 1 has no elite yet): base + 3 rounds of 3
+	// + 2 crossovers + shrink evaluations >= 12 search runs.
+	if a.Evaluations < 1+3*3+2 {
+		t.Errorf("evaluation count %d too low for the crossover schedule", a.Evaluations)
 	}
 }
 

@@ -209,6 +209,19 @@ func (h *hunter) newMutation(cur autonosql.ScenarioSpec) Mutation {
 	}
 }
 
+// crossover splices two parent mutation lists at an rng-drawn cut point per
+// parent: the child keeps a prefix of a and inherits a suffix of b. Mutations
+// are pure functions of the spec they land on, so recombined lists are as
+// replayable as hill-climbed ones.
+func crossover(rng *rand.Rand, a, b []Mutation) []Mutation {
+	i := rng.Intn(len(a) + 1)
+	j := rng.Intn(len(b) + 1)
+	child := make([]Mutation, 0, i+len(b)-j)
+	child = append(child, a[:i]...)
+	child = append(child, b[j:]...)
+	return child
+}
+
 func maxInt(a, b int) int {
 	if a > b {
 		return a

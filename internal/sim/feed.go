@@ -1,0 +1,288 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+)
+
+// NoiseFeed pre-generates the noise factors of one log-normal draw stream in
+// batches, so a sharded run can compute them on an otherwise idle lane while
+// the home lane only pays a slice read per draw.
+//
+// The feed owns its *rand.Rand exclusively and produces factors
+// exp(sigma*Norm) in batch order, so consuming `median * feed` factors yields
+// bit-for-bit the values LogNormal(rng, median, sigma) would have produced at
+// the same call sites: the multiplication by the (call-site-dependent) median
+// is the last operation in both forms, and sigma is fixed per stream. That is
+// what lets a sharded run offload the store's service-time and network-jitter
+// entropy to ring-segment owner lanes without perturbing a single golden
+// fingerprint.
+//
+// Concurrency protocol (all fields without atomics are single-writer):
+//
+//   - The consumer side (cur, pos, ready, outstanding and the deterministic
+//     counters) is touched only by the lane that draws from the feed during
+//     its windows and by the coordinator at barriers, which the lockstep
+//     schedule already orders.
+//   - A refill is armed by the coordinator at a barrier (claimed=false), runs
+//     on the owner lane at its next window start (RunBarrierTask), and is
+//     collected by the coordinator at the following barrier. spare and rng are
+//     guarded by winning the claimed CAS; published releases the filled spare
+//     to the consumer.
+//   - If the consumer drains the active batch before the refill is collected,
+//     it steals the armed refill: either its claim CAS wins (the owner has not
+//     started, the consumer fills inline) or it spins until the owner
+//     publishes. Which side computes a batch is scheduling-dependent, but the
+//     batch contents and every consumed value are not.
+type NoiseFeed struct {
+	rng   *rand.Rand
+	sigma float64
+	batch int
+
+	// cur is the active batch; pos indexes the next factor. ready is a
+	// collected refill waiting to become active. spare is the buffer an armed
+	// refill fills.
+	cur   []float64
+	pos   int
+	ready []float64
+	spare []float64
+
+	// outstanding marks an armed refill that has not been collected.
+	outstanding bool
+
+	claimed   atomic.Bool
+	published atomic.Bool
+
+	// Deterministic counters: pure functions of the simulated computation.
+	consumed  uint64
+	refills   uint64
+	inline    uint64
+	exhausted uint64
+	// steals counts refills the consumer claimed before the owner lane got to
+	// them. Scheduling-dependent; excluded from deterministic surfaces.
+	steals uint64
+}
+
+// newNoiseFeed constructs a prefilled feed. The feed takes exclusive
+// ownership of rng: no other draws may be taken from it afterwards.
+func newNoiseFeed(rng *rand.Rand, sigma float64, batch int) *NoiseFeed {
+	f := &NoiseFeed{rng: rng, sigma: sigma, batch: batch}
+	f.cur = f.fill(make([]float64, 0, batch))
+	f.claimed.Store(true) // disarmed
+	return f
+}
+
+// fill appends one batch of factors drawn from the feed's stream.
+func (f *NoiseFeed) fill(buf []float64) []float64 {
+	for i := 0; i < f.batch; i++ {
+		buf = append(buf, math.Exp(f.sigma*f.rng.NormFloat64()))
+	}
+	return buf
+}
+
+// Value returns median * nextFactor, reproducing LogNormal(rng, median,
+// sigma) exactly — including its guard that a non-positive median returns 0
+// without consuming a draw.
+func (f *NoiseFeed) Value(median float64) float64 {
+	if median <= 0 {
+		return 0
+	}
+	if f.pos == len(f.cur) {
+		f.advance()
+	}
+	v := f.cur[f.pos]
+	f.pos++
+	f.consumed++
+	return median * v
+}
+
+// advance makes the next batch active. The fast path swaps in a collected
+// refill; the slow paths (steal an armed refill, or draw inline when none is
+// in flight) only run when consumption outpaces the refill cadence.
+func (f *NoiseFeed) advance() {
+	if f.ready != nil {
+		old := f.cur
+		f.cur, f.ready = f.ready, nil
+		f.pos = 0
+		if f.spare == nil {
+			f.spare = old[:0]
+		}
+		return
+	}
+	if f.outstanding {
+		f.exhausted++
+		if f.claimed.CompareAndSwap(false, true) {
+			// The owner lane has not started this refill; compute it here.
+			f.steals++
+			f.spare = f.fill(f.spare[:0])
+		} else {
+			for !f.published.Load() {
+				runtime.Gosched()
+			}
+		}
+		old := f.cur
+		f.cur, f.spare = f.spare, old[:0]
+		f.pos = 0
+		f.outstanding = false
+		return
+	}
+	// No refill in flight (the feed is not yet adopted by a barrier hook, or
+	// one window consumed more than half a batch): draw synchronously.
+	f.inline++
+	f.cur = f.fill(f.cur[:0])
+	f.pos = 0
+}
+
+// remaining is the number of factors available without producing a batch.
+func (f *NoiseFeed) remaining() int { return len(f.cur) - f.pos + len(f.ready) }
+
+// arm opens a refill for the owner lane's next window. Coordinator-only, at
+// a barrier.
+func (f *NoiseFeed) arm() {
+	if f.spare == nil {
+		f.spare = make([]float64, 0, f.batch)
+	}
+	f.published.Store(false)
+	f.claimed.Store(false)
+	f.outstanding = true
+	f.refills++
+}
+
+// collect moves a produced refill into ready. Coordinator-only, at a barrier;
+// the owner lane's window has ended, so an uncollected refill is published
+// unless the consumer already stole it (outstanding=false).
+func (f *NoiseFeed) collect() {
+	if !f.outstanding {
+		return
+	}
+	if !f.published.Load() {
+		// The owner lane never claimed the refill this round (it had no
+		// window). Produce it here, at the barrier, where nothing races.
+		if f.claimed.CompareAndSwap(false, true) {
+			f.spare = f.fill(f.spare[:0])
+		} else {
+			for !f.published.Load() {
+				runtime.Gosched()
+			}
+		}
+	}
+	f.ready = f.spare
+	f.spare = nil
+	f.outstanding = false
+}
+
+// RunBarrierTask produces the armed refill on the owner lane. It implements
+// BarrierTask and runs at the lane's window start, off the home lane's
+// critical path.
+func (f *NoiseFeed) RunBarrierTask() bool {
+	if !f.claimed.CompareAndSwap(false, true) {
+		return false
+	}
+	f.spare = f.fill(f.spare[:0])
+	f.published.Store(true)
+	return true
+}
+
+// FeedSet owns the noise feeds of one sharded run and drives their refill
+// protocol from the engine's barrier hook.
+type FeedSet struct {
+	batch int
+	// feeds are the adopted feeds (coordinator-only). pending holds feeds
+	// created but not yet adopted — appended on the home side (at construction
+	// or from a mid-run scale-out), merged by the coordinator at the next
+	// barrier.
+	feeds   []*NoiseFeed
+	pending []pendingFeed
+}
+
+type pendingFeed struct {
+	feed  *NoiseFeed
+	owner *Lane
+}
+
+// DefaultFeedBatch is the batch size used when NewFeedSet gets batch <= 0:
+// large enough that quick-scenario windows consume well under half a batch
+// (so refills stay ahead of the consumer), small enough to stay cache-warm.
+const DefaultFeedBatch = 512
+
+// NewFeedSet creates an empty feed set.
+func NewFeedSet(batch int) *FeedSet {
+	if batch <= 0 {
+		batch = DefaultFeedBatch
+	}
+	return &FeedSet{batch: batch}
+}
+
+// Attach registers the set's refill protocol on the engine's barrier.
+func (fs *FeedSet) Attach(se *ShardedEngine) { se.OnBarrier(fs.barrier) }
+
+// NewFeed creates a prefilled feed whose refills run on owner's windows. The
+// feed takes exclusive ownership of rng. A nil owner leaves the feed in pure
+// inline mode (it is never armed); feeds created mid-run are adopted at the
+// next barrier and fill inline until then.
+func (fs *FeedSet) NewFeed(owner *Lane, rng *rand.Rand, sigma float64) *NoiseFeed {
+	f := newNoiseFeed(rng, sigma, fs.batch)
+	fs.pending = append(fs.pending, pendingFeed{feed: f, owner: owner})
+	return f
+}
+
+// barrier adopts pending feeds, collects produced refills and arms feeds
+// below the low-water mark. It runs on the coordinator with all lanes parked.
+func (fs *FeedSet) barrier() {
+	if len(fs.pending) > 0 {
+		for _, p := range fs.pending {
+			if p.owner == nil {
+				continue
+			}
+			p.owner.AddBarrierTask(p.feed)
+			fs.feeds = append(fs.feeds, p.feed)
+		}
+		fs.pending = fs.pending[:0]
+	}
+	for _, f := range fs.feeds {
+		f.collect()
+		if !f.outstanding && f.remaining() <= f.batch/2 {
+			f.arm()
+		}
+	}
+}
+
+// FeedStats aggregates the set's counters. All fields except Steals are pure
+// functions of the simulated computation.
+type FeedStats struct {
+	// Feeds is the number of feeds ever created (including pending ones).
+	Feeds int `json:"feeds"`
+	// Refills counts batches armed for owner-lane production.
+	Refills uint64 `json:"refills"`
+	// Inline counts batches drawn synchronously with no refill in flight.
+	Inline uint64 `json:"inline"`
+	// Exhausted counts times a consumer drained its batch with a refill still
+	// uncollected (and stole or awaited it).
+	Exhausted uint64 `json:"exhausted"`
+	// Values counts factors consumed across all feeds.
+	Values uint64 `json:"values"`
+	// Steals counts armed refills the consumer computed before the owner lane
+	// got to them. Scheduling-dependent; excluded from report surfaces.
+	Steals uint64 `json:"-"`
+}
+
+// Stats returns the set's aggregated counters. Call it after Run.
+func (fs *FeedSet) Stats() FeedStats {
+	s := FeedStats{Feeds: len(fs.feeds) + len(fs.pending)}
+	tally := func(f *NoiseFeed) {
+		s.Refills += f.refills
+		s.Inline += f.inline
+		s.Exhausted += f.exhausted
+		s.Values += f.consumed
+		s.Steals += f.steals
+	}
+	for _, f := range fs.feeds {
+		tally(f)
+	}
+	for _, p := range fs.pending {
+		tally(p.feed)
+	}
+	return s
+}

@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestNoiseFeedMatchesLogNormal pins the feed's core contract: consuming
+// median * factor values from a feed reproduces LogNormal(rng, median, sigma)
+// bit for bit over the same seed — including the non-positive-median guard,
+// which must not consume a draw on either side.
+func TestNoiseFeedMatchesLogNormal(t *testing.T) {
+	const sigma = 0.35
+	direct := rand.New(rand.NewSource(99))
+	feed := NewFeedSet(16).NewFeed(nil, rand.New(rand.NewSource(99)), sigma)
+	medians := []float64{200, 0, 1e-9, 350.5, -4, 0.25, 1e6}
+	for i := 0; i < 1000; i++ {
+		m := medians[i%len(medians)]
+		want := LogNormal(direct, m, sigma)
+		got := feed.Value(m)
+		if got != want {
+			t.Fatalf("draw %d (median %g): feed %v, direct %v", i, m, got, want)
+		}
+	}
+}
+
+// feedDigest runs a sharded topology where the home lane consumes one feed
+// value per 100µs tick while the feed's refills run on a producer lane, and
+// returns the consumed values as a digest plus the feed-set stats.
+func feedDigest(t *testing.T, workers, batch int, seed int64, until time.Duration) (string, FeedStats) {
+	t.Helper()
+	se, err := NewShardedEngine(time.Millisecond, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	home, _ := se.NewLane(0)
+	owner, _ := se.NewLane(1)
+	fs := NewFeedSet(batch)
+	fs.Attach(se)
+	feed := fs.NewFeed(owner, rand.New(rand.NewSource(seed)), 0.35)
+
+	digest := ""
+	var tick Handler
+	tick = func(now time.Duration) {
+		digest += fmt.Sprintf("%x;", feed.Value(200))
+		if now < until {
+			home.Engine().After(100*time.Microsecond, tick)
+		}
+	}
+	home.Engine().AfterAt(0, tick)
+	// The owner lane needs its own activity so its windows exist.
+	var idle Handler
+	idle = func(now time.Duration) {
+		if now < until {
+			owner.Engine().After(time.Millisecond, idle)
+		}
+	}
+	owner.Engine().AfterAt(0, idle)
+	if err := se.Run(until); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return digest, fs.Stats()
+}
+
+// TestNoiseFeedShardedDeterminism pins that the refill protocol never changes
+// the consumed values: a sharded run consuming through owner-lane refills
+// yields exactly the direct LogNormal sequence, at any worker count and batch
+// size, and the deterministic counters agree across worker counts.
+func TestNoiseFeedShardedDeterminism(t *testing.T) {
+	const until = 200 * time.Millisecond
+	direct := rand.New(rand.NewSource(7))
+	want := ""
+	for i := 0; i <= int(until/(100*time.Microsecond)); i++ {
+		want += fmt.Sprintf("%x;", LogNormal(direct, 200, 0.35))
+	}
+	var wantStats FeedStats
+	for i, cfg := range []struct{ workers, batch int }{
+		{1, 64}, {2, 64}, {4, 64}, {1, 16}, {2, 16},
+	} {
+		got, stats := feedDigest(t, cfg.workers, cfg.batch, 7, until)
+		if got != want {
+			t.Fatalf("workers=%d batch=%d: consumed values diverged from direct draws", cfg.workers, cfg.batch)
+		}
+		if stats.Refills == 0 {
+			t.Fatalf("workers=%d batch=%d: no refills were armed", cfg.workers, cfg.batch)
+		}
+		if stats.Values == 0 {
+			t.Fatalf("workers=%d batch=%d: no values consumed", cfg.workers, cfg.batch)
+		}
+		// Deterministic counters must not depend on the worker count (they may
+		// depend on the batch size, which changes the refill cadence).
+		stats.Steals = 0
+		if cfg.batch == 64 {
+			if i == 0 {
+				wantStats = stats
+			} else if stats != wantStats {
+				t.Fatalf("workers=%d: deterministic feed stats diverged: %+v vs %+v", cfg.workers, stats, wantStats)
+			}
+		}
+	}
+}
+
+// TestNoiseFeedMidRunAdoption pins the scale-out path: a feed created from a
+// home-lane handler mid-run fills inline until the next barrier adopts it,
+// then refills on its owner lane — and the consumed values still match the
+// direct sequence exactly.
+func TestNoiseFeedMidRunAdoption(t *testing.T) {
+	const until = 100 * time.Millisecond
+	se, err := NewShardedEngine(time.Millisecond, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	home, _ := se.NewLane(0)
+	owner, _ := se.NewLane(1)
+	fs := NewFeedSet(16)
+	fs.Attach(se)
+
+	var feed *NoiseFeed
+	digest := ""
+	var tick Handler
+	tick = func(now time.Duration) {
+		if now >= 20*time.Millisecond {
+			if feed == nil {
+				feed = fs.NewFeed(owner, rand.New(rand.NewSource(11)), 0.35)
+			}
+			digest += fmt.Sprintf("%x;", feed.Value(200))
+		}
+		if now < until {
+			home.Engine().After(100*time.Microsecond, tick)
+		}
+	}
+	home.Engine().AfterAt(0, tick)
+	var idle Handler
+	idle = func(now time.Duration) {
+		if now < until {
+			owner.Engine().After(time.Millisecond, idle)
+		}
+	}
+	owner.Engine().AfterAt(0, idle)
+	if err := se.Run(until); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	direct := rand.New(rand.NewSource(11))
+	want := ""
+	for i := 0; i < int((until-20*time.Millisecond)/(100*time.Microsecond))+1; i++ {
+		want += fmt.Sprintf("%x;", LogNormal(direct, 200, 0.35))
+	}
+	if digest != want {
+		t.Fatal("mid-run adopted feed diverged from direct draws")
+	}
+	if stats := fs.Stats(); stats.Refills == 0 {
+		t.Fatalf("adopted feed never refilled on its owner lane: %+v", stats)
+	}
+}

@@ -42,6 +42,17 @@ type mailMsg struct {
 	handoff bool
 }
 
+// BarrierTask is auxiliary work a lane runs at the start of each of its
+// windows, before any of its events fire. Tasks are how the coordinator
+// off-loads order-independent computation (noise-feed refills, pre-sorts) to
+// lanes whose windows would otherwise under-fill their worker. RunBarrierTask
+// reports whether the task did work this window; tasks must synchronise any
+// state they share with other goroutines themselves (see NoiseFeed for the
+// claim/publish pattern).
+type BarrierTask interface {
+	RunBarrierTask() bool
+}
+
 // Lane is one shard of a ShardedEngine: a plain Engine plus its position in
 // the lockstep schedule. Lanes with lead 0 run at the barrier front; a lane
 // with lead N runs N epochs ahead of the front, so everything it mails to a
@@ -53,12 +64,34 @@ type Lane struct {
 	id     int
 	lead   int
 	target time.Duration
+	// tasks run at the start of every window of this lane. Appended only
+	// while the lanes are parked (before Run or from an OnBarrier hook).
+	tasks []BarrierTask
+	// tasksRun counts tasks that reported doing work. Scheduling-dependent
+	// (a consumer may steal a task's work first); excluded from deterministic
+	// report surfaces.
+	tasksRun uint64
 	// sent counts cross-lane messages this lane mailed (Send/SendAt/Handoff).
 	sent uint64
 	// busy accumulates the wall-clock time the lane's worker spent running
 	// this lane's windows. Written only by the lane's worker between
 	// barriers, read by the coordinator after the join — no races.
 	busy time.Duration
+}
+
+// AddBarrierTask registers t to run at the start of every window of this
+// lane. It must be called while the lanes are parked: before Run, or on the
+// coordinating goroutine from an OnBarrier hook.
+func (l *Lane) AddBarrierTask(t BarrierTask) { l.tasks = append(l.tasks, t) }
+
+// runBarrierTasks runs the lane's tasks at a window start, on the lane's
+// worker goroutine.
+func (l *Lane) runBarrierTasks() {
+	for _, t := range l.tasks {
+		if t.RunBarrierTask() {
+			l.tasksRun++
+		}
+	}
 }
 
 // Engine returns the lane's event engine. All scheduling inside the lane
@@ -194,6 +227,10 @@ type ShardedEngine struct {
 	// high-water mark is reached.
 	mail []([]mailMsg)
 
+	// hooks run on the coordinating goroutine after every barrier drain,
+	// while all lanes are parked.
+	hooks []func()
+
 	round uint64
 	front time.Duration
 	ran   bool
@@ -221,6 +258,10 @@ type LaneProfile struct {
 	Profile
 	// MailSent counts cross-lane messages this lane mailed.
 	MailSent uint64 `json:"mail_sent"`
+	// TasksRun counts barrier tasks that did work on this lane. Like Busy it
+	// is scheduling-dependent (a starved consumer may steal a task's work),
+	// so it is excluded from deterministic report surfaces.
+	TasksRun uint64 `json:"-"`
 	// Busy is the wall-clock time the lane's worker spent executing this
 	// lane. Not deterministic; excluded from report surfaces.
 	Busy time.Duration `json:"-"`
@@ -259,6 +300,7 @@ func (se *ShardedEngine) Profile() ShardedProfile {
 			Lead:     l.lead,
 			Profile:  l.eng.Profile(),
 			MailSent: l.sent,
+			TasksRun: l.tasksRun,
 			Busy:     l.busy,
 		}
 	}
@@ -351,6 +393,12 @@ func (se *ShardedEngine) Run(until time.Duration) error {
 	return nil
 }
 
+// OnBarrier registers h to run on the coordinating goroutine after every
+// barrier drain, while all lanes are parked. Hooks may inspect lane-side
+// state and append barrier tasks; the lockstep schedule orders those accesses
+// against the lanes' windows. Register before Run.
+func (se *ShardedEngine) OnBarrier(h func()) { se.hooks = append(se.hooks, h) }
+
 // Halt stops Run at the next epoch barrier: the current round's lanes finish
 // their windows, the mailboxes drain, and Run returns. Call it from a handler
 // firing on one of the lanes (pair it with that lane's Engine.Halt to also
@@ -375,6 +423,7 @@ func (se *ShardedEngine) step(pool *lanePool, front, until time.Duration) error 
 	if pool == nil {
 		for _, l := range se.lanes {
 			laneStart := time.Now()
+			l.runBarrierTasks()
 			err := l.eng.Run(l.target)
 			l.busy += time.Since(laneStart)
 			if err != nil {
@@ -388,7 +437,13 @@ func (se *ShardedEngine) step(pool *lanePool, front, until time.Duration) error 
 	drainStart := time.Now()
 	err := se.drain()
 	se.drainWall += time.Since(drainStart)
-	return err
+	if err != nil {
+		return err
+	}
+	for _, h := range se.hooks {
+		h()
+	}
+	return nil
 }
 
 // drain moves every mailed message into its receiver's heap. The drain order
@@ -398,23 +453,27 @@ func (se *ShardedEngine) step(pool *lanePool, front, until time.Duration) error 
 func (se *ShardedEngine) drain() error {
 	n := len(se.lanes)
 	for di, dst := range se.lanes {
+		eng := dst.eng
 		for si := 0; si < n; si++ {
 			box := &se.mail[si*n+di]
 			msgs := *box
+			if len(msgs) == 0 {
+				continue
+			}
 			for i := range msgs {
 				m := &msgs[i]
-				if m.at < dst.eng.now {
+				if m.at < eng.now {
 					return fmt.Errorf("%w: lane %d -> lane %d at %v, receiver already at %v",
-						ErrDeterminism, si, di, m.at, dst.eng.now)
+						ErrDeterminism, si, di, m.at, eng.now)
 				}
 				if m.handoff {
 					m.h(m.arg, m.at)
 				} else {
-					dst.eng.pushMail(m.at, m.seq, m.h, m.arg)
+					eng.pushMail(m.at, m.seq, m.h, m.arg)
 				}
-				se.drained++
 				m.h, m.arg = nil, nil
 			}
+			se.drained += uint64(len(msgs))
 			*box = msgs[:0]
 		}
 	}
@@ -456,6 +515,7 @@ func (w *laneWorker) loop() {
 	for range w.start {
 		for _, l := range w.lanes {
 			laneStart := time.Now()
+			l.runBarrierTasks()
 			err := l.eng.Run(l.target)
 			l.busy += time.Since(laneStart)
 			if err != nil {

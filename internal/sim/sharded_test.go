@@ -306,3 +306,74 @@ func BenchmarkShardedEngine(b *testing.B) {
 		})
 	}
 }
+
+// laneHandoffRun drives a bridge-like handoff topology: one driver lane hands
+// off perTick records per 100µs tick; each handoff runs at the barrier and
+// replays onto the home lane through ReserveSeq/ScheduleReserved, mirroring
+// the scenario lane bridge. Returns the number of messages that crossed.
+func laneHandoffRun(workers, epochs int) uint64 {
+	const (
+		epoch   = time.Millisecond
+		perTick = 8
+	)
+	se, _ := NewShardedEngine(epoch, workers)
+	home, _ := se.NewLane(0)
+	lane, _ := se.NewLane(1)
+	var crossed uint64
+	sink := time.Duration(0)
+	deliver := func(_ any, now time.Duration) { sink += now }
+	handoff := func(arg any, at time.Duration) {
+		crossed++
+		home.Engine().ScheduleReserved(at, home.Engine().ReserveSeq(), deliver, arg)
+	}
+	until := time.Duration(epochs) * epoch
+	var tick Handler
+	tick = func(now time.Duration) {
+		for i := 0; i < perTick; i++ {
+			lane.Handoff(home, now, handoff, nil)
+		}
+		if now < until {
+			lane.Engine().After(100*time.Microsecond, tick)
+		}
+	}
+	lane.Engine().AfterAt(0, tick)
+	if err := se.Run(until); err != nil {
+		panic(err)
+	}
+	return crossed
+}
+
+// BenchmarkLaneHandoff measures cross-lane Handoff + barrier-drain + reserved
+// replay throughput — the cost every message of the scenario lane bridge and
+// any future replica mail pays per crossing.
+func BenchmarkLaneHandoff(b *testing.B) {
+	for _, workers := range []int{1, 2} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			// ~80 messages cross per epoch.
+			crossed := laneHandoffRun(workers, b.N/80+1)
+			b.ReportMetric(float64(crossed)/b.Elapsed().Seconds(), "msgs/s")
+		})
+	}
+}
+
+// TestLaneHandoffAllocBound pins the per-crossed-message allocation cost at
+// zero once warm: mailbox slots, pooled events and reserved replays are all
+// reused, so doubling the run length (≈16k extra crossings) must not add
+// allocations beyond noise.
+func TestLaneHandoffAllocBound(t *testing.T) {
+	measure := func(epochs int) uint64 {
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		laneHandoffRun(1, epochs)
+		runtime.ReadMemStats(&m1)
+		return m1.Mallocs - m0.Mallocs
+	}
+	measure(50) // warm up lazy runtime state
+	short := measure(200)
+	long := measure(400)
+	if long > short+500 {
+		t.Fatalf("handoff path allocates per message: %d mallocs for 200 epochs vs %d for 400", short, long)
+	}
+}

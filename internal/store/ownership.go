@@ -1,0 +1,32 @@
+package store
+
+import (
+	"autonosql/internal/cluster"
+)
+
+// OwnerSegment maps a node to one of segments lane segments by its position
+// on the consistent-hash ring: the segment index is the node's primary ring
+// token scaled into [0, segments). The assignment is a pure function of the
+// node's identity and the segment count, which gives sharded runs the
+// ownership stability the lockstep protocol needs for free:
+//
+//   - scale-out/in never moves an existing node's owner (other nodes joining
+//     or leaving cannot change this node's token);
+//   - crash/restart keeps the owner (the node keeps its ring position, and so
+//     its token);
+//   - the mapping is identical whatever the worker count or epoch length,
+//     because it never looks at either.
+//
+// The token is the same FNV-1a/fmix64 hash the ring uses for the node's
+// first virtual node, so segment boundaries correspond to contiguous arcs of
+// the ring and co-located vnodes tend to share a segment.
+func OwnerSegment(id cluster.NodeID, segments int) int {
+	if segments <= 1 {
+		return 0
+	}
+	tok := hashString(id.String() + "#0")
+	// Split the 64-bit token space into `segments` equal arcs. The divisor
+	// rounds up so the top arc cannot overflow past segments-1.
+	arc := ^uint64(0)/uint64(segments) + 1
+	return int(tok / arc)
+}

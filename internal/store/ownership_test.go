@@ -1,0 +1,54 @@
+package store
+
+import (
+	"testing"
+
+	"autonosql/internal/cluster"
+)
+
+// TestOwnerSegmentStability pins the property home-side sharding leans on:
+// a node's owner segment is a pure function of its identity and the segment
+// count. Membership events cannot move it — the mapping never sees them — so
+// the test freezes the mapping for the first 64 node IDs and re-derives it
+// "after" simulated churn.
+func TestOwnerSegmentStability(t *testing.T) {
+	for _, segments := range []int{1, 2, 3, 4, 7} {
+		before := make([]int, 64)
+		for id := 1; id <= 64; id++ {
+			before[id-1] = OwnerSegment(cluster.NodeID(id), segments)
+		}
+		// Scale-out (new IDs appear), scale-in and crash/restart (IDs
+		// disappear or flap) are all invisible to the mapping: recomputing any
+		// subset in any order yields the same owners.
+		for id := 64; id >= 1; id-- {
+			if got := OwnerSegment(cluster.NodeID(id), segments); got != before[id-1] {
+				t.Fatalf("segments=%d: node %d moved from segment %d to %d", segments, id, before[id-1], got)
+			}
+		}
+	}
+}
+
+// TestOwnerSegmentRangeAndSpread pins that every owner index is in range and
+// that the ring-token mapping actually spreads a realistic cluster across the
+// segments (no degenerate all-on-one-lane assignment).
+func TestOwnerSegmentRangeAndSpread(t *testing.T) {
+	for _, segments := range []int{2, 3, 4} {
+		seen := make(map[int]int)
+		for id := 1; id <= 32; id++ {
+			seg := OwnerSegment(cluster.NodeID(id), segments)
+			if seg < 0 || seg >= segments {
+				t.Fatalf("segments=%d: node %d mapped to out-of-range segment %d", segments, id, seg)
+			}
+			seen[seg]++
+		}
+		if len(seen) < 2 {
+			t.Fatalf("segments=%d: 32 nodes all landed on segment set %v", segments, seen)
+		}
+	}
+	if got := OwnerSegment(cluster.NodeID(5), 1); got != 0 {
+		t.Fatalf("single segment must own everything, got %d", got)
+	}
+	if got := OwnerSegment(cluster.NodeID(5), 0); got != 0 {
+		t.Fatalf("degenerate segment count must map to 0, got %d", got)
+	}
+}

@@ -49,44 +49,63 @@ func observedRun(t *testing.T, spec autonosql.ScenarioSpec) (*autonosql.Report, 
 }
 
 // TestShardObservabilityInvariance pins that observation is shard-transparent:
-// the span export, the Chrome trace and the MAPE audit trail of a smart-
-// controller run are byte-identical for shards ∈ {1, 2, 4}. Spans are stamped
-// in virtual time on the op's home lane and decisions run on the control
-// lane, so the lockstep schedule cannot leak into either export.
+// the span export, the Chrome trace and the MAPE audit trail are
+// byte-identical for shards ∈ {1, 2, 4} across the golden scenario family —
+// a smart-controller run, the throttled two-tenant admission scenario, a
+// controllerless two-tenant run and a partition/heal fault run, so the sweep
+// covers the multi-tenant, admission and fault paths riding on the home-side
+// entropy feeds. Spans are stamped in virtual time on the op's home lane and
+// decisions run on the control lane, so the lockstep schedule cannot leak
+// into any export.
 func TestShardObservabilityInvariance(t *testing.T) {
-	base := func() autonosql.ScenarioSpec {
-		spec := observedSpec(goldenSpec(1234, autonosql.ControllerSmart))
-		spec.Duration = 90 * time.Second
-		return spec
+	smart := goldenSpec(1234, autonosql.ControllerSmart)
+	smart.Duration = 90 * time.Second
+	partition := goldenFaultSpec(7777)
+	partition.Faults = autonosql.FaultPlan{Faults: []autonosql.FaultSpec{
+		autonosql.PartitionFault(20*time.Second, 40*time.Second, 2),
+	}}
+	cases := []struct {
+		name      string
+		spec      autonosql.ScenarioSpec
+		wantAudit bool
+	}{
+		{"smart", smart, true},
+		{"throttle", throttledSpec(2026), true},
+		{"twotenants", twoTenantSpec(4711, autonosql.ControllerNone), false},
+		{"partition", partition, false},
 	}
-	var wantSpans, wantChrome, wantAudit []byte
-	for _, shards := range []int{1, 2, 4} {
-		spec := base()
-		spec.Shards = shards
-		rep, spans, chrome := observedRun(t, spec)
-		audit, err := json.Marshal(rep.Audit)
-		if err != nil {
-			t.Fatalf("marshal audit: %v", err)
-		}
-		if rep.Spans == nil || rep.Spans.Sampled == 0 {
-			t.Fatalf("shards=%d: report Spans = %+v, want sampled > 0", shards, rep.Spans)
-		}
-		if len(rep.Audit) == 0 {
-			t.Fatalf("shards=%d: smart run produced no audit entries", shards)
-		}
-		if shards == 1 {
-			wantSpans, wantChrome, wantAudit = spans, chrome, audit
-			continue
-		}
-		if !bytes.Equal(spans, wantSpans) {
-			t.Errorf("shards=%d span export diverged from shards=1", shards)
-		}
-		if !bytes.Equal(chrome, wantChrome) {
-			t.Errorf("shards=%d chrome trace diverged from shards=1", shards)
-		}
-		if !bytes.Equal(audit, wantAudit) {
-			t.Errorf("shards=%d audit trail diverged from shards=1", shards)
-		}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var wantSpans, wantChrome, wantAudit []byte
+			for _, shards := range []int{1, 2, 4} {
+				spec := observedSpec(c.spec)
+				spec.Shards = shards
+				rep, spans, chrome := observedRun(t, spec)
+				audit, err := json.Marshal(rep.Audit)
+				if err != nil {
+					t.Fatalf("marshal audit: %v", err)
+				}
+				if rep.Spans == nil || rep.Spans.Sampled == 0 {
+					t.Fatalf("shards=%d: report Spans = %+v, want sampled > 0", shards, rep.Spans)
+				}
+				if c.wantAudit && len(rep.Audit) == 0 {
+					t.Fatalf("shards=%d: controller run produced no audit entries", shards)
+				}
+				if shards == 1 {
+					wantSpans, wantChrome, wantAudit = spans, chrome, audit
+					continue
+				}
+				if !bytes.Equal(spans, wantSpans) {
+					t.Errorf("shards=%d span export diverged from shards=1", shards)
+				}
+				if !bytes.Equal(chrome, wantChrome) {
+					t.Errorf("shards=%d chrome trace diverged from shards=1", shards)
+				}
+				if !bytes.Equal(audit, wantAudit) {
+					t.Errorf("shards=%d audit trail diverged from shards=1", shards)
+				}
+			}
+		})
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"autonosql/internal/core"
 	"autonosql/internal/fault"
+	"autonosql/internal/sim"
 	"autonosql/internal/sla"
 	"autonosql/internal/tenant"
 )
@@ -303,6 +304,11 @@ type ProfileReport struct {
 	Rounds      uint64        `json:",omitempty"`
 	MailDrained uint64        `json:",omitempty"`
 	Lanes       []LaneProfile `json:",omitempty"`
+	// Feeds describes the noise-feed layer of a home-sharded run: how many
+	// entropy streams were pre-generated on owner lanes and how the refill
+	// protocol behaved. All fields are deterministic (the scheduling-dependent
+	// steal/wait split is deliberately not exported). Nil for plain runs.
+	Feeds *sim.FeedStats `json:",omitempty"`
 }
 
 // String renders the profile compactly.
@@ -316,6 +322,10 @@ func (p ProfileReport) String() string {
 	if p.Rounds > 0 {
 		s += fmt.Sprintf(", %d lockstep rounds, %d mail drained over %d lanes",
 			p.Rounds, p.MailDrained, len(p.Lanes))
+	}
+	if p.Feeds != nil {
+		s += fmt.Sprintf(", %d noise feeds (%d refills, %d inline, %d values)",
+			p.Feeds.Feeds, p.Feeds.Refills, p.Feeds.Inline, p.Feeds.Values)
 	}
 	return s
 }
@@ -568,6 +578,11 @@ func (s *Scenario) profileReport() *ProfileReport {
 				HeapPeak:   l.HeapPeak,
 				MailSent:   l.MailSent,
 			})
+		}
+		if s.feeds != nil {
+			stats := s.feeds.Stats()
+			stats.Steals = 0 // scheduling-dependent; keep the section deterministic
+			pr.Feeds = &stats
 		}
 		return pr
 	}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"time"
 
 	"autonosql/internal/baseline"
@@ -83,6 +84,10 @@ type Scenario struct {
 	// (whose Engine is s.engine) and one source lane per workload driver,
 	// bridged back onto the home lane at Run. Nil in plain mode.
 	sharded *shardedRun
+	// feeds is the noise-feed set of a sharded run: the store's entropy
+	// streams, pre-generated in batches on ring-segment owner lanes. Nil in
+	// plain mode, where every draw stays inline.
+	feeds *sim.FeedSet
 }
 
 type hook struct {
@@ -268,6 +273,27 @@ func NewScenario(spec ScenarioSpec) (*Scenario, error) {
 			name := tenantSeriesName(ts.Name, base)
 			s.series[name] = metrics.NewTimeSeries(name)
 		}
+	}
+
+	// Home-side sharding. With every driver on its own lane, the home lane's
+	// remaining entropy work — the store's service-time and network-jitter
+	// log-normal draws — moves onto the driver lanes too: each simulated
+	// node's draw stream is owned by the lane its ring segment maps to
+	// (store.OwnerSegment, a pure function of the node's ring token, so
+	// ownership survives scale-out/in and crash/restart), and the owner
+	// pre-generates noise factors in batches at its window starts. The home
+	// lane consumes the factors FIFO at the exact call sites, so the values —
+	// and therefore every golden fingerprint — are bit-identical to plain
+	// mode; only the goroutine that runs the generator changes. Nodes the
+	// controller provisions mid-run get feeds from the same factory.
+	if sharded != nil && len(sharded.driverLanes) > 0 {
+		owners := sharded.driverLanes
+		fs := sim.NewFeedSet(0)
+		fs.Attach(sharded.se)
+		cl.EnableNoiseFeeds(func(node cluster.NodeID, rng *rand.Rand, sigma float64) *sim.NoiseFeed {
+			return fs.NewFeed(owners[store.OwnerSegment(node, len(owners))], rng, sigma)
+		})
+		s.feeds = fs
 	}
 	return s, nil
 }

@@ -267,3 +267,89 @@ func TestSuiteShardsAxis(t *testing.T) {
 		t.Fatal("Shards-axis suite diverged between sequential and concurrent execution")
 	}
 }
+
+// TestShardNodeOwnershipStability pins the home-sharding membership story at
+// scenario level. Every entropy stream (one per node, one for the network) is
+// owned by the lane its ring token maps to — a pure function of node
+// identity — so: a node the controller provisions mid-run gets its own feed
+// the moment it is created (scale-out), a crashed-and-restarted node keeps
+// its feed (the ring position never moved), and the deterministic feed
+// counters are identical whatever the worker count.
+func TestShardNodeOwnershipStability(t *testing.T) {
+	profiled := func(spec autonosql.ScenarioSpec, shards int) *autonosql.ProfileReport {
+		t.Helper()
+		spec.Shards = shards
+		spec.Observe = &autonosql.ObserveSpec{Profile: true}
+		rep := runGoldenScenario(t, spec)
+		if rep.Profile == nil || rep.Profile.Feeds == nil {
+			t.Fatalf("shards=%d run carries no feed profile", shards)
+		}
+		return rep.Profile
+	}
+
+	// Scale-out/in: a node provisioned mid-run must be bound to an owner lane
+	// by the same factory as the initial set, a drained one retires with its
+	// ring position, and the whole churn sequence must stay byte-identical to
+	// the single-heap run.
+	churned := func(shards int) (*autonosql.ProfileReport, string) {
+		t.Helper()
+		spec := goldenSpec(97, autonosql.ControllerNone)
+		spec.Duration = 2 * time.Minute
+		spec.Shards = shards
+		spec.Observe = &autonosql.ObserveSpec{Profile: true}
+		scenario, err := autonosql.NewScenario(spec)
+		if err != nil {
+			t.Fatalf("NewScenario: %v", err)
+		}
+		scenario.At(20*time.Second, func(h *autonosql.Handle) {
+			if err := h.AddNode(); err != nil {
+				t.Errorf("AddNode: %v", err)
+			}
+		})
+		scenario.At(100*time.Second, func(h *autonosql.Handle) {
+			if err := h.RemoveNode(); err != nil {
+				t.Errorf("RemoveNode: %v", err)
+			}
+		})
+		rep, err := scenario.Run()
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return rep.Profile, fingerprintReport(rep)
+	}
+	const churnedStreams = 3 + 1 + 1 // initial nodes + network + the added node
+	_, fp1 := churned(1)
+	p2, fp2 := churned(2)
+	if fp2 != fp1 {
+		t.Fatal("membership-churn fingerprint diverged from the single-heap run")
+	}
+	if p2 == nil || p2.Feeds == nil {
+		t.Fatal("churned run carries no feed profile")
+	}
+	if p2.Feeds.Feeds != churnedStreams {
+		t.Fatalf("scale-out/in run created %d feeds, want exactly %d: the provisioned node must get a feed, the drained one keeps its binding",
+			p2.Feeds.Feeds, churnedStreams)
+	}
+	if p2.Feeds.Refills == 0 {
+		t.Fatal("no refills were produced on owner lanes")
+	}
+	p4, fp4 := churned(4)
+	if *p2.Feeds != *p4.Feeds {
+		t.Fatalf("deterministic feed counters diverged across worker counts:\nshards=2: %+v\nshards=4: %+v",
+			*p2.Feeds, *p4.Feeds)
+	}
+	if fp2 != fp4 {
+		t.Fatal("membership-churn fingerprints diverged across worker counts")
+	}
+
+	// Crash/restart: the node keeps its ring position and therefore its feed;
+	// the stream count stays at initial nodes + network.
+	crash := goldenFaultSpec(4242)
+	crash.Faults = autonosql.FaultPlan{Faults: []autonosql.FaultSpec{
+		autonosql.CrashFault(20*time.Second, 30*time.Second, 1),
+	}}
+	if pc := profiled(crash, 2); pc.Feeds.Feeds != 4+1 {
+		t.Fatalf("crash/restart run created %d feeds, want exactly %d: ownership must not move",
+			pc.Feeds.Feeds, 4+1)
+	}
+}

@@ -275,8 +275,12 @@ type ScenarioSpec struct {
 	// N >= 2 runs the sharded engine — up to N worker threads driving one
 	// home lane (store, cluster, monitor, control loop, faults) plus one
 	// source lane per workload driver in deterministic lockstep epochs.
-	// Reports and fingerprints are identical for every shard count; only
-	// wall-clock speed changes.
+	// Sharding covers both sides of the simulation: the driver lanes
+	// generate workload arrivals, and the home side hands its service-time
+	// and network-jitter entropy streams off to those same lanes by ring
+	// segment (each simulated node's stream is refilled on the lane owning
+	// its ring position; see store.OwnerSegment). Reports and fingerprints
+	// are identical for every shard count; only wall-clock speed changes.
 	Shards int `json:",omitempty"`
 	// Epoch is the lockstep window length of the sharded engine; zero means
 	// 10ms. It is ignored unless Shards >= 2, and results are invariant
